@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared scaffolding for the paper-reproduction bench binaries.
+ *
+ * Every binary regenerates one table or figure of the paper; the
+ * helpers here standardize engine setups, suite construction and
+ * header printing so outputs are directly quotable in EXPERIMENTS.md.
+ */
+
+#ifndef SPECFAAS_BENCH_BENCH_COMMON_HH
+#define SPECFAAS_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats_util.hh"
+#include "common/table.hh"
+#include "platform/experiment.hh"
+#include "workloads/suites.hh"
+
+namespace specfaas::bench {
+
+/** Print a banner naming the experiment. */
+inline void
+banner(const std::string& title)
+{
+    std::printf("\n================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================\n");
+}
+
+/** Baseline engine setup used by all experiments. */
+inline EngineSetup
+baselineSetup(std::uint64_t seed = 42)
+{
+    EngineSetup setup;
+    setup.speculative = false;
+    setup.seed = seed;
+    return setup;
+}
+
+/** Full SpecFaaS engine setup used by all experiments. */
+inline EngineSetup
+specSetup(std::uint64_t seed = 42)
+{
+    EngineSetup setup;
+    setup.speculative = true;
+    setup.seed = seed;
+    return setup;
+}
+
+/** The three paper load levels, in order. */
+inline std::vector<double>
+loadLevels()
+{
+    return {LoadLevels::kLow, LoadLevels::kMedium, LoadLevels::kHigh};
+}
+
+inline const char*
+loadName(double rps)
+{
+    if (rps <= LoadLevels::kLow)
+        return "Low";
+    if (rps <= LoadLevels::kMedium)
+        return "Medium";
+    return "High";
+}
+
+} // namespace specfaas::bench
+
+#endif // SPECFAAS_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Regenerates Fig. 11: end-to-end speedup of SpecFaaS over the
+ * OpenWhisk-style baseline per application, for the Low/Medium/High
+ * load levels (100/250/500 rps), in a warmed-up environment. Pass
+ * `--cold` to repeat the experiment without warming up the
+ * environment (no pre-warmed containers), as in §VIII-A last ¶.
+ */
+
+#include <cstring>
+
+#include "bench_common.hh"
+
+using namespace specfaas;
+using namespace specfaas::bench;
+
+int
+main(int argc, char** argv)
+{
+    const bool cold = argc > 1 && std::strcmp(argv[1], "--cold") == 0;
+    banner(std::string("Fig. 11: SpecFaaS speedup per application and "
+                       "load level") +
+           (cold ? " (COLD environment)" : " (warmed-up)"));
+
+    auto registry = makeAllSuites();
+    const std::size_t requests = 250;
+
+    TextTable table;
+    table.header({"Application", "Suite", "Low", "Medium", "High",
+                  "Avg"});
+
+    std::map<std::string, std::vector<double>> suite_speedups;
+    std::vector<double> all;
+
+    auto run_app = [&](const Application& app,
+                       const std::string& suite) {
+        std::vector<std::string> row = {app.name, suite};
+        std::vector<double> speedups;
+        for (double rps : loadLevels()) {
+            EngineSetup base = baselineSetup();
+            EngineSetup spec = specSetup();
+            if (cold) {
+                // Cold environment: no pre-provisioned containers, so
+                // the measurement includes the cold-start ramp (the
+                // platform still keeps containers alive once created,
+                // like OpenWhisk's grace period, and the speculation
+                // tables persist across invocations as in §V-E).
+                base.prewarmPerFunction = 0;
+                spec.prewarmPerFunction = 0;
+            }
+            const double s = Experiment::speedupAtLoad(
+                app, base, spec, rps, requests);
+            speedups.push_back(s);
+            row.push_back(fmtRatio(s));
+        }
+        const double avg = mean(speedups);
+        row.push_back(fmtRatio(avg));
+        table.row(std::move(row));
+        suite_speedups[suite].push_back(avg);
+        all.push_back(avg);
+    };
+
+    for (const char* suite : {"FaaSChain", "TrainTicket", "Alibaba"})
+        for (const Application* app : registry->suite(suite))
+            run_app(*app, suite);
+
+    table.separator();
+    for (const char* suite : {"FaaSChain", "TrainTicket", "Alibaba"}) {
+        table.row({strFormat("%s avg", suite), "", "", "", "",
+                   fmtRatio(mean(suite_speedups[suite]))});
+    }
+    table.row({"Overall avg", "", "", "", "", fmtRatio(mean(all))});
+    table.print();
+
+    std::printf("\nPaper reference: average speedup 4.6x warmed-up "
+                "(suite averages ~5.0x FaaSChain, ~4.3x TrainTicket, "
+                "~4.5x Alibaba); cold-environment averages 5.2x / "
+                "4.5x / 4.7x.\n");
+    return 0;
+}

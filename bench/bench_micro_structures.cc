@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the SpecFaaS controller
+ * structures: Data Buffer read/write/commit, branch-predictor
+ * lookup/update, memoization-table lookup, Value hashing, and the
+ * event-queue schedule/run loop. These bound the per-operation
+ * controller overhead the paper argues is negligible (§V-E).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/value.hh"
+#include "sim/event_queue.hh"
+#include "specfaas/branch_predictor.hh"
+#include "specfaas/data_buffer.hh"
+#include "specfaas/memo_table.hh"
+#include "storage/kv_store.hh"
+
+namespace specfaas {
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        int fired = 0;
+        for (int i = 0; i < 64; ++i)
+            q.schedule(i, [&fired]() { ++fired; });
+        q.run();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_DataBufferWriteReadCommit(benchmark::State& state)
+{
+    const auto columns = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        KvStore store;
+        DataBuffer buffer(store);
+        for (std::size_t c = 0; c < columns; ++c) {
+            buffer.addColumn(c + 1,
+                             OrderKey{static_cast<std::int32_t>(c)});
+        }
+        for (std::size_t c = 0; c < columns; ++c) {
+            buffer.write(c + 1, "rec" + std::to_string(c % 4),
+                         Value(static_cast<std::int64_t>(c)));
+            auto r = buffer.read(columns - c,
+                                 "rec" + std::to_string(c % 4));
+            benchmark::DoNotOptimize(r.forwarded);
+        }
+        for (std::size_t c = 0; c < columns; ++c)
+            buffer.commitColumn(c + 1);
+    }
+}
+BENCHMARK(BM_DataBufferWriteReadCommit)->Arg(4)->Arg(12);
+
+void
+BM_BranchPredictorPredictUpdate(benchmark::State& state)
+{
+    BranchPredictor bp;
+    std::uint64_t path = pathhash::kEmpty;
+    for (int i = 0; i < 100; ++i)
+        bp.update("branch", path, i % 10 == 0 ? 1 : 0);
+    for (auto _ : state) {
+        auto p = bp.predict("branch", path);
+        benchmark::DoNotOptimize(p);
+        bp.update("branch", path, 0);
+    }
+}
+BENCHMARK(BM_BranchPredictorPredictUpdate);
+
+void
+BM_MemoTableLookup(benchmark::State& state)
+{
+    MemoTable table(50);
+    std::vector<Value> inputs;
+    for (int i = 0; i < 50; ++i) {
+        Value v = Value::object({});
+        v["route"] = Value(std::to_string(i));
+        MemoRow row;
+        row.output = Value(static_cast<std::int64_t>(i));
+        table.update(v, std::move(row));
+        inputs.push_back(std::move(v));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const MemoRow* row = table.lookup(inputs[i % inputs.size()]);
+        benchmark::DoNotOptimize(row);
+        ++i;
+    }
+}
+BENCHMARK(BM_MemoTableLookup);
+
+void
+BM_ValueHash(benchmark::State& state)
+{
+    Value v = Value::object({});
+    v["route"] = Value("r12");
+    v["date"] = Value("d3");
+    v["nested"] = Value::array({Value(1), Value(2.5), Value("x")});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(v.hash());
+    }
+}
+BENCHMARK(BM_ValueHash);
+
+} // namespace
+} // namespace specfaas
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Regenerates Table IV: CPU utilization of the squashed speculative
+ * work. Sweeps the speculation hit rate on the FaaSChain suite and
+ * compares two squash policies — LazySquash (mis-speculated handlers
+ * run to completion in the background) and SpecFaaS's immediate
+ * handler-process kill — with utilization normalized to the
+ * baseline's. Also reports the SpecFaaS speedup at each hit rate.
+ */
+
+#include "bench_common.hh"
+
+using namespace specfaas;
+using namespace specfaas::bench;
+
+namespace {
+
+struct Cell
+{
+    double utilization = 0.0;
+    double speedup = 0.0;
+};
+
+Cell
+measure(const std::vector<const Application*>& apps,
+        const EngineSetup& setup, double rps,
+        const std::vector<double>& base_means,
+        const std::vector<double>& base_utils)
+{
+    Cell cell;
+    std::vector<double> utils;
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        auto m = Experiment::measureAtLoad(*apps[i], setup, rps, 200);
+        utils.push_back(m.cpuUtilization / base_utils[i]);
+        speedups.push_back(base_means[i] / m.summary.meanResponseMs);
+    }
+    cell.utilization = mean(utils);
+    cell.speedup = mean(speedups);
+    return cell;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table IV: CPU utilization of squashed work "
+           "(normalized to baseline)");
+
+    const std::vector<double> biases = {1.0, 0.9, 0.7, 0.5};
+    const double rps = LoadLevels::kMedium;
+
+    TextTable table;
+    table.header({"HitRate", "Baseline", "LazySquash", "SpecFaaS",
+                  "Speedup"});
+
+    for (double bias : biases) {
+        SuiteOptions options;
+        options.faasChain.branchBias = bias;
+        auto registry = makeAllSuites(options);
+        auto apps = registry->suite("FaaSChain");
+
+        // Baseline reference point per application.
+        std::vector<double> base_means;
+        std::vector<double> base_utils;
+        for (const Application* app : apps) {
+            auto b = Experiment::measureAtLoad(*app, baselineSetup(),
+                                               rps, 200);
+            base_means.push_back(b.summary.meanResponseMs);
+            base_utils.push_back(std::max(b.cpuUtilization, 1e-9));
+        }
+
+        // The sweep forces speculation at every hit rate: the dead
+        // band (which would refuse to predict 50/50 branches) and the
+        // squash minimizer (which would learn around the violations)
+        // are disabled so the squashed work is exposed, as in the
+        // paper's controlled hit-rate experiment.
+        EngineSetup lazy = specSetup();
+        lazy.spec.squashPolicy = SquashPolicy::Lazy;
+        lazy.spec.bpDeadBand = 0.0;
+        lazy.spec.stallThreshold = 1000000000;
+        EngineSetup kill = specSetup();
+        kill.spec.squashPolicy = SquashPolicy::ProcessKill;
+        kill.spec.bpDeadBand = 0.0;
+        kill.spec.stallThreshold = 1000000000;
+
+        const Cell lazy_cell =
+            measure(apps, lazy, rps, base_means, base_utils);
+        const Cell kill_cell =
+            measure(apps, kill, rps, base_means, base_utils);
+
+        table.row({strFormat("%.0f%%", bias * 100), "1.00",
+                   fmtDouble(lazy_cell.utilization),
+                   fmtDouble(kill_cell.utilization),
+                   fmtRatio(kill_cell.speedup)});
+    }
+    table.print();
+
+    std::printf("\nPaper reference (normalized utilization): 100%% "
+                "hit: 1.09 lazy / 1.03 spec (5.2x); 90%%: 1.24 / 1.08 "
+                "(4.6x); 70%%: 1.43 / 1.15 (4.0x); 50%%: 1.63 / 1.38 "
+                "(3.9x). Immediate handler kills waste far fewer "
+                "cycles than letting squashed work finish.\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Configuring SpecFaaS: function annotations and speculation policies
+ * (§VI). Demonstrates:
+ *
+ *  - the `non-speculative` annotation, for functions whose
+ *    dependences would keep causing squashes;
+ *  - the `pure-function` annotation + pureFunctionSkip, which skips
+ *    executing a pure function entirely on a memoization hit;
+ *  - squash policies (Lazy vs container kill vs handler-process
+ *    kill) and their latency effect;
+ *  - the branch-predictor dead band and speculation-depth limits.
+ *
+ * Build & run: ./build/examples/tuning_speculation
+ */
+
+#include <cstdio>
+
+#include "platform/platform.hh"
+#include "workloads/faaschain.hh"
+
+using namespace specfaas;
+
+namespace {
+
+double
+meanMs(FaasPlatform& platform, const Application& app, int n = 40)
+{
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+        auto r = platform.invokeSync(app,
+                                     app.inputGen(platform.inputRng()));
+        total += ticksToMs(r.responseTime());
+    }
+    return total / n;
+}
+
+double
+runWith(const Application& app, SpecConfig config)
+{
+    PlatformOptions options;
+    options.speculative = true;
+    options.spec = config;
+    options.seed = 5;
+    FaasPlatform platform(options);
+    platform.deploy(app);
+    platform.train(app, 30);
+    return meanMs(platform, app);
+}
+
+} // namespace
+
+int
+main()
+{
+    DatasetConfig dataset;
+    dataset.branchBias = 0.85; // make mispredictions visible
+
+    std::printf("--- squash policies (OnlPurch, 85%% biased "
+                "branches) ---\n");
+    {
+        Application app = makeOnlPurchApp(dataset);
+        SpecConfig lazy;
+        lazy.squashPolicy = SquashPolicy::Lazy;
+        SpecConfig container;
+        container.squashPolicy = SquashPolicy::ContainerKill;
+        SpecConfig process;
+        process.squashPolicy = SquashPolicy::ProcessKill;
+        std::printf("  LazySquash:     %6.1f ms\n", runWith(app, lazy));
+        std::printf("  ContainerKill:  %6.1f ms\n",
+                    runWith(app, container));
+        std::printf("  ProcessKill:    %6.1f ms  (SpecFaaS default)\n",
+                    runWith(app, process));
+    }
+
+    std::printf("\n--- annotations (HotelBook) ---\n");
+    {
+        Application plain = makeHotelBookApp(dataset);
+        std::printf("  unannotated:                 %6.1f ms\n",
+                    runWith(plain, SpecConfig{}));
+
+        // Mark the squash-prone consumer non-speculative: it waits
+        // for its predecessors instead of racing them.
+        Application annotated = makeHotelBookApp(dataset);
+        for (auto& f : annotated.functions)
+            if (f.name == "HbCharge")
+                f.nonSpeculativeAnnotation = true;
+        std::printf("  HbCharge non-speculative:    %6.1f ms\n",
+                    runWith(annotated, SpecConfig{}));
+
+        // Declare the pure computation stages and let SpecFaaS skip
+        // them on memo hits.
+        Application pure = makeHotelBookApp(dataset);
+        for (auto& f : pure.functions)
+            if (f.isEffectivelyPure())
+                f.pureAnnotation = true;
+        SpecConfig skip;
+        skip.pureFunctionSkip = true;
+        std::printf("  pure-function skip enabled:  %6.1f ms\n",
+                    runWith(pure, skip));
+    }
+
+    std::printf("\n--- speculation depth (OnlPurch) ---\n");
+    {
+        Application app = makeOnlPurchApp(dataset);
+        for (std::uint32_t depth : {1u, 2u, 4u, 12u}) {
+            SpecConfig config;
+            config.maxSpecDepth = depth;
+            std::printf("  depth %2u: %6.1f ms\n", depth,
+                        runWith(app, config));
+        }
+    }
+
+    std::printf("\n--- branch-predictor dead band (Login, 60%% "
+                "biased) ---\n");
+    {
+        DatasetConfig coin = dataset;
+        coin.branchBias = 0.60;
+        Application app = makeLoginApp(coin);
+        SpecConfig off;
+        off.bpDeadBand = 0.0; // predict even weak branches
+        SpecConfig band;
+        band.bpDeadBand = 0.15; // refuse branches inside 50±15%
+        std::printf("  dead band off:  %6.1f ms\n", runWith(app, off));
+        std::printf("  dead band 15%%:  %6.1f ms\n", runWith(app, band));
+    }
+    return 0;
+}

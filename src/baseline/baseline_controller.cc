@@ -1,0 +1,332 @@
+#include "baseline_controller.hh"
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+BaselineController::BaselineController(Simulation& sim, Cluster& cluster,
+                                       KvStore& store,
+                                       const FunctionRegistry& registry)
+    : sim_(sim),
+      cluster_(cluster),
+      store_(store),
+      registry_(registry),
+      interp_(sim, cluster, *this),
+      launcher_(sim, cluster, registry, interp_)
+{
+}
+
+BaselineController::~BaselineController() = default;
+
+const FlowProgram&
+BaselineController::compiled(const Application& app)
+{
+    auto it = programs_.find(&app);
+    if (it == programs_.end())
+        it = programs_.emplace(&app, compileWorkflow(app)).first;
+    return it->second;
+}
+
+void
+BaselineController::invoke(const Application& app, Value input,
+                           std::function<void(InvocationResult)> done)
+{
+    const InvocationId id = nextInvocation_++;
+
+    // Admission control: shed load when the control plane is backed
+    // up (OpenWhisk returns 429 TooManyRequests).
+    if (cluster_.controller().queueLength() >
+        cluster_.config().admissionQueueLimit) {
+        InvocationResult rejected;
+        rejected.id = id;
+        rejected.app = app.name;
+        rejected.submittedAt = sim_.now();
+        rejected.completedAt = sim_.now();
+        rejected.rejected = true;
+        done(std::move(rejected));
+        return;
+    }
+
+    auto inv = std::make_unique<Invocation>();
+    inv->app = &app;
+    inv->done = std::move(done);
+    inv->result.id = id;
+    inv->result.app = app.name;
+    inv->result.submittedAt = sim_.now();
+    Invocation& ref = *inv;
+    live_[id] = std::move(inv);
+
+    if (app.type == WorkflowType::Explicit) {
+        ref.program = &compiled(app);
+        continueAt(ref, ref.program->entry, std::move(input), OrderKey{0});
+    } else {
+        dispatch(ref, kFlowNone, std::move(input), OrderKey{0});
+    }
+}
+
+BaselineController::Invocation&
+BaselineController::invocationOf(const InstancePtr& inst)
+{
+    auto it = live_.find(inst->invocation);
+    SPECFAAS_ASSERT(it != live_.end(), "instance %s of dead invocation",
+                    inst->label().c_str());
+    return *it->second;
+}
+
+void
+BaselineController::dispatch(Invocation& inv, FlowIndex idx, Value input,
+                             OrderKey order)
+{
+    const std::string& fname =
+        idx == kFlowNone
+            ? (order == OrderKey{0} ? inv.app->rootFunction
+                                    : std::string())
+            : inv.program->node(idx).function;
+    SPECFAAS_ASSERT(!fname.empty(), "dispatch without function");
+
+    LaunchSpec spec;
+    spec.function = fname;
+    spec.input = std::move(input);
+    spec.invocation = inv.result.id;
+    spec.order = std::move(order);
+    spec.flowNode = idx;
+    spec.preOverhead = cluster_.config().platformOverhead;
+    spec.controllerService = cluster_.config().baselineLaunchService;
+    ++inv.liveInstances;
+    launcher_.launch(std::move(spec));
+}
+
+void
+BaselineController::continueAt(Invocation& inv, FlowIndex idx, Value carry,
+                               OrderKey order)
+{
+    if (idx == kFlowNone) {
+        finish(inv, std::move(carry));
+        return;
+    }
+    const FlowNode& node = inv.program->node(idx);
+    switch (node.kind) {
+      case FlowNode::Kind::Func:
+      case FlowNode::Kind::Branch:
+        dispatch(inv, idx, std::move(carry), std::move(order));
+        return;
+      case FlowNode::Kind::Fork: {
+        auto& join = inv.joins[node.join];
+        join.pending = node.targets.size();
+        join.outputs.assign(node.targets.size(), Value());
+        for (std::size_t arm = 0; arm < node.targets.size(); ++arm) {
+            OrderKey arm_order = order;
+            arm_order.push_back(static_cast<std::int32_t>(arm));
+            arm_order.push_back(0);
+            continueAt(inv, node.targets[arm], carry,
+                       std::move(arm_order));
+        }
+        return;
+      }
+      case FlowNode::Kind::Join: {
+        auto it = inv.joins.find(idx);
+        SPECFAAS_ASSERT(it != inv.joins.end(), "join without fork");
+        auto& join = it->second;
+        // The arm index is the second-to-last component of the order
+        // key laid down at the fork.
+        SPECFAAS_ASSERT(order.size() >= 2, "join from non-arm order key");
+        const auto arm = static_cast<std::size_t>(order[order.size() - 2]);
+        SPECFAAS_ASSERT(arm < join.outputs.size(), "bad arm index");
+        join.outputs[arm] = std::move(carry);
+        SPECFAAS_ASSERT(join.pending > 0, "join underflow");
+        if (--join.pending == 0) {
+            Value all = Value(std::move(join.outputs));
+            inv.joins.erase(it);
+            OrderKey next_order(order.begin(), order.end() - 2);
+            next_order.back() += 1;
+            continueAt(inv, node.next, std::move(all),
+                       std::move(next_order));
+        }
+        return;
+      }
+    }
+    panic("unreachable flow node kind");
+}
+
+void
+BaselineController::stepFlow(Invocation& inv, const InstancePtr& inst,
+                             const Value& output)
+{
+    const FlowIndex idx = inst->flowNode;
+    if (idx == kFlowNone) {
+        // Implicit root function: its output is the response.
+        finish(inv, output);
+        return;
+    }
+    const FlowNode& node = inv.program->node(idx);
+    FlowIndex next;
+    Value carry;
+    if (node.kind == FlowNode::Kind::Branch) {
+        // Branch targets inherit the branch function's input (§II-A);
+        // only the choice of target depends on the output.
+        next = inv.program->resolveBranch(idx, output);
+        carry = inst->env.input;
+    } else {
+        next = node.next;
+        carry = output;
+    }
+
+    OrderKey next_order = inst->order;
+    next_order.back() += 1;
+
+    // Worker → controller message, conductor execution, controller →
+    // worker launch: the Transfer Function Overhead of Fig. 3.
+    const Tick transfer = cluster_.config().conductorOverhead;
+    inv.result.transferOverhead += transfer;
+    const InvocationId id = inv.result.id;
+    sim_.events().schedule(transfer, [this, id, next, carry,
+                                      next_order]() mutable {
+        auto it = live_.find(id);
+        if (it == live_.end())
+            return;
+        continueAt(*it->second, next, std::move(carry),
+                   std::move(next_order));
+    });
+}
+
+void
+BaselineController::completed(const InstancePtr& inst, Value output)
+{
+    Invocation& inv = invocationOf(inst);
+
+    if (inst->container != nullptr) {
+        cluster_.containers().release(*inst->container);
+        inst->container = nullptr;
+    }
+
+    // Accounting.
+    ++inv.result.functionsExecuted;
+    inv.sequence.emplace_back(inst->order, inst->def->name);
+    inv.result.containerCreation += inst->containerCreationTime;
+    inv.result.runtimeSetup += inst->runtimeSetupTime;
+    inv.result.platformOverhead += inst->platformOverheadTime;
+    inv.result.execution += inst->execTime;
+    SPECFAAS_ASSERT(inv.liveInstances > 0, "live-instance underflow");
+    --inv.liveInstances;
+    inst->state = InstanceState::Committed;
+
+    if (inst->caller != nullptr) {
+        // Implicit callee: the stored continuation (set up in
+        // functionCall) routes the result back over RPC.
+        auto it = callReturns_.find(inst->id);
+        SPECFAAS_ASSERT(it != callReturns_.end(), "callee without return");
+        auto ret = std::move(it->second);
+        callReturns_.erase(it);
+        ret(std::move(output));
+        return;
+    }
+
+    stepFlow(inv, inst, output);
+}
+
+void
+BaselineController::storageGet(const InstancePtr& inst,
+                               const std::string& key,
+                               std::function<void(Value)> done)
+{
+    (void)inst;
+    sim_.events().schedule(store_.latency().readLatency,
+                           [this, key, done = std::move(done)]() {
+                               auto v = store_.get(key);
+                               done(v ? std::move(*v) : Value());
+                           });
+}
+
+void
+BaselineController::storagePut(const InstancePtr& inst,
+                               const std::string& key, Value value,
+                               std::function<void()> done)
+{
+    (void)inst;
+    sim_.events().schedule(store_.latency().writeLatency,
+                           [this, key, value = std::move(value),
+                            done = std::move(done)]() mutable {
+                               store_.put(key, std::move(value));
+                               done();
+                           });
+}
+
+void
+BaselineController::functionCall(const InstancePtr& inst,
+                                 std::size_t call_site,
+                                 const std::string& callee, Value args,
+                                 std::function<void(Value)> done)
+{
+
+    Invocation& inv = invocationOf(inst);
+    const Tick rpc = cluster_.config().rpcLatency;
+    inv.result.transferOverhead += 2 * rpc;
+    inst->state = InstanceState::StalledCallee;
+
+    const InvocationId id = inv.result.id;
+    sim_.events().schedule(rpc, [this, id, callee, args, call_site,
+                                 caller = inst.get(),
+                                 done = std::move(done)]() mutable {
+        auto it = live_.find(id);
+        if (it == live_.end())
+            return;
+        Invocation& inv2 = *it->second;
+
+        OrderKey order = caller->order;
+        order.push_back(static_cast<std::int32_t>(call_site));
+
+        LaunchSpec spec;
+        spec.function = callee;
+        spec.input = std::move(args);
+        spec.invocation = id;
+        spec.order = std::move(order);
+        spec.flowNode = kFlowNone;
+        spec.preOverhead = cluster_.config().platformOverhead;
+        spec.controllerService =
+            cluster_.config().baselineLaunchService;
+        spec.caller = caller;
+        ++inv2.liveInstances;
+        InstancePtr callee_inst = launcher_.launch(std::move(spec));
+        // Return path: one more RPC hop back to the caller.
+        const Tick rpc2 = cluster_.config().rpcLatency;
+        callReturns_[callee_inst->id] =
+            [this, rpc2, done = std::move(done)](Value out) mutable {
+                sim_.events().schedule(
+                    rpc2, [out = std::move(out),
+                           done = std::move(done)]() mutable {
+                        done(std::move(out));
+                    });
+            };
+    });
+}
+
+void
+BaselineController::httpRequest(const InstancePtr& inst,
+                                std::function<void()> done)
+{
+    // Nothing speculative in the baseline: requests go out directly.
+    (void)inst;
+    done();
+}
+
+void
+BaselineController::finish(Invocation& inv, Value response)
+{
+    inv.result.response = std::move(response);
+    inv.result.completedAt = sim_.now();
+    std::sort(inv.sequence.begin(), inv.sequence.end(),
+              [](const auto& a, const auto& b) {
+                  return orderKeyLess(a.first, b.first);
+              });
+    for (auto& [order, name] : inv.sequence) {
+        (void)order;
+        inv.result.executedSequence.push_back(std::move(name));
+    }
+    auto it = live_.find(inv.result.id);
+    SPECFAAS_ASSERT(it != live_.end(), "finishing unknown invocation");
+    auto owned = std::move(it->second);
+    live_.erase(it);
+    owned->done(std::move(owned->result));
+}
+
+} // namespace specfaas

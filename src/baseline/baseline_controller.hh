@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Conventional OpenWhisk-style workflow execution (the baseline).
+ *
+ * Explicit workflows: after a function completes, the worker notifies
+ * the controller, which invokes the conductor helper function to pick
+ * the next function, then launches it (§II-B). Everything is strictly
+ * in order: a function starts only when its control and data
+ * dependences are fully resolved.
+ *
+ * Implicit workflows: functions call other functions as subroutines
+ * over HTTP/RPC; the caller blocks until the callee returns (§II-C).
+ */
+
+#ifndef SPECFAAS_BASELINE_BASELINE_CONTROLLER_HH
+#define SPECFAAS_BASELINE_BASELINE_CONTROLLER_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "cluster/cluster.hh"
+#include "runtime/engine.hh"
+#include "runtime/hooks.hh"
+#include "runtime/interpreter.hh"
+#include "runtime/launcher.hh"
+#include "sim/simulation.hh"
+#include "storage/kv_store.hh"
+#include "workflow/flow_program.hh"
+#include "workflow/registry.hh"
+
+namespace specfaas {
+
+/** The conventional (non-speculative) execution engine. */
+class BaselineController : public WorkflowEngine, public RuntimeHooks
+{
+  public:
+    /**
+     * @param sim simulation context
+     * @param cluster worker cluster
+     * @param store global key-value storage
+     * @param registry deployed functions
+     */
+    BaselineController(Simulation& sim, Cluster& cluster, KvStore& store,
+                       const FunctionRegistry& registry);
+
+    ~BaselineController() override;
+
+    void invoke(const Application& app, Value input,
+                std::function<void(InvocationResult)> done) override;
+
+    std::string name() const override { return "baseline"; }
+
+    /** @{ RuntimeHooks (called by the interpreter). */
+    void storageGet(const InstancePtr& inst, const std::string& key,
+                    std::function<void(Value)> done) override;
+    void storagePut(const InstancePtr& inst, const std::string& key,
+                    Value value, std::function<void()> done) override;
+    void functionCall(const InstancePtr& inst, std::size_t call_site,
+                      const std::string& callee, Value args,
+                      std::function<void(Value)> done) override;
+    void httpRequest(const InstancePtr& inst,
+                     std::function<void()> done) override;
+    void completed(const InstancePtr& inst, Value output) override;
+    /** @} */
+
+  private:
+    struct JoinState
+    {
+        std::size_t pending = 0;
+        ValueArray outputs;
+    };
+
+    struct Invocation
+    {
+        InvocationResult result;
+        const Application* app = nullptr;
+        const FlowProgram* program = nullptr;
+        std::function<void(InvocationResult)> done;
+        // Explicit-walk state: join node index → collection state.
+        std::unordered_map<FlowIndex, JoinState> joins;
+        // Live instances spawned for this invocation.
+        std::size_t liveInstances = 0;
+        // (program order, function) pairs; sorted into
+        // result.executedSequence when the invocation finishes.
+        std::vector<std::pair<OrderKey, std::string>> sequence;
+    };
+
+    /** Compiled program cache, one per application. */
+    const FlowProgram& compiled(const Application& app);
+
+    /** Launch the flow node @p idx of invocation @p inv. */
+    void dispatch(Invocation& inv, FlowIndex idx, Value input,
+                  OrderKey order);
+
+    /** A flow-node function finished; walk to its successor. */
+    void stepFlow(Invocation& inv, const InstancePtr& inst,
+                  const Value& output);
+
+    /** Continue after node @p idx with @p carry as data payload. */
+    void continueAt(Invocation& inv, FlowIndex idx, Value carry,
+                    OrderKey order);
+
+    void finish(Invocation& inv, Value response);
+
+    Invocation& invocationOf(const InstancePtr& inst);
+
+    Simulation& sim_;
+    Cluster& cluster_;
+    KvStore& store_;
+    const FunctionRegistry& registry_;
+    Interpreter interp_;
+    Launcher launcher_;
+
+    InvocationId nextInvocation_ = 1;
+    std::unordered_map<InvocationId, std::unique_ptr<Invocation>> live_;
+    std::unordered_map<const Application*, FlowProgram> programs_;
+    /** Implicit-callee return continuations, keyed by callee id. */
+    std::unordered_map<InstanceId, std::function<void(Value)>>
+        callReturns_;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_BASELINE_BASELINE_CONTROLLER_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cluster facade: owns the nodes and the container pool and exposes
+ * utilization accounting across the machine.
+ */
+
+#ifndef SPECFAAS_CLUSTER_CLUSTER_HH
+#define SPECFAAS_CLUSTER_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_config.hh"
+#include "cluster/container.hh"
+#include "cluster/node.hh"
+#include "sim/simulation.hh"
+
+namespace specfaas {
+
+/** The simulated worker cluster. */
+class Cluster
+{
+  public:
+    /**
+     * @param sim simulation context
+     * @param config node counts and platform cost constants
+     */
+    Cluster(Simulation& sim, const ClusterConfig& config);
+
+    Cluster(const Cluster&) = delete;
+    Cluster& operator=(const Cluster&) = delete;
+
+    /** Cost constants in effect. */
+    const ClusterConfig& config() const { return config_; }
+
+    /** Worker nodes. */
+    const std::vector<std::unique_ptr<Node>>& nodes() const
+    {
+        return nodes_;
+    }
+
+    /** Node by id. */
+    Node& node(NodeId id);
+
+    /**
+     * The control-plane service station: a pool of controller
+     * threads every function launch must pass through. Modelled as a
+     * Node whose "cores" are controller threads.
+     */
+    Node& controller() { return *controller_; }
+
+    /** Container manager. */
+    ContainerPool& containers() { return *containers_; }
+
+    /** Total cores across all nodes. */
+    std::uint32_t totalCores() const;
+
+    /** Start a cluster-wide utilization measurement window. */
+    void resetUtilization();
+
+    /** Mean CPU utilization in [0,1] since the last reset. */
+    double utilization() const;
+
+  private:
+    Simulation& sim_;
+    ClusterConfig config_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::unique_ptr<Node> controller_;
+    std::unique_ptr<ContainerPool> containers_;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_CLUSTER_CLUSTER_HH

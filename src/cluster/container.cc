@@ -1,0 +1,122 @@
+#include "container.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+ContainerPool::ContainerPool(Simulation& sim, std::vector<Node*> nodes,
+                             const ClusterConfig& config)
+    : sim_(sim), nodes_(std::move(nodes)), config_(config)
+{
+    SPECFAAS_ASSERT(!nodes_.empty(), "container pool with no nodes");
+}
+
+Node&
+ContainerPool::pickNode()
+{
+    // Least-loaded placement with round-robin tie-breaking, so cold
+    // starts spread across the cluster deterministically.
+    Node* best = nullptr;
+    std::uint32_t bestLoad = ~0u;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        Node* n = nodes_[(rrNext_ + i) % nodes_.size()];
+        const auto load = n->busyCores() +
+                          static_cast<std::uint32_t>(n->queueLength());
+        if (load < bestLoad) {
+            bestLoad = load;
+            best = n;
+        }
+    }
+    rrNext_ = (rrNext_ + 1) % static_cast<std::uint32_t>(nodes_.size());
+    return *best;
+}
+
+void
+ContainerPool::acquire(const std::string& function, AcquireCallback done)
+{
+    auto& pool = pools_[function];
+    if (!pool.warm.empty()) {
+        Container* c = pool.warm.front();
+        pool.warm.pop_front();
+        c->busy = true;
+        ++warmStarts_;
+        AcquireTiming timing;
+        timing.handlerFork = config_.handlerForkOverhead;
+        sim_.events().schedule(timing.handlerFork,
+                               [c, timing, cb = std::move(done)]() {
+                                   cb(*c, timing);
+                               });
+        return;
+    }
+
+    // Cold start: create a container on the least-loaded node.
+    ++coldStarts_;
+    Node& node = pickNode();
+    auto owned = std::make_unique<Container>();
+    owned->id = nextContainer_++;
+    owned->function = function;
+    owned->node = node.id();
+    owned->busy = true;
+    Container* c = owned.get();
+    pool.all.push_back(std::move(owned));
+
+    AcquireTiming timing;
+    timing.containerCreation = config_.containerCreation;
+    timing.runtimeSetup = config_.runtimeSetup;
+    timing.handlerFork = config_.handlerForkOverhead;
+    sim_.events().schedule(timing.total(),
+                           [c, timing, cb = std::move(done)]() {
+                               cb(*c, timing);
+                           });
+}
+
+void
+ContainerPool::release(Container& c)
+{
+    SPECFAAS_ASSERT(c.busy, "releasing idle container %llu",
+                    static_cast<unsigned long long>(c.id));
+    c.busy = false;
+    pools_[c.function].warm.push_back(&c);
+}
+
+void
+ContainerPool::destroy(Container& c)
+{
+    auto& pool = pools_[c.function];
+    auto wit = std::find(pool.warm.begin(), pool.warm.end(), &c);
+    if (wit != pool.warm.end())
+        pool.warm.erase(wit);
+    auto ait = std::find_if(pool.all.begin(), pool.all.end(),
+                            [&c](const std::unique_ptr<Container>& p) {
+                                return p.get() == &c;
+                            });
+    SPECFAAS_ASSERT(ait != pool.all.end(), "destroying unknown container");
+    pool.all.erase(ait);
+}
+
+void
+ContainerPool::prewarm(const std::string& function, std::uint32_t count)
+{
+    auto& pool = pools_[function];
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Node& node = pickNode();
+        auto owned = std::make_unique<Container>();
+        owned->id = nextContainer_++;
+        owned->function = function;
+        owned->node = node.id();
+        owned->busy = false;
+        pool.warm.push_back(owned.get());
+        pool.all.push_back(std::move(owned));
+    }
+}
+
+std::size_t
+ContainerPool::containerCount(const std::string& function) const
+{
+    auto it = pools_.find(function);
+    return it == pools_.end() ? 0 : it->second.all.size();
+}
+
+} // namespace specfaas

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Function containers and the warm pool.
+ *
+ * Each container hosts one function's runtime: an initializer process
+ * that stays alive across requests, and a per-request handler process
+ * forked from it (§VI). A container serves one request at a time;
+ * concurrent invocations of the same function need multiple
+ * containers. Cold acquisition pays container creation plus runtime
+ * setup (Fig. 3); warm acquisition pays only the handler fork.
+ */
+
+#ifndef SPECFAAS_CLUSTER_CONTAINER_HH
+#define SPECFAAS_CLUSTER_CONTAINER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster_config.hh"
+#include "cluster/node.hh"
+#include "common/types.hh"
+#include "sim/simulation.hh"
+
+namespace specfaas {
+
+/** One container instance bound to a function and a node. */
+struct Container
+{
+    std::uint64_t id;
+    std::string function;
+    NodeId node;
+    bool busy = false;
+};
+
+/** Timing split of one container acquisition, for Fig. 3. */
+struct AcquireTiming
+{
+    Tick containerCreation = 0;
+    Tick runtimeSetup = 0;
+    Tick handlerFork = 0;
+
+    Tick total() const
+    {
+        return containerCreation + runtimeSetup + handlerFork;
+    }
+};
+
+/**
+ * Cluster-wide container manager with per-function warm pools.
+ *
+ * Placement is least-loaded-node (ties broken by node id) at cold
+ * creation time; warm containers are reused wherever they live.
+ */
+class ContainerPool
+{
+  public:
+    using AcquireCallback =
+        std::function<void(Container&, const AcquireTiming&)>;
+
+    /**
+     * @param sim simulation context
+     * @param nodes worker nodes (non-owning)
+     * @param config platform cost constants
+     */
+    ContainerPool(Simulation& sim, std::vector<Node*> nodes,
+                  const ClusterConfig& config);
+
+    /**
+     * Acquire a container for @p function. Completes asynchronously:
+     * immediately (plus handler fork time) when a warm container is
+     * free, after a cold start otherwise.
+     */
+    void acquire(const std::string& function, AcquireCallback done);
+
+    /** Return a container to the warm pool after a request. */
+    void release(Container& c);
+
+    /**
+     * Destroy a container (container-kill squash policy). The slot
+     * does not return to the warm pool; the next acquisition of this
+     * function may cold-start.
+     */
+    void destroy(Container& c);
+
+    /**
+     * Pre-provision @p count warm containers for @p function without
+     * charging cold-start time (models a warmed-up environment where
+     * prior optimizations removed start-up overheads, §IV).
+     */
+    void prewarm(const std::string& function, std::uint32_t count);
+
+    /** Total containers (warm + busy) for @p function. */
+    std::size_t containerCount(const std::string& function) const;
+
+    /** @{ Counters. */
+    std::uint64_t coldStarts() const { return coldStarts_; }
+    std::uint64_t warmStarts() const { return warmStarts_; }
+    /** @} */
+
+  private:
+    Node& pickNode();
+
+    Simulation& sim_;
+    std::vector<Node*> nodes_;
+    const ClusterConfig& config_;
+    std::uint64_t nextContainer_ = 1;
+
+    struct FunctionPool
+    {
+        // All containers ever created for this function.
+        std::vector<std::unique_ptr<Container>> all;
+        // Free warm containers (subset of all).
+        std::deque<Container*> warm;
+    };
+
+    std::unordered_map<std::string, FunctionPool> pools_;
+    std::uint64_t coldStarts_ = 0;
+    std::uint64_t warmStarts_ = 0;
+    std::uint32_t rrNext_ = 0;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_CLUSTER_CONTAINER_HH

@@ -1,0 +1,120 @@
+#include "node.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+Node::Node(Simulation& sim, NodeId id, std::uint32_t cores)
+    : sim_(sim), id_(id), cores_(cores)
+{
+    SPECFAAS_ASSERT(cores > 0, "node with zero cores");
+}
+
+void
+Node::accountBusy()
+{
+    const Tick now = sim_.now();
+    busyTicks_ += static_cast<Tick>(busy_) * (now - lastChange_);
+    lastChange_ = now;
+}
+
+ComputeTaskId
+Node::submit(Tick duration, std::function<void()> done)
+{
+    SPECFAAS_ASSERT(duration >= 0, "negative compute duration");
+    const ComputeTaskId id = nextTask_++;
+    if (busy_ < cores_)
+        startTask(id, duration, std::move(done));
+    else
+        waiting_.push_back(Waiting{id, duration, std::move(done)});
+    return id;
+}
+
+void
+Node::startTask(ComputeTaskId id, Tick duration, std::function<void()> done)
+{
+    accountBusy();
+    ++busy_;
+    const EventId completion = sim_.events().schedule(
+        duration, [this, id, cb = std::move(done)]() {
+            running_.erase(id);
+            coreReleased();
+            cb();
+        });
+    running_[id] = Running{completion};
+}
+
+void
+Node::coreReleased()
+{
+    accountBusy();
+    SPECFAAS_ASSERT(busy_ > 0, "releasing core on idle node");
+    --busy_;
+    if (!waiting_.empty() && busy_ < cores_) {
+        Waiting next = std::move(waiting_.front());
+        waiting_.pop_front();
+        startTask(next.id, next.duration, std::move(next.done));
+    }
+}
+
+bool
+Node::abort(ComputeTaskId task, Tick kill_overhead)
+{
+    // Queued task: drop it outright.
+    auto it = std::find_if(waiting_.begin(), waiting_.end(),
+                           [task](const Waiting& w) {
+                               return w.id == task;
+                           });
+    if (it != waiting_.end()) {
+        waiting_.erase(it);
+        return true;
+    }
+
+    // Running task: cancel its completion and occupy the core for the
+    // kill overhead before reclaiming it.
+    auto rit = running_.find(task);
+    if (rit == running_.end())
+        return false;
+    sim_.events().cancel(rit->second.completion);
+    running_.erase(rit);
+    sim_.events().schedule(kill_overhead, [this]() { coreReleased(); });
+    return true;
+}
+
+bool
+Node::isActive(ComputeTaskId task) const
+{
+    if (running_.count(task))
+        return true;
+    return std::any_of(waiting_.begin(), waiting_.end(),
+                       [task](const Waiting& w) { return w.id == task; });
+}
+
+Tick
+Node::busyCoreTicks() const
+{
+    return busyTicks_ +
+           static_cast<Tick>(busy_) * (sim_.now() - lastChange_);
+}
+
+void
+Node::resetUtilization()
+{
+    windowStart_ = sim_.now();
+    lastChange_ = sim_.now();
+    busyTicks_ = 0;
+}
+
+double
+Node::utilization() const
+{
+    const Tick elapsed = sim_.now() - windowStart_;
+    if (elapsed <= 0)
+        return 0.0;
+    return static_cast<double>(busyCoreTicks()) /
+           (static_cast<double>(cores_) * static_cast<double>(elapsed));
+}
+
+} // namespace specfaas

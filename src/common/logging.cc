@@ -1,0 +1,121 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace specfaas {
+
+namespace {
+
+LogLevel gLevel = LogLevel::Quiet;
+
+void
+emit(const char* tag, const char* fmt, std::va_list args)
+{
+    std::fprintf(stderr, "[%s] ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+logInfo(const char* fmt, ...)
+{
+    if (gLevel < LogLevel::Info)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    emit("info", fmt, args);
+    va_end(args);
+}
+
+void
+logDebug(const char* fmt, ...)
+{
+    if (gLevel < LogLevel::Debug)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    emit("debug", fmt, args);
+    va_end(args);
+}
+
+void
+logTrace(const char* fmt, ...)
+{
+    if (gLevel < LogLevel::Trace)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    emit("trace", fmt, args);
+    va_end(args);
+}
+
+void
+panic(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    emit("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    emit("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panicAssert(const char* file, int line, const char* cond,
+            const std::string& msg)
+{
+    std::fprintf(stderr, "[panic] assertion failed at %s:%d: %s — %s\n",
+                 file, line, cond, msg.c_str());
+    std::abort();
+}
+
+std::string
+strFormatV(const char* fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed <= 0)
+        return {};
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+std::string
+strFormat(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = strFormatV(fmt, args);
+    va_end(args);
+    return out;
+}
+
+} // namespace specfaas

@@ -1,0 +1,174 @@
+#include "rng.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace specfaas {
+
+namespace {
+
+/** splitmix64, used to expand a single seed into generator state. */
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto& s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits → double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    SPECFAAS_ASSERT(n > 0, "uniformInt(0)");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~0ull - (~0ull % n);
+    std::uint64_t x;
+    do {
+        x = next();
+    } while (x >= limit);
+    return x % n;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    SPECFAAS_ASSERT(lo <= hi, "uniformInt: lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    SPECFAAS_ASSERT(mean > 0.0, "exponential: mean <= 0");
+    double u;
+    do {
+        u = uniform();
+    } while (u == 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal()
+{
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 == 0.0);
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal(double mean, double cv)
+{
+    SPECFAAS_ASSERT(mean > 0.0, "lognormal: mean <= 0");
+    if (cv <= 0.0)
+        return mean;
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(mu + std::sqrt(sigma2) * normal());
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    SPECFAAS_ASSERT(n > 0, "zipf(0)");
+    // Inverse-CDF via rejection (Devroye). Good enough for dataset
+    // synthesis; not on any hot path.
+    const double b = std::pow(2.0, s - 1.0);
+    while (true) {
+        const double u = uniform();
+        const double v = uniform();
+        const double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+        const double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+        if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+            auto r = static_cast<std::uint64_t>(x) - 1;
+            if (r < n)
+                return r;
+        }
+    }
+}
+
+std::size_t
+Rng::weightedPick(const std::vector<double>& weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w > 0.0 ? w : 0.0;
+    SPECFAAS_ASSERT(total > 0.0, "weightedPick: no positive weight");
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+        if (x < w)
+            return i;
+        x -= w;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0x9e3779b97f4a7c15ull);
+}
+
+} // namespace specfaas

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic behaviour in the simulator (arrival processes,
+ * service-time jitter, branch outcomes, dataset synthesis) draws from
+ * Rng instances seeded from a single experiment seed, so every run is
+ * exactly reproducible. The generator is xoshiro256**, which is fast
+ * and has well-understood statistical quality.
+ */
+
+#ifndef SPECFAAS_COMMON_RNG_HH
+#define SPECFAAS_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace specfaas {
+
+/** Seedable pseudo-random number generator (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed; equal seeds → equal streams. */
+    explicit Rng(std::uint64_t seed = 0x5afef00dull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw with probability p of true. */
+    bool bernoulli(double p);
+
+    /** Exponential variate with the given mean (> 0). */
+    double exponential(double mean);
+
+    /** Standard normal variate (Box–Muller). */
+    double normal();
+
+    /** Normal variate with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Lognormal variate with the given *arithmetic* mean and
+     * coefficient of variation. Used for service-time jitter.
+     */
+    double lognormal(double mean, double cv);
+
+    /**
+     * Zipf-distributed integer in [0, n) with exponent s. Used to
+     * synthesize skewed key popularity in datasets and traces.
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+    /**
+     * Pick an index from a discrete distribution given by weights
+     * (need not be normalised; must contain at least one positive).
+     */
+    std::size_t weightedPick(const std::vector<double>& weights);
+
+    /** Derive an independent child generator (for sub-streams). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_COMMON_RNG_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Statistics helpers shared by metrics collectors and benchmarks:
+ * mean, percentiles, CDF extraction, and a streaming accumulator.
+ */
+
+#ifndef SPECFAAS_COMMON_STATS_UTIL_HH
+#define SPECFAAS_COMMON_STATS_UTIL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace specfaas {
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double>& xs);
+
+/**
+ * Percentile by linear interpolation between closest ranks.
+ * @param xs sample (need not be sorted; copied internally)
+ * @param p percentile in [0, 100]
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Percentile of a pre-sorted sample (no copy). */
+double percentileSorted(const std::vector<double>& sorted, double p);
+
+/** Sample standard deviation; 0 for n < 2. */
+double stddev(const std::vector<double>& xs);
+
+/** Geometric mean; requires strictly positive samples. */
+double geomean(const std::vector<double>& xs);
+
+/** One (x, F(x)) point of an empirical CDF. */
+struct CdfPoint
+{
+    double x;
+    double cum; // in [0, 1]
+};
+
+/**
+ * Empirical CDF of a sample, downsampled to at most maxPoints evenly
+ * spaced quantiles (for printing CDFs like the paper's Fig. 4).
+ */
+std::vector<CdfPoint> empiricalCdf(std::vector<double> xs,
+                                   std::size_t maxPoints = 50);
+
+/**
+ * Streaming accumulator for count/mean/min/max. Keeps the raw sample
+ * only when percentiles are requested at construction.
+ */
+class Accumulator
+{
+  public:
+    /** @param keep_samples retain raw samples for percentile queries */
+    explicit Accumulator(bool keep_samples = true)
+        : keepSamples_(keep_samples)
+    {}
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return count_; }
+    /** Mean of observations; 0 when empty. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    /** Sum of observations. */
+    double sum() const { return sum_; }
+    /** Minimum observation; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+    /** Maximum observation; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * Percentile of the retained sample. Requires keep_samples=true
+     * and a non-empty accumulator.
+     */
+    double percentile(double p) const;
+
+    /** Retained raw sample (empty when keep_samples=false). */
+    const std::vector<double>& samples() const { return samples_; }
+
+  private:
+    bool keepSamples_;
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<double> samples_;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_COMMON_STATS_UTIL_HH

@@ -1,0 +1,110 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace specfaas {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    lines_.push_back({false, std::move(cells)});
+}
+
+void
+TextTable::separator()
+{
+    lines_.push_back({true, {}});
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute per-column widths across header and all rows.
+    std::vector<std::size_t> widths;
+    auto account = [&](const std::vector<std::string>& cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    account(header_);
+    for (const auto& line : lines_)
+        if (!line.isSeparator)
+            account(line.cells);
+
+    auto renderCells = [&](const std::vector<std::string>& cells) {
+        std::string out;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string& cell = i < cells.size() ? cells[i]
+                                                       : std::string();
+            out += cell;
+            if (i + 1 < widths.size())
+                out += std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        // Trim trailing spaces.
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out += '\n';
+        return out;
+    };
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    total = total >= 2 ? total - 2 : total;
+    const std::string sep(total, '-');
+
+    std::string out;
+    if (!header_.empty()) {
+        out += renderCells(header_);
+        out += sep + '\n';
+    }
+    for (const auto& line : lines_) {
+        if (line.isSeparator)
+            out += sep + '\n';
+        else
+            out += renderCells(line.cells);
+    }
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    return strFormat("%.*f", precision, v);
+}
+
+std::string
+fmtRatio(double v, int precision)
+{
+    return strFormat("%.*fx", precision, v);
+}
+
+std::string
+fmtPercent(double frac, int precision)
+{
+    return strFormat("%.*f%%", precision, frac * 100.0);
+}
+
+std::string
+fmtMs(double ms, int precision)
+{
+    return strFormat("%.*f ms", precision, ms);
+}
+
+} // namespace specfaas

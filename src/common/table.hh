@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Plain-text table rendering for benchmark reports.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures
+ * as rows of text; TextTable keeps the formatting consistent and
+ * aligned so EXPERIMENTS.md can quote the output directly.
+ */
+
+#ifndef SPECFAAS_COMMON_TABLE_HH
+#define SPECFAAS_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace specfaas {
+
+/** Column-aligned text table builder. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render with column alignment and separators. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    struct Line
+    {
+        bool isSeparator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Line> lines_;
+};
+
+/** Format a double with the given precision (printf %.*f). */
+std::string fmtDouble(double v, int precision = 2);
+
+/** Format a speedup/ratio like "4.6x". */
+std::string fmtRatio(double v, int precision = 1);
+
+/** Format a fraction as a percentage like "58.7%". */
+std::string fmtPercent(double frac, int precision = 1);
+
+/** Format a millisecond quantity like "387.2 ms". */
+std::string fmtMs(double ms, int precision = 1);
+
+} // namespace specfaas
+
+#endif // SPECFAAS_COMMON_TABLE_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the SpecFaaS codebase.
+ */
+
+#ifndef SPECFAAS_COMMON_TYPES_HH
+#define SPECFAAS_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace specfaas {
+
+/**
+ * Simulated time, in microseconds.
+ *
+ * All simulation components express delays and timestamps in Ticks.
+ * Microsecond resolution is sufficient: the shortest latencies the
+ * model cares about (handler-process kill, local cache hits) are on
+ * the order of tens of microseconds, while the longest (container
+ * creation) are seconds.
+ */
+using Tick = std::int64_t;
+
+/** One millisecond expressed in Ticks. */
+inline constexpr Tick kMillisecond = 1000;
+
+/** One second expressed in Ticks. */
+inline constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** Convert a floating point number of milliseconds to Ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kMillisecond));
+}
+
+/** Convert Ticks to floating point milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/** Identifier of a scheduled event inside the EventQueue. */
+using EventId = std::uint64_t;
+
+/** Identifier of one application invocation (end-to-end request). */
+using InvocationId = std::uint64_t;
+
+/** Identifier of one dynamic function execution inside an invocation. */
+using InstanceId = std::uint64_t;
+
+/** Identifier of a cluster node. */
+using NodeId = std::uint32_t;
+
+} // namespace specfaas
+
+#endif // SPECFAAS_COMMON_TYPES_HH

@@ -1,0 +1,303 @@
+#include "value.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace specfaas {
+
+namespace {
+
+const Value kNullValue{};
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+fnvMix(std::uint64_t& h, const void* data, std::size_t len)
+{
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+}
+
+void
+fnvMixByte(std::uint64_t& h, unsigned char b)
+{
+    h ^= b;
+    h *= kFnvPrime;
+}
+
+} // namespace
+
+Value::Kind
+Value::kind() const
+{
+    return static_cast<Kind>(data_.index());
+}
+
+bool
+Value::truthy() const
+{
+    switch (kind()) {
+      case Kind::Null:
+        return false;
+      case Kind::Bool:
+        return std::get<bool>(data_);
+      case Kind::Int:
+        return std::get<std::int64_t>(data_) != 0;
+      case Kind::Double:
+        return std::get<double>(data_) != 0.0;
+      case Kind::String:
+        return !std::get<std::string>(data_).empty();
+      case Kind::Array:
+      case Kind::Object:
+        return true;
+    }
+    return false;
+}
+
+bool
+Value::asBool() const
+{
+    SPECFAAS_ASSERT(isBool(), "Value::asBool on non-bool: %s",
+                    toString().c_str());
+    return std::get<bool>(data_);
+}
+
+std::int64_t
+Value::asInt() const
+{
+    SPECFAAS_ASSERT(isInt(), "Value::asInt on non-int: %s",
+                    toString().c_str());
+    return std::get<std::int64_t>(data_);
+}
+
+double
+Value::asDouble() const
+{
+    SPECFAAS_ASSERT(isDouble(), "Value::asDouble on non-double: %s",
+                    toString().c_str());
+    return std::get<double>(data_);
+}
+
+double
+Value::asNumber() const
+{
+    if (isInt())
+        return static_cast<double>(std::get<std::int64_t>(data_));
+    SPECFAAS_ASSERT(isDouble(), "Value::asNumber on non-numeric: %s",
+                    toString().c_str());
+    return std::get<double>(data_);
+}
+
+const std::string&
+Value::asString() const
+{
+    SPECFAAS_ASSERT(isString(), "Value::asString on non-string: %s",
+                    toString().c_str());
+    return std::get<std::string>(data_);
+}
+
+const ValueArray&
+Value::asArray() const
+{
+    SPECFAAS_ASSERT(isArray(), "Value::asArray on non-array: %s",
+                    toString().c_str());
+    return std::get<ValueArray>(data_);
+}
+
+const ValueObject&
+Value::asObject() const
+{
+    SPECFAAS_ASSERT(isObject(), "Value::asObject on non-object: %s",
+                    toString().c_str());
+    return std::get<ValueObject>(data_);
+}
+
+ValueArray&
+Value::asArray()
+{
+    SPECFAAS_ASSERT(isArray(), "Value::asArray on non-array");
+    return std::get<ValueArray>(data_);
+}
+
+ValueObject&
+Value::asObject()
+{
+    SPECFAAS_ASSERT(isObject(), "Value::asObject on non-object");
+    return std::get<ValueObject>(data_);
+}
+
+const Value&
+Value::at(const std::string& field) const
+{
+    if (!isObject())
+        return kNullValue;
+    const auto& obj = std::get<ValueObject>(data_);
+    auto it = obj.find(field);
+    return it == obj.end() ? kNullValue : it->second;
+}
+
+Value&
+Value::operator[](const std::string& field)
+{
+    if (isNull())
+        data_ = ValueObject{};
+    SPECFAAS_ASSERT(isObject(), "Value::operator[] on non-object");
+    return std::get<ValueObject>(data_)[field];
+}
+
+bool
+Value::operator==(const Value& other) const
+{
+    return data_ == other.data_;
+}
+
+void
+Value::hashInto(std::uint64_t& h) const
+{
+    fnvMixByte(h, static_cast<unsigned char>(data_.index()));
+    switch (kind()) {
+      case Kind::Null:
+        break;
+      case Kind::Bool: {
+        unsigned char b = std::get<bool>(data_) ? 1 : 0;
+        fnvMixByte(h, b);
+        break;
+      }
+      case Kind::Int: {
+        auto i = std::get<std::int64_t>(data_);
+        fnvMix(h, &i, sizeof(i));
+        break;
+      }
+      case Kind::Double: {
+        auto d = std::get<double>(data_);
+        fnvMix(h, &d, sizeof(d));
+        break;
+      }
+      case Kind::String: {
+        const auto& s = std::get<std::string>(data_);
+        fnvMix(h, s.data(), s.size());
+        break;
+      }
+      case Kind::Array: {
+        for (const auto& v : std::get<ValueArray>(data_))
+            v.hashInto(h);
+        break;
+      }
+      case Kind::Object: {
+        for (const auto& [k, v] : std::get<ValueObject>(data_)) {
+            fnvMix(h, k.data(), k.size());
+            fnvMixByte(h, ':');
+            v.hashInto(h);
+        }
+        break;
+      }
+    }
+}
+
+std::uint64_t
+Value::hash() const
+{
+    std::uint64_t h = kFnvOffset;
+    hashInto(h);
+    return h;
+}
+
+void
+Value::printInto(std::string& out) const
+{
+    char buf[64];
+    switch (kind()) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += std::get<bool>(data_) ? "true" : "false";
+        break;
+      case Kind::Int:
+        std::snprintf(buf, sizeof(buf), "%" PRId64,
+                      std::get<std::int64_t>(data_));
+        out += buf;
+        break;
+      case Kind::Double:
+        std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(data_));
+        out += buf;
+        break;
+      case Kind::String:
+        out += '"';
+        out += std::get<std::string>(data_);
+        out += '"';
+        break;
+      case Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const auto& v : std::get<ValueArray>(data_)) {
+            if (!first)
+                out += ',';
+            first = false;
+            v.printInto(out);
+        }
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto& [k, v] : std::get<ValueObject>(data_)) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += '"';
+            out += k;
+            out += "\":";
+            v.printInto(out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Value::toString() const
+{
+    std::string out;
+    printInto(out);
+    return out;
+}
+
+std::size_t
+Value::size() const
+{
+    if (isArray())
+        return std::get<ValueArray>(data_).size();
+    if (isObject())
+        return std::get<ValueObject>(data_).size();
+    return 0;
+}
+
+Value
+Value::object(std::initializer_list<ValueObject::value_type> init)
+{
+    return Value(ValueObject(init));
+}
+
+Value
+Value::array(std::initializer_list<Value> init)
+{
+    return Value(ValueArray(init));
+}
+
+std::string
+toDisplayString(const Value& v)
+{
+    return v.toString();
+}
+
+} // namespace specfaas

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A JSON-like dynamic value type.
+ *
+ * Serverless functions exchange JSON payloads; SpecFaaS treats those
+ * payloads as opaque values that must support equality comparison
+ * (memoization-table lookup and output validation), hashing
+ * (memoization keys), and printing (tracing). Value provides exactly
+ * that: null, boolean, integer, double, string, array and object.
+ */
+
+#ifndef SPECFAAS_COMMON_VALUE_HH
+#define SPECFAAS_COMMON_VALUE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace specfaas {
+
+class Value;
+
+/** Ordered key/value mapping used for JSON-object payloads. */
+using ValueObject = std::map<std::string, Value>;
+
+/** Sequence of values used for JSON-array payloads. */
+using ValueArray = std::vector<Value>;
+
+/**
+ * Immutable-ish JSON-like value.
+ *
+ * Copying is deep; values are small in practice (function payloads in
+ * the modelled applications are tens of fields at most), so no
+ * copy-on-write machinery is required.
+ */
+class Value
+{
+  public:
+    /** Discriminator for the stored alternative. */
+    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+    /** Construct a null value. */
+    Value() : data_(std::monostate{}) {}
+    /** Construct a boolean value. */
+    Value(bool b) : data_(b) {}
+    /** Construct an integer value. */
+    Value(std::int64_t i) : data_(i) {}
+    /** Construct an integer value from int (convenience). */
+    Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+    /** Construct a floating point value. */
+    Value(double d) : data_(d) {}
+    /** Construct a string value. */
+    Value(std::string s) : data_(std::move(s)) {}
+    /** Construct a string value from a C literal. */
+    Value(const char* s) : data_(std::string(s)) {}
+    /** Construct an array value. */
+    Value(ValueArray a) : data_(std::move(a)) {}
+    /** Construct an object value. */
+    Value(ValueObject o) : data_(std::move(o)) {}
+
+    /** Kind of the stored alternative. */
+    Kind kind() const;
+
+    /** @{ Type predicates. */
+    bool isNull() const { return kind() == Kind::Null; }
+    bool isBool() const { return kind() == Kind::Bool; }
+    bool isInt() const { return kind() == Kind::Int; }
+    bool isDouble() const { return kind() == Kind::Double; }
+    bool isString() const { return kind() == Kind::String; }
+    bool isArray() const { return kind() == Kind::Array; }
+    bool isObject() const { return kind() == Kind::Object; }
+    /** @} */
+
+    /**
+     * JavaScript-style truthiness, used to resolve `when` branch
+     * conditions: null, false, 0, 0.0 and "" are falsy; everything
+     * else (including empty arrays/objects) is truthy.
+     */
+    bool truthy() const;
+
+    /** @{ Checked accessors; abort on kind mismatch. */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    double asDouble() const;
+    const std::string& asString() const;
+    const ValueArray& asArray() const;
+    const ValueObject& asObject() const;
+    ValueArray& asArray();
+    ValueObject& asObject();
+    /** @} */
+
+    /**
+     * Numeric view: returns the int or double alternative as double.
+     * Aborts for non-numeric kinds.
+     */
+    double asNumber() const;
+
+    /**
+     * Object field lookup. Returns a null value when the field is
+     * missing or when this value is not an object.
+     */
+    const Value& at(const std::string& field) const;
+
+    /** Mutable object field access; converts a null value to object. */
+    Value& operator[](const std::string& field);
+
+    /** Deep structural equality. */
+    bool operator==(const Value& other) const;
+    bool operator!=(const Value& other) const { return !(*this == other); }
+
+    /**
+     * Deterministic 64-bit hash of the whole value tree (FNV-1a over
+     * a canonical serialization). Stable across runs and platforms.
+     */
+    std::uint64_t hash() const;
+
+    /** Canonical compact JSON-ish rendering (sorted object keys). */
+    std::string toString() const;
+
+    /** Number of direct children (array/object), 0 otherwise. */
+    std::size_t size() const;
+
+    /** Convenience builder for an object value. */
+    static Value object(std::initializer_list<ValueObject::value_type> init);
+
+    /** Convenience builder for an array value. */
+    static Value array(std::initializer_list<Value> init);
+
+  private:
+    using Storage = std::variant<std::monostate, bool, std::int64_t, double,
+                                 std::string, ValueArray, ValueObject>;
+
+    void hashInto(std::uint64_t& h) const;
+    void printInto(std::string& out) const;
+
+    Storage data_;
+};
+
+/** Stream-style printing helper for logs and test failure messages. */
+std::string toDisplayString(const Value& v);
+
+/**
+ * Null-tolerant integer view: @p def when @p v is not an Int.
+ * Function bodies use this for values derived from global reads,
+ * which may be missing during speculative execution.
+ */
+inline std::int64_t
+intOr(const Value& v, std::int64_t def)
+{
+    return v.isInt() ? v.asInt() : def;
+}
+
+} // namespace specfaas
+
+/** std::hash specialization so Value can key unordered containers. */
+template <>
+struct std::hash<specfaas::Value>
+{
+    std::size_t operator()(const specfaas::Value& v) const
+    {
+        return static_cast<std::size_t>(v.hash());
+    }
+};
+
+#endif // SPECFAAS_COMMON_VALUE_HH

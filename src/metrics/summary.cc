@@ -1,0 +1,86 @@
+#include "summary.hh"
+
+#include "common/stats_util.hh"
+
+namespace specfaas {
+
+double
+BreakdownMs::executionShare() const
+{
+    const double t = total();
+    return t <= 0.0 ? 0.0 : execution / t;
+}
+
+std::vector<double>
+responseTimesMs(const std::vector<InvocationResult>& results)
+{
+    std::vector<double> out;
+    out.reserve(results.size());
+    for (const auto& r : results)
+        out.push_back(ticksToMs(r.responseTime()));
+    return out;
+}
+
+BreakdownMs
+meanBreakdown(const std::vector<InvocationResult>& results)
+{
+    BreakdownMs b;
+    std::uint64_t functions = 0;
+    for (const auto& r : results) {
+        b.containerCreation += ticksToMs(r.containerCreation);
+        b.runtimeSetup += ticksToMs(r.runtimeSetup);
+        b.platformOverhead += ticksToMs(r.platformOverhead);
+        b.transferOverhead += ticksToMs(r.transferOverhead);
+        b.execution += ticksToMs(r.execution);
+        functions += r.functionsExecuted;
+    }
+    if (functions > 0) {
+        const double n = static_cast<double>(functions);
+        b.containerCreation /= n;
+        b.runtimeSetup /= n;
+        b.platformOverhead /= n;
+        b.transferOverhead /= n;
+        b.execution /= n;
+    }
+    return b;
+}
+
+RunSummary
+summarize(const std::vector<InvocationResult>& results)
+{
+    RunSummary s;
+    s.requests = results.size();
+    if (results.empty())
+        return s;
+
+    auto times = responseTimesMs(results);
+    s.meanResponseMs = mean(times);
+    s.p50ResponseMs = percentile(times, 50.0);
+    s.p99ResponseMs = percentile(times, 99.0);
+    s.maxResponseMs = percentile(times, 100.0);
+
+    double functions = 0.0;
+    double squashes = 0.0;
+    double spec = 0.0;
+    std::uint64_t predictions = 0;
+    std::uint64_t hits = 0;
+    for (const auto& r : results) {
+        functions += r.functionsExecuted;
+        squashes += r.squashes;
+        spec += r.speculativeLaunches;
+        predictions += r.branchPredictions;
+        hits += r.branchHits;
+    }
+    const double n = static_cast<double>(results.size());
+    s.meanFunctions = functions / n;
+    s.meanSquashes = squashes / n;
+    s.meanSpeculativeLaunches = spec / n;
+    s.branchHitRate = predictions == 0
+                          ? 1.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(predictions);
+    s.perFunctionBreakdown = meanBreakdown(results);
+    return s;
+}
+
+} // namespace specfaas

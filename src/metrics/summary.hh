@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Aggregation of invocation results into the statistics the paper
+ * reports: mean/percentile response times, the five-category latency
+ * breakdown of Fig. 3, and speculation counters.
+ */
+
+#ifndef SPECFAAS_METRICS_SUMMARY_HH
+#define SPECFAAS_METRICS_SUMMARY_HH
+
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hh"
+
+namespace specfaas {
+
+/** Mean per-function latency breakdown, in milliseconds. */
+struct BreakdownMs
+{
+    double containerCreation = 0.0;
+    double runtimeSetup = 0.0;
+    double platformOverhead = 0.0;
+    double transferOverhead = 0.0;
+    double execution = 0.0;
+
+    double total() const
+    {
+        return containerCreation + runtimeSetup + platformOverhead +
+               transferOverhead + execution;
+    }
+
+    /** Fraction of the total spent in actual function execution. */
+    double executionShare() const;
+};
+
+/** Summary statistics over a set of invocation results. */
+struct RunSummary
+{
+    std::size_t requests = 0;
+    double meanResponseMs = 0.0;
+    double p50ResponseMs = 0.0;
+    double p99ResponseMs = 0.0;
+    double maxResponseMs = 0.0;
+    double meanFunctions = 0.0;
+    double meanSquashes = 0.0;
+    double meanSpeculativeLaunches = 0.0;
+    double branchHitRate = 1.0;
+    BreakdownMs perFunctionBreakdown;
+};
+
+/** Compute a RunSummary from raw results. */
+RunSummary summarize(const std::vector<InvocationResult>& results);
+
+/** Mean per-function breakdown across results. */
+BreakdownMs meanBreakdown(const std::vector<InvocationResult>& results);
+
+/** Response times in milliseconds, one per result. */
+std::vector<double>
+responseTimesMs(const std::vector<InvocationResult>& results);
+
+} // namespace specfaas
+
+#endif // SPECFAAS_METRICS_SUMMARY_HH

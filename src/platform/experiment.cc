@@ -1,0 +1,105 @@
+#include "experiment.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+std::unique_ptr<FaasPlatform>
+Experiment::preparedPlatform(const Application& app,
+                             const EngineSetup& setup)
+{
+    PlatformOptions options;
+    options.speculative = setup.speculative;
+    options.spec = setup.spec;
+    options.cluster = setup.cluster;
+    options.seed = setup.seed;
+    options.prewarmPerFunction = setup.prewarmPerFunction;
+
+    auto platform = std::make_unique<FaasPlatform>(options);
+    platform->deploy(app);
+    if (setup.trainingInvocations > 0)
+        platform->train(app, setup.trainingInvocations);
+    return platform;
+}
+
+double
+Experiment::unloadedResponseMs(const Application& app,
+                               const EngineSetup& setup, std::size_t n)
+{
+    auto platform = preparedPlatform(app, setup);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        Value input = app.inputGen ? app.inputGen(platform->inputRng())
+                                   : Value();
+        auto r = platform->invokeSync(app, std::move(input));
+        total += ticksToMs(r.responseTime());
+    }
+    return total / static_cast<double>(n);
+}
+
+AppLoadMeasurement
+Experiment::measureAtLoad(const Application& app,
+                          const EngineSetup& setup, double rps,
+                          std::size_t requests)
+{
+    auto platform = preparedPlatform(app, setup);
+    auto run = LoadGenerator::run(*platform, app, rps, requests);
+    AppLoadMeasurement m;
+    m.summary = summarize(run.results);
+    m.cpuUtilization = run.cpuUtilization;
+    m.offeredRps = rps;
+    m.rejectionRate = run.rejectionRate();
+    return m;
+}
+
+double
+Experiment::effectiveThroughput(const Application& app,
+                                const EngineSetup& setup,
+                                double qos_factor, std::size_t requests,
+                                double max_rps)
+{
+    const double unloaded = unloadedResponseMs(app, setup);
+    const double limit = qos_factor * unloaded;
+
+    auto meets_qos = [&](double rps) {
+        auto m = measureAtLoad(app, setup, rps, requests);
+        // A request shed at admission is a QoS violation too.
+        return m.summary.meanResponseMs <= limit &&
+               m.rejectionRate <= 0.005;
+    };
+
+    // Exponential probe upward, then binary search the boundary.
+    double lo = 10.0;
+    if (!meets_qos(lo))
+        return lo;
+    double hi = lo;
+    while (hi < max_rps && meets_qos(std::min(hi * 2.0, max_rps)))
+        hi = std::min(hi * 2.0, max_rps);
+    if (hi >= max_rps)
+        return max_rps;
+    lo = hi;
+    hi = std::min(hi * 2.0, max_rps);
+    for (int iter = 0; iter < 7 && hi - lo > 5.0; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (meets_qos(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+double
+Experiment::speedupAtLoad(const Application& app, const EngineSetup& base,
+                          const EngineSetup& spec, double rps,
+                          std::size_t requests)
+{
+    const auto b = measureAtLoad(app, base, rps, requests);
+    const auto s = measureAtLoad(app, spec, rps, requests);
+    SPECFAAS_ASSERT(s.summary.meanResponseMs > 0.0, "zero response time");
+    return b.summary.meanResponseMs / s.summary.meanResponseMs;
+}
+
+} // namespace specfaas

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Experiment harness shared by all benchmark binaries: builds a
+ * warmed-up platform for one engine configuration, measures unloaded
+ * response times, load runs, effective throughput (QoS-bounded), and
+ * baseline-vs-SpecFaaS speedups.
+ */
+
+#ifndef SPECFAAS_PLATFORM_EXPERIMENT_HH
+#define SPECFAAS_PLATFORM_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/summary.hh"
+#include "platform/load_generator.hh"
+#include "platform/platform.hh"
+
+namespace specfaas {
+
+/** Paper load levels (§VII): Low/Medium/High rps. */
+struct LoadLevels
+{
+    static constexpr double kLow = 100.0;
+    static constexpr double kMedium = 250.0;
+    static constexpr double kHigh = 500.0;
+};
+
+/** One engine configuration of an experiment. */
+struct EngineSetup
+{
+    bool speculative = false;
+    SpecConfig spec;
+    /** 0 = cold environment (no prewarmed containers). */
+    std::uint32_t prewarmPerFunction = 320;
+    /** Serial training invocations before measurement. */
+    std::size_t trainingInvocations = 30;
+    std::uint64_t seed = 42;
+    ClusterConfig cluster;
+};
+
+/** Results of one (app, engine, load) measurement. */
+struct AppLoadMeasurement
+{
+    RunSummary summary;
+    double cpuUtilization = 0.0;
+    double offeredRps = 0.0;
+    /** Fraction of requests the platform rejected at admission. */
+    double rejectionRate = 0.0;
+};
+
+/** Builds warmed platforms and runs measurements. */
+class Experiment
+{
+  public:
+    /**
+     * Build a platform with @p app deployed and warmed up per the
+     * setup (containers pre-warmed, tables trained).
+     */
+    static std::unique_ptr<FaasPlatform>
+    preparedPlatform(const Application& app, const EngineSetup& setup);
+
+    /** Mean unloaded (serial) response time in ms over @p n requests. */
+    static double unloadedResponseMs(const Application& app,
+                                     const EngineSetup& setup,
+                                     std::size_t n = 20);
+
+    /** Run @p requests at @p rps on a fresh warmed platform. */
+    static AppLoadMeasurement
+    measureAtLoad(const Application& app, const EngineSetup& setup,
+                  double rps, std::size_t requests);
+
+    /**
+     * Effective throughput (§VIII-C): the highest request rate whose
+     * mean response time stays below @p qos_factor × the unloaded
+     * response time. Binary search over rps.
+     */
+    static double effectiveThroughput(const Application& app,
+                                      const EngineSetup& setup,
+                                      double qos_factor = 2.0,
+                                      std::size_t requests = 300,
+                                      double max_rps = 2000.0);
+
+    /** Speedup of @p spec over @p base mean response at @p rps. */
+    static double speedupAtLoad(const Application& app,
+                                const EngineSetup& base,
+                                const EngineSetup& spec, double rps,
+                                std::size_t requests);
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_PLATFORM_EXPERIMENT_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Open-loop Poisson load generator (§VII: request inter-arrival times
+ * follow a Poisson process; Low/Medium/High = 100/250/500 rps).
+ */
+
+#ifndef SPECFAAS_PLATFORM_LOAD_GENERATOR_HH
+#define SPECFAAS_PLATFORM_LOAD_GENERATOR_HH
+
+#include <vector>
+
+#include "platform/platform.hh"
+#include "runtime/engine.hh"
+
+namespace specfaas {
+
+/** Outcome of one load run. */
+struct LoadRunResult
+{
+    /** Completed (served) requests only. */
+    std::vector<InvocationResult> results;
+    /** Requests rejected at admission (OpenWhisk-style 429s). */
+    std::size_t rejected = 0;
+    double offeredRps = 0.0;
+    Tick wallTime = 0;
+    /** Mean cluster CPU utilization over the run window, [0,1]. */
+    double cpuUtilization = 0.0;
+    /** Achieved request completion rate. */
+    double completedRps() const;
+    /** Fraction of submitted requests rejected. */
+    double rejectionRate() const;
+};
+
+/** Drives Poisson arrivals into a platform. */
+class LoadGenerator
+{
+  public:
+    /**
+     * Submit @p num_requests to @p app at @p rps (exponential
+     * inter-arrivals), run to completion, and collect results.
+     * Inputs are drawn from the application's dataset generator.
+     */
+    static LoadRunResult run(FaasPlatform& platform,
+                             const Application& app, double rps,
+                             std::size_t num_requests);
+
+    /**
+     * Mixed-application run: requests round-robin across @p apps.
+     */
+    static LoadRunResult run(FaasPlatform& platform,
+                             const std::vector<const Application*>& apps,
+                             double rps, std::size_t num_requests);
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_PLATFORM_LOAD_GENERATOR_HH

@@ -1,0 +1,80 @@
+#include "platform.hh"
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+FaasPlatform::FaasPlatform(PlatformOptions options)
+    : options_(options),
+      sim_(options.seed),
+      store_(options.storeLatency),
+      inputRng_(options.seed ^ 0x1715517ull)
+{
+    cluster_ = std::make_unique<Cluster>(sim_, options_.cluster);
+    if (options_.speculative) {
+        auto spec = std::make_unique<SpecController>(
+            sim_, *cluster_, store_, registry_, options_.spec);
+        spec_ = spec.get();
+        engine_ = std::move(spec);
+    } else {
+        engine_ = std::make_unique<BaselineController>(
+            sim_, *cluster_, store_, registry_);
+    }
+}
+
+void
+FaasPlatform::deploy(const Application& app)
+{
+    registry_.addApplication(app);
+    if (app.seedStore) {
+        Rng seed_rng(options_.seed ^ 0x5eed5eedull);
+        app.seedStore(store_, seed_rng);
+    }
+    if (options_.prewarmPerFunction > 0) {
+        for (const auto& f : app.functions) {
+            cluster_->containers().prewarm(f.name,
+                                           options_.prewarmPerFunction);
+        }
+    }
+}
+
+void
+FaasPlatform::invoke(const Application& app, Value input,
+                     std::function<void(InvocationResult)> done)
+{
+    engine_->invoke(app, std::move(input), std::move(done));
+}
+
+InvocationResult
+FaasPlatform::invokeSync(const Application& app, Value input)
+{
+    InvocationResult result;
+    bool finished = false;
+    engine_->invoke(app, std::move(input),
+                    [&](InvocationResult r) {
+                        result = std::move(r);
+                        finished = true;
+                    });
+    // Drain everything; background work (e.g. lazy squashes) may
+    // outlive the request but terminates.
+    sim_.events().run();
+    if (!finished && spec_ != nullptr) {
+        logInfo("stuck invocation state:\n%s",
+                spec_->debugDump().c_str());
+        std::fprintf(stderr, "%s\n", spec_->debugDump().c_str());
+    }
+    SPECFAAS_ASSERT(finished, "invocation of %s did not complete",
+                    app.name.c_str());
+    return result;
+}
+
+void
+FaasPlatform::train(const Application& app, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        Value input = app.inputGen ? app.inputGen(inputRng_) : Value();
+        (void)invokeSync(app, std::move(input));
+    }
+}
+
+} // namespace specfaas

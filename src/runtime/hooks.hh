@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The runtime ↔ controller interface.
+ *
+ * The function runtime intercepts every externally visible operation
+ * a handler issues (§VI): global-storage get/set, subroutine calls,
+ * and HTTP requests. The interpreter forwards those interceptions to
+ * a RuntimeHooks implementation — the baseline controller routes them
+ * straight to storage / nested invocations, while the SpecFaaS
+ * controller routes them through the Data Buffer and the speculative
+ * call machinery.
+ */
+
+#ifndef SPECFAAS_RUNTIME_HOOKS_HH
+#define SPECFAAS_RUNTIME_HOOKS_HH
+
+#include <functional>
+#include <string>
+
+#include "common/value.hh"
+#include "runtime/instance.hh"
+
+namespace specfaas {
+
+/** Controller-side handlers for intercepted runtime operations. */
+class RuntimeHooks
+{
+  public:
+    virtual ~RuntimeHooks() = default;
+
+    /**
+     * Intercepted global-storage read. Completes asynchronously with
+     * the record value (null when absent).
+     */
+    virtual void storageGet(const InstancePtr& inst,
+                            const std::string& key,
+                            std::function<void(Value)> done) = 0;
+
+    /** Intercepted global-storage write. */
+    virtual void storagePut(const InstancePtr& inst,
+                            const std::string& key, Value value,
+                            std::function<void()> done) = 0;
+
+    /**
+     * Intercepted subroutine call (implicit workflows, §II-C). The
+     * caller blocks until @p done fires with the callee's output.
+     */
+    virtual void functionCall(const InstancePtr& inst,
+                              std::size_t call_site,
+                              const std::string& callee, Value args,
+                              std::function<void(Value)> done) = 0;
+
+    /**
+     * Intercepted external HTTP request (sendto, §VI). Speculative
+     * instances are suspended until they turn non-speculative.
+     */
+    virtual void httpRequest(const InstancePtr& inst,
+                             std::function<void()> done) = 0;
+
+    /** The handler finished its body and produced @p output. */
+    virtual void completed(const InstancePtr& inst, Value output) = 0;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_RUNTIME_HOOKS_HH

@@ -1,0 +1,47 @@
+#include "instance.hh"
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+bool
+orderKeyLess(const OrderKey& a, const OrderKey& b)
+{
+    return std::lexicographical_compare(a.begin(), a.end(),
+                                        b.begin(), b.end());
+}
+
+bool
+orderKeyIsPrefix(const OrderKey& pre, const OrderKey& key)
+{
+    if (pre.size() >= key.size())
+        return false;
+    for (std::size_t i = 0; i < pre.size(); ++i)
+        if (pre[i] != key[i])
+            return false;
+    return true;
+}
+
+std::string
+orderKeyToString(const OrderKey& key)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < key.size(); ++i) {
+        if (i > 0)
+            out += '.';
+        out += strFormat("%d", key[i]);
+    }
+    out += ']';
+    return out;
+}
+
+std::string
+FunctionInstance::label() const
+{
+    return strFormat("%s%s#%llu",
+                     def != nullptr ? def->name.c_str() : "?",
+                     orderKeyToString(order).c_str(),
+                     static_cast<unsigned long long>(id));
+}
+
+} // namespace specfaas

@@ -1,0 +1,240 @@
+#include "interpreter.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+Interpreter::Interpreter(Simulation& sim, Cluster& cluster,
+                         RuntimeHooks& hooks)
+    : sim_(sim), cluster_(cluster), hooks_(hooks)
+{
+}
+
+void
+Interpreter::start(const InstancePtr& inst)
+{
+    SPECFAAS_ASSERT(inst->def != nullptr, "starting undefined function");
+    inst->state = InstanceState::Running;
+    inst->startedAt = sim_.now();
+    inst->pc = 0;
+    step(inst);
+}
+
+void
+Interpreter::advance(const InstancePtr& inst)
+{
+    ++inst->pc;
+    step(inst);
+}
+
+void
+Interpreter::step(const InstancePtr& inst)
+{
+    if (inst->state == InstanceState::Dead)
+        return;
+    // Skip over guarded ops whose guard is false without paying any
+    // simulated time (the guard evaluation is part of the preceding
+    // compute work).
+    while (inst->pc < inst->def->body.size()) {
+        const Op& op = inst->def->body[inst->pc];
+        if (op.guard && !op.guard(inst->env)) {
+            if (op.kind == Op::Kind::Call)
+                inst->callSiteOutcomes.emplace_back(inst->pc, false);
+            ++inst->pc;
+            continue;
+        }
+        if (op.kind == Op::Kind::Call)
+            inst->callSiteOutcomes.emplace_back(inst->pc, true);
+        execOp(inst, op);
+        return;
+    }
+    // Body finished: produce the output and notify the controller.
+    inst->state = InstanceState::Completed;
+    inst->completedAt = sim_.now();
+    inst->output = inst->def->output ? inst->def->output(inst->env)
+                                     : inst->env.input;
+    inst->ownFiles.clear(); // temp files are discarded (§VI)
+    hooks_.completed(inst, inst->output);
+}
+
+void
+Interpreter::execOp(const InstancePtr& inst, const Op& op)
+{
+    const std::uint64_t epoch = inst->epoch;
+    switch (op.kind) {
+      case Op::Kind::Compute: {
+        Tick duration = static_cast<Tick>(inst->jitterRng.lognormal(
+            static_cast<double>(op.duration), inst->def->computeCv));
+        duration = std::max<Tick>(duration, 10);
+        Node& node = cluster_.node(inst->node);
+        inst->activeTask = node.submit(duration, [this, inst, epoch,
+                                                  duration]() {
+            if (!fresh(inst, epoch))
+                return;
+            inst->activeTask = 0;
+            inst->execTime += duration;
+            advance(inst);
+        });
+        return;
+      }
+      case Op::Kind::StorageRead: {
+        const std::string key = op.key(inst->env);
+        hooks_.storageGet(inst, key,
+                          [this, inst, epoch, var = op.var](Value v) {
+                              if (!fresh(inst, epoch))
+                                  return;
+                              inst->state = InstanceState::Running;
+                              inst->env.vars[var] = std::move(v);
+                              advance(inst);
+                          });
+        return;
+      }
+      case Op::Kind::StorageWrite: {
+        const std::string key = op.key(inst->env);
+        Value v = op.value(inst->env);
+        hooks_.storagePut(inst, key, std::move(v),
+                          [this, inst, epoch]() {
+                              if (!fresh(inst, epoch))
+                                  return;
+                              inst->state = InstanceState::Running;
+                              advance(inst);
+                          });
+        return;
+      }
+      case Op::Kind::Call: {
+        Value args = op.value(inst->env);
+        hooks_.functionCall(
+            inst, inst->pc, op.callee, std::move(args),
+            [this, inst, epoch, var = op.var](Value result) {
+                if (!fresh(inst, epoch))
+                    return;
+                inst->state = InstanceState::Running;
+                if (!var.empty())
+                    inst->env.vars[var] = std::move(result);
+                advance(inst);
+            });
+        return;
+      }
+      case Op::Kind::Http: {
+        hooks_.httpRequest(inst, [this, inst, epoch]() {
+            if (!fresh(inst, epoch))
+                return;
+            inst->state = InstanceState::Running;
+            sim_.events().schedule(costs_.httpRequest,
+                                   [this, inst, epoch]() {
+                                       if (!fresh(inst, epoch))
+                                           return;
+                                       advance(inst);
+                                   });
+        });
+        return;
+      }
+      case Op::Kind::FileWrite: {
+        // Copy-on-write local temp file (§VI): the handler gets its
+        // own uniquely named file; no globally visible effect.
+        inst->ownFiles.insert(op.key(inst->env));
+        sim_.events().schedule(costs_.fileWrite, [this, inst, epoch]() {
+            if (!fresh(inst, epoch))
+                return;
+            advance(inst);
+        });
+        return;
+      }
+      case Op::Kind::FileRead: {
+        const std::string name = op.key(inst->env);
+        sim_.events().schedule(
+            costs_.fileRead, [this, inst, epoch, name,
+                              var = op.var]() {
+                if (!fresh(inst, epoch))
+                    return;
+                if (!var.empty()) {
+                    // Reads observe the handler's own copy when one
+                    // exists; content is modelled as the file name.
+                    inst->env.vars[var] = Value(name);
+                }
+                advance(inst);
+            });
+        return;
+      }
+      case Op::Kind::SetVar: {
+        Value v = op.value(inst->env);
+        sim_.events().schedule(costs_.localStep,
+                               [this, inst, epoch,
+                                var = op.var, v = std::move(v)]() {
+                                   if (!fresh(inst, epoch))
+                                       return;
+                                   inst->env.vars[var] = v;
+                                   advance(inst);
+                               });
+        return;
+      }
+    }
+    panic("unreachable op kind");
+}
+
+void
+Interpreter::squash(const InstancePtr& inst, SquashPolicy policy)
+{
+    SPECFAAS_ASSERT(inst->state != InstanceState::Committed,
+                    "squashing committed instance %s",
+                    inst->label().c_str());
+    if (inst->state == InstanceState::Dead)
+        return;
+
+    const ComputeTaskId task = inst->activeTask;
+    Container* container = inst->container;
+    Node& node = cluster_.node(inst->node);
+
+    // CPU the Lazy policy will keep burning in the background: every
+    // compute burst from the current op to the end of the body.
+    Tick lazyRemaining = 0;
+    if (policy == SquashPolicy::Lazy &&
+        inst->state != InstanceState::Completed) {
+        for (std::size_t i = inst->pc; i < inst->def->body.size(); ++i)
+            if (inst->def->body[i].kind == Op::Kind::Compute)
+                lazyRemaining += inst->def->body[i].duration;
+    }
+
+    // Kill the incarnation: all pending continuations become stale.
+    ++inst->epoch;
+    inst->state = InstanceState::Dead;
+    inst->activeTask = 0;
+    inst->container = nullptr;
+    inst->ownFiles.clear();
+
+    switch (policy) {
+      case SquashPolicy::Lazy: {
+        // Replace the in-flight burst with one background task that
+        // burns the whole remaining body, then free the container.
+        if (task != 0)
+            node.abort(task, 0);
+        auto finish = [this, container]() {
+            if (container != nullptr)
+                cluster_.containers().release(*container);
+        };
+        if (lazyRemaining > 0)
+            node.submit(lazyRemaining, std::move(finish));
+        else
+            finish();
+        break;
+      }
+      case SquashPolicy::ProcessKill: {
+        if (task != 0)
+            node.abort(task, cluster_.config().processKillOverhead);
+        if (container != nullptr)
+            cluster_.containers().release(*container);
+        break;
+      }
+      case SquashPolicy::ContainerKill: {
+        if (task != 0)
+            node.abort(task, cluster_.config().processKillOverhead);
+        if (container != nullptr)
+            cluster_.containers().destroy(*container);
+        break;
+      }
+    }
+}
+
+} // namespace specfaas

@@ -1,0 +1,75 @@
+#include "launcher.hh"
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+Launcher::Launcher(Simulation& sim, Cluster& cluster,
+                   const FunctionRegistry& registry, Interpreter& interp)
+    : sim_(sim), cluster_(cluster), registry_(registry), interp_(interp)
+{
+}
+
+InstancePtr
+Launcher::launch(LaunchSpec spec)
+{
+    auto inst = std::make_shared<FunctionInstance>();
+    inst->id = nextInstance_++;
+    inst->invocation = spec.invocation;
+    inst->def = &registry_.get(spec.function);
+    inst->order = std::move(spec.order);
+    inst->flowNode = spec.flowNode;
+    inst->controlSpeculative = spec.controlSpeculative;
+    inst->dataSpeculative = spec.dataSpeculative;
+    inst->inputSource = spec.inputSource;
+    inst->caller = spec.caller;
+    inst->env.input = std::move(spec.input);
+    inst->state = InstanceState::Launching;
+    inst->launchedAt = sim_.now();
+    inst->platformOverheadTime = spec.preOverhead;
+    inst->jitterRng = sim_.forkRng();
+
+    const std::uint64_t epoch = inst->epoch;
+    // The launch holds a controller thread for the service time; any
+    // preOverhead beyond it is pure wire latency.
+    const Tick service = spec.controllerService;
+    const Tick wire =
+        std::max<Tick>(0, spec.preOverhead - service);
+    auto after_controller = [this, inst, epoch, wire]() {
+        if (inst->epoch != epoch || inst->state == InstanceState::Dead)
+            return;
+        sim_.events().schedule(wire, [this, inst, epoch]() {
+            proceedToContainer(inst, epoch);
+        });
+    };
+    if (service > 0)
+        cluster_.controller().submit(service, std::move(after_controller));
+    else
+        after_controller();
+    return inst;
+}
+
+void
+Launcher::proceedToContainer(const InstancePtr& inst, std::uint64_t epoch)
+{
+    if (inst->epoch != epoch || inst->state == InstanceState::Dead)
+        return;
+    cluster_.containers().acquire(
+        inst->def->name,
+        [this, inst, epoch](Container& c, const AcquireTiming& t) {
+            if (inst->epoch != epoch ||
+                inst->state == InstanceState::Dead) {
+                // Squashed while the container was being set up;
+                // hand the (now warm) container back.
+                cluster_.containers().release(c);
+                return;
+            }
+            inst->container = &c;
+            inst->node = c.node;
+            inst->containerCreationTime = t.containerCreation;
+            inst->runtimeSetupTime = t.runtimeSetup;
+            interp_.start(inst);
+        });
+}
+
+} // namespace specfaas

@@ -1,0 +1,105 @@
+#include "event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+EventId
+EventQueue::schedule(Tick delay, Callback cb)
+{
+    SPECFAAS_ASSERT(delay >= 0, "negative delay %lld",
+                    static_cast<long long>(delay));
+    return scheduleAt(now_ + delay, std::move(cb));
+}
+
+EventId
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    SPECFAAS_ASSERT(when >= now_, "scheduling in the past (%lld < %lld)",
+                    static_cast<long long>(when),
+                    static_cast<long long>(now_));
+    const EventId id = nextId_++;
+    queue_.push(Entry{when, nextSeq_++, id, std::move(cb)});
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == 0 || id >= nextId_)
+        return false;
+    // Lazily cancelled: the entry stays in the heap and is skipped
+    // when popped. The set is pruned as entries surface.
+    auto [it, inserted] = cancelled_.insert(id);
+    (void)it;
+    if (inserted)
+        ++cancelledPending_;
+    return inserted;
+}
+
+bool
+EventQueue::empty() const
+{
+    return queue_.size() == cancelledPending_;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!queue_.empty()) {
+        // const_cast to move the callback out; the entry is popped
+        // immediately after, so the heap invariant is unaffected.
+        auto& top = const_cast<Entry&>(queue_.top());
+        const Tick when = top.when;
+        const EventId id = top.id;
+        Callback cb = std::move(top.cb);
+        queue_.pop();
+
+        auto it = cancelled_.find(id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            --cancelledPending_;
+            continue;
+        }
+
+        now_ = when;
+        ++executed_;
+        cb();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::run()
+{
+    while (runOne()) {
+    }
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    SPECFAAS_ASSERT(until >= now_, "runUntil into the past");
+    while (!queue_.empty()) {
+        const auto& top = queue_.top();
+        if (cancelled_.count(top.id)) {
+            cancelled_.erase(top.id);
+            --cancelledPending_;
+            queue_.pop();
+            continue;
+        }
+        if (top.when > until)
+            break;
+        runOne();
+    }
+    now_ = until;
+}
+
+std::size_t
+EventQueue::pendingCount() const
+{
+    return queue_.size() - cancelledPending_;
+}
+
+} // namespace specfaas

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The whole platform model is event-driven: components schedule
+ * callbacks at future simulated times and the queue executes them in
+ * timestamp order. Events are cancellable, which the SpecFaaS
+ * controller relies on to squash in-flight speculative work (pending
+ * storage completions, compute completions, launch timers).
+ */
+
+#ifndef SPECFAAS_SIM_EVENT_QUEUE_HH
+#define SPECFAAS_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace specfaas {
+
+/**
+ * Time-ordered queue of cancellable callbacks.
+ *
+ * Events scheduled for the same tick run in scheduling (FIFO) order,
+ * which keeps simulations deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run @p delay ticks from now.
+     * @param delay non-negative delay
+     * @return id usable with cancel()
+     */
+    EventId schedule(Tick delay, Callback cb);
+
+    /** Schedule @p cb at absolute tick @p when (>= now). */
+    EventId scheduleAt(Tick when, Callback cb);
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or
+     * already-cancelled event is a no-op.
+     * @return true if the event was pending and is now cancelled
+     */
+    bool cancel(EventId id);
+
+    /** True when no runnable events remain. */
+    bool empty() const;
+
+    /**
+     * Run the earliest pending event.
+     * @return false when the queue is empty
+     */
+    bool runOne();
+
+    /** Run until the queue drains. */
+    void run();
+
+    /**
+     * Run events with timestamp <= @p until, then set now() to
+     * @p until even if no event fired exactly there.
+     */
+    void runUntil(Tick until);
+
+    /** Number of pending (uncancelled) events. */
+    std::size_t pendingCount() const;
+
+    /** Total number of events executed so far. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq; // FIFO tie-break for equal timestamps
+        EventId id;
+        // Callback lives outside the priority queue Entry to keep
+        // heap operations cheap? No: kept inline; std::function moves
+        // are fine for the simulated workloads.
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    std::unordered_set<EventId> cancelled_;
+    std::size_t cancelledPending_ = 0;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_SIM_EVENT_QUEUE_HH

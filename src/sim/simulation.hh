@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulation context: bundles the event queue with the experiment's
+ * root random number generator and global simulation options so
+ * components share one clock and one randomness stream.
+ */
+
+#ifndef SPECFAAS_SIM_SIMULATION_HH
+#define SPECFAAS_SIM_SIMULATION_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace specfaas {
+
+/**
+ * Root object of one simulated experiment run.
+ *
+ * Non-copyable; components keep a reference to it for the lifetime of
+ * the run.
+ */
+class Simulation
+{
+  public:
+    /** @param seed root seed; forks feed every stochastic component */
+    explicit Simulation(std::uint64_t seed = 1)
+        : seed_(seed), rng_(seed)
+    {}
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    /** The event queue (the simulated clock). */
+    EventQueue& events() { return events_; }
+    const EventQueue& events() const { return events_; }
+
+    /** Current simulated time. */
+    Tick now() const { return events_.now(); }
+
+    /** Root RNG. Prefer forkRng() for per-component streams. */
+    Rng& rng() { return rng_; }
+
+    /** Derive an independent RNG stream for one component. */
+    Rng forkRng() { return rng_.fork(); }
+
+    /** Root seed this run was constructed with. */
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    std::uint64_t seed_;
+    Rng rng_;
+    EventQueue events_;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_SIM_SIMULATION_HH

@@ -1,0 +1,121 @@
+#include "branch_predictor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+namespace pathhash {
+
+std::uint64_t
+extend(std::uint64_t h, const std::string& function)
+{
+    for (unsigned char c : function) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    h ^= '/';
+    h *= 1099511628211ull;
+    return h == 0 ? kEmpty : h; // reserve 0 for the aggregate entry
+}
+
+} // namespace pathhash
+
+BranchPredictor::BranchPredictor(double dead_band,
+                                 std::uint32_t min_samples)
+    : deadBand_(dead_band), minSamples_(min_samples)
+{
+}
+
+std::uint64_t
+BranchPredictor::key(const std::string& branch, std::uint64_t path)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : branch) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    h ^= path;
+    h *= 1099511628211ull;
+    return h;
+}
+
+std::optional<BranchPrediction>
+BranchPredictor::fromEntry(const Entry& e) const
+{
+    if (e.total < minSamples_)
+        return std::nullopt;
+    const auto best =
+        std::max_element(e.counts.begin(), e.counts.end());
+    const double prob = static_cast<double>(*best) /
+                        static_cast<double>(e.total);
+    // Dead band: a branch that is close to 50/50 is not worth the
+    // squash risk (§VI).
+    if (prob < 0.5 + deadBand_)
+        return std::nullopt;
+    BranchPrediction p;
+    p.target = static_cast<std::size_t>(best - e.counts.begin());
+    p.probability = prob;
+    return p;
+}
+
+std::optional<BranchPrediction>
+BranchPredictor::predict(const std::string& branch,
+                         std::uint64_t path) const
+{
+    auto it = table_.find(key(branch, path));
+    if (it != table_.end()) {
+        auto p = fromEntry(it->second);
+        if (p)
+            return p;
+        // A path entry that exists but sits in the dead band means
+        // "don't speculate", even if the aggregate is confident.
+        return std::nullopt;
+    }
+    auto agg = table_.find(key(branch, 0));
+    if (agg != table_.end())
+        return fromEntry(agg->second);
+    return std::nullopt;
+}
+
+void
+BranchPredictor::update(const std::string& branch, std::uint64_t path,
+                        std::size_t outcome)
+{
+    auto bump = [&](Entry& e) {
+        if (outcome >= e.counts.size())
+            e.counts.resize(outcome + 1, 0);
+        ++e.counts[outcome];
+        ++e.total;
+    };
+    bump(table_[key(branch, path)]);
+    bump(table_[key(branch, 0)]); // path-agnostic aggregate
+}
+
+void
+BranchPredictor::notePrediction(bool correct)
+{
+    ++predictions_;
+    if (correct)
+        ++hits_;
+}
+
+double
+BranchPredictor::hitRate() const
+{
+    return predictions_ == 0
+               ? 1.0
+               : static_cast<double>(hits_) /
+                     static_cast<double>(predictions_);
+}
+
+void
+BranchPredictor::clear()
+{
+    table_.clear();
+    predictions_ = 0;
+    hits_ = 0;
+}
+
+} // namespace specfaas

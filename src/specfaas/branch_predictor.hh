@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The software branch predictor (§V-A).
+ *
+ * One predictor entry exists per branch point — the branch at the end
+ * of an explicit `when`, or a conditional call site of an implicit
+ * workflow. Each entry holds per-path sub-entries: the paper observes
+ * that the path of functions executed from the start of the
+ * application to the branch typically determines the outcome, so
+ * outcome counts are keyed by (branch, path-history hash) with a
+ * path-agnostic aggregate as fallback.
+ */
+
+#ifndef SPECFAAS_SPECFAAS_BRANCH_PREDICTOR_HH
+#define SPECFAAS_SPECFAAS_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace specfaas {
+
+/** Rolling path-history hash helpers. */
+namespace pathhash {
+
+/** Initial (empty-path) hash. */
+inline constexpr std::uint64_t kEmpty = 0x811c9dc5u;
+
+/** Extend a path hash with one executed function name. */
+std::uint64_t extend(std::uint64_t h, const std::string& function);
+
+} // namespace pathhash
+
+/** A prediction: which target, with what confidence. */
+struct BranchPrediction
+{
+    std::size_t target = 0;
+    double probability = 0.0;
+};
+
+/** Path-indexed outcome-frequency branch predictor. */
+class BranchPredictor
+{
+  public:
+    /**
+     * @param dead_band no prediction when best-probability is within
+     *        this distance of 50% (§VI configurability)
+     * @param min_samples observations needed before predicting
+     */
+    explicit BranchPredictor(double dead_band = 0.10,
+                             std::uint32_t min_samples = 1);
+
+    /**
+     * Predict the outcome of @p branch reached over @p path.
+     * Falls back to the path-agnostic aggregate when the specific
+     * path has no history. Returns nullopt when there is no usable
+     * history or the confidence falls inside the dead band.
+     */
+    std::optional<BranchPrediction>
+    predict(const std::string& branch, std::uint64_t path) const;
+
+    /** Record a resolved (non-speculative) outcome. */
+    void update(const std::string& branch, std::uint64_t path,
+                std::size_t outcome);
+
+    /** @{ Accuracy accounting (filled by the controller). */
+    void notePrediction(bool correct);
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t hits() const { return hits_; }
+    double hitRate() const;
+    /** @} */
+
+    /** Number of (branch, path) sub-entries. */
+    std::size_t entryCount() const { return table_.size(); }
+
+    /** Forget all history. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::vector<std::uint64_t> counts;
+        std::uint64_t total = 0;
+    };
+
+    static std::uint64_t
+    key(const std::string& branch, std::uint64_t path);
+
+    std::optional<BranchPrediction> fromEntry(const Entry& e) const;
+
+    double deadBand_;
+    std::uint32_t minSamples_;
+    // (branch, path) → outcome counts; path 0 is the aggregate.
+    std::unordered_map<std::uint64_t, Entry> table_;
+    std::uint64_t predictions_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_SPECFAAS_BRANCH_PREDICTOR_HH

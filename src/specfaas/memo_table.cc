@@ -1,0 +1,110 @@
+#include "memo_table.hh"
+
+namespace specfaas {
+
+const MemoRow*
+MemoTable::lookup(const Value& input)
+{
+    ++lookups_;
+    auto it = map_.find(input);
+    if (it == map_.end())
+        return nullptr;
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->row;
+}
+
+void
+MemoTable::update(const Value& input, MemoRow row)
+{
+    auto it = map_.find(input);
+    if (it != map_.end()) {
+        it->second->row = std::move(row);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Node{input, std::move(row)});
+    map_[input] = lru_.begin();
+    if (map_.size() > capacity_) {
+        map_.erase(lru_.back().input);
+        lru_.pop_back();
+    }
+}
+
+double
+MemoTable::hitRate() const
+{
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(hits_) /
+                               static_cast<double>(lookups_);
+}
+
+std::size_t
+MemoTable::footprintBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto& node : lru_) {
+        bytes += node.input.toString().size();
+        bytes += node.row.output.toString().size();
+        for (const auto& [site, args] : node.row.calleeArgs) {
+            (void)site;
+            bytes += sizeof(std::size_t) + args.toString().size();
+        }
+    }
+    return bytes;
+}
+
+MemoTable&
+MemoStore::table(const std::string& function)
+{
+    auto it = tables_.find(function);
+    if (it == tables_.end())
+        it = tables_.emplace(function, MemoTable(capacity_)).first;
+    return it->second;
+}
+
+const MemoTable*
+MemoStore::find(const std::string& function) const
+{
+    auto it = tables_.find(function);
+    return it == tables_.end() ? nullptr : &it->second;
+}
+
+double
+MemoStore::overallHitRate() const
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    for (const auto& [name, t] : tables_) {
+        (void)name;
+        lookups += t.lookups();
+        hits += t.hits();
+    }
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+}
+
+std::size_t
+MemoStore::totalRows() const
+{
+    std::size_t rows = 0;
+    for (const auto& [name, t] : tables_) {
+        (void)name;
+        rows += t.size();
+    }
+    return rows;
+}
+
+std::size_t
+MemoStore::totalFootprintBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto& [name, t] : tables_) {
+        (void)name;
+        bytes += t.footprintBytes();
+    }
+    return bytes;
+}
+
+} // namespace specfaas

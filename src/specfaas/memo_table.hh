@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Function memoization tables (§V-B, extended for implicit workflows
+ * per §V-D Fig. 10(c)).
+ *
+ * Each function has a bounded table of rows keyed by the exact input
+ * value. A row records the output the function produced for that
+ * input and — for functions that call subroutines — the argument
+ * values it passed to each call site, which is what allows callees to
+ * be launched speculatively before the caller reaches the call.
+ * Tables are only updated at commit time, never with speculative
+ * data (§V-E).
+ */
+
+#ifndef SPECFAAS_SPECFAAS_MEMO_TABLE_HH
+#define SPECFAAS_SPECFAAS_MEMO_TABLE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/value.hh"
+
+namespace specfaas {
+
+/** One memoized execution: input → output (+ callee inputs). */
+struct MemoRow
+{
+    Value output;
+    /** call-site id (op index in the body) → argument value. */
+    std::map<std::size_t, Value> calleeArgs;
+};
+
+/** Bounded LRU memoization table for one function. */
+class MemoTable
+{
+  public:
+    explicit MemoTable(std::size_t capacity = 50) : capacity_(capacity) {}
+
+    /** Lookup by input; refreshes LRU position. Null on miss. */
+    const MemoRow* lookup(const Value& input);
+
+    /** Insert or overwrite the row for @p input. */
+    void update(const Value& input, MemoRow row);
+
+    /** Number of rows. */
+    std::size_t size() const { return map_.size(); }
+
+    /** @{ Hit statistics. */
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t hits() const { return hits_; }
+    double hitRate() const;
+    /** @} */
+
+    /** Approximate memory footprint in bytes (for §V-B sizing). */
+    std::size_t footprintBytes() const;
+
+  private:
+    struct Node
+    {
+        Value input;
+        MemoRow row;
+    };
+
+    using LruList = std::list<Node>;
+
+    std::size_t capacity_;
+    LruList lru_; // front = most recently used
+    std::unordered_map<Value, LruList::iterator> map_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+/** All memoization tables of one engine, keyed by function name. */
+class MemoStore
+{
+  public:
+    explicit MemoStore(std::size_t capacity_per_function = 50)
+        : capacity_(capacity_per_function)
+    {}
+
+    /** Table for @p function (created on first use). */
+    MemoTable& table(const std::string& function);
+
+    /** Table for @p function; nullptr when never touched. */
+    const MemoTable* find(const std::string& function) const;
+
+    /** Aggregate hit rate across all tables. */
+    double overallHitRate() const;
+
+    /** Total rows across all tables. */
+    std::size_t totalRows() const;
+
+    /** Total footprint across all tables, in bytes. */
+    std::size_t totalFootprintBytes() const;
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<std::string, MemoTable> tables_;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_SPECFAAS_MEMO_TABLE_HH

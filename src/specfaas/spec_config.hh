@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SpecFaaS tuning knobs (§VI "Configurability").
+ */
+
+#ifndef SPECFAAS_SPECFAAS_SPEC_CONFIG_HH
+#define SPECFAAS_SPECFAAS_SPEC_CONFIG_HH
+
+#include <cstdint>
+
+#include "runtime/interpreter.hh"
+
+namespace specfaas {
+
+/** Feature toggles and thresholds of the speculative engine. */
+struct SpecConfig
+{
+    /** Master switch; false degenerates to in-order execution that
+     * still uses the Sequence-Table fast dispatch. */
+    bool speculation = true;
+
+    /** Control speculation through the branch predictor (§V-A). */
+    bool branchPrediction = true;
+
+    /** Data speculation through memoization tables (§V-B). */
+    bool memoization = true;
+
+    /** How mis-speculated handlers are stopped (§VI). */
+    SquashPolicy squashPolicy = SquashPolicy::ProcessKill;
+
+    /**
+     * Branch dead band: no control speculation when the predicted
+     * probability is within this distance of 50% (§VI).
+     */
+    double bpDeadBand = 0.10;
+
+    /** Minimum observations before a branch entry predicts. */
+    std::uint32_t bpMinSamples = 1;
+
+    /**
+     * Index predictor entries by the path of functions executed so
+     * far (§V-A: the path typically determines the outcome). With
+     * false, one aggregate entry per branch is used — the ablation
+     * of Fig. 8's per-path sub-entries.
+     */
+    bool bpPathHistory = true;
+
+    /**
+     * Maximum speculative functions in flight per invocation — the
+     * number of Data Buffer columns (§VIII-B reports 12 columns).
+     */
+    std::uint32_t maxSpecDepth = 12;
+
+    /** Rows per memoization table (§VIII-B uses 50-entry tables). */
+    std::uint32_t memoCapacity = 50;
+
+    /**
+     * Skip executing `pure-function`-annotated functions on a memo
+     * hit (§V-B). Off by default: the paper's evaluation is
+     * conservative and does not apply this optimization.
+     */
+    bool pureFunctionSkip = false;
+
+    /**
+     * Squash minimizer (§V-C): after this many squashes caused by
+     * one producer→consumer record pattern, stall the consumer's
+     * read instead of speculating through it.
+     */
+    std::uint32_t stallThreshold = 3;
+
+    /**
+     * Load-aware throttle: when cluster utilization exceeds
+     * loadThrottleUtilization, speculation depth drops to
+     * throttledSpecDepth (§VI).
+     */
+    double loadThrottleUtilization = 0.90;
+    std::uint32_t throttledSpecDepth = 4;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_SPECFAAS_SPEC_CONFIG_HH

@@ -1,0 +1,1555 @@
+#include "spec_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+namespace {
+
+/** Predictor key for an explicit branch node. */
+std::string
+branchKey(const std::string& function, FlowIndex node)
+{
+    return strFormat("br:%s#%d", function.c_str(), node);
+}
+
+/** Predictor key for an implicit call site. */
+std::string
+callKey(const std::string& function, std::size_t call_site)
+{
+    return strFormat("call:%s@%zu", function.c_str(), call_site);
+}
+
+/** Successor position at the same nesting level. */
+OrderKey
+increment(OrderKey key)
+{
+    SPECFAAS_ASSERT(!key.empty(), "incrementing empty order key");
+    key.back() += 1;
+    return key;
+}
+
+} // namespace
+
+SpecController::SpecController(Simulation& sim, Cluster& cluster,
+                               KvStore& store,
+                               const FunctionRegistry& registry,
+                               SpecConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      store_(store),
+      registry_(registry),
+      config_(config),
+      interp_(sim, cluster, *this),
+      launcher_(sim, cluster, registry, interp_),
+      bp_(config.bpDeadBand, config.bpMinSamples),
+      memo_(config.memoCapacity),
+      minimizer_(config.stallThreshold)
+{
+}
+
+SpecController::~SpecController() = default;
+
+const FlowProgram&
+SpecController::compiled(const Application& app)
+{
+    auto it = programs_.find(&app);
+    if (it == programs_.end())
+        it = programs_.emplace(&app, compileWorkflow(app)).first;
+    return it->second;
+}
+
+SpecController::SpecInvocation*
+SpecController::find(InvocationId id)
+{
+    auto it = live_.find(id);
+    return it == live_.end() ? nullptr : it->second.get();
+}
+
+SpecController::SpecInvocation&
+SpecController::invocationOf(const InstancePtr& inst)
+{
+    SpecInvocation* inv = find(inst->invocation);
+    SPECFAAS_ASSERT(inv != nullptr, "instance %s of dead invocation",
+                    inst->label().c_str());
+    return *inv;
+}
+
+SpecController::Slot*
+SpecController::slotOf(SpecInvocation& inv, const InstancePtr& inst)
+{
+    auto it = inv.byInstance.find(inst->id);
+    if (it == inv.byInstance.end())
+        return nullptr;
+    auto sit = inv.slots.find(it->second);
+    return sit == inv.slots.end() ? nullptr : &sit->second;
+}
+
+std::uint32_t
+SpecController::effectiveSpecDepth() const
+{
+    std::uint32_t busy = 0;
+    std::uint32_t total = 0;
+    for (const auto& n : cluster_.nodes()) {
+        busy += n->busyCores();
+        total += n->cores();
+    }
+    const double util =
+        total == 0 ? 0.0
+                   : static_cast<double>(busy) / static_cast<double>(total);
+    return util > config_.loadThrottleUtilization
+               ? config_.throttledSpecDepth
+               : config_.maxSpecDepth;
+}
+
+std::size_t
+SpecController::liveSpeculativeSlots(const SpecInvocation& inv) const
+{
+    std::size_t n = 0;
+    for (const auto& [order, slot] : inv.slots) {
+        (void)order;
+        if (slot.launchedSpeculatively && !slot.completed)
+            ++n;
+    }
+    return n;
+}
+
+void
+SpecController::invoke(const Application& app, Value input,
+                       std::function<void(InvocationResult)> done)
+{
+    const InvocationId id = nextInvocation_++;
+
+    // Admission control, as in the baseline (§II-B front-end).
+    if (cluster_.controller().queueLength() >
+        cluster_.config().admissionQueueLimit) {
+        InvocationResult rejected;
+        rejected.id = id;
+        rejected.app = app.name;
+        rejected.submittedAt = sim_.now();
+        rejected.completedAt = sim_.now();
+        rejected.rejected = true;
+        done(std::move(rejected));
+        return;
+    }
+
+    auto inv = std::make_unique<SpecInvocation>();
+    inv->app = &app;
+    inv->done = std::move(done);
+    inv->result.id = id;
+    inv->result.app = app.name;
+    inv->result.submittedAt = sim_.now();
+    inv->buffer = std::make_unique<DataBuffer>(store_);
+    SpecInvocation& ref = *inv;
+    live_[id] = std::move(inv);
+
+    if (app.type == WorkflowType::Explicit) {
+        ref.program = &compiled(app);
+        Frontier f;
+        f.flowIdx = ref.program->entry;
+        f.carry = std::move(input);
+        f.source = InputSource::Actual;
+        f.order = OrderKey{0};
+        f.pathHash = pathhash::kEmpty;
+        walk(ref, std::move(f));
+    } else {
+        // Implicit: launch the root function; everything else is
+        // driven by its calls and the learned sequence table.
+        Slot slot;
+        slot.function = app.rootFunction;
+        slot.order = OrderKey{0};
+        slot.input = input;
+        slot.pathHash = pathhash::kEmpty;
+        slot.nonSpeculative = true;
+
+        LaunchSpec spec;
+        spec.function = app.rootFunction;
+        spec.input = std::move(input);
+        spec.invocation = id;
+        spec.order = slot.order;
+        spec.preOverhead = cluster_.config().platformOverhead;
+        spec.controllerService = cluster_.config().specLaunchService;
+        slot.inst = launcher_.launch(std::move(spec));
+        slot.inst->pathHash = slot.pathHash;
+
+        ref.buffer->addColumn(slot.inst->id, slot.order);
+        ref.byInstance[slot.inst->id] = slot.order;
+        auto [it, ok] = ref.slots.emplace(slot.order, std::move(slot));
+        SPECFAAS_ASSERT(ok, "root slot collision");
+        speculateCallees(ref, it->second);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Explicit-workflow walk
+// ---------------------------------------------------------------------
+
+SpecController::Slot&
+SpecController::launchSlot(SpecInvocation& inv, Frontier& f,
+                           const FlowNode& node)
+{
+    const bool speculative =
+        f.afterUnresolvedBranch || f.source != InputSource::Actual;
+
+    Slot slot;
+    slot.function = node.function;
+    slot.order = f.order;
+    slot.flowNode = f.flowIdx;
+    slot.input = f.carry;
+    slot.inputSource = f.source;
+    slot.carryProducer = f.carryProducer;
+    slot.inputValidated = f.source == InputSource::Actual;
+    slot.launchedSpeculatively = speculative;
+    slot.pathHash = f.pathHash;
+    slot.isBranch = node.kind == FlowNode::Kind::Branch;
+
+    const bool first = inv.slots.empty() && inv.result.functionsExecuted == 0;
+
+    LaunchSpec spec;
+    spec.function = node.function;
+    spec.input = f.carry;
+    spec.invocation = inv.result.id;
+    spec.order = f.order;
+    spec.flowNode = f.flowIdx;
+    spec.preOverhead = first ? cluster_.config().platformOverhead
+                             : cluster_.config().sequenceTableDispatch;
+    if (!first)
+        inv.result.transferOverhead +=
+            cluster_.config().sequenceTableDispatch;
+    spec.controllerService = cluster_.config().specLaunchService;
+    if (inv.containerKillDebt > 0) {
+        // The warm container this launch would have used was
+        // destroyed by a container-kill squash; wait for a
+        // replacement environment (§VI).
+        spec.preOverhead += cluster_.config().containerRespawnLatency;
+        --inv.containerKillDebt;
+    }
+    spec.controlSpeculative = f.afterUnresolvedBranch;
+    spec.dataSpeculative = f.source != InputSource::Actual;
+    spec.inputSource = f.source;
+    slot.inst = launcher_.launch(std::move(spec));
+    slot.inst->pathHash = f.pathHash;
+
+    inv.buffer->addColumn(slot.inst->id, slot.order);
+    inv.byInstance[slot.inst->id] = slot.order;
+
+    if (speculative) {
+        ++stats_.speculativeLaunches;
+        ++inv.result.speculativeLaunches;
+    }
+
+    auto [it, ok] = inv.slots.emplace(slot.order, std::move(slot));
+    SPECFAAS_ASSERT(ok, "slot collision at %s",
+                    orderKeyToString(f.order).c_str());
+    Slot& ref = it->second;
+    speculateCallees(inv, ref);
+    maybePromote(inv, ref);
+    return ref;
+}
+
+void
+SpecController::walk(SpecInvocation& inv, Frontier f)
+{
+    while (!inv.finished) {
+        // A predicted carry may already be resolved: its producer
+        // committed (validation implied) or completed with exactly
+        // this value. Rewind/restart frontiers hit this after their
+        // producer finished.
+        if (f.source != InputSource::Actual && !f.carryProducer.empty()) {
+            auto pit = inv.slots.find(f.carryProducer);
+            if (pit == inv.slots.end() ||
+                (pit->second.completed && pit->second.output == f.carry)) {
+                f.source = InputSource::Actual;
+                f.carryProducer.clear();
+            }
+        }
+        if (f.flowIdx == kFlowNone) {
+            // End of the (possibly predicted) path: the carry is the
+            // client response once everything commits.
+            inv.responseValue = f.carry;
+            inv.responseSeen = true;
+            tryCommit(inv);
+            return;
+        }
+        const FlowNode& node = inv.program->node(f.flowIdx);
+        switch (node.kind) {
+          case FlowNode::Kind::Func: {
+            const FunctionDef& def = registry_.get(node.function);
+
+            // `non-speculative` annotation (§VI): don't launch until
+            // every predecessor has committed.
+            if (def.nonSpeculativeAnnotation && !inv.slots.empty() &&
+                orderKeyLess(inv.slots.begin()->first, f.order)) {
+                inv.depthBlocked.push_back(std::move(f));
+                return;
+            }
+
+            // Pure-function fast path (§V-B): skip execution on a
+            // memo hit for an annotated pure function.
+            if (config_.speculation && config_.memoization &&
+                config_.pureFunctionSkip && def.pureAnnotation) {
+                const MemoRow* row =
+                    memo_.table(node.function).lookup(f.carry);
+                if (row != nullptr) {
+                    Slot slot;
+                    slot.function = node.function;
+                    slot.order = f.order;
+                    slot.flowNode = f.flowIdx;
+                    slot.input = f.carry;
+                    slot.inputSource = f.source;
+                    slot.carryProducer = f.carryProducer;
+                    slot.inputValidated =
+                        f.source == InputSource::Actual;
+                    slot.completed = true;
+                    slot.skippedPure = true;
+                    slot.output = row->output;
+                    slot.pathHash = f.pathHash;
+                    inv.slots.emplace(slot.order, std::move(slot));
+                    ++stats_.pureSkips;
+                    ++inv.result.memoHits;
+                    // Purity: input fully determines output, so the
+                    // carry keeps its source and producer.
+                    f.carry = row->output;
+                    f.flowIdx = node.next;
+                    f.order = increment(f.order);
+                    f.pathHash =
+                        pathhash::extend(f.pathHash, node.function);
+                    tryCommit(inv);
+                    continue;
+                }
+            }
+
+            const bool speculative =
+                f.afterUnresolvedBranch ||
+                f.source != InputSource::Actual;
+            if (speculative &&
+                liveSpeculativeSlots(inv) >= effectiveSpecDepth()) {
+                inv.depthBlocked.push_back(std::move(f));
+                return;
+            }
+
+            Slot& slot = launchSlot(inv, f, node);
+            const std::uint64_t next_path =
+                pathhash::extend(f.pathHash, node.function);
+
+            if (config_.speculation && config_.memoization) {
+                // An output already observed during this invocation
+                // (a rewind re-executing the function) beats the
+                // memo table: the table only updates at commit and
+                // would replay a stale prediction forever.
+                const Value* predicted = nullptr;
+                auto hint = inv.outputHints.find(f.order);
+                if (hint != inv.outputHints.end() &&
+                    hint->second.function == node.function &&
+                    hint->second.input == slot.input) {
+                    predicted = &hint->second.output;
+                } else {
+                    const MemoRow* row =
+                        memo_.table(node.function).lookup(slot.input);
+                    if (row != nullptr)
+                        predicted = &row->output;
+                }
+                if (predicted != nullptr) {
+                    // Data speculation: feed the memoized output to
+                    // the successor before this function completes.
+                    slot.outputFedForward = true;
+                    slot.memoPredictedOutput = *predicted;
+                    ++inv.result.memoHits;
+                    f.carry = *predicted;
+                    f.source = InputSource::Memoized;
+                    f.carryProducer = slot.order;
+                    f.flowIdx = node.next;
+                    f.order = increment(f.order);
+                    f.pathHash = next_path;
+                    continue;
+                }
+            }
+
+            // No memoized output: the walk waits for this function.
+            Frontier blocked = f;
+            blocked.flowIdx = node.next;
+            blocked.order = increment(f.order);
+            blocked.pathHash = next_path;
+            inv.blocked.emplace(slot.order, std::move(blocked));
+            return;
+          }
+          case FlowNode::Kind::Branch: {
+            if (registry_.get(node.function).nonSpeculativeAnnotation &&
+                !inv.slots.empty() &&
+                orderKeyLess(inv.slots.begin()->first, f.order)) {
+                inv.depthBlocked.push_back(std::move(f));
+                return;
+            }
+            const bool speculative =
+                f.afterUnresolvedBranch ||
+                f.source != InputSource::Actual;
+            if (speculative &&
+                liveSpeculativeSlots(inv) >= effectiveSpecDepth()) {
+                inv.depthBlocked.push_back(std::move(f));
+                return;
+            }
+
+            Slot& slot = launchSlot(inv, f, node);
+            const std::uint64_t next_path =
+                pathhash::extend(f.pathHash, node.function);
+
+            // An outcome already observed during this invocation (a
+            // rewind re-executing the branch) beats the predictor.
+            auto hint = inv.branchHints.find(f.order);
+            if (hint != inv.branchHints.end() &&
+                hint->second.function == node.function &&
+                hint->second.input == slot.input) {
+                slot.predictionMade = true;
+                slot.predictedTarget = hint->second.target;
+                f.flowIdx = slot.predictedTarget;
+                f.afterUnresolvedBranch = true;
+                f.order = increment(f.order);
+                f.pathHash = next_path;
+                continue;
+            }
+
+            std::optional<BranchPrediction> pred;
+            if (config_.speculation && config_.branchPrediction) {
+                pred = bp_.predict(branchKey(node.function, f.flowIdx),
+                                   config_.bpPathHistory
+                                       ? f.pathHash
+                                       : pathhash::kEmpty);
+            }
+            if (pred && pred->target < node.targets.size()) {
+                slot.predictionMade = true;
+                slot.predictedTarget = node.targets[pred->target];
+                // Branch targets inherit the branch's input (§II-A):
+                // carry, source and producer stay unchanged.
+                f.flowIdx = slot.predictedTarget;
+                f.afterUnresolvedBranch = true;
+                f.order = increment(f.order);
+                f.pathHash = next_path;
+                continue;
+            }
+
+            // No usable prediction: wait for the branch to resolve.
+            Frontier blocked = f;
+            blocked.order = increment(f.order);
+            blocked.pathHash = next_path;
+            inv.blocked.emplace(slot.order, std::move(blocked));
+            return;
+          }
+          case FlowNode::Kind::Fork: {
+            // Loops can bring execution back to the same fork while a
+            // previous iteration's join is still collecting; park
+            // until it dissolves (resumed on commits).
+            if (inv.joins.count(node.join)) {
+                inv.depthBlocked.push_back(std::move(f));
+                return;
+            }
+            inv.forks.emplace(f.order, ForkMeta{f});
+            auto& js = inv.joins[node.join];
+            js.pending = node.targets.size();
+            js.outputs.assign(node.targets.size(), Value());
+            for (std::size_t arm = 0; arm < node.targets.size(); ++arm) {
+                Frontier af = f;
+                af.flowIdx = node.targets[arm];
+                af.order = f.order;
+                af.order.push_back(static_cast<std::int32_t>(arm));
+                af.order.push_back(0);
+                walk(inv, std::move(af));
+                if (inv.finished)
+                    return;
+            }
+            return;
+          }
+          case FlowNode::Kind::Join: {
+            // Only fully resolved arm outputs are deposited; an arm
+            // arriving with a predicted carry parks until its
+            // producer completes and re-walks the arm with the
+            // actual value.
+            if (f.source != InputSource::Actual) {
+                SPECFAAS_ASSERT(!f.carryProducer.empty(),
+                                "predicted join carry w/o producer");
+                auto [bit, inserted] =
+                    inv.blocked.emplace(f.carryProducer, f);
+                (void)bit;
+                SPECFAAS_ASSERT(inserted,
+                                "double block on one producer");
+                return;
+            }
+            auto it = inv.joins.find(f.flowIdx);
+            SPECFAAS_ASSERT(it != inv.joins.end(), "join without fork");
+            auto& js = it->second;
+            SPECFAAS_ASSERT(f.order.size() >= 2, "join from base level");
+            const auto arm =
+                static_cast<std::size_t>(f.order[f.order.size() - 2]);
+            SPECFAAS_ASSERT(arm < js.outputs.size(), "bad join arm");
+            js.outputs[arm] = f.carry;
+            SPECFAAS_ASSERT(js.pending > 0, "join underflow");
+            if (--js.pending > 0)
+                return;
+            Value all = Value(std::move(js.outputs));
+            inv.joins.erase(it);
+            OrderKey base(f.order.begin(), f.order.end() - 2);
+            f.flowIdx = node.next;
+            f.carry = std::move(all);
+            f.source = InputSource::Actual;
+            f.carryProducer.clear();
+            f.order = increment(std::move(base));
+            continue;
+          }
+        }
+    }
+}
+
+void
+SpecController::resumeBlockedOn(SpecInvocation& inv, const Slot& slot)
+{
+    auto it = inv.blocked.find(slot.order);
+    if (it == inv.blocked.end())
+        return;
+    Frontier f = std::move(it->second);
+    inv.blocked.erase(it);
+
+    if (slot.isBranch) {
+        f.flowIdx = slot.actualTarget;
+        f.carry = slot.input;
+        f.source = slot.inputValidated ? InputSource::Actual
+                                       : slot.inputSource;
+        f.carryProducer = slot.inputValidated ? OrderKey{}
+                                              : slot.carryProducer;
+    } else {
+        // flowIdx was recorded at block time (the Func's successor).
+        f.carry = slot.output;
+        f.source = InputSource::Actual;
+        f.carryProducer.clear();
+    }
+    f.afterUnresolvedBranch = false;
+    for (const auto& [order, s] : inv.slots) {
+        if (!orderKeyLess(order, f.order))
+            break;
+        if (s.isBranch && !s.completed)
+            f.afterUnresolvedBranch = true;
+    }
+    walk(inv, std::move(f));
+}
+
+void
+SpecController::rewindExplicit(SpecInvocation& inv, Frontier f)
+{
+    walk(inv, std::move(f));
+}
+
+bool
+SpecController::adjustRewindToForkBase(SpecInvocation& inv,
+                                       OrderKey& from, Frontier& f)
+{
+    // A squash range starting inside a fork arm also kills the
+    // sibling arms (everything later in program order dies), so the
+    // rewind must restart the whole fork, not just this arm.
+    if (from.size() <= 1)
+        return false;
+    const OrderKey base{from.front()};
+    auto fit = inv.forks.find(base);
+    if (fit == inv.forks.end())
+        return false; // implicit-callee extension, not a fork region
+    f = fit->second.restart;
+    from = base;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Squashing
+// ---------------------------------------------------------------------
+
+std::size_t
+SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
+                            SquashReason reason)
+{
+    struct Relaunch
+    {
+        InstancePtr caller;
+        std::size_t callSite;
+        std::string function;
+        Value input;
+        std::function<void(Value)> returnTo;
+    };
+    std::vector<Relaunch> relaunches;
+
+    // Collect victims in reverse program order.
+    std::vector<OrderKey> victims;
+    for (auto it = inv.slots.lower_bound(from); it != inv.slots.end();
+         ++it) {
+        victims.push_back(it->first);
+    }
+
+    for (auto vit = victims.rbegin(); vit != victims.rend(); ++vit) {
+        Slot& s = inv.slots.at(*vit);
+
+        // An adopted callee whose caller survives is blocking that
+        // caller at the call site: it must be relaunched with its
+        // (already validated) arguments.
+        if (s.isImplicitCallee && s.adopted && s.returnTo) {
+            auto cit = inv.byInstance.find(s.callerId);
+            if (cit != inv.byInstance.end() &&
+                orderKeyLess(cit->second, from)) {
+                auto sit = inv.slots.find(cit->second);
+                if (sit != inv.slots.end() && sit->second.inst &&
+                    sit->second.inst->state != InstanceState::Dead) {
+                    relaunches.push_back(
+                        Relaunch{sit->second.inst, s.callSite,
+                                 s.function, s.input,
+                                 std::move(s.returnTo)});
+                }
+            }
+        }
+
+        if (s.inst) {
+            if (inv.buffer->hasColumn(s.inst->id))
+                inv.buffer->invalidateColumn(s.inst->id);
+            inv.byInstance.erase(s.inst->id);
+            interp_.squash(s.inst, config_.squashPolicy);
+            s.inst->squashReason = reason;
+            if (config_.squashPolicy == SquashPolicy::ContainerKill)
+                ++inv.containerKillDebt;
+        }
+
+        // Drop any speculative-callee bookkeeping pointing at the
+        // victim.
+        for (auto pit = inv.pendingCallees.begin();
+             pit != inv.pendingCallees.end();) {
+            if (pit->second == s.order)
+                pit = inv.pendingCallees.erase(pit);
+            else
+                ++pit;
+        }
+
+        ++stats_.squashes;
+        ++inv.result.squashes;
+        inv.slots.erase(*vit);
+    }
+    SPECFAAS_ASSERT(inv.result.squashes < 20000,
+                    "runaway squash loop:\n%s", debugDump().c_str());
+
+    // Purge walk bookkeeping inside the squashed region.
+    for (auto it = inv.blocked.lower_bound(from);
+         it != inv.blocked.end();) {
+        it = inv.blocked.erase(it);
+    }
+    inv.depthBlocked.remove_if([&from](const Frontier& f) {
+        return !orderKeyLess(f.order, from);
+    });
+    for (auto it = inv.forks.lower_bound(from); it != inv.forks.end();) {
+        const FlowNode& fork =
+            inv.program->node(it->second.restart.flowIdx);
+        inv.joins.erase(fork.join);
+        it = inv.forks.erase(it);
+    }
+    inv.responseSeen = false;
+
+    for (auto& r : relaunches) {
+        launchCalleeSlot(inv, r.caller, r.callSite, r.function,
+                         std::move(r.input), InputSource::Actual, false,
+                         std::move(r.returnTo));
+    }
+    return victims.size();
+}
+
+// ---------------------------------------------------------------------
+// Completion handling
+// ---------------------------------------------------------------------
+
+void
+SpecController::completed(const InstancePtr& inst, Value output)
+{
+    SpecInvocation& inv = invocationOf(inst);
+
+    if (inst->container != nullptr) {
+        cluster_.containers().release(*inst->container);
+        inst->container = nullptr;
+    }
+
+    Slot* slot = slotOf(inv, inst);
+    SPECFAAS_ASSERT(slot != nullptr, "completion of unslotted %s",
+                    inst->label().c_str());
+    slot->completed = true;
+    slot->output = std::move(output);
+
+    // Speculative callees spawned for call sites this function never
+    // reached are garbage: the call prediction was wrong.
+    std::vector<OrderKey> garbage;
+    for (const auto& [key, order] : inv.pendingCallees) {
+        if (key.first == inst->id)
+            garbage.push_back(order);
+    }
+    for (const auto& order : garbage) {
+        auto git = inv.slots.find(order);
+        if (git == inv.slots.end())
+            continue;
+        if (git->second.callPredictionMade)
+            bp_.notePrediction(false);
+        ++stats_.controlMispredicts;
+        // Readers that consumed the garbage callee's buffered writes
+        // consumed phantom data: squash from the earliest such
+        // reader as well.
+        OrderKey squash_from = order;
+        if (git->second.inst) {
+            for (InstanceId rd : inv.buffer->readersForwardedFrom(
+                     git->second.inst->id)) {
+                auto rit = inv.byInstance.find(rd);
+                if (rit != inv.byInstance.end() &&
+                    orderKeyLess(rit->second, squash_from)) {
+                    squash_from = rit->second;
+                }
+            }
+        }
+        squashRange(inv, squash_from, SquashReason::ControlMispredict);
+    }
+
+    if (slot->flowNode != kFlowNone)
+        onExplicitComplete(inv, *slot);
+    else
+        onImplicitComplete(inv, *slot);
+}
+
+void
+SpecController::onExplicitComplete(SpecInvocation& inv, Slot& slot)
+{
+    const FlowNode& node = inv.program->node(slot.flowNode);
+    const std::uint64_t next_path =
+        pathhash::extend(slot.pathHash, slot.function);
+    // Record input-qualified replay hints: they only ever apply to a
+    // re-execution of the same function with the same input.
+    if (!slot.isBranch) {
+        inv.outputHints[slot.order] =
+            SpecInvocation::OutputHint{slot.function, slot.input,
+                                       slot.output};
+    }
+
+    if (slot.isBranch) {
+        slot.actualTarget =
+            inv.program->resolveBranch(slot.flowNode, slot.output);
+        inv.branchHints[slot.order] = SpecInvocation::BranchHint{
+            slot.function, slot.input, slot.actualTarget};
+        slot.actualOutcome = 0;
+        for (std::size_t i = 0; i < node.targets.size(); ++i) {
+            if (node.targets[i] == slot.actualTarget) {
+                slot.actualOutcome = i;
+                break;
+            }
+        }
+        if (slot.predictionMade) {
+            slot.predictionCorrect =
+                slot.actualTarget == slot.predictedTarget;
+            if (!slot.predictionCorrect) {
+                ++stats_.controlMispredicts;
+                Frontier f;
+                f.flowIdx = slot.actualTarget;
+                f.carry = slot.input;
+                f.source = slot.inputValidated ? InputSource::Actual
+                                               : slot.inputSource;
+                f.carryProducer = slot.inputValidated
+                                      ? OrderKey{}
+                                      : slot.carryProducer;
+                f.order = increment(slot.order);
+                f.pathHash = next_path;
+                OrderKey from = increment(slot.order);
+                adjustRewindToForkBase(inv, from, f);
+                for (const auto& [o, s] : inv.slots) {
+                    if (!orderKeyLess(o, from))
+                        break;
+                    if (s.isBranch && !s.completed)
+                        f.afterUnresolvedBranch = true;
+                }
+                squashRange(inv, from,
+                            SquashReason::ControlMispredict);
+                rewindExplicit(inv, std::move(f));
+            }
+        } else {
+            resumeBlockedOn(inv, slot);
+        }
+    } else {
+        if (slot.outputFedForward) {
+            if (slot.output != slot.memoPredictedOutput) {
+                // Data misprediction (§V-B): successors consumed a
+                // stale memoized output. Any frontier parked on this
+                // producer (e.g. a join arm) is superseded by the
+                // rewind below.
+                inv.blocked.erase(slot.order);
+                ++stats_.dataMispredicts;
+                Frontier f;
+                f.flowIdx = node.next;
+                f.carry = slot.output;
+                f.source = InputSource::Actual;
+                f.order = increment(slot.order);
+                f.pathHash = next_path;
+                OrderKey from = increment(slot.order);
+                adjustRewindToForkBase(inv, from, f);
+                for (const auto& [o, s] : inv.slots) {
+                    if (!orderKeyLess(o, from))
+                        break;
+                    if (s.isBranch && !s.completed)
+                        f.afterUnresolvedBranch = true;
+                }
+                squashRange(inv, from, SquashReason::DataMispredict);
+                rewindExplicit(inv, std::move(f));
+            } else {
+                // Prediction validated: consumers of this carry are
+                // now running on confirmed inputs.
+                for (auto& [o, s] : inv.slots) {
+                    (void)o;
+                    if (!s.inputValidated &&
+                        s.carryProducer == slot.order) {
+                        s.inputValidated = true;
+                    }
+                }
+                for (auto& f : inv.depthBlocked) {
+                    if (f.carryProducer == slot.order) {
+                        f.source = InputSource::Actual;
+                        f.carryProducer.clear();
+                    }
+                }
+                // A join arm may be parked on this producer even
+                // though the prediction validated.
+                resumeBlockedOn(inv, slot);
+            }
+        } else {
+            resumeBlockedOn(inv, slot);
+        }
+    }
+
+    resumeParkedReads(inv);
+    tryCommit(inv);
+}
+
+void
+SpecController::onImplicitComplete(SpecInvocation& inv, Slot& slot)
+{
+    if (!slot.isImplicitCallee) {
+        // Root function of an implicit application.
+        inv.responseValue = slot.output;
+        inv.responseSeen = true;
+        resumeParkedReads(inv);
+        tryCommit(inv);
+        return;
+    }
+
+    if (slot.adopted && slot.returnTo) {
+        deliverCallee(inv, slot);
+        // `slot` is dangling after deliverCallee; don't touch it.
+    }
+    resumeParkedReads(inv);
+    tryCommit(inv);
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+SpecController::updateTablesAtCommit(SpecInvocation& inv, Slot& slot)
+{
+    (void)inv;
+    if (slot.skippedPure)
+        return;
+
+    // Memoization tables are only updated with committed, validated
+    // data (§V-E).
+    if (config_.memoization) {
+        MemoRow row;
+        row.output = slot.output;
+        if (slot.inst)
+            row.calleeArgs = slot.inst->observedCallArgs;
+        memo_.table(slot.function).update(slot.input, std::move(row));
+    }
+
+    if (slot.isBranch) {
+        bp_.update(branchKey(slot.function, slot.flowNode),
+                   config_.bpPathHistory ? slot.pathHash
+                                         : pathhash::kEmpty,
+                   slot.actualOutcome);
+        if (slot.predictionMade) {
+            bp_.notePrediction(slot.predictionCorrect);
+            ++inv.result.branchPredictions;
+            if (slot.predictionCorrect)
+                ++inv.result.branchHits;
+        }
+    }
+
+    if (slot.inst) {
+        // Learned sequence-table entries and call predictors for
+        // implicit workflows (§V-D).
+        for (const auto& [cs, callee] : slot.inst->observedCallees)
+            callGraph_[{slot.function, cs}] = CallSiteInfo{callee};
+        for (const auto& [cs, taken] : slot.inst->callSiteOutcomes) {
+            bp_.update(callKey(slot.function, cs),
+                       config_.bpPathHistory ? slot.pathHash
+                                             : pathhash::kEmpty,
+                       taken ? 1 : 0);
+        }
+    }
+}
+
+void
+SpecController::accountCommitted(SpecInvocation& inv, Slot& slot)
+{
+    ++inv.result.functionsExecuted;
+    inv.sequence.emplace_back(slot.order, slot.function);
+    if (slot.inst) {
+        inv.result.containerCreation += slot.inst->containerCreationTime;
+        inv.result.runtimeSetup += slot.inst->runtimeSetupTime;
+        inv.result.platformOverhead += slot.inst->platformOverheadTime;
+        inv.result.execution += slot.inst->execTime;
+    }
+}
+
+void
+SpecController::flushPendingCommit(SpecInvocation& inv,
+                                   const PendingCommit& p)
+{
+    if (config_.memoization) {
+        MemoRow row;
+        row.output = p.output;
+        if (p.inst)
+            row.calleeArgs = p.inst->observedCallArgs;
+        memo_.table(p.function).update(p.input, std::move(row));
+    }
+    if (p.inst) {
+        for (const auto& [cs, callee] : p.inst->observedCallees)
+            callGraph_[{p.function, cs}] = CallSiteInfo{callee};
+        for (const auto& [cs, taken] : p.inst->callSiteOutcomes) {
+            bp_.update(callKey(p.function, cs),
+                       config_.bpPathHistory ? p.pathHash
+                                             : pathhash::kEmpty,
+                       taken ? 1 : 0);
+        }
+    }
+
+    ++inv.result.functionsExecuted;
+    inv.sequence.emplace_back(p.order, p.function);
+    if (p.inst) {
+        inv.result.containerCreation += p.inst->containerCreationTime;
+        inv.result.runtimeSetup += p.inst->runtimeSetupTime;
+        inv.result.platformOverhead += p.inst->platformOverheadTime;
+        inv.result.execution += p.inst->execTime;
+    }
+    ++stats_.commits;
+}
+
+void
+SpecController::commitSlot(SpecInvocation& inv, Slot& slot)
+{
+    if (slot.inst && inv.buffer->hasColumn(slot.inst->id))
+        inv.buffer->commitColumn(slot.inst->id);
+    // Callees merged into this slot commit with it, in recorded
+    // (program) order.
+    for (const auto& p : slot.pending)
+        flushPendingCommit(inv, p);
+    slot.pending.clear();
+    updateTablesAtCommit(inv, slot);
+    accountCommitted(inv, slot);
+    ++stats_.commits;
+    if (slot.inst) {
+        slot.inst->state = InstanceState::Committed;
+        inv.byInstance.erase(slot.inst->id);
+    }
+    inv.slots.erase(slot.order);
+}
+
+void
+SpecController::tryCommit(SpecInvocation& inv)
+{
+    while (!inv.slots.empty()) {
+        Slot& head = inv.slots.begin()->second;
+        if (!head.completed || !head.inputValidated)
+            break;
+        if (head.isImplicitCallee && !head.adopted)
+            break;
+        commitSlot(inv, head);
+    }
+
+    if (!inv.slots.empty()) {
+        Slot& head = inv.slots.begin()->second;
+        maybePromote(inv, head);
+    }
+    resumeDepthBlocked(inv);
+
+    if (inv.slots.empty() && inv.responseSeen && inv.blocked.empty() &&
+        inv.depthBlocked.empty() && !inv.finished) {
+        finish(inv);
+    }
+}
+
+std::string
+SpecController::debugDump() const
+{
+    std::string out;
+    for (const auto& [id, inv] : live_) {
+        out += strFormat("invocation %llu app=%s responseSeen=%d\n",
+                         static_cast<unsigned long long>(id),
+                         inv->result.app.c_str(),
+                         inv->responseSeen ? 1 : 0);
+        for (const auto& [order, slot] : inv->slots) {
+            out += strFormat(
+                "  slot %s %s node=%d completed=%d validated=%d "
+                "adopted=%d state=%d\n",
+                orderKeyToString(order).c_str(), slot.function.c_str(),
+                slot.flowNode, slot.completed ? 1 : 0,
+                slot.inputValidated ? 1 : 0, slot.adopted ? 1 : 0,
+                slot.inst ? static_cast<int>(slot.inst->state) : -1);
+        }
+        for (const auto& [order, f] : inv->blocked) {
+            out += strFormat("  blocked-on %s -> node %d order %s\n",
+                             orderKeyToString(order).c_str(), f.flowIdx,
+                             orderKeyToString(f.order).c_str());
+        }
+        for (const auto& f : inv->depthBlocked) {
+            out += strFormat("  depth-blocked node %d order %s\n",
+                             f.flowIdx,
+                             orderKeyToString(f.order).c_str());
+        }
+        for (const auto& [key, order] : inv->pendingCallees) {
+            out += strFormat(
+                "  pending callee caller=%llu cs=%zu order=%s\n",
+                static_cast<unsigned long long>(key.first), key.second,
+                orderKeyToString(order).c_str());
+        }
+    }
+    return out;
+}
+
+void
+SpecController::finish(SpecInvocation& inv)
+{
+    inv.finished = true;
+    inv.result.response = inv.responseValue;
+    inv.result.completedAt = sim_.now();
+    std::sort(inv.sequence.begin(), inv.sequence.end(),
+              [](const auto& a, const auto& b) {
+                  return orderKeyLess(a.first, b.first);
+              });
+    for (auto& [order, name] : inv.sequence) {
+        (void)order;
+        inv.result.executedSequence.push_back(std::move(name));
+    }
+    auto it = live_.find(inv.result.id);
+    SPECFAAS_ASSERT(it != live_.end(), "finishing unknown invocation");
+    auto owned = std::move(it->second);
+    live_.erase(it);
+    owned->done(std::move(owned->result));
+}
+
+// ---------------------------------------------------------------------
+// Promotion and parked work
+// ---------------------------------------------------------------------
+
+void
+SpecController::maybePromote(SpecInvocation& inv, Slot& slot)
+{
+    if (slot.nonSpeculative)
+        return;
+    bool promote = false;
+    if (slot.isImplicitCallee) {
+        auto cit = inv.byInstance.find(slot.callerId);
+        if (slot.adopted && cit != inv.byInstance.end()) {
+            auto sit = inv.slots.find(cit->second);
+            promote = sit != inv.slots.end() &&
+                      sit->second.nonSpeculative;
+        }
+    } else {
+        promote = !inv.slots.empty() &&
+                  inv.slots.begin()->first == slot.order &&
+                  slot.inputValidated;
+    }
+    if (!promote)
+        return;
+
+    slot.nonSpeculative = true;
+    auto parked = std::move(slot.parkedEffects);
+    slot.parkedEffects.clear();
+    for (auto& cb : parked)
+        sim_.events().schedule(0, std::move(cb));
+
+    // Cascade to adopted callees of this slot.
+    if (slot.inst) {
+        const InstanceId caller_id = slot.inst->id;
+        std::vector<OrderKey> children;
+        for (auto& [order, s] : inv.slots) {
+            (void)order;
+            if (s.isImplicitCallee && s.callerId == caller_id &&
+                s.adopted) {
+                children.push_back(s.order);
+            }
+        }
+        for (const auto& order : children) {
+            auto sit = inv.slots.find(order);
+            if (sit != inv.slots.end())
+                maybePromote(inv, sit->second);
+        }
+    }
+}
+
+void
+SpecController::resumeDepthBlocked(SpecInvocation& inv)
+{
+    // Bounded pass: a frontier that re-parks itself (annotation gate
+    // still closed, window still full) must not spin the loop.
+    std::size_t remaining = inv.depthBlocked.size();
+    while (remaining-- > 0 && !inv.depthBlocked.empty()) {
+        if (liveSpeculativeSlots(inv) >= effectiveSpecDepth())
+            break;
+        Frontier f = std::move(inv.depthBlocked.front());
+        inv.depthBlocked.pop_front();
+        walk(inv, std::move(f));
+        if (inv.finished)
+            return;
+    }
+}
+
+void
+SpecController::resumeParkedReads(SpecInvocation& inv)
+{
+    if (inv.parkedReads.empty())
+        return;
+    std::vector<ParkedRead> parked = std::move(inv.parkedReads);
+    inv.parkedReads.clear();
+    for (auto& p : parked) {
+        if (p.reader->epoch != p.epoch ||
+            p.reader->state == InstanceState::Dead) {
+            continue; // squashed while parked
+        }
+        // Re-attempt: if the stall condition still holds, the read
+        // re-parks inside performRead's caller (storageGet).
+        storageGet(p.reader, p.key, std::move(p.done));
+    }
+}
+
+// ---------------------------------------------------------------------
+// RuntimeHooks: storage, calls, side effects
+// ---------------------------------------------------------------------
+
+void
+SpecController::performRead(SpecInvocation& inv, const InstancePtr& inst,
+                            const std::string& key,
+                            std::function<void(Value)> done)
+{
+    BufferReadResult r = inv.buffer->read(inst->id, key);
+    if (r.forwarded) {
+        // Served by the Data Buffer on the controller node.
+        sim_.events().schedule(
+            cluster_.config().controllerMsgLatency,
+            [v = std::move(*r.value), done = std::move(done)]() mutable {
+                done(std::move(v));
+            });
+        return;
+    }
+    sim_.events().schedule(store_.latency().readLatency,
+                           [this, key, done = std::move(done)]() {
+                               auto v = store_.get(key);
+                               done(v ? std::move(*v) : Value());
+                           });
+}
+
+void
+SpecController::storageGet(const InstancePtr& inst, const std::string& key,
+                           std::function<void(Value)> done)
+{
+    SpecInvocation& inv = invocationOf(inst);
+    Slot* slot = slotOf(inv, inst);
+    SPECFAAS_ASSERT(slot != nullptr, "read from unslotted instance");
+
+    // Squash minimizer (§V-C): a read known to race with an upstream
+    // producer stalls until the producer writes the record or
+    // completes.
+    if (config_.speculation && !slot->nonSpeculative) {
+        auto producer = minimizer_.stallProducer(slot->function, key);
+        if (producer) {
+            for (const auto& [order, s] : inv.slots) {
+                if (!orderKeyLess(order, slot->order))
+                    break;
+                if (s.function != *producer || s.completed || !s.inst ||
+                    inv.buffer->hasWrite(s.inst->id, key)) {
+                    continue;
+                }
+                // Never stall on a caller ancestor: it is (or will
+                // be) blocked at a call site waiting for this very
+                // subtree, so "wait until the producer writes or
+                // completes" would deadlock. Its pre-call writes are
+                // ordered by the Data Buffer anyway.
+                bool is_ancestor = false;
+                for (const FunctionInstance* c = inst->caller;
+                     c != nullptr; c = c->caller) {
+                    if (c->id == s.inst->id) {
+                        is_ancestor = true;
+                        break;
+                    }
+                }
+                if (is_ancestor)
+                    continue;
+                // Park until the producer writes or completes.
+                minimizer_.noteStall();
+                ++stats_.stalledReads;
+                inst->state = InstanceState::StalledRead;
+                inv.parkedReads.push_back(ParkedRead{
+                    inst, inst->epoch, key, *producer,
+                    std::move(done)});
+                return;
+            }
+        }
+    }
+
+    performRead(inv, inst, key, std::move(done));
+}
+
+void
+SpecController::storagePut(const InstancePtr& inst, const std::string& key,
+                           Value value, std::function<void()> done)
+{
+    SpecInvocation& inv = invocationOf(inst);
+    Slot* slot = slotOf(inv, inst);
+    SPECFAAS_ASSERT(slot != nullptr, "write from unslotted instance");
+
+    auto violators = inv.buffer->write(inst->id, key, std::move(value));
+    if (!violators.empty()) {
+        // Out-of-order RAW (§V-C): squash the earliest premature
+        // reader and everything after it; the squashed functions are
+        // relaunched on correct Data Buffer state.
+        OrderKey from;
+        std::string consumer;
+        for (InstanceId v : violators) {
+            auto it = inv.byInstance.find(v);
+            if (it == inv.byInstance.end())
+                continue;
+            if (from.empty() || orderKeyLess(it->second, from)) {
+                from = it->second;
+                consumer = inv.slots.at(it->second).function;
+            }
+        }
+        if (!from.empty()) {
+            ++stats_.bufferViolations;
+            minimizer_.recordSquash(slot->function, consumer, key);
+
+            // Remember how to relaunch the squashed explicit region.
+            auto vit = inv.slots.find(from);
+            Frontier f;
+            bool rewind = false;
+            if (vit != inv.slots.end() &&
+                vit->second.flowNode != kFlowNone) {
+                const Slot& v = vit->second;
+                // Restarting inside a fork arm restarts the fork.
+                if (v.order.size() > 1) {
+                    OrderKey base{v.order.front()};
+                    auto fit = inv.forks.find(base);
+                    if (fit != inv.forks.end()) {
+                        f = fit->second.restart;
+                        from = base;
+                        rewind = true;
+                    }
+                }
+                if (!rewind) {
+                    f.flowIdx = v.flowNode;
+                    f.carry = v.input;
+                    f.source = v.inputValidated ? InputSource::Actual
+                                                : v.inputSource;
+                    f.carryProducer = v.inputValidated
+                                          ? OrderKey{}
+                                          : v.carryProducer;
+                    f.order = v.order;
+                    f.pathHash = v.pathHash;
+                    rewind = true;
+                }
+                if (rewind) {
+                    for (const auto& [o, s] : inv.slots) {
+                        if (!orderKeyLess(o, from))
+                            break;
+                        if (s.isBranch && !s.completed)
+                            f.afterUnresolvedBranch = true;
+                    }
+                }
+            }
+
+            squashRange(inv, from, SquashReason::BufferViolation);
+            if (rewind)
+                rewindExplicit(inv, std::move(f));
+        }
+    }
+
+    // A buffered write may unblock parked reads waiting for this
+    // producer/record pair.
+    resumeParkedReads(inv);
+
+    sim_.events().schedule(cluster_.config().controllerMsgLatency,
+                           [done = std::move(done)]() { done(); });
+}
+
+void
+SpecController::httpRequest(const InstancePtr& inst,
+                            std::function<void()> done)
+{
+    SpecInvocation& inv = invocationOf(inst);
+    Slot* slot = slotOf(inv, inst);
+    SPECFAAS_ASSERT(slot != nullptr, "http from unslotted instance");
+    if (slot->nonSpeculative) {
+        done();
+        return;
+    }
+    // Deferred side effect (§VI): suspend until non-speculative.
+    ++stats_.deferredSideEffects;
+    inst->state = InstanceState::StalledSideEffect;
+    slot->parkedEffects.push_back(std::move(done));
+}
+
+// ---------------------------------------------------------------------
+// Implicit workflows: speculative callees
+// ---------------------------------------------------------------------
+
+void
+SpecController::launchCalleeSlot(SpecInvocation& inv,
+                                 const InstancePtr& caller,
+                                 std::size_t call_site,
+                                 const std::string& callee, Value args,
+                                 InputSource source, bool call_predicted,
+                                 std::function<void(Value)> return_to)
+{
+    auto cit = inv.byInstance.find(caller->id);
+    SPECFAAS_ASSERT(cit != inv.byInstance.end(), "call from unslotted");
+    Slot& caller_slot = inv.slots.at(cit->second);
+
+    OrderKey order = caller_slot.order;
+    order.push_back(static_cast<std::int32_t>(call_site));
+
+    Slot slot;
+    slot.function = callee;
+    slot.order = order;
+    slot.flowNode = kFlowNone;
+    slot.input = args;
+    slot.inputSource = source;
+    slot.inputValidated = source == InputSource::Actual;
+    slot.launchedSpeculatively = source != InputSource::Actual;
+    slot.pathHash = pathhash::extend(
+        caller_slot.pathHash,
+        strFormat("%s@%zu", caller_slot.function.c_str(), call_site));
+    slot.isImplicitCallee = true;
+    slot.callerId = caller->id;
+    slot.callSite = call_site;
+    slot.callPredictionMade = call_predicted;
+    slot.adopted = source == InputSource::Actual && return_to != nullptr;
+    slot.returnTo = std::move(return_to);
+
+    LaunchSpec spec;
+    spec.function = callee;
+    spec.input = std::move(args);
+    spec.invocation = inv.result.id;
+    spec.order = order;
+    spec.preOverhead = cluster_.config().controllerMsgLatency;
+    spec.controllerService = cluster_.config().specLaunchService;
+    if (inv.containerKillDebt > 0) {
+        spec.preOverhead += cluster_.config().containerRespawnLatency;
+        --inv.containerKillDebt;
+    }
+    spec.controlSpeculative = call_predicted;
+    spec.dataSpeculative = source != InputSource::Actual;
+    spec.inputSource = source;
+    spec.caller = caller.get();
+    slot.inst = launcher_.launch(std::move(spec));
+    slot.inst->pathHash = slot.pathHash;
+
+    inv.buffer->addColumn(slot.inst->id, order);
+    inv.byInstance[slot.inst->id] = order;
+    if (slot.launchedSpeculatively) {
+        ++stats_.speculativeLaunches;
+        ++inv.result.speculativeLaunches;
+        inv.pendingCallees[{caller->id, call_site}] = order;
+    }
+
+    auto [it, ok] = inv.slots.emplace(order, std::move(slot));
+    SPECFAAS_ASSERT(ok, "callee slot collision at %s",
+                    orderKeyToString(order).c_str());
+    speculateCallees(inv, it->second);
+    maybePromote(inv, it->second);
+}
+
+void
+SpecController::speculateCallees(SpecInvocation& inv, Slot& slot)
+{
+    // Implicit speculation needs both mechanisms (§VIII-B): the
+    // memoization row supplies the callee arguments and the call
+    // predictor decides whether the call site will execute.
+    if (!config_.speculation || !config_.memoization ||
+        !config_.branchPrediction) {
+        return;
+    }
+    if (!slot.inst)
+        return;
+
+    const MemoRow* row = memo_.table(slot.function).lookup(slot.input);
+    if (row == nullptr)
+        return;
+
+    for (const auto& [cs, args] : row->calleeArgs) {
+        auto git = callGraph_.find({slot.function, cs});
+        if (git == callGraph_.end())
+            continue;
+        const FunctionDef* cd = registry_.find(git->second.callee);
+        if (cd != nullptr && cd->nonSpeculativeAnnotation)
+            continue; // never launched early (§VI)
+        if (config_.pureFunctionSkip && cd != nullptr &&
+            cd->pureAnnotation &&
+            memo_.table(git->second.callee).lookup(args) != nullptr) {
+            continue; // the call site will skip it entirely (§V-B)
+        }
+        auto pred = bp_.predict(callKey(slot.function, cs),
+                                config_.bpPathHistory
+                                    ? slot.pathHash
+                                    : pathhash::kEmpty);
+        if (!pred || pred->target != 1)
+            continue; // predicted not-taken or unknown
+        if (liveSpeculativeSlots(inv) >= effectiveSpecDepth())
+            break;
+        launchCalleeSlot(inv, slot.inst, cs, git->second.callee,
+                         args, InputSource::Memoized, true, nullptr);
+    }
+}
+
+void
+SpecController::deliverCallee(SpecInvocation& inv, Slot& slot)
+{
+    SPECFAAS_ASSERT(slot.completed && slot.adopted && slot.returnTo,
+                    "delivering unready callee %s",
+                    slot.function.c_str());
+
+    auto cit = inv.byInstance.find(slot.callerId);
+    SPECFAAS_ASSERT(cit != inv.byInstance.end(), "deliver without caller");
+    auto sit = inv.slots.find(cit->second);
+    SPECFAAS_ASSERT(sit != inv.slots.end(), "deliver to missing caller");
+    Slot& caller = sit->second;
+
+    // Merge the callee's Data Buffer column into the caller's (§V-D).
+    if (slot.inst && inv.buffer->hasColumn(slot.inst->id))
+        inv.buffer->mergeColumn(slot.inst->id, slot.callerId);
+
+    // Commit-time effects (table updates, accounting) are deferred to
+    // the caller's own commit: the caller may still be squashed, and
+    // tables must never absorb speculative data (§V-E).
+    caller.pending.insert(caller.pending.end(),
+                          std::make_move_iterator(slot.pending.begin()),
+                          std::make_move_iterator(slot.pending.end()));
+    slot.pending.clear();
+    PendingCommit record;
+    record.order = slot.order;
+    record.function = slot.function;
+    record.input = slot.input;
+    record.output = slot.output;
+    record.pathHash = slot.pathHash;
+    record.inst = slot.inst;
+    caller.pending.push_back(std::move(record));
+
+    Value output = slot.output;
+    auto cb = std::move(slot.returnTo);
+    if (slot.inst) {
+        slot.inst->state = InstanceState::Committed;
+        inv.byInstance.erase(slot.inst->id);
+    }
+    inv.slots.erase(slot.order);
+
+    sim_.events().schedule(cluster_.config().controllerMsgLatency,
+                           [out = std::move(output),
+                            cb = std::move(cb)]() mutable {
+                               cb(std::move(out));
+                           });
+}
+
+void
+SpecController::functionCall(const InstancePtr& inst,
+                             std::size_t call_site,
+                             const std::string& callee, Value args,
+                             std::function<void(Value)> done)
+{
+    SpecInvocation& inv = invocationOf(inst);
+    inst->observedCallArgs[call_site] = args;
+    inst->observedCallees[call_site] = callee;
+
+    const Tick dispatch = cluster_.config().sequenceTableDispatch;
+    inv.result.transferOverhead += dispatch;
+
+    auto key = std::make_pair(inst->id, call_site);
+    auto pit = inv.pendingCallees.find(key);
+    if (pit != inv.pendingCallees.end()) {
+        auto sit = inv.slots.find(pit->second);
+        SPECFAAS_ASSERT(sit != inv.slots.end(), "stale pending callee");
+        Slot& cs_slot = sit->second;
+        if (cs_slot.input == args) {
+            // Predicted arguments confirmed: adopt the speculative
+            // callee (Fig. 10(e): the caller stalls only if the
+            // callee has not finished yet).
+            inv.pendingCallees.erase(pit);
+            cs_slot.adopted = true;
+            cs_slot.inputValidated = true;
+            cs_slot.inputSource = InputSource::Actual;
+            cs_slot.returnTo = std::move(done);
+            if (cs_slot.callPredictionMade)
+                bp_.notePrediction(true);
+            ++inv.result.memoHits;
+            maybePromote(inv, cs_slot);
+            if (cs_slot.completed) {
+                deliverCallee(inv, cs_slot);
+            } else {
+                inst->state = InstanceState::StalledCallee;
+            }
+            return;
+        }
+        // Argument misprediction: squash the speculative callee (and
+        // everything after it) and perform the call for real.
+        ++stats_.dataMispredicts;
+        squashRange(inv, cs_slot.order, SquashReason::DataMispredict);
+    }
+
+    // Pure-function skip (§V-B): a pure callee with a memoized row
+    // for these exact arguments never launches — its output comes
+    // straight from the table.
+    if (config_.speculation && config_.memoization &&
+        config_.pureFunctionSkip) {
+        const FunctionDef* cd = registry_.find(callee);
+        if (cd != nullptr && cd->pureAnnotation) {
+            const MemoRow* row = memo_.table(callee).lookup(args);
+            if (row != nullptr) {
+                ++stats_.pureSkips;
+                ++inv.result.memoHits;
+                Slot* caller_slot = slotOf(inv, inst);
+                SPECFAAS_ASSERT(caller_slot != nullptr,
+                                "call from unslotted caller");
+                // The skipped callee still commits with its caller
+                // (purity: the input fully determines this output).
+                PendingCommit record;
+                record.order = caller_slot->order;
+                record.order.push_back(
+                    static_cast<std::int32_t>(call_site));
+                record.function = callee;
+                record.input = args;
+                record.output = row->output;
+                record.pathHash = pathhash::extend(
+                    caller_slot->pathHash, callee);
+                caller_slot->pending.push_back(std::move(record));
+                sim_.events().schedule(
+                    dispatch, [out = row->output,
+                               done = std::move(done)]() mutable {
+                        done(std::move(out));
+                    });
+                return;
+            }
+        }
+    }
+
+    inst->state = InstanceState::StalledCallee;
+    sim_.events().schedule(
+        dispatch, [this, id = inst->invocation, inst, call_site, callee,
+                   args = std::move(args), done = std::move(done)]() mutable {
+            SpecInvocation* inv2 = find(id);
+            if (inv2 == nullptr || inst->state == InstanceState::Dead)
+                return;
+            launchCalleeSlot(*inv2, inst, call_site, callee,
+                             std::move(args), InputSource::Actual, false,
+                             std::move(done));
+        });
+}
+
+} // namespace specfaas
+

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * The SpecFaaS speculative execution engine (§IV, §V).
+ *
+ * Per invocation the controller maintains the Function Execution
+ * Pipeline (program-ordered slots of not-yet-committed functions), a
+ * Data Buffer, and walks the application's Sequence Table launching
+ * functions early:
+ *
+ *  - control dependences are predicted with the path-indexed branch
+ *    predictor (§V-A);
+ *  - data dependences are satisfied speculatively from memoization
+ *    tables (§V-B), including predicted callee arguments of implicit
+ *    workflows (§V-D);
+ *  - global writes are buffered per function and committed in program
+ *    order; out-of-order RAW dependences squash the premature reader
+ *    and its successors (§V-C);
+ *  - mispredictions squash downstream slots and restart the walk on
+ *    the corrected path (Figure 6).
+ *
+ * Tables (branch predictor, memoization, learned call graph) persist
+ * across invocations and are only updated with committed data (§V-E).
+ */
+
+#ifndef SPECFAAS_SPECFAAS_SPEC_CONTROLLER_HH
+#define SPECFAAS_SPECFAAS_SPEC_CONTROLLER_HH
+
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "runtime/engine.hh"
+#include "runtime/hooks.hh"
+#include "runtime/interpreter.hh"
+#include "runtime/launcher.hh"
+#include "sim/simulation.hh"
+#include "specfaas/branch_predictor.hh"
+#include "specfaas/data_buffer.hh"
+#include "specfaas/memo_table.hh"
+#include "specfaas/spec_config.hh"
+#include "specfaas/squash_minimizer.hh"
+#include "storage/kv_store.hh"
+#include "workflow/flow_program.hh"
+#include "workflow/registry.hh"
+
+namespace specfaas {
+
+/** Aggregate engine statistics across all invocations. */
+struct SpecStats
+{
+    std::uint64_t speculativeLaunches = 0;
+    std::uint64_t squashes = 0;
+    std::uint64_t controlMispredicts = 0;
+    std::uint64_t dataMispredicts = 0;
+    std::uint64_t bufferViolations = 0;
+    std::uint64_t stalledReads = 0;
+    std::uint64_t deferredSideEffects = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t pureSkips = 0;
+};
+
+/** The SpecFaaS engine. */
+class SpecController : public WorkflowEngine, public RuntimeHooks
+{
+  public:
+    SpecController(Simulation& sim, Cluster& cluster, KvStore& store,
+                   const FunctionRegistry& registry,
+                   SpecConfig config = {});
+
+    ~SpecController() override;
+
+    void invoke(const Application& app, Value input,
+                std::function<void(InvocationResult)> done) override;
+
+    std::string name() const override { return "specfaas"; }
+
+    /** @{ RuntimeHooks. */
+    void storageGet(const InstancePtr& inst, const std::string& key,
+                    std::function<void(Value)> done) override;
+    void storagePut(const InstancePtr& inst, const std::string& key,
+                    Value value, std::function<void()> done) override;
+    void functionCall(const InstancePtr& inst, std::size_t call_site,
+                      const std::string& callee, Value args,
+                      std::function<void(Value)> done) override;
+    void httpRequest(const InstancePtr& inst,
+                     std::function<void()> done) override;
+    void completed(const InstancePtr& inst, Value output) override;
+    /** @} */
+
+    /** @{ Introspection for tests and ablation benches. */
+    const SpecConfig& config() const { return config_; }
+    BranchPredictor& branchPredictor() { return bp_; }
+    MemoStore& memoStore() { return memo_; }
+    SquashMinimizer& squashMinimizer() { return minimizer_; }
+    const SpecStats& stats() const { return stats_; }
+    std::size_t liveInvocations() const { return live_.size(); }
+
+    /** Dump every live invocation's pipeline state (diagnostics). */
+    std::string debugDump() const;
+    /** @} */
+
+  private:
+    /**
+     * Commit-time effects of a merged callee, deferred until its
+     * caller truly commits: a callee merged into a still-speculative
+     * caller must not update tables or accounting yet (§V-E), and
+     * must be forgotten wholesale if the caller is squashed.
+     */
+    struct PendingCommit
+    {
+        OrderKey order;
+        std::string function;
+        Value input;
+        Value output;
+        std::uint64_t pathHash = 0;
+        InstancePtr inst;
+    };
+
+    /** One pipeline entry: a not-yet-committed dynamic function. */
+    struct Slot
+    {
+        std::string function;
+        OrderKey order;
+        FlowIndex flowNode = kFlowNone;
+        InstancePtr inst;
+
+        Value input;
+        InputSource inputSource = InputSource::Actual;
+        /** Order of the slot whose committed output validates this
+         * slot's input; empty when the input is Actual. */
+        OrderKey carryProducer;
+        bool inputValidated = true;
+        bool launchedSpeculatively = false;
+
+        bool completed = false;
+        bool skippedPure = false;
+        Value output;
+        std::uint64_t pathHash = pathhash::kEmpty;
+
+        /** The walk fed this slot's memoized output to successors;
+         * validate against the actual output at completion. */
+        bool outputFedForward = false;
+        Value memoPredictedOutput;
+
+        /** @{ Branch metadata (explicit workflows). */
+        bool isBranch = false;
+        bool predictionMade = false;
+        bool predictionCorrect = false;
+        FlowIndex predictedTarget = kFlowNone;
+        FlowIndex actualTarget = kFlowNone;
+        std::size_t actualOutcome = 0;
+        /** @} */
+
+        /** @{ Implicit-callee metadata. */
+        bool isImplicitCallee = false;
+        InstanceId callerId = 0;
+        std::size_t callSite = 0;
+        bool adopted = false;
+        bool callPredictionMade = false;
+        std::function<void(Value)> returnTo;
+        /** @} */
+
+        /** Parked side-effect continuations (§VI). */
+        std::vector<std::function<void()>> parkedEffects;
+        bool nonSpeculative = false;
+
+        /** Merged callees awaiting this slot's commit. */
+        std::vector<PendingCommit> pending;
+    };
+
+    /** A cursor of the predicted-path walk (explicit workflows). */
+    struct Frontier
+    {
+        FlowIndex flowIdx = kFlowNone;
+        Value carry;
+        InputSource source = InputSource::Actual;
+        OrderKey carryProducer;
+        OrderKey order;
+        std::uint64_t pathHash = pathhash::kEmpty;
+        bool afterUnresolvedBranch = false;
+    };
+
+    struct JoinState
+    {
+        std::size_t pending = 0;
+        ValueArray outputs;
+        bool anyPredicted = false;
+        OrderKey worstProducer;
+    };
+
+    struct ForkMeta
+    {
+        Frontier restart; // re-walk the whole fork on rewind
+    };
+
+    struct OrderLess
+    {
+        bool
+        operator()(const OrderKey& a, const OrderKey& b) const
+        {
+            return orderKeyLess(a, b);
+        }
+    };
+
+    struct ParkedRead
+    {
+        InstancePtr reader;
+        std::uint64_t epoch;
+        std::string key;
+        std::string producer;
+        std::function<void(Value)> done;
+    };
+
+    struct SpecInvocation
+    {
+        InvocationResult result;
+        const Application* app = nullptr;
+        const FlowProgram* program = nullptr;
+        std::function<void(InvocationResult)> done;
+
+        std::map<OrderKey, Slot, OrderLess> slots;
+        std::unordered_map<InstanceId, OrderKey> byInstance;
+        std::unique_ptr<DataBuffer> buffer;
+
+        /** Frontiers blocked on a producer slot's completion. */
+        std::map<OrderKey, Frontier, OrderLess> blocked;
+        /** Frontiers parked by the speculation-depth throttle. */
+        std::list<Frontier> depthBlocked;
+        std::map<FlowIndex, JoinState> joins;
+        std::map<OrderKey, ForkMeta, OrderLess> forks;
+
+        /** Pending speculative callees: caller id + call site → slot
+         * order. */
+        std::map<std::pair<InstanceId, std::size_t>, OrderKey>
+            pendingCallees;
+
+        std::vector<ParkedRead> parkedReads;
+
+        /** (program order, function) pairs; sorted into
+         * result.executedSequence when the invocation finishes. */
+        std::vector<std::pair<OrderKey, std::string>> sequence;
+
+        /**
+         * Results already observed at a pipeline position during
+         * this invocation, qualified by function AND input: a hint
+         * applies only to a re-execution of the same function with
+         * the same input, so wrong-path or wrong-input executions
+         * can never poison a re-walk, and no erasure is needed on
+         * squash. Re-walks prefer hints over the predictor / memo
+         * tables (which update only at commit), breaking the replay
+         * loops a restarted fork would otherwise enter.
+         */
+        struct BranchHint
+        {
+            std::string function;
+            Value input;
+            FlowIndex target = kFlowNone;
+        };
+        std::map<OrderKey, BranchHint, OrderLess> branchHints;
+
+        struct OutputHint
+        {
+            std::string function;
+            Value input;
+            Value output;
+        };
+        std::map<OrderKey, OutputHint, OrderLess> outputHints;
+
+        /**
+         * Outstanding container-kill squash debt: number of upcoming
+         * launches that must wait for a replacement container
+         * because their warm container was destroyed (§VI, second
+         * squash approach).
+         */
+        std::uint32_t containerKillDebt = 0;
+
+        /** Response payload observed when the walk reaches the end
+         * of the program. */
+        Value responseValue;
+        bool responseSeen = false;
+        bool finished = false;
+    };
+
+    using InvMap =
+        std::unordered_map<InvocationId, std::unique_ptr<SpecInvocation>>;
+
+    /** Learned implicit call graph (part of the Sequence Table). */
+    struct CallSiteInfo
+    {
+        std::string callee;
+    };
+
+    const FlowProgram& compiled(const Application& app);
+    SpecInvocation* find(InvocationId id);
+    SpecInvocation& invocationOf(const InstancePtr& inst);
+    Slot* slotOf(SpecInvocation& inv, const InstancePtr& inst);
+
+    /** @{ Explicit-workflow machinery. */
+    void walk(SpecInvocation& inv, Frontier f);
+    Slot& launchSlot(SpecInvocation& inv, Frontier& f,
+                     const FlowNode& node);
+    void onExplicitComplete(SpecInvocation& inv, Slot& slot);
+    void resumeBlockedOn(SpecInvocation& inv, const Slot& slot);
+    void tryCommit(SpecInvocation& inv);
+    void commitSlot(SpecInvocation& inv, Slot& slot);
+    /** @} */
+
+    /** @{ Implicit-workflow machinery. */
+    void speculateCallees(SpecInvocation& inv, Slot& slot);
+    void onImplicitComplete(SpecInvocation& inv, Slot& slot);
+    void deliverCallee(SpecInvocation& inv, Slot& slot);
+    void launchCalleeSlot(SpecInvocation& inv,
+                          const InstancePtr& caller,
+                          std::size_t call_site,
+                          const std::string& callee, Value args,
+                          InputSource source, bool call_predicted,
+                          std::function<void(Value)> return_to);
+    /** @} */
+
+    /**
+     * Squash every live slot with order >= @p from. Adopted callees
+     * whose callers survive are relaunched with their validated
+     * arguments. Returns the number of squashed slots.
+     */
+    std::size_t squashRange(SpecInvocation& inv, const OrderKey& from,
+                            SquashReason reason);
+
+    /** Restart the explicit walk at a squash point. */
+    void rewindExplicit(SpecInvocation& inv, Frontier f);
+
+    /**
+     * If @p from lies inside a fork region, widen the squash range
+     * to the fork base and replace @p f with the fork's restart
+     * frontier (the whole fork re-executes).
+     * @return true when adjusted
+     */
+    bool adjustRewindToForkBase(SpecInvocation& inv, OrderKey& from,
+                                Frontier& f);
+
+    void maybePromote(SpecInvocation& inv, Slot& slot);
+    void flushPendingCommit(SpecInvocation& inv,
+                            const PendingCommit& p);
+    void resumeParkedReads(SpecInvocation& inv);
+    void resumeDepthBlocked(SpecInvocation& inv);
+    void performRead(SpecInvocation& inv, const InstancePtr& inst,
+                     const std::string& key,
+                     std::function<void(Value)> done);
+    void updateTablesAtCommit(SpecInvocation& inv, Slot& slot);
+    void accountCommitted(SpecInvocation& inv, Slot& slot);
+    void finish(SpecInvocation& inv);
+
+    /** Current allowed number of speculative in-flight slots. */
+    std::uint32_t effectiveSpecDepth() const;
+    std::size_t liveSpeculativeSlots(const SpecInvocation& inv) const;
+
+    Simulation& sim_;
+    Cluster& cluster_;
+    KvStore& store_;
+    const FunctionRegistry& registry_;
+    SpecConfig config_;
+    Interpreter interp_;
+    Launcher launcher_;
+
+    BranchPredictor bp_;
+    MemoStore memo_;
+    SquashMinimizer minimizer_;
+    SpecStats stats_;
+
+    /** Learned call graph: (function, call site) → callee. */
+    std::map<std::pair<std::string, std::size_t>, CallSiteInfo>
+        callGraph_;
+
+    InvocationId nextInvocation_ = 1;
+    InvMap live_;
+    std::unordered_map<const Application*, FlowProgram> programs_;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_SPECFAAS_SPEC_CONTROLLER_HH

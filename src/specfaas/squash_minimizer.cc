@@ -1,0 +1,47 @@
+#include "squash_minimizer.hh"
+
+#include <cctype>
+
+namespace specfaas {
+
+std::string
+keyClassOf(const std::string& key)
+{
+    std::string out;
+    out.reserve(key.size());
+    bool inDigits = false;
+    for (char c : key) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            if (!inDigits)
+                out += '#';
+            inDigits = true;
+        } else {
+            out += c;
+            inDigits = false;
+        }
+    }
+    return out;
+}
+
+void
+SquashMinimizer::recordSquash(const std::string& producer,
+                              const std::string& consumer,
+                              const std::string& key)
+{
+    ++recorded_;
+    auto& p = patterns_[consumer + '\n' + keyClassOf(key)];
+    p.producer = producer;
+    ++p.squashes;
+}
+
+std::optional<std::string>
+SquashMinimizer::stallProducer(const std::string& consumer,
+                               const std::string& key) const
+{
+    auto it = patterns_.find(consumer + '\n' + keyClassOf(key));
+    if (it == patterns_.end() || it->second.squashes < threshold_)
+        return std::nullopt;
+    return it->second.producer;
+}
+
+} // namespace specfaas

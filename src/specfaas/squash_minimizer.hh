@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Squash-frequency minimizer (§V-C, last paragraph).
+ *
+ * When a producer→consumer communication over global storage keeps
+ * squashing the consumer, the controller learns the pattern and, on
+ * subsequent invocations, stalls the consumer's read until the
+ * producer has written the record (or completed) instead of letting
+ * it read prematurely and be squashed.
+ *
+ * Record keys are generalized to a key class (digit runs collapsed)
+ * so that per-request keys like "order:4711" learn as "order:#".
+ */
+
+#ifndef SPECFAAS_SPECFAAS_SQUASH_MINIMIZER_HH
+#define SPECFAAS_SPECFAAS_SQUASH_MINIMIZER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace specfaas {
+
+/** Collapse digit runs: "order:4711:item9" → "order:#:item#". */
+std::string keyClassOf(const std::string& key);
+
+/** Learns squash-causing producer/consumer record patterns. */
+class SquashMinimizer
+{
+  public:
+    /** @param threshold squashes before a pattern starts stalling */
+    explicit SquashMinimizer(std::uint32_t threshold = 3)
+        : threshold_(threshold)
+    {}
+
+    /**
+     * Record that @p consumer was squashed for prematurely reading
+     * @p key that @p producer later wrote.
+     */
+    void recordSquash(const std::string& producer,
+                      const std::string& consumer,
+                      const std::string& key);
+
+    /**
+     * Should @p consumer's read of @p key stall? Returns the learned
+     * producer function to wait for, or nullopt.
+     */
+    std::optional<std::string>
+    stallProducer(const std::string& consumer,
+                  const std::string& key) const;
+
+    /** Number of learned (consumer, key-class) patterns. */
+    std::size_t patternCount() const { return patterns_.size(); }
+
+    /** @{ Counters. */
+    std::uint64_t recordedSquashes() const { return recorded_; }
+    std::uint64_t stallsServed() const { return stalls_; }
+    void noteStall() { ++stalls_; }
+    /** @} */
+
+  private:
+    struct Pattern
+    {
+        std::string producer;
+        std::uint32_t squashes = 0;
+    };
+
+    std::uint32_t threshold_;
+    // (consumer + '\n' + key class) → pattern
+    std::unordered_map<std::string, Pattern> patterns_;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t stalls_ = 0;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_SPECFAAS_SQUASH_MINIMIZER_HH

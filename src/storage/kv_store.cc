@@ -1,0 +1,68 @@
+#include "kv_store.hh"
+
+#include <map>
+
+namespace specfaas {
+
+std::optional<Value>
+KvStore::get(const std::string& key)
+{
+    ++reads_;
+    auto it = data_.find(key);
+    if (it == data_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+KvStore::put(const std::string& key, Value value)
+{
+    ++writes_;
+    data_[key] = std::move(value);
+}
+
+bool
+KvStore::erase(const std::string& key)
+{
+    return data_.erase(key) > 0;
+}
+
+std::optional<Value>
+KvStore::peek(const std::string& key) const
+{
+    auto it = data_.find(key);
+    if (it == data_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+KvStore::clear()
+{
+    data_.clear();
+    reads_ = 0;
+    writes_ = 0;
+}
+
+std::uint64_t
+KvStore::fingerprint() const
+{
+    // Order-independent: iterate keys in sorted order so the hash is
+    // a function of contents only.
+    std::map<std::string, const Value*> sorted;
+    for (const auto& [k, v] : data_)
+        sorted.emplace(k, &v);
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t x) {
+        h ^= x;
+        h *= 1099511628211ull;
+        h ^= h >> 29;
+    };
+    for (const auto& [k, v] : sorted) {
+        mix(Value(k).hash());
+        mix(v->hash());
+    }
+    return h;
+}
+
+} // namespace specfaas

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Global key-value store (the Redis stand-in).
+ *
+ * FaaS functions persist state through a remote key-value service;
+ * the paper's prototype intercepts Redis get/set. Here KvStore models
+ * that service: a single authoritative map plus request latencies.
+ * Access is mediated by the runtime, which applies the latency via the
+ * event queue; the store itself is a synchronous data structure so the
+ * Data Buffer can commit/flush atomically at a simulated instant.
+ */
+
+#ifndef SPECFAAS_STORAGE_KV_STORE_HH
+#define SPECFAAS_STORAGE_KV_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "common/value.hh"
+
+namespace specfaas {
+
+/** Latency parameters of the remote store. */
+struct KvStoreLatency
+{
+    /** One-way request latency of a get, in Ticks. */
+    Tick readLatency = msToTicks(1.0);
+    /** One-way request latency of a set, in Ticks. */
+    Tick writeLatency = msToTicks(1.2);
+};
+
+/** Authoritative global storage shared by the whole cluster. */
+class KvStore
+{
+  public:
+    explicit KvStore(KvStoreLatency latency = {}) : latency_(latency) {}
+
+    /** Read a record; nullopt when absent. Counts a read access. */
+    std::optional<Value> get(const std::string& key);
+
+    /** Write a record. Counts a write access. */
+    void put(const std::string& key, Value value);
+
+    /** Delete a record; true when it existed. */
+    bool erase(const std::string& key);
+
+    /** Peek without counting an access (for tests/analysis). */
+    std::optional<Value> peek(const std::string& key) const;
+
+    /** Number of records currently stored. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Remove all records and reset counters. */
+    void clear();
+
+    /** Latency parameters (applied by callers via the event queue). */
+    const KvStoreLatency& latency() const { return latency_; }
+
+    /** @{ Access counters for utilization and trace experiments. */
+    std::uint64_t readCount() const { return reads_; }
+    std::uint64_t writeCount() const { return writes_; }
+    /** @} */
+
+    /**
+     * Deterministic fingerprint of the full store contents. Used by
+     * the correctness oracle: a SpecFaaS run must leave the store in
+     * exactly the state a baseline run leaves it in.
+     */
+    std::uint64_t fingerprint() const;
+
+    /** Whole contents, for detailed test diffs. */
+    const std::unordered_map<std::string, Value>& contents() const
+    {
+        return data_;
+    }
+
+  private:
+    KvStoreLatency latency_;
+    std::unordered_map<std::string, Value> data_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_STORAGE_KV_STORE_HH

@@ -1,0 +1,68 @@
+#include "local_cache.hh"
+
+namespace specfaas {
+
+std::optional<Value>
+LocalCache::get(const std::string& key)
+{
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->value;
+}
+
+void
+LocalCache::put(const std::string& key, Value value, InstanceId owner)
+{
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        it->second->value = std::move(value);
+        it->second->owner = owner;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{key, std::move(value), owner});
+    map_[key] = lru_.begin();
+    if (map_.size() > capacity_) {
+        auto& victim = lru_.back();
+        map_.erase(victim.key);
+        lru_.pop_back();
+    }
+}
+
+bool
+LocalCache::erase(const std::string& key)
+{
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return false;
+    lru_.erase(it->second);
+    map_.erase(it);
+    return true;
+}
+
+void
+LocalCache::invalidateOwner(InstanceId owner)
+{
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if (it->owner == owner) {
+            map_.erase(it->key);
+            it = lru_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+LocalCache::clear()
+{
+    lru_.clear();
+    map_.clear();
+}
+
+} // namespace specfaas

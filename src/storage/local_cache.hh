@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-node software cache of remote records (§V-C).
+ *
+ * Serverless nodes cache remote data so a function can re-access it
+ * with low latency. In SpecFaaS the cache additionally must be
+ * invalidatable per handler: when a speculative function is squashed,
+ * records it pulled in must be dropped because they may reflect
+ * speculative Data Buffer state.
+ */
+
+#ifndef SPECFAAS_STORAGE_LOCAL_CACHE_HH
+#define SPECFAAS_STORAGE_LOCAL_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "common/value.hh"
+
+namespace specfaas {
+
+/**
+ * LRU cache of (key → value) with an owner tag per entry.
+ *
+ * The owner tag is the dynamic function instance that inserted the
+ * entry; squashing that instance invalidates its entries.
+ */
+class LocalCache
+{
+  public:
+    /**
+     * @param capacity maximum number of records
+     * @param hit_latency lookup latency applied by callers
+     */
+    explicit LocalCache(std::size_t capacity = 4096,
+                        Tick hit_latency = 50)
+        : capacity_(capacity), hitLatency_(hit_latency)
+    {}
+
+    /** Lookup; refreshes LRU position on hit. */
+    std::optional<Value> get(const std::string& key);
+
+    /** Insert/overwrite; evicts the LRU entry beyond capacity. */
+    void put(const std::string& key, Value value, InstanceId owner);
+
+    /** Remove one record; true when present. */
+    bool erase(const std::string& key);
+
+    /** Drop every record inserted by @p owner (squash support). */
+    void invalidateOwner(InstanceId owner);
+
+    /** Drop everything. */
+    void clear();
+
+    /** Number of cached records. */
+    std::size_t size() const { return map_.size(); }
+
+    /** Lookup latency for hits, in Ticks. */
+    Tick hitLatency() const { return hitLatency_; }
+
+    /** @{ Hit/miss counters. */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        Value value;
+        InstanceId owner;
+    };
+
+    using LruList = std::list<Entry>;
+
+    std::size_t capacity_;
+    Tick hitLatency_;
+    LruList lru_; // front = most recently used
+    std::unordered_map<std::string, LruList::iterator> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_STORAGE_LOCAL_CACHE_HH

@@ -1,0 +1,216 @@
+#include "azure_blob.hh"
+
+#include <cmath>
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+std::vector<BlobAccess>
+generateBlobTrace(const BlobTraceConfig& config)
+{
+    Rng rng(config.seed);
+    const Tick horizon =
+        static_cast<Tick>(config.accesses) * config.meanGap;
+
+    // Zipf popularity weights over blobs.
+    std::vector<double> weight(config.blobs);
+    double total = 0.0;
+    for (std::uint32_t b = 0; b < config.blobs; ++b) {
+        weight[b] = 1.0 / std::pow(static_cast<double>(b + 1),
+                                   config.zipfS);
+        total += weight[b];
+    }
+
+    std::vector<BlobAccess> trace;
+    trace.reserve(config.accesses);
+
+    const auto write_budget = static_cast<std::uint64_t>(
+        config.writeFraction * static_cast<double>(config.accesses));
+    const std::uint64_t read_budget = config.accesses - write_budget;
+
+    // Reads: placed uniformly over the horizon, blobs by popularity.
+    std::vector<std::vector<Tick>> reads_of(config.blobs);
+    for (std::uint64_t i = 0; i < read_budget; ++i) {
+        const auto b = static_cast<std::uint32_t>(
+            rng.zipf(config.blobs, config.zipfS));
+        const Tick t = static_cast<Tick>(
+            rng.uniform(0.0, static_cast<double>(horizon)));
+        reads_of[b].push_back(t);
+        trace.push_back(BlobAccess{t, b, false});
+    }
+
+    // Writes: only to the writable third of blobs; per-blob write
+    // counts geometric so that ~99.9% of writable blobs see fewer
+    // than 10 writes. Each write is placed a target gap before one of
+    // the blob's reads so the write→next-read gap distribution has
+    // ~96% of gaps over 1 s and ~27% over 10 s.
+    auto draw_gap = [&rng]() -> Tick {
+        const double u = rng.uniform();
+        if (u < 0.04)
+            return static_cast<Tick>(rng.uniform(0.0, 1.0) * kSecond);
+        if (u < 0.73) {
+            return static_cast<Tick>(rng.uniform(1.0, 10.0) *
+                                     static_cast<double>(kSecond));
+        }
+        return 10 * kSecond +
+               static_cast<Tick>(rng.exponential(20.0) *
+                                 static_cast<double>(kSecond));
+    };
+
+    // Writable blobs are a (1 - readOnlyBlobs) fraction of the blobs
+    // that actually see traffic. Each writable blob receives a small
+    // write count (always < 10); each write is anchored a
+    // target-distributed gap before a distinct read of the blob so
+    // the analyzer recovers the gap marginals.
+    std::vector<std::uint32_t> read_blobs;
+    std::vector<std::uint32_t> unread_blobs;
+    for (std::uint32_t b = 0; b < config.blobs; ++b) {
+        if (!reads_of[b].empty())
+            read_blobs.push_back(b);
+        else
+            unread_blobs.push_back(b);
+    }
+    // Shuffle so the writable subset isn't popularity-biased.
+    for (std::size_t i = read_blobs.size(); i > 1; --i)
+        std::swap(read_blobs[i - 1], read_blobs[rng.uniformInt(i)]);
+
+    // Sizing: every writable blob gets ~8 writes (always < 10,
+    // Observation 4). The write budget then needs n_w writable blobs;
+    // when the read blobs alone cannot provide n_w while keeping the
+    // read-only fraction, never-read write-only blobs make up the
+    // rest (they also exist in the real traces).
+    const double ro = config.readOnlyBlobs;
+    const double n_w_target =
+        static_cast<double>(write_budget) / 8.0 + 1.0;
+    const double r = static_cast<double>(read_blobs.size());
+    // Solve n_w = (1-ro)(r + pw) with n_w = from_read + pw and
+    // 0 <= pw <= r(1-ro)/ro (beyond which every writable blob would
+    // be write-only and the read-only fraction could not hold).
+    const double pw_raw =
+        n_w_target / std::max(1.0 - ro, 1e-9) - r;
+    const double pw_max = r * (1.0 - ro) / std::max(ro, 1e-9);
+    const double pw = std::clamp(pw_raw, 0.0, pw_max);
+    const double n_w_d = std::min(n_w_target, (1.0 - ro) * (r + pw));
+    const auto pure_write = static_cast<std::size_t>(pw);
+    const auto n_w = static_cast<std::size_t>(n_w_d);
+    const std::size_t from_read =
+        n_w > pure_write ? n_w - pure_write : 0;
+
+    std::vector<std::uint32_t> writable(
+        read_blobs.begin(),
+        read_blobs.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(from_read, read_blobs.size())));
+    for (std::size_t i = 0;
+         i < std::min(pure_write, unread_blobs.size()); ++i) {
+        writable.push_back(unread_blobs[i]);
+    }
+
+    std::uint64_t writes_emitted = 0;
+    for (const std::uint32_t b : writable) {
+        if (writes_emitted >= write_budget)
+            break;
+        const auto count = static_cast<std::uint32_t>(
+            rng.uniformInt(std::int64_t{7}, std::int64_t{9}));
+        auto& reads = reads_of[b];
+        std::sort(reads.begin(), reads.end());
+        const auto anchored = std::min<std::uint32_t>(
+            count, static_cast<std::uint32_t>(reads.size()));
+        for (std::uint32_t w = 0;
+             w < anchored && writes_emitted < write_budget; ++w) {
+            // Distinct anchors spread over the blob's reads, so the
+            // write→next-read gap equals the drawn gap.
+            const std::size_t idx = w * reads.size() / anchored;
+            const Tick t = std::max<Tick>(0, reads[idx] - draw_gap());
+            trace.push_back(BlobAccess{t, b, true});
+            ++writes_emitted;
+        }
+        for (std::uint32_t w = anchored;
+             w < count && writes_emitted < write_budget; ++w) {
+            const Tick t = static_cast<Tick>(
+                rng.uniform(0.0, static_cast<double>(horizon)));
+            trace.push_back(BlobAccess{t, b, true});
+            ++writes_emitted;
+        }
+    }
+
+    std::sort(trace.begin(), trace.end(),
+              [](const BlobAccess& a, const BlobAccess& b) {
+                  return a.time < b.time;
+              });
+    return trace;
+}
+
+BlobTraceStats
+analyzeBlobTrace(const std::vector<BlobAccess>& trace)
+{
+    BlobTraceStats stats;
+    stats.accesses = trace.size();
+    if (trace.empty())
+        return stats;
+
+    std::uint64_t writes = 0;
+    std::map<std::uint32_t, std::uint64_t> write_count;
+    std::map<std::uint32_t, bool> seen;
+    // Pending write time per blob, for write→next-read gaps.
+    std::map<std::uint32_t, Tick> last_write;
+    std::uint64_t gaps = 0;
+    std::uint64_t gaps_over_1s = 0;
+    std::uint64_t gaps_over_10s = 0;
+
+    for (const auto& a : trace) {
+        seen[a.blob] = true;
+        if (a.isWrite) {
+            ++writes;
+            ++write_count[a.blob];
+            last_write[a.blob] = a.time;
+        } else {
+            auto it = last_write.find(a.blob);
+            if (it != last_write.end()) {
+                const Tick gap = a.time - it->second;
+                ++gaps;
+                if (gap > kSecond)
+                    ++gaps_over_1s;
+                if (gap > 10 * kSecond)
+                    ++gaps_over_10s;
+                last_write.erase(it);
+            }
+        }
+    }
+
+    stats.writeFraction =
+        static_cast<double>(writes) / static_cast<double>(trace.size());
+
+    std::uint64_t writable = 0;
+    std::uint64_t writable_under_10 = 0;
+    for (const auto& [blob, flag] : seen) {
+        (void)flag;
+        auto it = write_count.find(blob);
+        if (it == write_count.end() || it->second == 0)
+            continue;
+        ++writable;
+        if (it->second < 10)
+            ++writable_under_10;
+    }
+    stats.readOnlyBlobFraction =
+        1.0 - static_cast<double>(writable) /
+                  static_cast<double>(seen.size());
+    stats.writableUnder10Writes =
+        writable == 0 ? 1.0
+                      : static_cast<double>(writable_under_10) /
+                            static_cast<double>(writable);
+    stats.writeReadGapOver1s =
+        gaps == 0 ? 0.0
+                  : static_cast<double>(gaps_over_1s) /
+                        static_cast<double>(gaps);
+    stats.writeReadGapOver10s =
+        gaps == 0 ? 0.0
+                  : static_cast<double>(gaps_over_10s) /
+                        static_cast<double>(gaps);
+    return stats;
+}
+
+} // namespace specfaas

@@ -1,0 +1,51 @@
+#include "cpu_utilization.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace specfaas {
+
+std::vector<NodeUtilization>
+generateCpuTrace(const CpuTraceConfig& config)
+{
+    Rng rng(config.seed);
+    std::vector<NodeUtilization> nodes;
+    nodes.reserve(config.nodes);
+    for (std::uint32_t n = 0; n < config.nodes; ++n) {
+        const double baseline =
+            rng.normal(config.baselineMean, config.baselineStddev);
+        const double phase = rng.uniform(0.0, 2.0 * M_PI);
+        const double amp =
+            config.diurnalAmplitude * rng.uniform(0.6, 1.4);
+        NodeUtilization series;
+        series.reserve(config.samplesPerNode);
+        for (std::uint32_t s = 0; s < config.samplesPerNode; ++s) {
+            const double t = 2.0 * M_PI * static_cast<double>(s) /
+                             static_cast<double>(config.samplesPerNode);
+            double u = baseline + amp * std::sin(t + phase) +
+                       rng.normal(0.0, config.noiseStddev);
+            series.push_back(std::clamp(u, 0.0, 1.0));
+        }
+        nodes.push_back(std::move(series));
+    }
+    return nodes;
+}
+
+std::vector<std::vector<CdfPoint>>
+utilizationCdfs(const std::vector<NodeUtilization>& nodes,
+                const std::vector<double>& percentiles,
+                std::size_t cdf_points)
+{
+    std::vector<std::vector<CdfPoint>> out;
+    out.reserve(percentiles.size());
+    for (double p : percentiles) {
+        std::vector<double> per_node;
+        per_node.reserve(nodes.size());
+        for (const auto& series : nodes)
+            per_node.push_back(percentile(series, p));
+        out.push_back(empiricalCdf(std::move(per_node), cdf_points));
+    }
+    return out;
+}
+
+} // namespace specfaas

@@ -1,0 +1,32 @@
+#include "determinism.hh"
+
+#include <map>
+
+namespace specfaas {
+
+SequenceStats
+analyzeSequences(const std::vector<InvocationResult>& results)
+{
+    SequenceStats stats;
+    stats.invocations = results.size();
+    if (results.empty())
+        return stats;
+
+    std::map<std::vector<std::string>, std::size_t> counts;
+    for (const auto& r : results)
+        ++counts[r.executedSequence];
+
+    stats.distinctSequences = counts.size();
+    std::size_t best = 0;
+    for (const auto& [seq, count] : counts) {
+        if (count > best) {
+            best = count;
+            stats.dominantSequence = seq;
+        }
+    }
+    stats.dominantShare = static_cast<double>(best) /
+                          static_cast<double>(results.size());
+    return stats;
+}
+
+} // namespace specfaas

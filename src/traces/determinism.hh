@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Function-sequence determinism analysis (Observation 2).
+ *
+ * Counts how often each distinct function sequence occurs across the
+ * invocations of one application and reports the share of the most
+ * popular sequence (90% Alibaba, 98% TrainTicket in the paper).
+ */
+
+#ifndef SPECFAAS_TRACES_DETERMINISM_HH
+#define SPECFAAS_TRACES_DETERMINISM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hh"
+
+namespace specfaas {
+
+/** Result of a sequence-popularity analysis. */
+struct SequenceStats
+{
+    std::size_t invocations = 0;
+    std::size_t distinctSequences = 0;
+    /** Share of the most popular sequence, in [0,1]. */
+    double dominantShare = 0.0;
+    /** The most popular sequence itself. */
+    std::vector<std::string> dominantSequence;
+};
+
+/** Analyze the executed sequences of a set of invocations. */
+SequenceStats
+analyzeSequences(const std::vector<InvocationResult>& results);
+
+} // namespace specfaas
+
+#endif // SPECFAAS_TRACES_DETERMINISM_HH

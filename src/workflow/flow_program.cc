@@ -1,0 +1,154 @@
+#include "flow_program.hh"
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+namespace {
+
+/**
+ * Compile @p n so that execution continues at @p cont afterwards.
+ * @return entry index of the compiled fragment
+ */
+FlowIndex
+compileNode(const WorkflowNode& n, FlowIndex cont,
+            std::vector<FlowNode>& out)
+{
+    switch (n.kind) {
+      case WorkflowNode::Kind::Task: {
+        FlowNode fn;
+        fn.kind = FlowNode::Kind::Func;
+        fn.function = n.function;
+        fn.next = cont;
+        out.push_back(std::move(fn));
+        return static_cast<FlowIndex>(out.size() - 1);
+      }
+      case WorkflowNode::Kind::Sequence: {
+        FlowIndex entry = cont;
+        for (auto it = n.children.rbegin(); it != n.children.rend(); ++it)
+            entry = compileNode(*it, entry, out);
+        return entry;
+      }
+      case WorkflowNode::Kind::When: {
+        SPECFAAS_ASSERT(!n.children.empty(), "when with no targets");
+        const FlowIndex true_entry = compileNode(n.children[0], cont, out);
+        const FlowIndex false_entry =
+            n.children.size() > 1 ? compileNode(n.children[1], cont, out)
+                                  : cont;
+        FlowNode br;
+        br.kind = FlowNode::Kind::Branch;
+        br.function = n.function;
+        br.targets = {true_entry, false_entry};
+        out.push_back(std::move(br));
+        return static_cast<FlowIndex>(out.size() - 1);
+      }
+      case WorkflowNode::Kind::While:
+      case WorkflowNode::Kind::DoWhile: {
+        SPECFAAS_ASSERT(n.children.size() == 1, "loop needs one body");
+        // The condition is a Branch with a backward edge: the body's
+        // continuation is the branch itself. Allocate the branch
+        // first so the body can point back at it.
+        FlowNode br;
+        br.kind = FlowNode::Kind::Branch;
+        br.function = n.function;
+        out.push_back(std::move(br));
+        const auto branch_idx = static_cast<FlowIndex>(out.size() - 1);
+        const FlowIndex body_entry =
+            compileNode(n.children[0], branch_idx, out);
+        out[branch_idx].targets = {body_entry, cont};
+        return n.kind == WorkflowNode::Kind::While ? branch_idx
+                                                   : body_entry;
+      }
+      case WorkflowNode::Kind::Parallel: {
+        SPECFAAS_ASSERT(!n.children.empty(), "parallel with no children");
+        FlowNode join;
+        join.kind = FlowNode::Kind::Join;
+        join.next = cont;
+        out.push_back(std::move(join));
+        const auto join_idx = static_cast<FlowIndex>(out.size() - 1);
+
+        FlowNode fork;
+        fork.kind = FlowNode::Kind::Fork;
+        fork.join = join_idx;
+        for (const auto& child : n.children)
+            fork.targets.push_back(compileNode(child, join_idx, out));
+        out.push_back(std::move(fork));
+        const auto fork_idx = static_cast<FlowIndex>(out.size() - 1);
+        out[join_idx].fork = fork_idx;
+        return fork_idx;
+      }
+    }
+    panic("unreachable workflow node kind");
+}
+
+} // namespace
+
+FlowIndex
+FlowProgram::resolveBranch(FlowIndex branch, const Value& output) const
+{
+    const FlowNode& n = nodes[branch];
+    SPECFAAS_ASSERT(n.kind == FlowNode::Kind::Branch,
+                    "resolveBranch on non-branch node %d", branch);
+    if (output.isInt()) {
+        const auto idx = static_cast<std::size_t>(output.asInt());
+        SPECFAAS_ASSERT(idx < n.targets.size(),
+                        "branch outcome %zu out of range", idx);
+        return n.targets[idx];
+    }
+    return output.truthy() ? n.targets[0]
+                           : (n.targets.size() > 1 ? n.targets[1]
+                                                   : kFlowNone);
+}
+
+std::string
+FlowProgram::dump() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const FlowNode& n = nodes[i];
+        out += strFormat("[%zu] ", i);
+        switch (n.kind) {
+          case FlowNode::Kind::Func:
+            out += strFormat("func %s -> %d", n.function.c_str(), n.next);
+            break;
+          case FlowNode::Kind::Branch: {
+            out += strFormat("branch %s ->", n.function.c_str());
+            for (FlowIndex t : n.targets)
+                out += strFormat(" %d", t);
+            break;
+          }
+          case FlowNode::Kind::Fork: {
+            out += "fork ->";
+            for (FlowIndex t : n.targets)
+                out += strFormat(" %d", t);
+            out += strFormat(" (join %d)", n.join);
+            break;
+          }
+          case FlowNode::Kind::Join:
+            out += strFormat("join (fork %d) -> %d", n.fork, n.next);
+            break;
+        }
+        if (static_cast<FlowIndex>(i) == entry)
+            out += "  <entry>";
+        out += '\n';
+    }
+    return out;
+}
+
+FlowProgram
+compileWorkflow(const WorkflowNode& root)
+{
+    FlowProgram program;
+    program.entry = compileNode(root, kFlowNone, program.nodes);
+    return program;
+}
+
+FlowProgram
+compileWorkflow(const Application& app)
+{
+    SPECFAAS_ASSERT(app.type == WorkflowType::Explicit,
+                    "compiling implicit application %s", app.name.c_str());
+    return compileWorkflow(app.workflow);
+}
+
+} // namespace specfaas

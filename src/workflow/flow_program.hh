@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Flat compiled form of an explicit workflow.
+ *
+ * The composer tree is linearized at application "compile time" into
+ * a graph of flow nodes — exactly the information the paper's
+ * Sequence Table records (§V-A): for each function, the next function
+ * to execute, with branch entries carrying one pointer per target.
+ * Both the baseline conductor and the SpecFaaS sequence table consume
+ * this program.
+ */
+
+#ifndef SPECFAAS_WORKFLOW_FLOW_PROGRAM_HH
+#define SPECFAAS_WORKFLOW_FLOW_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/value.hh"
+#include "workflow/workflow.hh"
+
+namespace specfaas {
+
+/** Index of a node inside a FlowProgram; -1 = none. */
+using FlowIndex = int;
+
+inline constexpr FlowIndex kFlowNone = -1;
+
+/** One node of the compiled workflow graph. */
+struct FlowNode
+{
+    enum class Kind {
+        /** Run a function, then go to `next`. */
+        Func,
+        /**
+         * Run the branch-condition function; its output selects one
+         * of `targets` (§II-A `when`).
+         */
+        Branch,
+        /** Fork: start every node in `targets` concurrently. */
+        Fork,
+        /** Join: waits for its fork's branches, then go to `next`. */
+        Join,
+    };
+
+    Kind kind = Kind::Func;
+
+    /** Func/Branch: function name. */
+    std::string function;
+
+    /** Func/Join: fall-through successor; kFlowNone terminates. */
+    FlowIndex next = kFlowNone;
+
+    /** Branch: target per outcome. Fork: parallel branch heads. */
+    std::vector<FlowIndex> targets;
+
+    /** Fork: the matching Join node. */
+    FlowIndex join = kFlowNone;
+
+    /** Join: the matching Fork node. */
+    FlowIndex fork = kFlowNone;
+};
+
+/** Compiled workflow. */
+struct FlowProgram
+{
+    std::vector<FlowNode> nodes;
+    FlowIndex entry = kFlowNone;
+
+    const FlowNode& node(FlowIndex i) const { return nodes[i]; }
+
+    /**
+     * Resolve a branch outcome from the condition function's output:
+     * an Int output indexes `targets` directly; any other output
+     * selects targets[0] when truthy, targets[1] (or termination for
+     * a one-armed branch) otherwise.
+     * @return the chosen target, or kFlowNone for fall-off
+     */
+    FlowIndex resolveBranch(FlowIndex branch, const Value& output) const;
+
+    /** Human-readable dump for tracing and tests. */
+    std::string dump() const;
+};
+
+/**
+ * Compile an explicit composer tree into a FlowProgram.
+ *
+ * Branch arms converge on the `when`'s continuation; parallel
+ * children fork from one Fork node and meet at its Join node.
+ */
+FlowProgram compileWorkflow(const WorkflowNode& root);
+
+/** Compile a whole application (explicit type only). */
+FlowProgram compileWorkflow(const Application& app);
+
+} // namespace specfaas
+
+#endif // SPECFAAS_WORKFLOW_FLOW_PROGRAM_HH

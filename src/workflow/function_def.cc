@@ -1,0 +1,169 @@
+#include "function_def.hh"
+
+namespace specfaas {
+
+namespace {
+
+const Value kNull{};
+
+} // namespace
+
+const Value&
+Env::var(const std::string& name) const
+{
+    auto it = vars.find(name);
+    return it == vars.end() ? kNull : it->second;
+}
+
+Op
+Op::compute(Tick duration)
+{
+    Op op;
+    op.kind = Kind::Compute;
+    op.duration = duration;
+    return op;
+}
+
+Op
+Op::storageRead(KeyFn key, std::string var)
+{
+    Op op;
+    op.kind = Kind::StorageRead;
+    op.key = std::move(key);
+    op.var = std::move(var);
+    return op;
+}
+
+Op
+Op::storageWrite(KeyFn key, ValueFn value)
+{
+    Op op;
+    op.kind = Kind::StorageWrite;
+    op.key = std::move(key);
+    op.value = std::move(value);
+    return op;
+}
+
+Op
+Op::call(std::string callee, ValueFn args, std::string var)
+{
+    Op op;
+    op.kind = Kind::Call;
+    op.callee = std::move(callee);
+    op.value = std::move(args);
+    op.var = std::move(var);
+    return op;
+}
+
+Op
+Op::callIf(BoolFn guard, std::string callee, ValueFn args, std::string var)
+{
+    Op op = call(std::move(callee), std::move(args), std::move(var));
+    op.guard = std::move(guard);
+    return op;
+}
+
+Op
+Op::http()
+{
+    Op op;
+    op.kind = Kind::Http;
+    return op;
+}
+
+Op
+Op::fileWrite(KeyFn name)
+{
+    Op op;
+    op.kind = Kind::FileWrite;
+    op.key = std::move(name);
+    return op;
+}
+
+Op
+Op::fileRead(KeyFn name, std::string var)
+{
+    Op op;
+    op.kind = Kind::FileRead;
+    op.key = std::move(name);
+    op.var = std::move(var);
+    return op;
+}
+
+Op
+Op::setVar(std::string var, ValueFn value)
+{
+    Op op;
+    op.kind = Kind::SetVar;
+    op.var = std::move(var);
+    op.value = std::move(value);
+    return op;
+}
+
+bool
+FunctionDef::readsGlobalState() const
+{
+    for (const auto& op : body)
+        if (op.kind == Op::Kind::StorageRead)
+            return true;
+    return false;
+}
+
+bool
+FunctionDef::writesGlobalState() const
+{
+    for (const auto& op : body)
+        if (op.kind == Op::Kind::StorageWrite)
+            return true;
+    return false;
+}
+
+bool
+FunctionDef::hasCalls() const
+{
+    return callCount() > 0;
+}
+
+std::size_t
+FunctionDef::callCount() const
+{
+    std::size_t n = 0;
+    for (const auto& op : body)
+        if (op.kind == Op::Kind::Call)
+            ++n;
+    return n;
+}
+
+bool
+FunctionDef::hasSideEffects() const
+{
+    for (const auto& op : body) {
+        switch (op.kind) {
+          case Op::Kind::StorageWrite:
+          case Op::Kind::FileWrite:
+          case Op::Kind::Http:
+            return true;
+          default:
+            break;
+        }
+    }
+    return false;
+}
+
+bool
+FunctionDef::isEffectivelyPure() const
+{
+    return !readsGlobalState() && !hasSideEffects();
+}
+
+Tick
+FunctionDef::totalComputeTime() const
+{
+    Tick total = 0;
+    for (const auto& op : body)
+        if (op.kind == Op::Kind::Compute)
+            total += op.duration;
+    return total;
+}
+
+} // namespace specfaas

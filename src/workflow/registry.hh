@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Registries for function definitions and applications.
+ *
+ * The platform looks functions up by name at launch time (functions
+ * are deployed independently of workflows); applications are looked
+ * up by suite/name by the experiment drivers.
+ */
+
+#ifndef SPECFAAS_WORKFLOW_REGISTRY_HH
+#define SPECFAAS_WORKFLOW_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workflow/workflow.hh"
+
+namespace specfaas {
+
+/** Name → FunctionDef lookup for deployed functions. */
+class FunctionRegistry
+{
+  public:
+    /** Register one function; overwrites an existing definition. */
+    void add(FunctionDef def);
+
+    /** Register every function of an application. */
+    void addApplication(const Application& app);
+
+    /** Lookup; aborts when the function is unknown. */
+    const FunctionDef& get(const std::string& name) const;
+
+    /** Lookup; nullptr when unknown. */
+    const FunctionDef* find(const std::string& name) const;
+
+    /** Number of registered functions. */
+    std::size_t size() const { return functions_.size(); }
+
+  private:
+    std::unordered_map<std::string, FunctionDef> functions_;
+};
+
+/** Collection of applications, grouped by suite. */
+class ApplicationRegistry
+{
+  public:
+    /** Register one application. */
+    void add(Application app);
+
+    /** Lookup by name; aborts when unknown. */
+    const Application& get(const std::string& name) const;
+
+    /** All applications of one suite, in registration order. */
+    std::vector<const Application*> suite(const std::string& suite) const;
+
+    /** All applications, in registration order. */
+    std::vector<const Application*> all() const;
+
+    /** All distinct suite names, in first-seen order. */
+    std::vector<std::string> suiteNames() const;
+
+  private:
+    std::vector<std::unique_ptr<Application>> apps_;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_WORKFLOW_REGISTRY_HH

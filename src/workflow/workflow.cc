@@ -1,0 +1,253 @@
+#include "workflow.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace specfaas {
+
+WorkflowNode
+task(std::string function)
+{
+    WorkflowNode n;
+    n.kind = WorkflowNode::Kind::Task;
+    n.function = std::move(function);
+    return n;
+}
+
+WorkflowNode
+sequence(std::vector<WorkflowNode> children)
+{
+    WorkflowNode n;
+    n.kind = WorkflowNode::Kind::Sequence;
+    n.children = std::move(children);
+    return n;
+}
+
+WorkflowNode
+when(std::string cond_function, WorkflowNode true_target)
+{
+    WorkflowNode n;
+    n.kind = WorkflowNode::Kind::When;
+    n.function = std::move(cond_function);
+    n.children.push_back(std::move(true_target));
+    return n;
+}
+
+WorkflowNode
+when(std::string cond_function, WorkflowNode true_target,
+     WorkflowNode false_target)
+{
+    WorkflowNode n = when(std::move(cond_function), std::move(true_target));
+    n.children.push_back(std::move(false_target));
+    return n;
+}
+
+WorkflowNode
+parallel(std::vector<WorkflowNode> children)
+{
+    WorkflowNode n;
+    n.kind = WorkflowNode::Kind::Parallel;
+    n.children = std::move(children);
+    return n;
+}
+
+WorkflowNode
+whileLoop(std::string cond_function, WorkflowNode body)
+{
+    WorkflowNode n;
+    n.kind = WorkflowNode::Kind::While;
+    n.function = std::move(cond_function);
+    n.children.push_back(std::move(body));
+    return n;
+}
+
+WorkflowNode
+doWhileLoop(std::string cond_function, WorkflowNode body)
+{
+    WorkflowNode n;
+    n.kind = WorkflowNode::Kind::DoWhile;
+    n.function = std::move(cond_function);
+    n.children.push_back(std::move(body));
+    return n;
+}
+
+const FunctionDef*
+Application::findFunction(const std::string& fname) const
+{
+    for (const auto& f : functions)
+        if (f.name == fname)
+            return &f;
+    return nullptr;
+}
+
+std::vector<std::string>
+Application::functionNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(functions.size());
+    for (const auto& f : functions)
+        names.push_back(f.name);
+    return names;
+}
+
+namespace {
+
+std::size_t
+countWhens(const WorkflowNode& n)
+{
+    std::size_t count = n.kind == WorkflowNode::Kind::When ||
+                                n.kind == WorkflowNode::Kind::While ||
+                                n.kind == WorkflowNode::Kind::DoWhile
+                            ? 1
+                            : 0;
+    for (const auto& c : n.children)
+        count += countWhens(c);
+    return count;
+}
+
+/** Depth of the longest function chain in an explicit tree. */
+std::size_t
+treeDepth(const WorkflowNode& n)
+{
+    switch (n.kind) {
+      case WorkflowNode::Kind::Task:
+        return 1;
+      case WorkflowNode::Kind::Sequence: {
+        std::size_t total = 0;
+        for (const auto& c : n.children)
+            total += treeDepth(c);
+        return total;
+      }
+      case WorkflowNode::Kind::When: {
+        std::size_t deepest = 0;
+        for (const auto& c : n.children)
+            deepest = std::max(deepest, treeDepth(c));
+        return 1 + deepest; // the condition function + deepest arm
+      }
+      case WorkflowNode::Kind::Parallel: {
+        std::size_t deepest = 0;
+        for (const auto& c : n.children)
+            deepest = std::max(deepest, treeDepth(c));
+        return deepest;
+      }
+      case WorkflowNode::Kind::While:
+      case WorkflowNode::Kind::DoWhile:
+        // Statically: the condition plus one body iteration.
+        return 1 + treeDepth(n.children[0]);
+    }
+    return 0;
+}
+
+} // namespace
+
+std::size_t
+Application::branchCount() const
+{
+    std::size_t count = 0;
+    if (type == WorkflowType::Explicit)
+        count += countWhens(workflow);
+    // Guarded calls are the cross-function branches of implicit
+    // workflows: whether the callee runs is control-dependent.
+    for (const auto& f : functions)
+        for (const auto& op : f.body)
+            if (op.kind == Op::Kind::Call && op.guard)
+                ++count;
+    return count;
+}
+
+namespace {
+
+/** Sequence edges: output-of-one feeds input-of-the-next (§II-A). */
+std::size_t
+countSequenceEdges(const WorkflowNode& n)
+{
+    std::size_t edges = 0;
+    if (n.kind == WorkflowNode::Kind::Sequence &&
+        n.children.size() > 1) {
+        edges += n.children.size() - 1;
+    }
+    for (const auto& c : n.children)
+        edges += countSequenceEdges(c);
+    return edges;
+}
+
+} // namespace
+
+std::size_t
+Application::dataDependenceCount() const
+{
+    // Cross-function data dependences: sequence edges of explicit
+    // workflows (a producer's output is the consumer's input), plus
+    // producer→consumer pairs communicating through global storage
+    // (a function writes records another function of the application
+    // reads). Call-return edges of implicit workflows are not
+    // counted here, matching the paper's separate "callees per
+    // function" metric.
+    std::size_t count = 0;
+    if (type == WorkflowType::Explicit)
+        count += countSequenceEdges(workflow);
+
+    std::size_t writers = 0;
+    std::size_t readers = 0;
+    for (const auto& f : functions) {
+        if (f.writesGlobalState())
+            ++writers;
+        if (f.readsGlobalState())
+            ++readers;
+    }
+    count += std::min(writers, readers);
+    return count;
+}
+
+double
+Application::avgCalleesPerCallingFunction() const
+{
+    std::size_t calls = 0;
+    std::size_t callers = 0;
+    for (const auto& f : functions) {
+        const std::size_t n = f.callCount();
+        if (n > 0) {
+            ++callers;
+            calls += n;
+        }
+    }
+    return callers == 0
+               ? 0.0
+               : static_cast<double>(calls) / static_cast<double>(callers);
+}
+
+namespace {
+
+std::size_t
+callDepth(const Application& app, const std::string& fname,
+          std::set<std::string>& visiting)
+{
+    const FunctionDef* f = app.findFunction(fname);
+    if (f == nullptr || visiting.count(fname))
+        return 1;
+    visiting.insert(fname);
+    std::size_t deepest = 0;
+    for (const auto& op : f->body)
+        if (op.kind == Op::Kind::Call)
+            deepest = std::max(deepest, callDepth(app, op.callee, visiting));
+    visiting.erase(fname);
+    return 1 + deepest;
+}
+
+} // namespace
+
+std::size_t
+Application::maxDagDepth() const
+{
+    if (type == WorkflowType::Explicit)
+        return treeDepth(workflow);
+    std::set<std::string> visiting;
+    // Subtract 1: depth counts tiers below the root in the paper's
+    // multi-tier terminology, but we report the full chain depth to
+    // match Table I's "Max DAG depth" for explicit suites; for
+    // implicit suites the call-tree height is the comparable figure.
+    return callDepth(*this, rootFunction, visiting);
+}
+
+} // namespace specfaas

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Workflow intermediate representation.
+ *
+ * Explicit workflows are composer trees (sequence / when / parallel,
+ * §II-A) over named functions. Implicit workflows are a single root
+ * function whose body issues Call ops (§II-C). An Application bundles
+ * either kind with its function definitions, request generator, and
+ * initial global-store seeding.
+ */
+
+#ifndef SPECFAAS_WORKFLOW_WORKFLOW_HH
+#define SPECFAAS_WORKFLOW_WORKFLOW_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/value.hh"
+#include "storage/kv_store.hh"
+#include "workflow/function_def.hh"
+
+namespace specfaas {
+
+/** Node of a composer workflow tree. */
+struct WorkflowNode
+{
+    enum class Kind { Task, Sequence, When, Parallel, While, DoWhile };
+
+    Kind kind = Kind::Task;
+
+    /** Task: the function. When/While/DoWhile: the branch-condition
+     * function. */
+    std::string function;
+
+    /**
+     * Sequence/Parallel: ordered children.
+     * When: children[0] = true target, children[1] = false target
+     * (children[1] may be absent for a one-armed branch).
+     * While/DoWhile: children[0] = loop body.
+     */
+    std::vector<WorkflowNode> children;
+};
+
+/** @{ Composer-style builders (mirroring OpenWhisk Composer). */
+WorkflowNode task(std::string function);
+WorkflowNode sequence(std::vector<WorkflowNode> children);
+WorkflowNode when(std::string cond_function, WorkflowNode true_target);
+WorkflowNode when(std::string cond_function, WorkflowNode true_target,
+                  WorkflowNode false_target);
+WorkflowNode parallel(std::vector<WorkflowNode> children);
+/**
+ * Loop: run cond_function; while its output is truthy, run the body
+ * and re-evaluate (§II-A: loops compile to the same code as `when`,
+ * with a backward edge). The body's final output feeds the next
+ * condition evaluation; the loop's overall output is the condition's
+ * last input.
+ */
+WorkflowNode whileLoop(std::string cond_function, WorkflowNode body);
+/** Like whileLoop, but the body runs once before the first test. */
+WorkflowNode doWhileLoop(std::string cond_function, WorkflowNode body);
+/** @} */
+
+/** How the workflow of an application is expressed. */
+enum class WorkflowType { Explicit, Implicit };
+
+/** A complete serverless application. */
+struct Application
+{
+    std::string name;
+    std::string suite;
+    WorkflowType type = WorkflowType::Explicit;
+
+    /** Explicit: the composer tree. */
+    WorkflowNode workflow;
+
+    /** Implicit: entry function (its body drives everything). */
+    std::string rootFunction;
+
+    /** Every function of the application, including branch-condition
+     * functions. */
+    std::vector<FunctionDef> functions;
+
+    /** Draws one request payload (dataset-driven). */
+    std::function<Value(Rng&)> inputGen;
+
+    /** Seeds the global store before a run (optional). */
+    std::function<void(KvStore&, Rng&)> seedStore;
+
+    /** Find a function definition by name; null when absent. */
+    const FunctionDef* findFunction(const std::string& fname) const;
+
+    /** Names of all functions, in definition order. */
+    std::vector<std::string> functionNames() const;
+
+    /** @{ Structure statistics for the Table I characterization. */
+    std::size_t functionCount() const { return functions.size(); }
+    std::size_t branchCount() const;
+    std::size_t dataDependenceCount() const;
+    double avgCalleesPerCallingFunction() const;
+    std::size_t maxDagDepth() const;
+    /** @} */
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_WORKFLOW_WORKFLOW_HH

@@ -1,0 +1,40 @@
+#include "app_helpers.hh"
+
+namespace specfaas {
+
+FunctionDef
+condFunction(std::string name, std::string branch_field, double ms)
+{
+    FunctionDef d;
+    d.name = std::move(name);
+    d.body.push_back(Op::compute(msToTicks(ms)));
+    d.output = fns::inputField(std::move(branch_field));
+    return d;
+}
+
+FunctionDef
+condFromStore(std::string name, std::string key_prefix,
+              std::string key_field, double ms)
+{
+    FunctionDef d;
+    d.name = std::move(name);
+    d.body.push_back(Op::compute(msToTicks(ms)));
+    d.body.push_back(Op::storageRead(
+        fns::keyOf(std::move(key_prefix), std::move(key_field)), "flag"));
+    d.output = [](const Env& e) {
+        return Value(e.var("flag").at("v").truthy());
+    };
+    return d;
+}
+
+FunctionDef
+worker(std::string name, double ms, ValueFn out)
+{
+    FunctionDef d;
+    d.name = std::move(name);
+    d.body.push_back(Op::compute(msToTicks(ms)));
+    d.output = std::move(out);
+    return d;
+}
+
+} // namespace specfaas

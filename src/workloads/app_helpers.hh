@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Small builders shared by the application suites.
+ */
+
+#ifndef SPECFAAS_WORKLOADS_APP_HELPERS_HH
+#define SPECFAAS_WORKLOADS_APP_HELPERS_HH
+
+#include <string>
+
+#include "common/value.hh"
+#include "workflow/function_def.hh"
+#include "workloads/datasets.hh"
+
+namespace specfaas {
+
+/** Value builders used by function bodies. */
+namespace fns {
+
+/** Echo the whole input. */
+inline ValueFn
+passInput()
+{
+    return [](const Env& e) { return e.input; };
+}
+
+/** One field of the input. */
+inline ValueFn
+inputField(std::string name)
+{
+    return [name = std::move(name)](const Env& e) {
+        return e.input.at(name);
+    };
+}
+
+/** Key "<prefix>:<input.field>". */
+inline KeyFn
+keyOf(std::string prefix, std::string field)
+{
+    return [prefix = std::move(prefix),
+            field = std::move(field)](const Env& e) {
+        return prefix + ":" + e.input.at(field).toString();
+    };
+}
+
+/** Key "<prefix>:<input.f1>:<input.f2>". */
+inline KeyFn
+keyOf2(std::string prefix, std::string f1, std::string f2)
+{
+    return [prefix = std::move(prefix), f1 = std::move(f1),
+            f2 = std::move(f2)](const Env& e) {
+        return prefix + ":" + e.input.at(f1).toString() + ":" +
+               e.input.at(f2).toString();
+    };
+}
+
+/**
+ * Guard that is true for all but 1-in-@p buckets of the values of
+ * @p field — a deterministic, input-derived branch with a dominant
+ * direction of roughly (buckets-1)/buckets.
+ */
+inline BoolFn
+bucketGuard(std::string field, std::int64_t buckets)
+{
+    return [field = std::move(field), buckets](const Env& e) {
+        return bucketOf(e.input.at(field).toString(), buckets) != 0;
+    };
+}
+
+/** Guard reading a boolean branch field of the input. */
+inline BoolFn
+boolGuard(std::string field)
+{
+    return [field = std::move(field)](const Env& e) {
+        return e.input.at(field).truthy();
+    };
+}
+
+} // namespace fns
+
+/**
+ * A branch-condition function for explicit `when` nodes: computes for
+ * @p ms and returns the boolean branch field of its input.
+ */
+FunctionDef condFunction(std::string name, std::string branch_field,
+                         double ms);
+
+/**
+ * A branch-condition function whose outcome comes from a seeded
+ * global record: reads "<key_prefix>:<input.key_field>" and returns
+ * its truthiness. The seeding controls the branch bias.
+ */
+FunctionDef condFromStore(std::string name, std::string key_prefix,
+                          std::string key_field, double ms);
+
+/**
+ * A leaf worker: computes for @p ms and produces @p out.
+ */
+FunctionDef worker(std::string name, double ms, ValueFn out);
+
+} // namespace specfaas
+
+#endif // SPECFAAS_WORKLOADS_APP_HELPERS_HH

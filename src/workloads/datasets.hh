@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Synthetic input datasets for the application suites.
+ *
+ * The paper drives FaaSChain with public web datasets, TrainTicket
+ * with a 3M-record airline-ticket dataset (BTS 2021), and uses
+ * synthetic Bernoulli outcomes for branches whose inputs the datasets
+ * cannot determine (§VII). None of those datasets ship here, so these
+ * generators reproduce the properties that matter to SpecFaaS:
+ *
+ *  - skewed request popularity (Zipf) so memoization tables of
+ *    bounded size reach the hit rates the paper reports;
+ *  - configurable branch bias so the branch-predictor hit rate can
+ *    be swept (Fig. 14 uses 100/90/70/50%);
+ *  - low-cardinality derived fields so downstream functions see
+ *    repeating inputs, as real ticket/route data does.
+ */
+
+#ifndef SPECFAAS_WORKLOADS_DATASETS_HH
+#define SPECFAAS_WORKLOADS_DATASETS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/value.hh"
+
+namespace specfaas {
+
+/** Parameters of a request-input generator. */
+struct DatasetConfig
+{
+    /** Number of distinct users. */
+    std::uint32_t users = 64;
+
+    /** Number of distinct routes/items (Zipf universe). */
+    std::uint32_t items = 300;
+
+    /** Zipf exponent of item popularity. */
+    double zipfS = 1.4;
+
+    /**
+     * Probability that a branch condition takes its dominant
+     * direction (§VII: 90% assumed for FaaSChain; Observation 2
+     * measures 90% Alibaba / 98% TrainTicket path determinism).
+     */
+    double branchBias = 0.90;
+
+    /** Number of independent branch fields to embed per request. */
+    std::uint32_t branchFields = 4;
+};
+
+/**
+ * Draw one request payload:
+ * {user, item, qty, b0..bN (branch outcome booleans)}.
+ */
+Value drawRequest(Rng& rng, const DatasetConfig& config);
+
+/**
+ * Draw one airline/train ticket request:
+ * {user, route, date, cls, b0..bN}.
+ */
+Value drawTicketRequest(Rng& rng, const DatasetConfig& config);
+
+/** Stable low-cardinality bucket of a string (for derived fields). */
+std::int64_t bucketOf(const std::string& s, std::int64_t buckets);
+
+} // namespace specfaas
+
+#endif // SPECFAAS_WORKLOADS_DATASETS_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The FaaSChain suite: six explicit-workflow applications rebuilt
+ * from the paper's Table I/II characterization (avg 7.8 functions,
+ * 2.5 cross-function branches, 2.7 data dependences, max DAG depth
+ * 10, ~160 ms warm execution). Three of the applications (Login,
+ * Banking, FlightBook) have no cross-function data dependences —
+ * pure branch chains — matching the Fig. 12 breakdown note; the
+ * other three (HotelBook, OnlPurch, SmartHome) mix sequences,
+ * branches and producer→consumer storage communication.
+ */
+
+#ifndef SPECFAAS_WORKLOADS_FAASCHAIN_HH
+#define SPECFAAS_WORKLOADS_FAASCHAIN_HH
+
+#include <vector>
+
+#include "workflow/workflow.hh"
+#include "workloads/datasets.hh"
+
+namespace specfaas {
+
+/** @{ Individual FaaSChain applications. */
+Application makeLoginApp(const DatasetConfig& config);
+Application makeBankingApp(const DatasetConfig& config);
+Application makeFlightBookApp(const DatasetConfig& config);
+Application makeHotelBookApp(const DatasetConfig& config);
+Application makeOnlPurchApp(const DatasetConfig& config);
+Application makeSmartHomeApp(const DatasetConfig& config);
+/** @} */
+
+/** All six applications, in Table II order. */
+std::vector<Application> faasChainSuite(const DatasetConfig& config);
+
+} // namespace specfaas
+
+#endif // SPECFAAS_WORKLOADS_FAASCHAIN_HH

@@ -1,0 +1,20 @@
+#include "suites.hh"
+
+namespace specfaas {
+
+SuiteOptions::SuiteOptions() : trainTicket(trainTicketDataset()) {}
+
+std::unique_ptr<ApplicationRegistry>
+makeAllSuites(const SuiteOptions& options)
+{
+    auto registry = std::make_unique<ApplicationRegistry>();
+    for (auto& app : faasChainSuite(options.faasChain))
+        registry->add(std::move(app));
+    for (auto& app : trainTicketSuite(options.trainTicket))
+        registry->add(std::move(app));
+    for (auto& app : alibabaSuite(options.alibaba))
+        registry->add(std::move(app));
+    return registry;
+}
+
+} // namespace specfaas

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Convenience assembly of the three application suites (§VII).
+ */
+
+#ifndef SPECFAAS_WORKLOADS_SUITES_HH
+#define SPECFAAS_WORKLOADS_SUITES_HH
+
+#include <memory>
+
+#include "workflow/registry.hh"
+#include "workloads/alibaba.hh"
+#include "workloads/datasets.hh"
+#include "workloads/faaschain.hh"
+#include "workloads/trainticket.hh"
+
+namespace specfaas {
+
+/** Options selecting and parameterizing the suites. */
+struct SuiteOptions
+{
+    /** FaaSChain dataset (branchBias drives the Fig. 14 sweep). */
+    DatasetConfig faasChain{/*users=*/64, /*items=*/300,
+                            /*zipfS=*/1.4, /*branchBias=*/0.90,
+                            /*branchFields=*/4};
+    /** TrainTicket dataset. */
+    DatasetConfig trainTicket;
+    /** Alibaba trace generator parameters. */
+    AlibabaTraceConfig alibaba;
+
+    SuiteOptions();
+};
+
+/** Build a registry holding all sixteen applications. */
+std::unique_ptr<ApplicationRegistry>
+makeAllSuites(const SuiteOptions& options = SuiteOptions());
+
+} // namespace specfaas
+
+#endif // SPECFAAS_WORKLOADS_SUITES_HH

@@ -1,0 +1,253 @@
+/** @file End-to-end tests of the conventional (baseline) engine. */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "workloads/app_helpers.hh"
+#include "workloads/suites.hh"
+
+namespace specfaas {
+namespace {
+
+/** Tiny explicit app: seq(double, when(positive, yes, no)). */
+Application
+tinyExplicit()
+{
+    Application app;
+    app.name = "tiny";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+
+    FunctionDef dbl = worker("Tdouble", 2.0, [](const Env& e) {
+        return Value(e.input.at("x").asInt() * 2);
+    });
+    app.functions.push_back(std::move(dbl));
+
+    FunctionDef positive = worker("Tpositive", 1.0, [](const Env& e) {
+        return Value(e.input.asInt() > 0);
+    });
+    app.functions.push_back(std::move(positive));
+
+    app.functions.push_back(worker("Tyes", 1.0, [](const Env& e) {
+        Value out = Value::object({});
+        out["sign"] = Value("pos");
+        out["v"] = e.input;
+        return out;
+    }));
+    app.functions.push_back(worker("Tno", 1.0, [](const Env& e) {
+        Value out = Value::object({});
+        out["sign"] = Value("neg");
+        out["v"] = e.input;
+        return out;
+    }));
+
+    app.workflow = sequence(
+        {task("Tdouble"), when("Tpositive", task("Tyes"), task("Tno"))});
+    app.inputGen = [](Rng& rng) {
+        Value v = Value::object({});
+        v["x"] = Value(rng.uniformInt(std::int64_t{-5}, std::int64_t{5}));
+        return v;
+    };
+    return app;
+}
+
+/** Tiny implicit app: root calls a square service. */
+Application
+tinyImplicit()
+{
+    Application app;
+    app.name = "tiny-implicit";
+    app.suite = "test";
+    app.type = WorkflowType::Implicit;
+    app.rootFunction = "Troot";
+
+    FunctionDef root;
+    root.name = "Troot";
+    root.body.push_back(Op::compute(msToTicks(1.0)));
+    root.body.push_back(Op::call(
+        "Tsquare", [](const Env& e) { return e.input.at("x"); }, "sq"));
+    root.output = [](const Env& e) {
+        Value out = Value::object({});
+        out["sq"] = e.var("sq");
+        return out;
+    };
+    app.functions.push_back(std::move(root));
+
+    app.functions.push_back(worker("Tsquare", 1.0, [](const Env& e) {
+        return Value(e.input.asInt() * e.input.asInt());
+    }));
+
+    app.inputGen = [](Rng& rng) {
+        Value v = Value::object({});
+        v["x"] = Value(rng.uniformInt(std::int64_t{0}, std::int64_t{9}));
+        return v;
+    };
+    return app;
+}
+
+TEST(Baseline, SequencePropagatesOutputs)
+{
+    FaasPlatform platform;
+    Application app = tinyExplicit();
+    platform.deploy(app);
+    Value input = Value::object({{"x", Value(3)}});
+    auto r = platform.invokeSync(app, input);
+    EXPECT_EQ(r.response.at("sign").asString(), "pos");
+    EXPECT_EQ(r.response.at("v").asInt(), 6);
+    EXPECT_EQ(r.functionsExecuted, 3u);
+    EXPECT_EQ(r.executedSequence,
+              (std::vector<std::string>{"Tdouble", "Tpositive", "Tyes"}));
+}
+
+TEST(Baseline, BranchFalseArmTaken)
+{
+    FaasPlatform platform;
+    Application app = tinyExplicit();
+    platform.deploy(app);
+    auto r = platform.invokeSync(app,
+                                 Value::object({{"x", Value(-2)}}));
+    EXPECT_EQ(r.response.at("sign").asString(), "neg");
+    EXPECT_EQ(r.response.at("v").asInt(), -4);
+}
+
+TEST(Baseline, BranchTargetInheritsBranchInput)
+{
+    // Tyes receives the *branch's input* (Tdouble's output), not the
+    // boolean the condition function returned (§II-A).
+    FaasPlatform platform;
+    Application app = tinyExplicit();
+    platform.deploy(app);
+    auto r = platform.invokeSync(app, Value::object({{"x", Value(4)}}));
+    EXPECT_EQ(r.response.at("v").asInt(), 8);
+}
+
+TEST(Baseline, ImplicitCallBlocksAndReturns)
+{
+    FaasPlatform platform;
+    Application app = tinyImplicit();
+    platform.deploy(app);
+    auto r = platform.invokeSync(app, Value::object({{"x", Value(7)}}));
+    EXPECT_EQ(r.response.at("sq").asInt(), 49);
+    EXPECT_EQ(r.functionsExecuted, 2u);
+    // Program-order sequence: caller first, callee after.
+    EXPECT_EQ(r.executedSequence,
+              (std::vector<std::string>{"Troot", "Tsquare"}));
+}
+
+TEST(Baseline, TimingIncludesPlatformAndTransferOverheads)
+{
+    FaasPlatform platform;
+    Application app = tinyExplicit();
+    platform.deploy(app);
+    auto r = platform.invokeSync(app, Value::object({{"x", Value(1)}}));
+    const auto& cfg = platform.cluster().config();
+    // Three launches worth of platform overhead.
+    EXPECT_EQ(r.platformOverhead, 3 * cfg.platformOverhead);
+    // Three conductor steps: double→when, when→arm, and the final
+    // completion notification back through the controller.
+    EXPECT_EQ(r.transferOverhead, 3 * cfg.conductorOverhead);
+    EXPECT_GT(r.execution, 0);
+    EXPECT_EQ(r.containerCreation, 0); // prewarmed
+    EXPECT_GT(r.responseTime(),
+              r.platformOverhead + r.transferOverhead);
+}
+
+TEST(Baseline, ColdStartChargesContainerCreation)
+{
+    PlatformOptions options;
+    options.prewarmPerFunction = 0;
+    FaasPlatform platform(options);
+    Application app = tinyExplicit();
+    platform.deploy(app);
+    auto r = platform.invokeSync(app, Value::object({{"x", Value(1)}}));
+    const auto& cfg = platform.cluster().config();
+    EXPECT_EQ(r.containerCreation, 3 * cfg.containerCreation);
+    EXPECT_EQ(r.runtimeSetup, 3 * cfg.runtimeSetup);
+}
+
+TEST(Baseline, ParallelArmsJoinInOrder)
+{
+    Application app;
+    app.name = "par";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+    app.functions.push_back(worker("Pslow", 20.0, [](const Env&) {
+        return Value("slow");
+    }));
+    app.functions.push_back(worker("Pfast", 1.0, [](const Env&) {
+        return Value("fast");
+    }));
+    app.functions.push_back(worker("Pjoin", 1.0, fns::passInput()));
+    app.workflow = sequence(
+        {parallel({task("Pslow"), task("Pfast")}), task("Pjoin")});
+
+    FaasPlatform platform;
+    platform.deploy(app);
+    auto r = platform.invokeSync(app, Value());
+    // Join output ordered by arm index, not completion time.
+    ASSERT_TRUE(r.response.isArray());
+    EXPECT_EQ(r.response.asArray()[0].asString(), "slow");
+    EXPECT_EQ(r.response.asArray()[1].asString(), "fast");
+}
+
+TEST(Baseline, ParallelArmsOverlapInTime)
+{
+    Application app;
+    app.name = "par2";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+    for (const char* name : {"Qa", "Qb"}) {
+        FunctionDef f = worker(name, 50.0, fns::passInput());
+        f.computeCv = 0.0;
+        app.functions.push_back(std::move(f));
+    }
+    app.workflow = parallel({task("Qa"), task("Qb")});
+
+    FaasPlatform platform;
+    platform.deploy(app);
+    auto r = platform.invokeSync(app, Value());
+    // Two 50 ms functions in parallel: well under 100 ms + overheads.
+    EXPECT_LT(ticksToMs(r.responseTime()), 80.0);
+}
+
+TEST(Baseline, ConcurrentInvocationsDoNotInterfere)
+{
+    FaasPlatform platform;
+    Application app = tinyExplicit();
+    platform.deploy(app);
+    std::vector<InvocationResult> results;
+    for (int i = 0; i < 10; ++i) {
+        Value input = Value::object({{"x", Value(i - 5)}});
+        platform.invoke(app, input, [&](InvocationResult r) {
+            results.push_back(std::move(r));
+        });
+    }
+    platform.sim().events().run();
+    ASSERT_EQ(results.size(), 10u);
+    for (const auto& r : results) {
+        EXPECT_TRUE(r.response.isObject());
+        EXPECT_EQ(r.functionsExecuted, 3u);
+    }
+}
+
+TEST(Baseline, RejectsWhenControllerBackedUp)
+{
+    PlatformOptions options;
+    options.cluster.admissionQueueLimit = 0;
+    FaasPlatform platform(options);
+    Application app = tinyExplicit();
+    platform.deploy(app);
+    // Fill the controller queue.
+    for (std::uint32_t i = 0;
+         i < platform.cluster().config().controllerThreads + 2; ++i) {
+        platform.cluster().controller().submit(msToTicks(50.0), []() {});
+    }
+    bool rejected = false;
+    platform.invoke(app, Value::object({{"x", Value(1)}}),
+                    [&](InvocationResult r) { rejected = r.rejected; });
+    platform.sim().events().run();
+    EXPECT_TRUE(rejected);
+}
+
+} // namespace
+} // namespace specfaas

@@ -1,0 +1,137 @@
+/** @file Unit tests for the path-indexed branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "specfaas/branch_predictor.hh"
+
+namespace specfaas {
+namespace {
+
+TEST(BranchPredictor, NoPredictionWithoutHistory)
+{
+    BranchPredictor bp;
+    EXPECT_FALSE(bp.predict("b", pathhash::kEmpty).has_value());
+}
+
+TEST(BranchPredictor, LearnsDominantOutcome)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 9; ++i)
+        bp.update("b", pathhash::kEmpty, 0);
+    bp.update("b", pathhash::kEmpty, 1);
+    auto p = bp.predict("b", pathhash::kEmpty);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->target, 0u);
+    EXPECT_NEAR(p->probability, 0.9, 1e-9);
+}
+
+TEST(BranchPredictor, DeadBandSuppressesWeakPredictions)
+{
+    BranchPredictor bp(/*dead_band=*/0.10);
+    // 55/45: inside the band (needs > 0.60).
+    for (int i = 0; i < 55; ++i)
+        bp.update("b", pathhash::kEmpty, 0);
+    for (int i = 0; i < 45; ++i)
+        bp.update("b", pathhash::kEmpty, 1);
+    EXPECT_FALSE(bp.predict("b", pathhash::kEmpty).has_value());
+    // 70/30: outside the band.
+    BranchPredictor bp2(0.10);
+    for (int i = 0; i < 70; ++i)
+        bp2.update("c", pathhash::kEmpty, 0);
+    for (int i = 0; i < 30; ++i)
+        bp2.update("c", pathhash::kEmpty, 1);
+    EXPECT_TRUE(bp2.predict("c", pathhash::kEmpty).has_value());
+}
+
+TEST(BranchPredictor, ZeroDeadBandPredictsAnyMajority)
+{
+    BranchPredictor bp(0.0);
+    bp.update("b", pathhash::kEmpty, 1);
+    auto p = bp.predict("b", pathhash::kEmpty);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->target, 1u);
+}
+
+TEST(BranchPredictor, PathSpecificHistoryWins)
+{
+    BranchPredictor bp(0.0);
+    const std::uint64_t path1 =
+        pathhash::extend(pathhash::kEmpty, "f1");
+    const std::uint64_t path2 =
+        pathhash::extend(pathhash::kEmpty, "f2");
+    // Taken when reached via f1, not-taken via f2 (§V-A example).
+    for (int i = 0; i < 10; ++i) {
+        bp.update("b", path1, 0);
+        bp.update("b", path2, 1);
+    }
+    EXPECT_EQ(bp.predict("b", path1)->target, 0u);
+    EXPECT_EQ(bp.predict("b", path2)->target, 1u);
+}
+
+TEST(BranchPredictor, AggregateFallbackForUnseenPath)
+{
+    BranchPredictor bp(0.0);
+    const std::uint64_t seen = pathhash::extend(pathhash::kEmpty, "f1");
+    for (int i = 0; i < 10; ++i)
+        bp.update("b", seen, 1);
+    const std::uint64_t unseen =
+        pathhash::extend(pathhash::kEmpty, "other");
+    auto p = bp.predict("b", unseen);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->target, 1u);
+}
+
+TEST(BranchPredictor, MinSamplesGate)
+{
+    BranchPredictor bp(0.0, /*min_samples=*/5);
+    for (int i = 0; i < 4; ++i)
+        bp.update("b", pathhash::kEmpty, 0);
+    EXPECT_FALSE(bp.predict("b", pathhash::kEmpty).has_value());
+    bp.update("b", pathhash::kEmpty, 0);
+    EXPECT_TRUE(bp.predict("b", pathhash::kEmpty).has_value());
+}
+
+TEST(BranchPredictor, MultiWayTargets)
+{
+    BranchPredictor bp(0.0);
+    for (int i = 0; i < 8; ++i)
+        bp.update("b", pathhash::kEmpty, 3);
+    bp.update("b", pathhash::kEmpty, 1);
+    auto p = bp.predict("b", pathhash::kEmpty);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->target, 3u);
+}
+
+TEST(BranchPredictor, HitRateAccounting)
+{
+    BranchPredictor bp;
+    EXPECT_DOUBLE_EQ(bp.hitRate(), 1.0); // vacuous
+    bp.notePrediction(true);
+    bp.notePrediction(true);
+    bp.notePrediction(false);
+    EXPECT_EQ(bp.predictions(), 3u);
+    EXPECT_EQ(bp.hits(), 2u);
+    EXPECT_NEAR(bp.hitRate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(BranchPredictor, ClearForgets)
+{
+    BranchPredictor bp(0.0);
+    bp.update("b", pathhash::kEmpty, 0);
+    bp.clear();
+    EXPECT_FALSE(bp.predict("b", pathhash::kEmpty).has_value());
+    EXPECT_EQ(bp.entryCount(), 0u);
+}
+
+TEST(PathHash, ExtendIsOrderSensitive)
+{
+    const auto ab = pathhash::extend(
+        pathhash::extend(pathhash::kEmpty, "a"), "b");
+    const auto ba = pathhash::extend(
+        pathhash::extend(pathhash::kEmpty, "b"), "a");
+    EXPECT_NE(ab, ba);
+    EXPECT_NE(ab, pathhash::kEmpty);
+}
+
+} // namespace
+} // namespace specfaas

@@ -1,0 +1,248 @@
+/** @file Unit and property tests for the Data Buffer (§V-C, §V-D). */
+
+#include <gtest/gtest.h>
+
+#include "specfaas/data_buffer.hh"
+
+namespace specfaas {
+namespace {
+
+class DataBufferTest : public ::testing::Test
+{
+  protected:
+    DataBufferTest() : buffer(store) {}
+
+    void
+    openColumns(std::initializer_list<InstanceId> owners)
+    {
+        std::int32_t pos = 0;
+        for (InstanceId id : owners)
+            buffer.addColumn(id, OrderKey{pos++});
+    }
+
+    KvStore store;
+    DataBuffer buffer;
+};
+
+TEST_F(DataBufferTest, ReadMissesEmptyBuffer)
+{
+    openColumns({1});
+    auto r = buffer.read(1, "rec");
+    EXPECT_FALSE(r.forwarded);
+    EXPECT_FALSE(r.value.has_value());
+}
+
+TEST_F(DataBufferTest, InOrderRawForwardsValue)
+{
+    openColumns({1, 2});
+    buffer.write(1, "rec", Value(42));
+    auto r = buffer.read(2, "rec");
+    ASSERT_TRUE(r.forwarded);
+    EXPECT_EQ(r.value->asInt(), 42);
+    EXPECT_EQ(buffer.forwards(), 1u);
+}
+
+TEST_F(DataBufferTest, ReadPrefersYoungestPredecessor)
+{
+    openColumns({1, 2, 3});
+    buffer.write(1, "rec", Value(1));
+    buffer.write(2, "rec", Value(2));
+    auto r = buffer.read(3, "rec");
+    ASSERT_TRUE(r.forwarded);
+    EXPECT_EQ(r.value->asInt(), 2);
+}
+
+TEST_F(DataBufferTest, SuccessorWriteInvisibleToPredecessorRead)
+{
+    openColumns({1, 2});
+    buffer.write(2, "rec", Value(7)); // out-of-order WAR setup
+    auto r = buffer.read(1, "rec");
+    EXPECT_FALSE(r.forwarded); // predecessor must not see it
+}
+
+TEST_F(DataBufferTest, OutOfOrderRawSquashesReader)
+{
+    openColumns({1, 2});
+    (void)buffer.read(2, "rec"); // premature read by successor
+    auto violators = buffer.write(1, "rec", Value(1));
+    ASSERT_EQ(violators.size(), 1u);
+    EXPECT_EQ(violators[0], 2u);
+    EXPECT_EQ(buffer.violations(), 1u);
+}
+
+TEST_F(DataBufferTest, WriteScanStopsAtRedefinition)
+{
+    openColumns({1, 2, 3});
+    // Function 2 redefines the record; function 3 reads 2's value.
+    buffer.write(2, "rec", Value(2));
+    (void)buffer.read(3, "rec");
+    // Function 1's late write must not squash 3 (its read got 2's
+    // value, which is still correct) — the scan stops at 2's W bit.
+    auto violators = buffer.write(1, "rec", Value(1));
+    EXPECT_TRUE(violators.empty());
+}
+
+TEST_F(DataBufferTest, WriterReadingItsOwnWrite)
+{
+    openColumns({1});
+    buffer.write(1, "rec", Value(9));
+    auto r = buffer.read(1, "rec");
+    ASSERT_TRUE(r.forwarded);
+    EXPECT_EQ(r.value->asInt(), 9);
+}
+
+TEST_F(DataBufferTest, ReaderWithWBitBeforeReadIsNotViolated)
+{
+    openColumns({1, 2});
+    // Function 2 writes first (redefinition), then reads its own
+    // value: a later predecessor write is WAW + the read is not
+    // exposed — no squash.
+    buffer.write(2, "rec", Value(5));
+    (void)buffer.read(2, "rec");
+    auto violators = buffer.write(1, "rec", Value(1));
+    EXPECT_TRUE(violators.empty());
+}
+
+TEST_F(DataBufferTest, WawResolvesByProgramOrderAtCommit)
+{
+    openColumns({1, 2});
+    buffer.write(2, "rec", Value(2)); // younger write issued first
+    buffer.write(1, "rec", Value(1));
+    buffer.commitColumn(1);
+    EXPECT_EQ(store.peek("rec")->asInt(), 1);
+    buffer.commitColumn(2);
+    EXPECT_EQ(store.peek("rec")->asInt(), 2); // program order wins
+}
+
+TEST_F(DataBufferTest, CommitFlushesOnlyWrites)
+{
+    openColumns({1});
+    (void)buffer.read(1, "read-only");
+    buffer.write(1, "written", Value(1));
+    buffer.commitColumn(1);
+    EXPECT_FALSE(store.peek("read-only").has_value());
+    EXPECT_TRUE(store.peek("written").has_value());
+    EXPECT_EQ(buffer.columnCount(), 0u);
+    EXPECT_EQ(buffer.rowCount(), 0u);
+}
+
+TEST_F(DataBufferTest, InvalidateDiscardsWrites)
+{
+    openColumns({1, 2});
+    buffer.write(2, "rec", Value(2));
+    buffer.invalidateColumn(2);
+    EXPECT_EQ(buffer.columnCount(), 1u);
+    auto r = buffer.read(1, "rec");
+    EXPECT_FALSE(r.forwarded);
+    buffer.commitColumn(1);
+    EXPECT_FALSE(store.peek("rec").has_value());
+}
+
+TEST_F(DataBufferTest, MergeMovesWritesToCaller)
+{
+    // Caller 1, callee 2 (ordered after the caller, §V-D).
+    buffer.addColumn(1, OrderKey{0});
+    buffer.addColumn(2, OrderKey{0, 0});
+    buffer.write(2, "rec", Value(7));
+    buffer.mergeColumn(2, 1);
+    EXPECT_EQ(buffer.columnCount(), 1u);
+    EXPECT_TRUE(buffer.hasWrite(1, "rec"));
+    buffer.commitColumn(1);
+    EXPECT_EQ(store.peek("rec")->asInt(), 7);
+}
+
+TEST_F(DataBufferTest, MergePropagatesReadBits)
+{
+    buffer.addColumn(1, OrderKey{1});
+    buffer.addColumn(2, OrderKey{1, 0});
+    buffer.addColumn(9, OrderKey{0}); // predecessor of the caller
+    (void)buffer.read(2, "rec");      // callee reads prematurely
+    buffer.mergeColumn(2, 1);
+    // The predecessor's late write must now squash the caller, which
+    // absorbed the callee's exposure.
+    auto violators = buffer.write(9, "rec", Value(1));
+    ASSERT_EQ(violators.size(), 1u);
+    EXPECT_EQ(violators[0], 1u);
+}
+
+TEST_F(DataBufferTest, MergedWriteForwardsToLaterReaders)
+{
+    buffer.addColumn(1, OrderKey{0});
+    buffer.addColumn(2, OrderKey{0, 0});
+    buffer.addColumn(3, OrderKey{1});
+    buffer.write(2, "rec", Value(3));
+    buffer.mergeColumn(2, 1);
+    auto r = buffer.read(3, "rec");
+    ASSERT_TRUE(r.forwarded);
+    EXPECT_EQ(r.value->asInt(), 3);
+}
+
+TEST_F(DataBufferTest, ForwardProvenanceTracksReaders)
+{
+    openColumns({1, 2});
+    buffer.write(1, "rec", Value(1));
+    (void)buffer.read(2, "rec");
+    auto readers = buffer.readersForwardedFrom(1);
+    ASSERT_EQ(readers.size(), 1u);
+    EXPECT_EQ(readers[0], 2u);
+    // Commit makes the data architectural: no longer speculative.
+    buffer.commitColumn(1);
+    EXPECT_TRUE(buffer.readersForwardedFrom(1).empty());
+}
+
+TEST_F(DataBufferTest, ProvenanceRemapsOnMerge)
+{
+    buffer.addColumn(1, OrderKey{0});
+    buffer.addColumn(2, OrderKey{0, 0});
+    buffer.addColumn(3, OrderKey{1});
+    buffer.write(2, "rec", Value(1));
+    (void)buffer.read(3, "rec"); // 3 forwarded from callee 2
+    buffer.mergeColumn(2, 1);
+    auto readers = buffer.readersForwardedFrom(1);
+    ASSERT_EQ(readers.size(), 1u);
+    EXPECT_EQ(readers[0], 3u);
+}
+
+TEST_F(DataBufferTest, FootprintReflectsContents)
+{
+    openColumns({1, 2});
+    EXPECT_EQ(buffer.footprintBytes(), 0u);
+    buffer.write(1, "record-key", Value("some payload"));
+    EXPECT_GT(buffer.footprintBytes(), 10u);
+}
+
+/**
+ * Property: for any interleaving of single-writer/single-reader
+ * accesses where the reader reads after the writer's write was
+ * buffered, the forwarded value equals the writer's value; when the
+ * reader read first, the writer's write reports the violation.
+ */
+class RawOrderProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RawOrderProperty, DetectsExactlyOutOfOrderRaw)
+{
+    KvStore store;
+    DataBuffer buffer(store);
+    buffer.addColumn(1, OrderKey{0});
+    buffer.addColumn(2, OrderKey{1});
+    const bool read_first = GetParam() % 2 == 0;
+    const std::string key = "k" + std::to_string(GetParam());
+    if (read_first) {
+        (void)buffer.read(2, key);
+        auto violators = buffer.write(1, key, Value(GetParam()));
+        ASSERT_EQ(violators.size(), 1u);
+    } else {
+        buffer.write(1, key, Value(GetParam()));
+        auto r = buffer.read(2, key);
+        ASSERT_TRUE(r.forwarded);
+        EXPECT_EQ(r.value->asInt(), GetParam());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RawOrderProperty,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace specfaas

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * End-to-end correctness oracle: for every application and a range of
+ * seeds, a SpecFaaS run must produce exactly the same client response
+ * and leave the global store in exactly the same final state as a
+ * baseline run fed the same request sequence — speculation must be
+ * invisible except in timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "workloads/suites.hh"
+
+namespace specfaas {
+namespace {
+
+struct RunOutcome
+{
+    std::vector<Value> responses;
+    std::vector<std::vector<std::string>> sequences;
+    std::uint64_t storeFingerprint = 0;
+    double totalResponseMs = 0.0;
+};
+
+RunOutcome
+runSerial(const Application& app, bool speculative, std::uint64_t seed,
+          std::size_t requests)
+{
+    PlatformOptions options;
+    options.speculative = speculative;
+    options.seed = seed;
+    FaasPlatform platform(options);
+    platform.deploy(app);
+
+    RunOutcome out;
+    for (std::size_t i = 0; i < requests; ++i) {
+        Value input = app.inputGen ? app.inputGen(platform.inputRng())
+                                   : Value();
+        InvocationResult r = platform.invokeSync(app, std::move(input));
+        out.responses.push_back(r.response);
+        out.sequences.push_back(r.executedSequence);
+        out.totalResponseMs += ticksToMs(r.responseTime());
+    }
+    out.storeFingerprint = platform.store().fingerprint();
+    return out;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EquivalenceTest, SpecMatchesBaseline)
+{
+    auto registry = makeAllSuites();
+    const Application& app = registry->get(GetParam());
+
+    for (std::uint64_t seed : {1ull, 7ull, 99ull}) {
+        RunOutcome base = runSerial(app, false, seed, 25);
+        RunOutcome spec = runSerial(app, true, seed, 25);
+
+        ASSERT_EQ(base.responses.size(), spec.responses.size());
+        for (std::size_t i = 0; i < base.responses.size(); ++i) {
+            EXPECT_EQ(base.responses[i], spec.responses[i])
+                << app.name << " request " << i << " seed " << seed
+                << "\n base: " << base.responses[i].toString()
+                << "\n spec: " << spec.responses[i].toString();
+        }
+        EXPECT_EQ(base.storeFingerprint, spec.storeFingerprint)
+            << app.name << " final store state diverged, seed " << seed;
+        for (std::size_t i = 0; i < base.sequences.size(); ++i) {
+            EXPECT_EQ(base.sequences[i], spec.sequences[i])
+                << app.name << " executed sequence diverged at request "
+                << i;
+        }
+    }
+}
+
+std::vector<std::string>
+allAppNames()
+{
+    auto registry = makeAllSuites();
+    std::vector<std::string> names;
+    for (const Application* app : registry->all())
+        names.push_back(app->name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, EquivalenceTest,
+                         ::testing::ValuesIn(allAppNames()));
+
+/**
+ * Property: correctness must hold under EVERY speculation
+ * configuration — squash policies, feature toggles, tiny windows —
+ * not just the default one.
+ */
+struct ConfigCase
+{
+    const char* name;
+    SpecConfig config;
+};
+
+std::vector<ConfigCase>
+configMatrix()
+{
+    std::vector<ConfigCase> cases;
+    {
+        SpecConfig c;
+        cases.push_back({"default", c});
+    }
+    {
+        SpecConfig c;
+        c.squashPolicy = SquashPolicy::Lazy;
+        cases.push_back({"lazy-squash", c});
+    }
+    {
+        SpecConfig c;
+        c.squashPolicy = SquashPolicy::ContainerKill;
+        cases.push_back({"container-kill", c});
+    }
+    {
+        SpecConfig c;
+        c.memoization = false;
+        cases.push_back({"no-memo", c});
+    }
+    {
+        SpecConfig c;
+        c.branchPrediction = false;
+        cases.push_back({"no-bp", c});
+    }
+    {
+        SpecConfig c;
+        c.speculation = false;
+        cases.push_back({"no-spec", c});
+    }
+    {
+        SpecConfig c;
+        c.maxSpecDepth = 2;
+        cases.push_back({"depth-2", c});
+    }
+    {
+        SpecConfig c;
+        c.memoCapacity = 2;
+        cases.push_back({"memo-cap-2", c});
+    }
+    {
+        SpecConfig c;
+        c.bpDeadBand = 0.0;
+        c.stallThreshold = 1;
+        cases.push_back({"aggressive", c});
+    }
+    return cases;
+}
+
+RunOutcome
+runSerialWithConfig(const Application& app, const SpecConfig& config,
+                    std::uint64_t seed, std::size_t requests)
+{
+    PlatformOptions options;
+    options.speculative = true;
+    options.spec = config;
+    options.seed = seed;
+    FaasPlatform platform(options);
+    platform.deploy(app);
+    RunOutcome out;
+    for (std::size_t i = 0; i < requests; ++i) {
+        Value input = app.inputGen ? app.inputGen(platform.inputRng())
+                                   : Value();
+        InvocationResult r = platform.invokeSync(app, std::move(input));
+        out.responses.push_back(r.response);
+        out.sequences.push_back(r.executedSequence);
+    }
+    out.storeFingerprint = platform.store().fingerprint();
+    return out;
+}
+
+class ConfigEquivalenceTest
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ConfigEquivalenceTest, EveryConfigMatchesBaseline)
+{
+    const ConfigCase cc = configMatrix()[GetParam()];
+    auto registry = makeAllSuites();
+    // One representative app per workflow type + a storage-heavy one.
+    for (const char* name : {"SmartHome", "OnlPurch", "TcktApp"}) {
+        const Application& app = registry->get(name);
+        RunOutcome base = runSerial(app, false, 21, 20);
+        RunOutcome spec = runSerialWithConfig(app, cc.config, 21, 20);
+        ASSERT_EQ(base.responses.size(), spec.responses.size());
+        for (std::size_t i = 0; i < base.responses.size(); ++i) {
+            EXPECT_EQ(base.responses[i], spec.responses[i])
+                << cc.name << " " << name << " request " << i;
+        }
+        EXPECT_EQ(base.storeFingerprint, spec.storeFingerprint)
+            << cc.name << " " << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ConfigEquivalenceTest,
+                         ::testing::Range<std::size_t>(0, 9));
+
+TEST(SpeedupSmoke, SpecIsFasterSerially)
+{
+    auto registry = makeAllSuites();
+    double base_total = 0.0;
+    double spec_total = 0.0;
+    for (const Application* app : registry->all()) {
+        RunOutcome base = runSerial(*app, false, 5, 30);
+        RunOutcome spec = runSerial(*app, true, 5, 30);
+        base_total += base.totalResponseMs;
+        spec_total += spec.totalResponseMs;
+    }
+    // Across all sixteen warmed-up applications, speculation must be
+    // a substantial net win (the paper reports ~4.6x; we only gate a
+    // loose lower bound here — the bench reproduces the exact figure).
+    EXPECT_GT(base_total / spec_total, 2.0)
+        << "aggregate speedup too low: base " << base_total << "ms spec "
+        << spec_total << "ms";
+}
+
+} // namespace
+} // namespace specfaas

@@ -1,0 +1,139 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/simulation.hh"
+
+namespace specfaas {
+namespace {
+
+TEST(EventQueue, RunsInTimestampOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, FifoForEqualTimestamps)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i]() { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowAdvancesOnlyWhenEventsFire)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0);
+    q.schedule(100, []() {});
+    EXPECT_EQ(q.now(), 0);
+    q.runOne();
+    EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(10, [&]() { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotent)
+{
+    EventQueue q;
+    const EventId id = q.schedule(10, []() {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(0));
+    EXPECT_FALSE(q.cancel(9999));
+}
+
+TEST(EventQueue, CancelledEventsDontBlockEmpty)
+{
+    EventQueue q;
+    const EventId id = q.schedule(10, []() {});
+    EXPECT_FALSE(q.empty());
+    q.cancel(id);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        if (++count < 5)
+            q.schedule(10, chain);
+    };
+    q.schedule(10, chain);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 50);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    for (Tick t : {10, 20, 30, 40})
+        q.schedule(t, [&fired, &q]() { fired.push_back(q.now()); });
+    q.runUntil(25);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20}));
+    EXPECT_EQ(q.now(), 25);
+    q.run();
+    EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents)
+{
+    EventQueue q;
+    q.runUntil(500);
+    EXPECT_EQ(q.now(), 500);
+}
+
+TEST(EventQueue, PendingCountExcludesCancelled)
+{
+    EventQueue q;
+    const EventId a = q.schedule(1, []() {});
+    q.schedule(2, []() {});
+    EXPECT_EQ(q.pendingCount(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.pendingCount(), 1u);
+}
+
+TEST(EventQueue, ExecutedCount)
+{
+    EventQueue q;
+    q.schedule(1, []() {});
+    q.schedule(2, []() {});
+    q.run();
+    EXPECT_EQ(q.executedCount(), 2u);
+}
+
+TEST(Simulation, ForkedRngsDifferButAreReproducible)
+{
+    Simulation a(99);
+    Simulation b(99);
+    Rng ra = a.forkRng();
+    Rng rb = b.forkRng();
+    EXPECT_EQ(ra.next(), rb.next());
+    Rng ra2 = a.forkRng();
+    EXPECT_NE(ra.next(), ra2.next());
+    EXPECT_EQ(a.seed(), 99u);
+}
+
+} // namespace
+} // namespace specfaas

@@ -1,0 +1,207 @@
+/** @file Loop directives (§II-A while / do_while) on both engines. */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "workflow/flow_program.hh"
+#include "workloads/app_helpers.hh"
+
+namespace specfaas {
+namespace {
+
+/**
+ * Loop app: seq(Init, while(NotDone, Step), Final).
+ * Init emits {n: 0, lim}; Step increments n; NotDone tests n < lim.
+ */
+Application
+loopApp(bool do_while = false)
+{
+    Application app;
+    app.name = "loop";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+
+    app.functions.push_back(worker("LpInit", 3.0, [](const Env& e) {
+        Value out = Value::object({});
+        out["n"] = Value(0);
+        out["lim"] = e.input.at("lim");
+        return out;
+    }));
+    app.functions.push_back(worker("LpCond", 2.0, [](const Env& e) {
+        return Value(e.input.at("n").asInt() <
+                     e.input.at("lim").asInt());
+    }));
+    app.functions.push_back(worker("LpStep", 4.0, [](const Env& e) {
+        Value out = Value::object({});
+        out["n"] = Value(e.input.at("n").asInt() + 1);
+        out["lim"] = e.input.at("lim");
+        return out;
+    }));
+    app.functions.push_back(worker("LpFinal", 3.0, [](const Env& e) {
+        Value out = Value::object({});
+        out["iterations"] = e.input.at("n");
+        return out;
+    }));
+
+    WorkflowNode loop =
+        do_while ? doWhileLoop("LpCond", task("LpStep"))
+                 : whileLoop("LpCond", task("LpStep"));
+    app.workflow =
+        sequence({task("LpInit"), std::move(loop), task("LpFinal")});
+    app.inputGen = [](Rng& rng) {
+        Value v = Value::object({});
+        v["lim"] = Value(rng.uniformInt(std::int64_t{0}, std::int64_t{5}));
+        return v;
+    };
+    return app;
+}
+
+TEST(Loops, CompilerBuildsBackEdge)
+{
+    auto program = compileWorkflow(
+        sequence({whileLoop("c", task("b")), task("after")}));
+    const FlowNode& branch = program.node(program.entry);
+    ASSERT_EQ(branch.kind, FlowNode::Kind::Branch);
+    const FlowNode& body = program.node(branch.targets[0]);
+    EXPECT_EQ(body.function, "b");
+    // The body loops back to the condition.
+    EXPECT_EQ(body.next, program.entry);
+    // Falsy exits to the continuation.
+    EXPECT_EQ(program.node(branch.targets[1]).function, "after");
+}
+
+TEST(Loops, DoWhileEntersBodyFirst)
+{
+    auto program = compileWorkflow(doWhileLoop("c", task("b")));
+    EXPECT_EQ(program.node(program.entry).function, "b");
+    const FlowIndex cond = program.node(program.entry).next;
+    EXPECT_EQ(program.node(cond).kind, FlowNode::Kind::Branch);
+}
+
+TEST(Loops, BaselineIteratesCorrectCount)
+{
+    Application app = loopApp();
+    FaasPlatform platform;
+    platform.deploy(app);
+    for (std::int64_t lim : {0, 1, 3}) {
+        auto r = platform.invokeSync(
+            app, Value::object({{"lim", Value(lim)}}));
+        EXPECT_EQ(r.response.at("iterations").asInt(), lim)
+            << "lim=" << lim;
+        // Init + (lim+1 cond evaluations) + lim steps + Final.
+        EXPECT_EQ(r.functionsExecuted,
+                  static_cast<std::uint32_t>(2 + (lim + 1) + lim));
+    }
+}
+
+TEST(Loops, DoWhileRunsBodyAtLeastOnce)
+{
+    Application app = loopApp(/*do_while=*/true);
+    FaasPlatform platform;
+    platform.deploy(app);
+    auto r =
+        platform.invokeSync(app, Value::object({{"lim", Value(0)}}));
+    EXPECT_EQ(r.response.at("iterations").asInt(), 1);
+}
+
+TEST(Loops, SpecMatchesBaselineAcrossSeeds)
+{
+    Application app = loopApp();
+    for (std::uint64_t seed : {3ull, 14ull, 29ull}) {
+        PlatformOptions base_options;
+        base_options.seed = seed;
+        FaasPlatform base(base_options);
+        base.deploy(app);
+
+        PlatformOptions spec_options;
+        spec_options.seed = seed;
+        spec_options.speculative = true;
+        spec_options.spec.bpDeadBand = 0.0;
+        FaasPlatform spec(spec_options);
+        spec.deploy(app);
+
+        for (int i = 0; i < 25; ++i) {
+            Value input = app.inputGen(base.inputRng());
+            (void)spec.inputRng().next(); // keep streams aligned
+            auto rb = base.invokeSync(app, input);
+            auto rs = spec.invokeSync(app, input);
+            ASSERT_EQ(rb.response.toString(), rs.response.toString())
+                << "seed " << seed << " request " << i;
+            ASSERT_EQ(rb.executedSequence, rs.executedSequence);
+        }
+    }
+}
+
+TEST(Loops, SpeculationLearnsLoopTrip)
+{
+    // With a dominant trip count, the predictor learns the loop
+    // pattern and overlaps iterations.
+    Application app = loopApp();
+    app.inputGen = [](Rng& rng) {
+        Value v = Value::object({});
+        v["lim"] = Value(rng.bernoulli(0.9) ? 3 : 1);
+        return v;
+    };
+    PlatformOptions options;
+    options.speculative = true;
+    options.seed = 4;
+    FaasPlatform platform(options);
+    platform.deploy(app);
+    platform.train(app, 30);
+    auto r =
+        platform.invokeSync(app, Value::object({{"lim", Value(3)}}));
+    EXPECT_EQ(r.response.at("iterations").asInt(), 3);
+    EXPECT_GT(r.speculativeLaunches, 0u);
+}
+
+TEST(Loops, LoopAroundParallelSection)
+{
+    // Stress the fork-reuse guard: the loop body is a parallel pair.
+    Application app;
+    app.name = "loop-par";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+    app.functions.push_back(worker("QInit", 2.0, [](const Env& e) {
+        Value out = Value::object({});
+        out["n"] = Value(0);
+        out["lim"] = e.input.at("lim");
+        return out;
+    }));
+    app.functions.push_back(worker("QCond", 2.0, [](const Env& e) {
+        return Value(e.input.at("n").asInt() <
+                     e.input.at("lim").asInt());
+    }));
+    app.functions.push_back(worker("QlA", 3.0, fns::passInput()));
+    app.functions.push_back(worker("QlB", 3.0, fns::passInput()));
+    app.functions.push_back(worker("QJoin", 2.0, [](const Env& e) {
+        // Input is the [armA, armB] array; advance the counter.
+        const Value& arm = e.input.asArray()[0];
+        Value out = Value::object({});
+        out["n"] = Value(arm.at("n").asInt() + 1);
+        out["lim"] = arm.at("lim");
+        return out;
+    }));
+    app.workflow = sequence(
+        {task("QInit"),
+         whileLoop("QCond",
+                   sequence({parallel({task("QlA"), task("QlB")}),
+                             task("QJoin")}))});
+    app.inputGen = [](Rng&) {
+        return Value::object({{"lim", Value(2)}});
+    };
+
+    for (bool speculative : {false, true}) {
+        PlatformOptions options;
+        options.speculative = speculative;
+        options.seed = 8;
+        FaasPlatform platform(options);
+        platform.deploy(app);
+        auto r = platform.invokeSync(
+            app, Value::object({{"lim", Value(2)}}));
+        EXPECT_EQ(r.response.at("n").asInt(), 2)
+            << (speculative ? "spec" : "base");
+    }
+}
+
+} // namespace
+} // namespace specfaas

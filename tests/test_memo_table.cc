@@ -1,0 +1,122 @@
+/** @file Unit tests for the memoization tables. */
+
+#include <gtest/gtest.h>
+
+#include "specfaas/memo_table.hh"
+
+namespace specfaas {
+namespace {
+
+Value
+input(int i)
+{
+    Value v = Value::object({});
+    v["k"] = Value(i);
+    return v;
+}
+
+TEST(MemoTable, MissThenHit)
+{
+    MemoTable table;
+    EXPECT_EQ(table.lookup(input(1)), nullptr);
+    MemoRow row;
+    row.output = Value("out");
+    table.update(input(1), std::move(row));
+    const MemoRow* hit = table.lookup(input(1));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->output.asString(), "out");
+}
+
+TEST(MemoTable, UpdateOverwrites)
+{
+    MemoTable table;
+    MemoRow r1;
+    r1.output = Value(1);
+    table.update(input(1), std::move(r1));
+    MemoRow r2;
+    r2.output = Value(2);
+    table.update(input(1), std::move(r2));
+    EXPECT_EQ(table.lookup(input(1))->output.asInt(), 2);
+    EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(MemoTable, LruEvictionAtCapacity)
+{
+    MemoTable table(2);
+    table.update(input(1), MemoRow{Value(1), {}});
+    table.update(input(2), MemoRow{Value(2), {}});
+    (void)table.lookup(input(1)); // refresh 1; 2 is now LRU
+    table.update(input(3), MemoRow{Value(3), {}});
+    EXPECT_NE(table.lookup(input(1)), nullptr);
+    EXPECT_EQ(table.lookup(input(2)), nullptr);
+    EXPECT_NE(table.lookup(input(3)), nullptr);
+    EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(MemoTable, HitRateAccounting)
+{
+    MemoTable table;
+    table.update(input(1), MemoRow{Value(1), {}});
+    (void)table.lookup(input(1));
+    (void)table.lookup(input(2));
+    EXPECT_EQ(table.lookups(), 2u);
+    EXPECT_EQ(table.hits(), 1u);
+    EXPECT_NEAR(table.hitRate(), 0.5, 1e-9);
+}
+
+TEST(MemoTable, CalleeArgsStored)
+{
+    MemoTable table;
+    MemoRow row;
+    row.output = Value("o");
+    row.calleeArgs[3] = Value("args3");
+    row.calleeArgs[7] = Value("args7");
+    table.update(input(1), std::move(row));
+    const MemoRow* hit = table.lookup(input(1));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->calleeArgs.size(), 2u);
+    EXPECT_EQ(hit->calleeArgs.at(3).asString(), "args3");
+}
+
+TEST(MemoTable, FootprintGrowsWithRows)
+{
+    MemoTable table;
+    EXPECT_EQ(table.footprintBytes(), 0u);
+    table.update(input(1), MemoRow{Value("payload"), {}});
+    const std::size_t one = table.footprintBytes();
+    EXPECT_GT(one, 0u);
+    table.update(input(2), MemoRow{Value("payload"), {}});
+    EXPECT_GT(table.footprintBytes(), one);
+}
+
+TEST(MemoStore, PerFunctionTables)
+{
+    MemoStore store(10);
+    store.table("f").update(input(1), MemoRow{Value(1), {}});
+    store.table("g").update(input(1), MemoRow{Value(2), {}});
+    EXPECT_EQ(store.table("f").lookup(input(1))->output.asInt(), 1);
+    EXPECT_EQ(store.table("g").lookup(input(1))->output.asInt(), 2);
+    EXPECT_EQ(store.find("missing"), nullptr);
+    EXPECT_EQ(store.totalRows(), 2u);
+    EXPECT_GT(store.totalFootprintBytes(), 0u);
+}
+
+TEST(MemoStore, OverallHitRate)
+{
+    MemoStore store;
+    store.table("f").update(input(1), MemoRow{Value(1), {}});
+    (void)store.table("f").lookup(input(1)); // hit
+    (void)store.table("g").lookup(input(1)); // miss
+    EXPECT_NEAR(store.overallHitRate(), 0.5, 1e-9);
+}
+
+TEST(MemoStore, CapacityAppliesPerFunction)
+{
+    MemoStore store(1);
+    store.table("f").update(input(1), MemoRow{Value(1), {}});
+    store.table("f").update(input(2), MemoRow{Value(2), {}});
+    EXPECT_EQ(store.table("f").size(), 1u);
+}
+
+} // namespace
+} // namespace specfaas

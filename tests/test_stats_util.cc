@@ -1,0 +1,106 @@
+/** @file Unit tests for statistics helpers and the table printer. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats_util.hh"
+#include "common/table.hh"
+
+namespace specfaas {
+namespace {
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Stats, PercentileUnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(percentile({30.0, 10.0, 20.0}, 100.0), 30.0);
+}
+
+TEST(Stats, PercentileSingleSample)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Stats, StddevKnownValue)
+{
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                2.138, 0.001);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-9);
+}
+
+TEST(Stats, EmpiricalCdfMonotone)
+{
+    std::vector<double> xs;
+    for (int i = 100; i > 0; --i)
+        xs.push_back(static_cast<double>(i));
+    auto cdf = empiricalCdf(xs, 10);
+    ASSERT_EQ(cdf.size(), 10u);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].x, cdf[i - 1].x);
+        EXPECT_GT(cdf[i].cum, cdf[i - 1].cum);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().cum, 1.0);
+    EXPECT_DOUBLE_EQ(cdf.back().x, 100.0);
+}
+
+TEST(Stats, AccumulatorTracksMoments)
+{
+    Accumulator acc;
+    for (double x : {5.0, 1.0, 3.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 3u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.percentile(50.0), 3.0);
+}
+
+TEST(Stats, AccumulatorWithoutSamples)
+{
+    Accumulator acc(false);
+    acc.add(2.0);
+    EXPECT_TRUE(acc.samples().empty());
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(fmtRatio(4.64), "4.6x");
+    EXPECT_EQ(fmtPercent(0.587), "58.7%");
+    EXPECT_EQ(fmtMs(12.34), "12.3 ms");
+}
+
+} // namespace
+} // namespace specfaas

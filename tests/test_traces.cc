@@ -1,0 +1,120 @@
+/** @file Tests of the trace generators and analyzers. */
+
+#include <gtest/gtest.h>
+
+#include "traces/azure_blob.hh"
+#include "traces/cpu_utilization.hh"
+#include "traces/determinism.hh"
+
+namespace specfaas {
+namespace {
+
+TEST(AzureBlob, GeneratorHitsConfiguredMarginals)
+{
+    BlobTraceConfig config;
+    // Scaled down with the blob universe in proportion, so the
+    // marginals remain jointly satisfiable.
+    config.accesses = 120000;
+    config.blobs = 18000;
+    auto trace = generateBlobTrace(config);
+    auto stats = analyzeBlobTrace(trace);
+    EXPECT_NEAR(stats.writeFraction, 0.23, 0.03);
+    EXPECT_NEAR(stats.readOnlyBlobFraction, 2.0 / 3.0, 0.06);
+    EXPECT_GT(stats.writableUnder10Writes, 0.99);
+    EXPECT_NEAR(stats.writeReadGapOver1s, 0.96, 0.04);
+    // The >10 s tail truncates a little at reduced horizon length.
+    EXPECT_NEAR(stats.writeReadGapOver10s, 0.27, 0.09);
+}
+
+TEST(AzureBlob, TraceIsTimeSorted)
+{
+    BlobTraceConfig config;
+    config.accesses = 20000;
+    auto trace = generateBlobTrace(config);
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        EXPECT_LE(trace[i - 1].time, trace[i].time);
+}
+
+TEST(AzureBlob, AnalyzerOnEmptyTrace)
+{
+    auto stats = analyzeBlobTrace({});
+    EXPECT_EQ(stats.accesses, 0u);
+}
+
+TEST(AzureBlob, AnalyzerCountsKnownPattern)
+{
+    std::vector<BlobAccess> trace = {
+        {0, 1, true},                 // write blob 1
+        {2 * kSecond, 1, false},      // read 2 s later (> 1 s)
+        {3 * kSecond, 2, false},      // read-only blob 2
+        {4 * kSecond, 1, true},       // second write
+        {4 * kSecond + 100, 1, false} // read 0.1 ms later (< 1 s)
+    };
+    auto stats = analyzeBlobTrace(trace);
+    EXPECT_DOUBLE_EQ(stats.writeFraction, 0.4);
+    EXPECT_DOUBLE_EQ(stats.readOnlyBlobFraction, 0.5);
+    EXPECT_DOUBLE_EQ(stats.writeReadGapOver1s, 0.5);
+    EXPECT_DOUBLE_EQ(stats.writableUnder10Writes, 1.0);
+}
+
+TEST(CpuTrace, SamplesWithinBounds)
+{
+    CpuTraceConfig config;
+    config.nodes = 50;
+    auto nodes = generateCpuTrace(config);
+    ASSERT_EQ(nodes.size(), 50u);
+    for (const auto& series : nodes) {
+        EXPECT_EQ(series.size(), config.samplesPerNode);
+        for (double u : series) {
+            EXPECT_GE(u, 0.0);
+            EXPECT_LE(u, 1.0);
+        }
+    }
+}
+
+TEST(CpuTrace, PercentileCurvesAreOrdered)
+{
+    CpuTraceConfig config;
+    config.nodes = 200;
+    auto nodes = generateCpuTrace(config);
+    auto cdfs = utilizationCdfs(nodes, {50, 90}, 10);
+    ASSERT_EQ(cdfs.size(), 2u);
+    // At every cumulative point, P90 utilization >= P50 utilization.
+    for (std::size_t i = 0; i < cdfs[0].size(); ++i)
+        EXPECT_GE(cdfs[1][i].x, cdfs[0][i].x);
+}
+
+TEST(CpuTrace, MedianP90InPaperBand)
+{
+    auto nodes = generateCpuTrace(CpuTraceConfig{});
+    std::vector<double> p90s;
+    for (const auto& series : nodes)
+        p90s.push_back(percentile(series, 90));
+    const double median = percentile(p90s, 50);
+    EXPECT_GT(median, 0.55);
+    EXPECT_LT(median, 0.85);
+}
+
+TEST(Determinism, DominantSequenceShare)
+{
+    InvocationResult a;
+    a.executedSequence = {"f", "g"};
+    InvocationResult b;
+    b.executedSequence = {"f", "h"};
+    auto stats = analyzeSequences({a, a, a, b});
+    EXPECT_EQ(stats.invocations, 4u);
+    EXPECT_EQ(stats.distinctSequences, 2u);
+    EXPECT_DOUBLE_EQ(stats.dominantShare, 0.75);
+    EXPECT_EQ(stats.dominantSequence,
+              (std::vector<std::string>{"f", "g"}));
+}
+
+TEST(Determinism, EmptyInput)
+{
+    auto stats = analyzeSequences({});
+    EXPECT_EQ(stats.invocations, 0u);
+    EXPECT_DOUBLE_EQ(stats.dominantShare, 0.0);
+}
+
+} // namespace
+} // namespace specfaas

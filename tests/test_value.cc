@@ -1,0 +1,153 @@
+/** @file Unit tests for the Value dynamic payload type. */
+
+#include <gtest/gtest.h>
+
+#include "common/value.hh"
+
+namespace specfaas {
+namespace {
+
+TEST(Value, DefaultIsNull)
+{
+    Value v;
+    EXPECT_TRUE(v.isNull());
+    EXPECT_EQ(v.kind(), Value::Kind::Null);
+}
+
+TEST(Value, KindsRoundTrip)
+{
+    EXPECT_TRUE(Value(true).isBool());
+    EXPECT_TRUE(Value(42).isInt());
+    EXPECT_TRUE(Value(3.5).isDouble());
+    EXPECT_TRUE(Value("x").isString());
+    EXPECT_TRUE(Value::array({Value(1)}).isArray());
+    EXPECT_TRUE(Value::object({{"a", Value(1)}}).isObject());
+}
+
+TEST(Value, Accessors)
+{
+    EXPECT_EQ(Value(true).asBool(), true);
+    EXPECT_EQ(Value(7).asInt(), 7);
+    EXPECT_DOUBLE_EQ(Value(2.25).asDouble(), 2.25);
+    EXPECT_EQ(Value("hi").asString(), "hi");
+}
+
+TEST(Value, AsNumberCoversIntAndDouble)
+{
+    EXPECT_DOUBLE_EQ(Value(7).asNumber(), 7.0);
+    EXPECT_DOUBLE_EQ(Value(2.5).asNumber(), 2.5);
+}
+
+TEST(Value, Truthiness)
+{
+    EXPECT_FALSE(Value().truthy());
+    EXPECT_FALSE(Value(false).truthy());
+    EXPECT_FALSE(Value(0).truthy());
+    EXPECT_FALSE(Value(0.0).truthy());
+    EXPECT_FALSE(Value("").truthy());
+    EXPECT_TRUE(Value(true).truthy());
+    EXPECT_TRUE(Value(1).truthy());
+    EXPECT_TRUE(Value(-2.5).truthy());
+    EXPECT_TRUE(Value("no").truthy());
+    EXPECT_TRUE(Value::array({}).truthy());
+    EXPECT_TRUE(Value::object({}).truthy());
+}
+
+TEST(Value, ObjectFieldLookup)
+{
+    Value v = Value::object({{"a", Value(1)}, {"b", Value("x")}});
+    EXPECT_EQ(v.at("a").asInt(), 1);
+    EXPECT_EQ(v.at("b").asString(), "x");
+    EXPECT_TRUE(v.at("missing").isNull());
+    EXPECT_TRUE(Value(3).at("anything").isNull());
+}
+
+TEST(Value, MutationThroughIndexOperator)
+{
+    Value v;
+    v["x"] = Value(5);
+    EXPECT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("x").asInt(), 5);
+    v["x"] = Value(6);
+    EXPECT_EQ(v.at("x").asInt(), 6);
+}
+
+TEST(Value, DeepEquality)
+{
+    Value a = Value::object(
+        {{"k", Value::array({Value(1), Value("s")})}});
+    Value b = Value::object(
+        {{"k", Value::array({Value(1), Value("s")})}});
+    Value c = Value::object(
+        {{"k", Value::array({Value(2), Value("s")})}});
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Value, IntAndDoubleAreDistinct)
+{
+    EXPECT_NE(Value(1), Value(1.0));
+}
+
+TEST(Value, HashIsStableAndDiscriminating)
+{
+    Value a = Value::object({{"x", Value(1)}});
+    Value b = Value::object({{"x", Value(1)}});
+    Value c = Value::object({{"x", Value(2)}});
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_NE(a.hash(), c.hash());
+    EXPECT_NE(Value().hash(), Value(0).hash());
+    EXPECT_NE(Value("1").hash(), Value(1).hash());
+}
+
+TEST(Value, HashDistinguishesNesting)
+{
+    Value flat = Value::array({Value(1), Value(2)});
+    Value nested = Value::array({Value::array({Value(1), Value(2)})});
+    EXPECT_NE(flat.hash(), nested.hash());
+}
+
+TEST(Value, ToStringCanonicalForm)
+{
+    Value v = Value::object({{"b", Value(2)}, {"a", Value("s")}});
+    // Object keys are sorted (std::map), strings quoted.
+    EXPECT_EQ(v.toString(), "{\"a\":\"s\",\"b\":2}");
+    EXPECT_EQ(Value::array({Value(true), Value()}).toString(),
+              "[true,null]");
+}
+
+TEST(Value, SizeOfContainers)
+{
+    EXPECT_EQ(Value::array({Value(1), Value(2)}).size(), 2u);
+    EXPECT_EQ(Value::object({{"a", Value(1)}}).size(), 1u);
+    EXPECT_EQ(Value(5).size(), 0u);
+}
+
+TEST(Value, IntOrHelper)
+{
+    EXPECT_EQ(intOr(Value(9), 1), 9);
+    EXPECT_EQ(intOr(Value(), 1), 1);
+    EXPECT_EQ(intOr(Value("x"), 4), 4);
+}
+
+TEST(Value, CopyIsDeep)
+{
+    Value a;
+    a["inner"] = Value::array({Value(1)});
+    Value b = a;
+    b["inner"].asArray().push_back(Value(2));
+    EXPECT_EQ(a.at("inner").size(), 1u);
+    EXPECT_EQ(b.at("inner").size(), 2u);
+}
+
+TEST(Value, UsableAsUnorderedMapKey)
+{
+    std::unordered_map<Value, int> map;
+    map[Value::object({{"k", Value(1)}})] = 10;
+    map[Value::object({{"k", Value(2)}})] = 20;
+    EXPECT_EQ(map.at(Value::object({{"k", Value(1)}})), 10);
+    EXPECT_EQ(map.at(Value::object({{"k", Value(2)}})), 20);
+}
+
+} // namespace
+} // namespace specfaas

@@ -1,0 +1,199 @@
+/** @file Unit tests for the workflow IR, compiler, and registries. */
+
+#include <gtest/gtest.h>
+
+#include "workflow/flow_program.hh"
+#include "workflow/registry.hh"
+#include "workflow/workflow.hh"
+
+namespace specfaas {
+namespace {
+
+FunctionDef
+stub(const std::string& name)
+{
+    FunctionDef d;
+    d.name = name;
+    d.body.push_back(Op::compute(1000));
+    return d;
+}
+
+TEST(FlowCompiler, LinearSequence)
+{
+    auto program = compileWorkflow(
+        sequence({task("a"), task("b"), task("c")}));
+    // Walk from entry and collect the chain.
+    std::vector<std::string> names;
+    FlowIndex idx = program.entry;
+    while (idx != kFlowNone) {
+        EXPECT_EQ(program.node(idx).kind, FlowNode::Kind::Func);
+        names.push_back(program.node(idx).function);
+        idx = program.node(idx).next;
+    }
+    EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(FlowCompiler, WhenHasTwoTargetsConvergingOnContinuation)
+{
+    auto program = compileWorkflow(
+        sequence({when("cond", task("t"), task("f")), task("after")}));
+    const FlowNode& branch = program.node(program.entry);
+    ASSERT_EQ(branch.kind, FlowNode::Kind::Branch);
+    EXPECT_EQ(branch.function, "cond");
+    ASSERT_EQ(branch.targets.size(), 2u);
+    const FlowNode& t = program.node(branch.targets[0]);
+    const FlowNode& f = program.node(branch.targets[1]);
+    EXPECT_EQ(t.function, "t");
+    EXPECT_EQ(f.function, "f");
+    // Both arms converge on the same continuation.
+    EXPECT_EQ(t.next, f.next);
+    EXPECT_EQ(program.node(t.next).function, "after");
+}
+
+TEST(FlowCompiler, OneArmedWhenFallsThrough)
+{
+    auto program = compileWorkflow(
+        sequence({when("cond", task("t")), task("after")}));
+    const FlowNode& branch = program.node(program.entry);
+    ASSERT_EQ(branch.targets.size(), 2u);
+    // Falsy target goes straight to the continuation.
+    EXPECT_EQ(program.node(branch.targets[1]).function, "after");
+    EXPECT_EQ(program.node(branch.targets[0]).next, branch.targets[1]);
+}
+
+TEST(FlowCompiler, BranchResolution)
+{
+    auto program = compileWorkflow(when("cond", task("t"), task("f")));
+    const FlowIndex b = program.entry;
+    const auto& node = program.node(b);
+    EXPECT_EQ(program.resolveBranch(b, Value(true)), node.targets[0]);
+    EXPECT_EQ(program.resolveBranch(b, Value(false)), node.targets[1]);
+    // Integer outputs index targets directly.
+    EXPECT_EQ(program.resolveBranch(b, Value(1)), node.targets[1]);
+    EXPECT_EQ(program.resolveBranch(b, Value(0)), node.targets[0]);
+}
+
+TEST(FlowCompiler, ParallelForkJoin)
+{
+    auto program = compileWorkflow(
+        sequence({parallel({task("x"), task("y")}), task("after")}));
+    const FlowNode& fork = program.node(program.entry);
+    ASSERT_EQ(fork.kind, FlowNode::Kind::Fork);
+    ASSERT_EQ(fork.targets.size(), 2u);
+    const FlowNode& join = program.node(fork.join);
+    ASSERT_EQ(join.kind, FlowNode::Kind::Join);
+    EXPECT_EQ(join.fork, program.entry);
+    EXPECT_EQ(program.node(join.next).function, "after");
+    for (FlowIndex arm : fork.targets)
+        EXPECT_EQ(program.node(arm).next, fork.join);
+}
+
+TEST(FlowCompiler, NestedStructuresCompile)
+{
+    auto program = compileWorkflow(sequence({
+        task("a"),
+        when("c1", sequence({task("b"), when("c2", task("d"))}),
+             task("e")),
+        parallel({task("p1"), sequence({task("p2"), task("p3")})}),
+        task("z"),
+    }));
+    EXPECT_FALSE(program.dump().empty());
+    // Entry is "a".
+    EXPECT_EQ(program.node(program.entry).function, "a");
+}
+
+TEST(Workflow, BranchCountCountsWhensAndGuardedCalls)
+{
+    Application app;
+    app.type = WorkflowType::Explicit;
+    app.workflow = sequence(
+        {task("a"), when("c", task("t"), task("f"))});
+    FunctionDef f = stub("a");
+    f.body.push_back(Op::callIf([](const Env&) { return true; }, "x",
+                                [](const Env& e) { return e.input; },
+                                "v"));
+    app.functions.push_back(std::move(f));
+    EXPECT_EQ(app.branchCount(), 2u);
+}
+
+TEST(Workflow, MaxDagDepthExplicit)
+{
+    Application app;
+    app.type = WorkflowType::Explicit;
+    app.workflow = sequence({task("a"), task("b"),
+                             when("c", task("d"), task("e"))});
+    // a, b, c + deepest arm (1) = 4.
+    EXPECT_EQ(app.maxDagDepth(), 4u);
+}
+
+TEST(Workflow, MaxDagDepthImplicitFollowsCalls)
+{
+    Application app;
+    app.type = WorkflowType::Implicit;
+    app.rootFunction = "r";
+    FunctionDef r = stub("r");
+    r.body.push_back(Op::call("m", [](const Env& e) { return e.input; },
+                              "v"));
+    FunctionDef m = stub("m");
+    m.body.push_back(Op::call("l", [](const Env& e) { return e.input; },
+                              "v"));
+    app.functions.push_back(std::move(r));
+    app.functions.push_back(std::move(m));
+    app.functions.push_back(stub("l"));
+    EXPECT_EQ(app.maxDagDepth(), 3u);
+}
+
+TEST(Workflow, FunctionStructureQueries)
+{
+    FunctionDef f = stub("f");
+    EXPECT_FALSE(f.readsGlobalState());
+    EXPECT_FALSE(f.hasSideEffects());
+    EXPECT_TRUE(f.isEffectivelyPure());
+    f.body.push_back(Op::storageRead(
+        [](const Env&) { return std::string("k"); }, "v"));
+    EXPECT_TRUE(f.readsGlobalState());
+    EXPECT_FALSE(f.writesGlobalState());
+    f.body.push_back(Op::storageWrite(
+        [](const Env&) { return std::string("k"); },
+        [](const Env&) { return Value(1); }));
+    EXPECT_TRUE(f.writesGlobalState());
+    EXPECT_TRUE(f.hasSideEffects());
+    EXPECT_FALSE(f.isEffectivelyPure());
+    EXPECT_EQ(f.totalComputeTime(), 1000);
+}
+
+TEST(FunctionRegistry, AddAndLookup)
+{
+    FunctionRegistry registry;
+    registry.add(stub("f"));
+    EXPECT_EQ(registry.get("f").name, "f");
+    EXPECT_EQ(registry.find("missing"), nullptr);
+    EXPECT_EQ(registry.size(), 1u);
+    // Overwrite is allowed (redeployment).
+    FunctionDef f2 = stub("f");
+    f2.pureAnnotation = true;
+    registry.add(std::move(f2));
+    EXPECT_TRUE(registry.get("f").pureAnnotation);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ApplicationRegistry, SuitesAndLookup)
+{
+    ApplicationRegistry registry;
+    Application a;
+    a.name = "A";
+    a.suite = "S1";
+    Application b;
+    b.name = "B";
+    b.suite = "S2";
+    registry.add(std::move(a));
+    registry.add(std::move(b));
+    EXPECT_EQ(registry.get("A").suite, "S1");
+    EXPECT_EQ(registry.suite("S1").size(), 1u);
+    EXPECT_EQ(registry.all().size(), 2u);
+    EXPECT_EQ(registry.suiteNames(),
+              (std::vector<std::string>{"S1", "S2"}));
+}
+
+} // namespace
+} // namespace specfaas

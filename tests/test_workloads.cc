@@ -1,0 +1,172 @@
+/** @file Structural invariants of the three application suites. */
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.hh"
+#include "workloads/suites.hh"
+
+namespace specfaas {
+namespace {
+
+TEST(Workloads, SixteenApplicationsInThreeSuites)
+{
+    auto registry = makeAllSuites();
+    EXPECT_EQ(registry->all().size(), 16u);
+    EXPECT_EQ(registry->suite("FaaSChain").size(), 6u);
+    EXPECT_EQ(registry->suite("TrainTicket").size(), 5u);
+    EXPECT_EQ(registry->suite("Alibaba").size(), 5u);
+}
+
+TEST(Workloads, SuiteWorkflowTypesMatchPaper)
+{
+    auto registry = makeAllSuites();
+    for (const Application* app : registry->suite("FaaSChain"))
+        EXPECT_EQ(app->type, WorkflowType::Explicit) << app->name;
+    for (const Application* app : registry->suite("TrainTicket"))
+        EXPECT_EQ(app->type, WorkflowType::Implicit) << app->name;
+    for (const Application* app : registry->suite("Alibaba"))
+        EXPECT_EQ(app->type, WorkflowType::Implicit) << app->name;
+}
+
+TEST(Workloads, FunctionNamesAreGloballyUnique)
+{
+    auto registry = makeAllSuites();
+    std::set<std::string> names;
+    for (const Application* app : registry->all()) {
+        for (const auto& f : app->functions) {
+            EXPECT_TRUE(names.insert(f.name).second)
+                << "duplicate function " << f.name;
+        }
+    }
+}
+
+TEST(Workloads, ImplicitRootsExist)
+{
+    auto registry = makeAllSuites();
+    for (const Application* app : registry->all()) {
+        if (app->type != WorkflowType::Implicit)
+            continue;
+        EXPECT_NE(app->findFunction(app->rootFunction), nullptr)
+            << app->name;
+    }
+}
+
+TEST(Workloads, AllCalleesAreDefined)
+{
+    auto registry = makeAllSuites();
+    for (const Application* app : registry->all()) {
+        for (const auto& f : app->functions) {
+            for (const auto& op : f.body) {
+                if (op.kind != Op::Kind::Call)
+                    continue;
+                EXPECT_NE(app->findFunction(op.callee), nullptr)
+                    << app->name << ": " << f.name << " calls undefined "
+                    << op.callee;
+            }
+        }
+    }
+}
+
+TEST(Workloads, TableOneShapeTargets)
+{
+    auto registry = makeAllSuites();
+    double faaschain_funcs = 0;
+    for (const Application* app : registry->suite("FaaSChain"))
+        faaschain_funcs += static_cast<double>(app->functionCount());
+    EXPECT_NEAR(faaschain_funcs / 6.0, 7.8, 1.0);
+
+    double tt_funcs = 0;
+    for (const Application* app : registry->suite("TrainTicket"))
+        tt_funcs += static_cast<double>(app->functionCount());
+    EXPECT_NEAR(tt_funcs / 5.0, 11.2, 2.0);
+
+    double ali_funcs = 0;
+    std::size_t ali_depth = 0;
+    for (const Application* app : registry->suite("Alibaba")) {
+        ali_funcs += static_cast<double>(app->functionCount());
+        ali_depth = std::max(ali_depth, app->maxDagDepth());
+    }
+    EXPECT_NEAR(ali_funcs / 5.0, 17.6, 2.5);
+    EXPECT_EQ(ali_depth, 5u);
+
+    std::size_t chain_depth = 0;
+    for (const Application* app : registry->suite("FaaSChain"))
+        chain_depth = std::max(chain_depth, app->maxDagDepth());
+    EXPECT_EQ(chain_depth, 10u);
+}
+
+TEST(Workloads, BranchCountsMatchPaper)
+{
+    auto registry = makeAllSuites();
+    std::size_t faaschain_branches = 0;
+    for (const Application* app : registry->suite("FaaSChain"))
+        faaschain_branches += app->branchCount();
+    EXPECT_EQ(faaschain_branches, 15u); // 2.5 avg × 6 apps
+
+    std::size_t tt_branches = 0;
+    for (const Application* app : registry->suite("TrainTicket"))
+        tt_branches += app->branchCount();
+    EXPECT_EQ(tt_branches, 9u); // 1.8 avg × 5 apps
+}
+
+TEST(Workloads, InputGeneratorsAreSeedDeterministic)
+{
+    auto registry = makeAllSuites();
+    for (const Application* app : registry->all()) {
+        Rng a(5);
+        Rng b(5);
+        for (int i = 0; i < 10; ++i)
+            EXPECT_EQ(app->inputGen(a), app->inputGen(b)) << app->name;
+    }
+}
+
+TEST(Workloads, AlibabaGeneratorIsDeterministic)
+{
+    AlibabaTraceConfig config;
+    auto a = alibabaSuite(config);
+    auto b = alibabaSuite(config);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].functionCount(), b[i].functionCount());
+        EXPECT_EQ(a[i].rootFunction, b[i].rootFunction);
+        EXPECT_EQ(a[i].functionNames(), b[i].functionNames());
+    }
+}
+
+TEST(Workloads, EveryAppRunsOnBothEngines)
+{
+    auto registry = makeAllSuites();
+    for (const Application* app : registry->all()) {
+        for (bool speculative : {false, true}) {
+            PlatformOptions options;
+            options.speculative = speculative;
+            options.seed = 2;
+            FaasPlatform platform(options);
+            platform.deploy(*app);
+            auto r = platform.invokeSync(
+                *app, app->inputGen(platform.inputRng()));
+            EXPECT_GT(r.functionsExecuted, 0u) << app->name;
+            EXPECT_GT(r.responseTime(), 0) << app->name;
+        }
+    }
+}
+
+TEST(Workloads, MostFunctionsReadNoWritableGlobalState)
+{
+    // Observation 3's qualitative claim holds for the rebuilt suites.
+    auto registry = makeAllSuites();
+    std::size_t total = 0;
+    std::size_t no_read = 0;
+    for (const Application* app : registry->all()) {
+        for (const auto& f : app->functions) {
+            ++total;
+            if (!f.readsGlobalState())
+                ++no_read;
+        }
+    }
+    EXPECT_GT(static_cast<double>(no_read) / static_cast<double>(total),
+              0.5);
+}
+
+} // namespace
+} // namespace specfaas
