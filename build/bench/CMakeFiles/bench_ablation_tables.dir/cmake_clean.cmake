@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tables.dir/bench_ablation_tables.cc.o"
+  "CMakeFiles/bench_ablation_tables.dir/bench_ablation_tables.cc.o.d"
+  "bench_ablation_tables"
+  "bench_ablation_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_speedup.cc" "bench/CMakeFiles/bench_fig11_speedup.dir/bench_fig11_speedup.cc.o" "gcc" "bench/CMakeFiles/bench_fig11_speedup.dir/bench_fig11_speedup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/specfaas_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/specfaas_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/traces/CMakeFiles/specfaas_traces.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/specfaas_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/specfaas/CMakeFiles/specfaas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/specfaas_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/specfaas_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/specfaas_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/specfaas_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/specfaas_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/specfaas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/specfaas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

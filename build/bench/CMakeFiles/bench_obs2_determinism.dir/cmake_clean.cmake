@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs2_determinism.dir/bench_obs2_determinism.cc.o"
+  "CMakeFiles/bench_obs2_determinism.dir/bench_obs2_determinism.cc.o.d"
+  "bench_obs2_determinism"
+  "bench_obs2_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs2_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

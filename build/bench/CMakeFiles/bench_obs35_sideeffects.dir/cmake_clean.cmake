@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs35_sideeffects.dir/bench_obs35_sideeffects.cc.o"
+  "CMakeFiles/bench_obs35_sideeffects.dir/bench_obs35_sideeffects.cc.o.d"
+  "bench_obs35_sideeffects"
+  "bench_obs35_sideeffects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs35_sideeffects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs4_azure_blob.dir/bench_obs4_azure_blob.cc.o"
+  "CMakeFiles/bench_obs4_azure_blob.dir/bench_obs4_azure_blob.cc.o.d"
+  "bench_obs4_azure_blob"
+  "bench_obs4_azure_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs4_azure_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

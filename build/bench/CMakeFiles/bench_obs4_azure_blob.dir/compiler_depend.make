@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_obs4_azure_blob.
+# This may be replaced when dependencies are built.

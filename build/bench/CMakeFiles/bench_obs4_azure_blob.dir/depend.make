@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_obs4_azure_blob.
+# This may be replaced when dependencies are built.

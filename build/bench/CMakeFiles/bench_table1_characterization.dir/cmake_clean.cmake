@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_characterization.dir/bench_table1_characterization.cc.o"
+  "CMakeFiles/bench_table1_characterization.dir/bench_table1_characterization.cc.o.d"
+  "bench_table1_characterization"
+  "bench_table1_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_throughput.dir/bench_table3_throughput.cc.o"
+  "CMakeFiles/bench_table3_throughput.dir/bench_table3_throughput.cc.o.d"
+  "bench_table3_throughput"
+  "bench_table3_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

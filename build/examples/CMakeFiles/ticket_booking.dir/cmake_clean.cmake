@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticket_booking.dir/ticket_booking.cpp.o"
+  "CMakeFiles/ticket_booking.dir/ticket_booking.cpp.o.d"
+  "ticket_booking"
+  "ticket_booking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticket_booking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_speculation.dir/tuning_speculation.cpp.o"
+  "CMakeFiles/tuning_speculation.dir/tuning_speculation.cpp.o.d"
+  "tuning_speculation"
+  "tuning_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

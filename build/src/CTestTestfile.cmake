@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("storage")
+subdirs("cluster")
+subdirs("workflow")
+subdirs("runtime")
+subdirs("baseline")
+subdirs("specfaas")
+subdirs("metrics")
+subdirs("platform")
+subdirs("workloads")
+subdirs("traces")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfaas_baseline.dir/baseline_controller.cc.o"
+  "CMakeFiles/specfaas_baseline.dir/baseline_controller.cc.o.d"
+  "libspecfaas_baseline.a"
+  "libspecfaas_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfaas_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

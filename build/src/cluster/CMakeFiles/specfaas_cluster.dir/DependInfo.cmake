@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/specfaas_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/specfaas_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/container.cc" "src/cluster/CMakeFiles/specfaas_cluster.dir/container.cc.o" "gcc" "src/cluster/CMakeFiles/specfaas_cluster.dir/container.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/cluster/CMakeFiles/specfaas_cluster.dir/node.cc.o" "gcc" "src/cluster/CMakeFiles/specfaas_cluster.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/specfaas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/specfaas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfaas_cluster.dir/cluster.cc.o"
+  "CMakeFiles/specfaas_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/specfaas_cluster.dir/container.cc.o"
+  "CMakeFiles/specfaas_cluster.dir/container.cc.o.d"
+  "CMakeFiles/specfaas_cluster.dir/node.cc.o"
+  "CMakeFiles/specfaas_cluster.dir/node.cc.o.d"
+  "libspecfaas_cluster.a"
+  "libspecfaas_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfaas_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

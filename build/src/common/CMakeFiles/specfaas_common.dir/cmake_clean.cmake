@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfaas_common.dir/logging.cc.o"
+  "CMakeFiles/specfaas_common.dir/logging.cc.o.d"
+  "CMakeFiles/specfaas_common.dir/rng.cc.o"
+  "CMakeFiles/specfaas_common.dir/rng.cc.o.d"
+  "CMakeFiles/specfaas_common.dir/stats_util.cc.o"
+  "CMakeFiles/specfaas_common.dir/stats_util.cc.o.d"
+  "CMakeFiles/specfaas_common.dir/table.cc.o"
+  "CMakeFiles/specfaas_common.dir/table.cc.o.d"
+  "CMakeFiles/specfaas_common.dir/value.cc.o"
+  "CMakeFiles/specfaas_common.dir/value.cc.o.d"
+  "libspecfaas_common.a"
+  "libspecfaas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfaas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

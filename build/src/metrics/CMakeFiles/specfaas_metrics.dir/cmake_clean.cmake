@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfaas_metrics.dir/summary.cc.o"
+  "CMakeFiles/specfaas_metrics.dir/summary.cc.o.d"
+  "libspecfaas_metrics.a"
+  "libspecfaas_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfaas_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

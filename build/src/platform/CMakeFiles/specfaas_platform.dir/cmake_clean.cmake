@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfaas_platform.dir/experiment.cc.o"
+  "CMakeFiles/specfaas_platform.dir/experiment.cc.o.d"
+  "CMakeFiles/specfaas_platform.dir/load_generator.cc.o"
+  "CMakeFiles/specfaas_platform.dir/load_generator.cc.o.d"
+  "CMakeFiles/specfaas_platform.dir/platform.cc.o"
+  "CMakeFiles/specfaas_platform.dir/platform.cc.o.d"
+  "libspecfaas_platform.a"
+  "libspecfaas_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfaas_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspecfaas_platform.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/instance.cc" "src/runtime/CMakeFiles/specfaas_runtime.dir/instance.cc.o" "gcc" "src/runtime/CMakeFiles/specfaas_runtime.dir/instance.cc.o.d"
+  "/root/repo/src/runtime/interpreter.cc" "src/runtime/CMakeFiles/specfaas_runtime.dir/interpreter.cc.o" "gcc" "src/runtime/CMakeFiles/specfaas_runtime.dir/interpreter.cc.o.d"
+  "/root/repo/src/runtime/launcher.cc" "src/runtime/CMakeFiles/specfaas_runtime.dir/launcher.cc.o" "gcc" "src/runtime/CMakeFiles/specfaas_runtime.dir/launcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/specfaas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/specfaas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/specfaas_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/specfaas_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/specfaas_workflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfaas_runtime.dir/instance.cc.o"
+  "CMakeFiles/specfaas_runtime.dir/instance.cc.o.d"
+  "CMakeFiles/specfaas_runtime.dir/interpreter.cc.o"
+  "CMakeFiles/specfaas_runtime.dir/interpreter.cc.o.d"
+  "CMakeFiles/specfaas_runtime.dir/launcher.cc.o"
+  "CMakeFiles/specfaas_runtime.dir/launcher.cc.o.d"
+  "libspecfaas_runtime.a"
+  "libspecfaas_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfaas_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfaas_sim.dir/event_queue.cc.o"
+  "CMakeFiles/specfaas_sim.dir/event_queue.cc.o.d"
+  "libspecfaas_sim.a"
+  "libspecfaas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfaas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/specfaas/branch_predictor.cc" "src/specfaas/CMakeFiles/specfaas_core.dir/branch_predictor.cc.o" "gcc" "src/specfaas/CMakeFiles/specfaas_core.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/specfaas/data_buffer.cc" "src/specfaas/CMakeFiles/specfaas_core.dir/data_buffer.cc.o" "gcc" "src/specfaas/CMakeFiles/specfaas_core.dir/data_buffer.cc.o.d"
+  "/root/repo/src/specfaas/memo_table.cc" "src/specfaas/CMakeFiles/specfaas_core.dir/memo_table.cc.o" "gcc" "src/specfaas/CMakeFiles/specfaas_core.dir/memo_table.cc.o.d"
+  "/root/repo/src/specfaas/spec_controller.cc" "src/specfaas/CMakeFiles/specfaas_core.dir/spec_controller.cc.o" "gcc" "src/specfaas/CMakeFiles/specfaas_core.dir/spec_controller.cc.o.d"
+  "/root/repo/src/specfaas/squash_minimizer.cc" "src/specfaas/CMakeFiles/specfaas_core.dir/squash_minimizer.cc.o" "gcc" "src/specfaas/CMakeFiles/specfaas_core.dir/squash_minimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/specfaas_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/specfaas_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/specfaas_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/specfaas_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/specfaas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/specfaas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfaas_core.dir/branch_predictor.cc.o"
+  "CMakeFiles/specfaas_core.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/specfaas_core.dir/data_buffer.cc.o"
+  "CMakeFiles/specfaas_core.dir/data_buffer.cc.o.d"
+  "CMakeFiles/specfaas_core.dir/memo_table.cc.o"
+  "CMakeFiles/specfaas_core.dir/memo_table.cc.o.d"
+  "CMakeFiles/specfaas_core.dir/spec_controller.cc.o"
+  "CMakeFiles/specfaas_core.dir/spec_controller.cc.o.d"
+  "CMakeFiles/specfaas_core.dir/squash_minimizer.cc.o"
+  "CMakeFiles/specfaas_core.dir/squash_minimizer.cc.o.d"
+  "libspecfaas_core.a"
+  "libspecfaas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfaas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

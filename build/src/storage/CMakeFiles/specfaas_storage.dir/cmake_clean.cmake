@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfaas_storage.dir/kv_store.cc.o"
+  "CMakeFiles/specfaas_storage.dir/kv_store.cc.o.d"
+  "CMakeFiles/specfaas_storage.dir/local_cache.cc.o"
+  "CMakeFiles/specfaas_storage.dir/local_cache.cc.o.d"
+  "libspecfaas_storage.a"
+  "libspecfaas_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfaas_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfaas_traces.dir/azure_blob.cc.o"
+  "CMakeFiles/specfaas_traces.dir/azure_blob.cc.o.d"
+  "CMakeFiles/specfaas_traces.dir/cpu_utilization.cc.o"
+  "CMakeFiles/specfaas_traces.dir/cpu_utilization.cc.o.d"
+  "CMakeFiles/specfaas_traces.dir/determinism.cc.o"
+  "CMakeFiles/specfaas_traces.dir/determinism.cc.o.d"
+  "libspecfaas_traces.a"
+  "libspecfaas_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfaas_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/flow_program.cc" "src/workflow/CMakeFiles/specfaas_workflow.dir/flow_program.cc.o" "gcc" "src/workflow/CMakeFiles/specfaas_workflow.dir/flow_program.cc.o.d"
+  "/root/repo/src/workflow/function_def.cc" "src/workflow/CMakeFiles/specfaas_workflow.dir/function_def.cc.o" "gcc" "src/workflow/CMakeFiles/specfaas_workflow.dir/function_def.cc.o.d"
+  "/root/repo/src/workflow/registry.cc" "src/workflow/CMakeFiles/specfaas_workflow.dir/registry.cc.o" "gcc" "src/workflow/CMakeFiles/specfaas_workflow.dir/registry.cc.o.d"
+  "/root/repo/src/workflow/workflow.cc" "src/workflow/CMakeFiles/specfaas_workflow.dir/workflow.cc.o" "gcc" "src/workflow/CMakeFiles/specfaas_workflow.dir/workflow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/specfaas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/specfaas_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/specfaas_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

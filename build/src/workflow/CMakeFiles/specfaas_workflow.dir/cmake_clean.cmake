@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfaas_workflow.dir/flow_program.cc.o"
+  "CMakeFiles/specfaas_workflow.dir/flow_program.cc.o.d"
+  "CMakeFiles/specfaas_workflow.dir/function_def.cc.o"
+  "CMakeFiles/specfaas_workflow.dir/function_def.cc.o.d"
+  "CMakeFiles/specfaas_workflow.dir/registry.cc.o"
+  "CMakeFiles/specfaas_workflow.dir/registry.cc.o.d"
+  "CMakeFiles/specfaas_workflow.dir/workflow.cc.o"
+  "CMakeFiles/specfaas_workflow.dir/workflow.cc.o.d"
+  "libspecfaas_workflow.a"
+  "libspecfaas_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfaas_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

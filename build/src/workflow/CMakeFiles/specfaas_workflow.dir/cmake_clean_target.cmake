@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspecfaas_workflow.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specfaas_workloads.dir/alibaba.cc.o"
+  "CMakeFiles/specfaas_workloads.dir/alibaba.cc.o.d"
+  "CMakeFiles/specfaas_workloads.dir/app_helpers.cc.o"
+  "CMakeFiles/specfaas_workloads.dir/app_helpers.cc.o.d"
+  "CMakeFiles/specfaas_workloads.dir/datasets.cc.o"
+  "CMakeFiles/specfaas_workloads.dir/datasets.cc.o.d"
+  "CMakeFiles/specfaas_workloads.dir/faaschain.cc.o"
+  "CMakeFiles/specfaas_workloads.dir/faaschain.cc.o.d"
+  "CMakeFiles/specfaas_workloads.dir/suites.cc.o"
+  "CMakeFiles/specfaas_workloads.dir/suites.cc.o.d"
+  "CMakeFiles/specfaas_workloads.dir/trainticket.cc.o"
+  "CMakeFiles/specfaas_workloads.dir/trainticket.cc.o.d"
+  "libspecfaas_workloads.a"
+  "libspecfaas_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specfaas_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cc" "tests/CMakeFiles/specfaas_tests.dir/test_baseline.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_baseline.cc.o.d"
+  "/root/repo/tests/test_branch_predictor.cc" "tests/CMakeFiles/specfaas_tests.dir/test_branch_predictor.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_branch_predictor.cc.o.d"
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/specfaas_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_data_buffer.cc" "tests/CMakeFiles/specfaas_tests.dir/test_data_buffer.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_data_buffer.cc.o.d"
+  "/root/repo/tests/test_end_to_end.cc" "tests/CMakeFiles/specfaas_tests.dir/test_end_to_end.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_end_to_end.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/specfaas_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_fuzz_equivalence.cc" "tests/CMakeFiles/specfaas_tests.dir/test_fuzz_equivalence.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_fuzz_equivalence.cc.o.d"
+  "/root/repo/tests/test_interpreter.cc" "tests/CMakeFiles/specfaas_tests.dir/test_interpreter.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_interpreter.cc.o.d"
+  "/root/repo/tests/test_loops.cc" "tests/CMakeFiles/specfaas_tests.dir/test_loops.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_loops.cc.o.d"
+  "/root/repo/tests/test_memo_table.cc" "tests/CMakeFiles/specfaas_tests.dir/test_memo_table.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_memo_table.cc.o.d"
+  "/root/repo/tests/test_platform.cc" "tests/CMakeFiles/specfaas_tests.dir/test_platform.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_platform.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/specfaas_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_spec_controller.cc" "tests/CMakeFiles/specfaas_tests.dir/test_spec_controller.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_spec_controller.cc.o.d"
+  "/root/repo/tests/test_squash_minimizer.cc" "tests/CMakeFiles/specfaas_tests.dir/test_squash_minimizer.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_squash_minimizer.cc.o.d"
+  "/root/repo/tests/test_stats_util.cc" "tests/CMakeFiles/specfaas_tests.dir/test_stats_util.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_stats_util.cc.o.d"
+  "/root/repo/tests/test_storage.cc" "tests/CMakeFiles/specfaas_tests.dir/test_storage.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_storage.cc.o.d"
+  "/root/repo/tests/test_traces.cc" "tests/CMakeFiles/specfaas_tests.dir/test_traces.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_traces.cc.o.d"
+  "/root/repo/tests/test_value.cc" "tests/CMakeFiles/specfaas_tests.dir/test_value.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_value.cc.o.d"
+  "/root/repo/tests/test_workflow.cc" "tests/CMakeFiles/specfaas_tests.dir/test_workflow.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_workflow.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/specfaas_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/specfaas_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/specfaas_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/specfaas_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/traces/CMakeFiles/specfaas_traces.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/specfaas_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/specfaas/CMakeFiles/specfaas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/specfaas_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/specfaas_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/specfaas_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/specfaas_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/specfaas_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/specfaas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/specfaas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
