@@ -14,6 +14,8 @@
 
 #include "bench_common.hh"
 
+#include <cmath>
+
 #include "platform/platform.hh"
 #include "workloads/app_helpers.hh"
 
@@ -109,17 +111,22 @@ suiteHitRate(const ApplicationRegistry& registry, bool path_history)
             (void)platform->invokeSync(
                 *app, app->inputGen(platform->inputRng()));
         }
-        rates.push_back(
-            platform->specController()->branchPredictor().hitRate());
+        // NaN = no predictions made for this app; exclude it rather
+        // than poison the suite mean.
+        const double hr =
+            platform->specController()->branchPredictor().hitRate();
+        if (!std::isnan(hr))
+            rates.push_back(hr);
     }
-    return mean(rates);
+    return rates.empty() ? std::nan("") : mean(rates);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Ablation: path-indexed vs aggregate branch prediction "
            "(§V-A, Fig. 8)");
 
@@ -129,9 +136,10 @@ main()
 
     TextTable table;
     table.header({"Configuration", "BP hit rate", "Mean response"});
-    table.row({"path-indexed (paper)", fmtPercent(with_path.hitRate),
+    table.row({"path-indexed (paper)",
+               fmtPercentOrDash(with_path.hitRate),
                fmtMs(with_path.meanMs)});
-    table.row({"aggregate-only", fmtPercent(aggregate.hitRate),
+    table.row({"aggregate-only", fmtPercentOrDash(aggregate.hitRate),
                fmtMs(aggregate.meanMs)});
     table.print();
 
@@ -142,7 +150,8 @@ main()
     auto registry = makeAllSuites();
     std::printf("\nFaaSChain suite BP hit rate: %s path-indexed vs %s "
                 "aggregate-only\n",
-                fmtPercent(suiteHitRate(*registry, true)).c_str(),
-                fmtPercent(suiteHitRate(*registry, false)).c_str());
+                fmtPercentOrDash(suiteHitRate(*registry, true)).c_str(),
+                fmtPercentOrDash(suiteHitRate(*registry, false))
+                    .c_str());
     return 0;
 }

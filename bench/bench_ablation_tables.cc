@@ -17,6 +17,8 @@
 
 #include "bench_common.hh"
 
+#include <cmath>
+
 #include "platform/platform.hh"
 
 using namespace specfaas;
@@ -82,7 +84,11 @@ tableFootprints(const ApplicationRegistry& registry)
             rows += spec->memoStore().totalRows();
             bytes += spec->memoStore().totalFootprintBytes();
             entries += spec->branchPredictor().entryCount();
-            hit_rates.push_back(spec->branchPredictor().hitRate());
+            // NaN = the app has no predicted branch; keep it out of
+            // the suite mean.
+            const double hr = spec->branchPredictor().hitRate();
+            if (!std::isnan(hr))
+                hit_rates.push_back(hr);
         }
         const double napps = static_cast<double>(apps.size());
         table.row({suite,
@@ -92,7 +98,9 @@ tableFootprints(const ApplicationRegistry& registry)
                              static_cast<double>(bytes) / 1024.0 /
                                  napps),
                    strFormat("%zu", entries),
-                   fmtPercent(mean(hit_rates))});
+                   fmtPercentOrDash(hit_rates.empty()
+                                        ? std::nan("")
+                                        : mean(hit_rates))});
     }
     table.print();
     std::printf("Paper: combined tables use 100-1K entries and "
@@ -173,8 +181,9 @@ dataBufferSize(const ApplicationRegistry& registry)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Ablation tables (§V-B / §VIII-B in-text numbers)");
     auto registry = makeAllSuites();
     memoSizeSweep(*registry);

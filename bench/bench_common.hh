@@ -18,6 +18,7 @@
 #include "common/logging.hh"
 #include "common/stats_util.hh"
 #include "common/table.hh"
+#include "obs/obs_cli.hh"
 #include "platform/experiment.hh"
 #include "workloads/suites.hh"
 

@@ -17,6 +17,7 @@ using namespace specfaas::bench;
 int
 main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     const bool cold = argc > 1 && std::strcmp(argv[1], "--cold") == 0;
     banner(std::string("Fig. 11: SpecFaaS speedup per application and "
                        "load level") +

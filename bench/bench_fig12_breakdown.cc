@@ -33,8 +33,9 @@ avgSpeedup(const Application& app, const EngineSetup& spec)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Fig. 12: breakdown of SpecFaaS speedups (cumulative)");
     auto registry = makeAllSuites();
 

@@ -11,8 +11,9 @@ using namespace specfaas;
 using namespace specfaas::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Fig. 13: P99 tail latency (SpecFaaS / baseline)");
     auto registry = makeAllSuites();
     const std::size_t requests = 400;

@@ -13,8 +13,9 @@ using namespace specfaas;
 using namespace specfaas::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Fig. 14: speedup vs branch-prediction hit rate "
            "(FaaSChain)");
 

@@ -76,8 +76,9 @@ printBreakdown(const char* mode,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Fig. 3: response-time breakdown of a function invocation");
     auto registry = makeAllSuites();
 

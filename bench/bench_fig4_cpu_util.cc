@@ -14,8 +14,9 @@ using namespace specfaas;
 using namespace specfaas::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Fig. 4: P50-P90 CPU utilization CDFs (Alibaba stand-in)");
 
     CpuTraceConfig config;

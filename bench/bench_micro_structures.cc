@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/value.hh"
+#include "obs/obs_cli.hh"
 #include "sim/event_queue.hh"
 #include "specfaas/branch_predictor.hh"
 #include "specfaas/data_buffer.hh"
@@ -110,4 +111,17 @@ BENCHMARK(BM_ValueHash);
 } // namespace
 } // namespace specfaas
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the observability flags
+// (--trace-out/--counters) are stripped before google-benchmark sees
+// argv and rejects them as unknown.
+int
+main(int argc, char** argv)
+{
+    specfaas::obs::ObsSession obs(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

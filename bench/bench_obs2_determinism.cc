@@ -14,8 +14,9 @@ using namespace specfaas;
 using namespace specfaas::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Observation 2: function-sequence determinism");
     auto registry = makeAllSuites();
 

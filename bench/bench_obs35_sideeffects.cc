@@ -15,8 +15,9 @@ using namespace specfaas;
 using namespace specfaas::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Observations 3 & 5: global state and side-effect census");
     auto registry = makeAllSuites();
 

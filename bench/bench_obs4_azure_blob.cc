@@ -15,8 +15,9 @@ using namespace specfaas;
 using namespace specfaas::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Observation 4: blob-store access analysis (Azure stand-in)");
 
     BlobTraceConfig config;

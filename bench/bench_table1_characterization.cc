@@ -63,8 +63,9 @@ characterize(const std::string& suite_name,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Table I: FaaS application suites considered");
     auto registry = makeAllSuites();
 

@@ -11,8 +11,9 @@ using namespace specfaas;
 using namespace specfaas::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Table III: effective throughput (requests per second)");
     auto registry = makeAllSuites();
 

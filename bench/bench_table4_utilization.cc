@@ -43,8 +43,9 @@ measure(const std::vector<const Application*>& apps,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    obs::ObsSession obs(argc, argv);
     banner("Table IV: CPU utilization of squashed work "
            "(normalized to baseline)");
 

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "common/table.hh"
 #include "platform/platform.hh"
 #include "workloads/faaschain.hh"
 
@@ -78,9 +79,11 @@ main()
 
     auto* controller = spec.specController();
     std::printf("\nSpecFaaS engine state after the run:\n");
-    std::printf("  branch predictor: %zu entries, %.0f%% hit rate\n",
+    std::printf("  branch predictor: %zu entries, %s hit rate\n",
                 controller->branchPredictor().entryCount(),
-                100.0 * controller->branchPredictor().hitRate());
+                fmtPercentOrDash(
+                    controller->branchPredictor().hitRate(), 0)
+                    .c_str());
     std::printf("  memoization: %zu rows, %.1f KB, %.0f%% hit rate\n",
                 controller->memoStore().totalRows(),
                 static_cast<double>(

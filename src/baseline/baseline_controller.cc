@@ -1,6 +1,7 @@
 #include "baseline_controller.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_recorder.hh"
 
 namespace specfaas {
 
@@ -16,7 +17,10 @@ BaselineController::BaselineController(Simulation& sim, Cluster& cluster,
 {
 }
 
-BaselineController::~BaselineController() = default;
+BaselineController::~BaselineController()
+{
+    counters_.mergeInto(obs::counters());
+}
 
 const FlowProgram&
 BaselineController::compiled(const Application& app)
@@ -43,8 +47,19 @@ BaselineController::invoke(const Application& app, Value input,
         rejected.submittedAt = sim_.now();
         rejected.completedAt = sim_.now();
         rejected.rejected = true;
+        ++ctrRejections_;
+        if (auto& tr = obs::trace(); tr.enabled()) {
+            tr.instant(obs::cat::kBaseline, "reject", sim_.now(),
+                       obs::kControlPlanePid, id, {{"app", app.name}});
+        }
         done(std::move(rejected));
         return;
+    }
+
+    ++ctrInvocations_;
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.instant(obs::cat::kBaseline, "invoke", sim_.now(),
+                   obs::kControlPlanePid, id, {{"app", app.name}});
     }
 
     auto inv = std::make_unique<Invocation>();
@@ -93,6 +108,12 @@ BaselineController::dispatch(Invocation& inv, FlowIndex idx, Value input,
     spec.preOverhead = cluster_.config().platformOverhead;
     spec.controllerService = cluster_.config().baselineLaunchService;
     ++inv.liveInstances;
+    ++ctrDispatches_;
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.instant(obs::cat::kBaseline, "dispatch", sim_.now(),
+                   obs::kControlPlanePid, inv.result.id,
+                   {{"function", fname}});
+    }
     launcher_.launch(std::move(spec));
 }
 
@@ -178,6 +199,11 @@ BaselineController::stepFlow(Invocation& inv, const InstancePtr& inst,
     // worker launch: the Transfer Function Overhead of Fig. 3.
     const Tick transfer = cluster_.config().conductorOverhead;
     inv.result.transferOverhead += transfer;
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.instant(obs::cat::kBaseline, "conductor", sim_.now(),
+                   obs::kControlPlanePid, inv.result.id,
+                   {{"after", inst->def->name}});
+    }
     const InvocationId id = inv.result.id;
     sim_.events().schedule(transfer, [this, id, next, carry,
                                       next_order]() mutable {
@@ -200,6 +226,7 @@ BaselineController::completed(const InstancePtr& inst, Value output)
     }
 
     // Accounting.
+    ++ctrCompletions_;
     ++inv.result.functionsExecuted;
     inv.sequence.emplace_back(inst->order, inst->def->name);
     inv.result.containerCreation += inst->containerCreationTime;

@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "cluster/cluster.hh"
+#include "obs/counter_registry.hh"
 #include "runtime/engine.hh"
 #include "runtime/hooks.hh"
 #include "runtime/interpreter.hh"
@@ -49,6 +50,9 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
                 std::function<void(InvocationResult)> done) override;
 
     std::string name() const override { return "baseline"; }
+
+    /** Engine-local tallies (merged into the global set on teardown). */
+    const obs::CounterRegistry& counters() const { return counters_; }
 
     /** @{ RuntimeHooks (called by the interpreter). */
     void storageGet(const InstancePtr& inst, const std::string& key,
@@ -117,6 +121,12 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
     /** Implicit-callee return continuations, keyed by callee id. */
     std::unordered_map<InstanceId, std::function<void(Value)>>
         callReturns_;
+
+    obs::CounterRegistry counters_;
+    std::uint64_t& ctrInvocations_ = counters_.counter("baseline.invocations");
+    std::uint64_t& ctrRejections_ = counters_.counter("baseline.rejections");
+    std::uint64_t& ctrDispatches_ = counters_.counter("baseline.dispatches");
+    std::uint64_t& ctrCompletions_ = counters_.counter("baseline.completions");
 };
 
 } // namespace specfaas

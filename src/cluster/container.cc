@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/counter_registry.hh"
+#include "obs/trace_recorder.hh"
 
 namespace specfaas {
 
@@ -11,6 +13,12 @@ ContainerPool::ContainerPool(Simulation& sim, std::vector<Node*> nodes,
     : sim_(sim), nodes_(std::move(nodes)), config_(config)
 {
     SPECFAAS_ASSERT(!nodes_.empty(), "container pool with no nodes");
+}
+
+ContainerPool::~ContainerPool()
+{
+    obs::counters().add("cluster.cold_starts", coldStarts_);
+    obs::counters().add("cluster.warm_starts", warmStarts_);
 }
 
 Node&
@@ -42,6 +50,12 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
         pool.warm.pop_front();
         c->busy = true;
         ++warmStarts_;
+        if (auto& tr = obs::trace(); tr.enabled()) {
+            tr.instant(obs::cat::kContainer, "warm-start", sim_.now(),
+                       obs::nodePid(c->node),
+                       obs::kContainerTidBase + c->id,
+                       {{"function", function}});
+        }
         AcquireTiming timing;
         timing.handlerFork = config_.handlerForkOverhead;
         sim_.events().schedule(timing.handlerFork,
@@ -66,10 +80,32 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
     timing.containerCreation = config_.containerCreation;
     timing.runtimeSetup = config_.runtimeSetup;
     timing.handlerFork = config_.handlerForkOverhead;
-    sim_.events().schedule(timing.total(),
-                           [c, timing, cb = std::move(done)]() {
-                               cb(*c, timing);
-                           });
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.begin(obs::cat::kContainer, "cold-start", sim_.now(),
+                 obs::nodePid(c->node), obs::kContainerTidBase + c->id,
+                 {{"function", function},
+                  {"container_creation_us",
+                   strFormat("%lld", static_cast<long long>(
+                                         timing.containerCreation)),
+                   true},
+                  {"runtime_setup_us",
+                   strFormat("%lld", static_cast<long long>(
+                                         timing.runtimeSetup)),
+                   true},
+                  {"handler_fork_us",
+                   strFormat("%lld", static_cast<long long>(
+                                         timing.handlerFork)),
+                   true}});
+    }
+    sim_.events().schedule(
+        timing.total(), [this, c, timing, cb = std::move(done)]() {
+            if (auto& tr = obs::trace(); tr.enabled()) {
+                tr.end(obs::cat::kContainer, "cold-start", sim_.now(),
+                       obs::nodePid(c->node),
+                       obs::kContainerTidBase + c->id);
+            }
+            cb(*c, timing);
+        });
 }
 
 void

@@ -70,6 +70,9 @@ class ContainerPool
     ContainerPool(Simulation& sim, std::vector<Node*> nodes,
                   const ClusterConfig& config);
 
+    /** Folds cold/warm start totals into the global counters. */
+    ~ContainerPool();
+
     /**
      * Acquire a container for @p function. Completes asynchronously:
      * immediately (plus handler fork time) when a warm container is

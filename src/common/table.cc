@@ -1,6 +1,7 @@
 #include "table.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "logging.hh"
@@ -99,6 +100,14 @@ std::string
 fmtPercent(double frac, int precision)
 {
     return strFormat("%.*f%%", precision, frac * 100.0);
+}
+
+std::string
+fmtPercentOrDash(double frac, int precision)
+{
+    if (std::isnan(frac))
+        return "–";
+    return fmtPercent(frac, precision);
 }
 
 std::string

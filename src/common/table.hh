@@ -54,6 +54,13 @@ std::string fmtRatio(double v, int precision = 1);
 /** Format a fraction as a percentage like "58.7%". */
 std::string fmtPercent(double frac, int precision = 1);
 
+/**
+ * Like fmtPercent, but renders NaN as an en-dash "–" — used for
+ * rates that are undefined rather than zero (e.g. branch hit rate
+ * when no prediction was made).
+ */
+std::string fmtPercentOrDash(double frac, int precision = 1);
+
 /** Format a millisecond quantity like "387.2 ms". */
 std::string fmtMs(double ms, int precision = 1);
 

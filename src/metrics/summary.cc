@@ -1,5 +1,7 @@
 #include "summary.hh"
 
+#include <limits>
+
 #include "common/stats_util.hh"
 
 namespace specfaas {
@@ -75,8 +77,11 @@ summarize(const std::vector<InvocationResult>& results)
     s.meanFunctions = functions / n;
     s.meanSquashes = squashes / n;
     s.meanSpeculativeLaunches = spec / n;
+    // NaN (the field's default) when no prediction was made: a
+    // fabricated 1.0 here showed up as a perfect hit rate in baseline
+    // runs and speculation-off sweeps.
     s.branchHitRate = predictions == 0
-                          ? 1.0
+                          ? std::numeric_limits<double>::quiet_NaN()
                           : static_cast<double>(hits) /
                                 static_cast<double>(predictions);
     s.perFunctionBreakdown = meanBreakdown(results);

@@ -8,6 +8,7 @@
 #ifndef SPECFAAS_METRICS_SUMMARY_HH
 #define SPECFAAS_METRICS_SUMMARY_HH
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -45,7 +46,9 @@ struct RunSummary
     double meanFunctions = 0.0;
     double meanSquashes = 0.0;
     double meanSpeculativeLaunches = 0.0;
-    double branchHitRate = 1.0;
+    /** hits/predictions; NaN when no prediction was made (render
+     * with fmtPercentOrDash). */
+    double branchHitRate = std::numeric_limits<double>::quiet_NaN();
     BreakdownMs perFunctionBreakdown;
 };
 

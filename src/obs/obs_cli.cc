@@ -1,0 +1,85 @@
+#include "obs_cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/counter_registry.hh"
+#include "obs/trace_export.hh"
+#include "obs/trace_recorder.hh"
+
+namespace specfaas::obs {
+
+namespace {
+
+/** Value of a "--flag=value" argument, or nullptr. */
+const char*
+flagValue(const char* arg, const char* flag)
+{
+    const std::size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) != 0 || arg[n] != '=')
+        return nullptr;
+    return arg + n + 1;
+}
+
+} // namespace
+
+ObsSession::ObsSession(int& argc, char** argv)
+{
+    std::size_t capacity = TraceRecorder::kDefaultCapacity;
+    int out = 1; // argv[0] always stays
+    for (int i = 1; i < argc; ++i) {
+        if (const char* v = flagValue(argv[i], "--trace-out")) {
+            traceOut_ = v;
+            continue;
+        }
+        if (const char* v = flagValue(argv[i], "--trace-capacity")) {
+            const auto n = static_cast<std::size_t>(
+                std::strtoull(v, nullptr, 10));
+            if (n == 0) {
+                std::fprintf(stderr,
+                             "obs: ignoring bad --trace-capacity=%s\n",
+                             v);
+            } else {
+                capacity = n;
+            }
+            continue;
+        }
+        if (std::strcmp(argv[i], "--counters") == 0) {
+            printCounters_ = true;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+
+    if (!traceOut_.empty())
+        trace().enable(capacity);
+}
+
+ObsSession::~ObsSession()
+{
+    if (!traceOut_.empty()) {
+        TraceRecorder& tr = trace();
+        tr.disable();
+        if (writeChromeTrace(tr, traceOut_)) {
+            std::printf("\ntrace: %zu events -> %s", tr.size(),
+                        traceOut_.c_str());
+            if (tr.dropped() > 0)
+                std::printf(" (%llu oldest dropped)",
+                            static_cast<unsigned long long>(
+                                tr.dropped()));
+            std::printf("\n");
+        } else {
+            std::fprintf(stderr, "trace: failed to write %s\n",
+                         traceOut_.c_str());
+        }
+    }
+    if (printCounters_) {
+        std::printf("\n-- counters --\n");
+        counters().printTable();
+    }
+}
+
+} // namespace specfaas::obs

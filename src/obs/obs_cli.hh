@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Command-line session wrapper for the observability layer.
+ *
+ * A bench binary declares one ObsSession at the top of main(); the
+ * constructor strips the observability flags out of argv (so existing
+ * positional-argument handling keeps working) and the destructor
+ * writes the trace file and prints the counter table after the run:
+ *
+ *     int main(int argc, char** argv) {
+ *         obs::ObsSession obs(argc, argv);
+ *         ...
+ *     }
+ *
+ * Recognized flags:
+ *   --trace-out=<file>   enable tracing; write a Chrome trace_event
+ *                        JSON file (load in chrome://tracing or
+ *                        https://ui.perfetto.dev) on exit
+ *   --trace-capacity=<n> ring capacity in events (default 1M)
+ *   --counters           print the global counter table on exit
+ */
+
+#ifndef SPECFAAS_OBS_OBS_CLI_HH
+#define SPECFAAS_OBS_OBS_CLI_HH
+
+#include <string>
+
+namespace specfaas::obs {
+
+/** Scoped enable/flush of tracing and counter printing for a main(). */
+class ObsSession
+{
+  public:
+    /**
+     * Parse and remove observability flags from @p argc / @p argv.
+     * Unrecognized arguments are left in place and keep their order.
+     */
+    ObsSession(int& argc, char** argv);
+
+    /** Flush: write the trace file and/or print counters. */
+    ~ObsSession();
+
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
+    /** Non-empty when --trace-out was given. */
+    const std::string& traceOut() const { return traceOut_; }
+
+    /** True when --counters was given. */
+    bool printCounters() const { return printCounters_; }
+
+  private:
+    std::string traceOut_;
+    bool printCounters_ = false;
+};
+
+} // namespace specfaas::obs
+
+#endif // SPECFAAS_OBS_OBS_CLI_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Typed trace events of the observability layer.
+ *
+ * Every interesting moment of a run — dispatch, branch prediction,
+ * speculative launch, memo hit, Data Buffer forward, validation,
+ * commit, squash, container cold-start — is recorded as one TraceEvent
+ * stamped with the simulated-tick clock. The taxonomy intentionally
+ * mirrors the Chrome trace_event format so exporting is a straight
+ * mapping: spans are Begin/End pairs, point events are Instants, and
+ * the (pid, tid) pair places an event on a track (one pid per node,
+ * one tid per container/invocation/instance).
+ */
+
+#ifndef SPECFAAS_OBS_TRACE_EVENT_HH
+#define SPECFAAS_OBS_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace specfaas::obs {
+
+/** Chrome trace_event phase of one event. */
+enum class Phase : char {
+    Begin = 'B',   ///< span start (paired with End on the same track)
+    End = 'E',     ///< span end
+    Instant = 'i', ///< point event
+};
+
+/** Well-known event categories (static strings, no allocation). */
+namespace cat {
+inline constexpr const char* kPlatform = "platform";
+inline constexpr const char* kLifecycle = "lifecycle";
+inline constexpr const char* kExec = "exec";
+inline constexpr const char* kContainer = "container";
+inline constexpr const char* kStorage = "storage";
+inline constexpr const char* kSpec = "spec";
+inline constexpr const char* kBaseline = "baseline";
+} // namespace cat
+
+/**
+ * Track ids. pid 0 is the control plane (controller/front-end); worker
+ * node n is pid n+1. tids are instance ids for function work,
+ * invocation ids for controller decisions, and container ids offset by
+ * kContainerTidBase for container provisioning.
+ */
+inline constexpr std::uint64_t kControlPlanePid = 0;
+inline constexpr std::uint64_t kContainerTidBase = 1'000'000'000ull;
+
+inline constexpr std::uint64_t
+nodePid(std::uint32_t node)
+{
+    return static_cast<std::uint64_t>(node) + 1;
+}
+
+/** One key/value annotation attached to an event. */
+struct TraceArg
+{
+    std::string key;
+    std::string value;
+    /** Render as a bare number instead of a JSON string. */
+    bool numeric = false;
+};
+
+/** One recorded event. */
+struct TraceEvent
+{
+    Phase phase = Phase::Instant;
+    const char* category = cat::kPlatform;
+    std::string name;
+    /** Simulated time, in Ticks (µs) — maps directly to trace "ts". */
+    Tick ts = 0;
+    std::uint64_t pid = kControlPlanePid;
+    std::uint64_t tid = 0;
+    std::vector<TraceArg> args;
+};
+
+} // namespace specfaas::obs
+
+#endif // SPECFAAS_OBS_TRACE_EVENT_HH

@@ -1,0 +1,135 @@
+#include "trace_export.hh"
+
+#include <cstdio>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace specfaas::obs {
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20)
+                out += strFormat("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+appendArgs(std::string& out, const std::vector<TraceArg>& args)
+{
+    out += "\"args\":{";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += '"';
+        out += jsonEscape(args[i].key);
+        out += "\":";
+        if (args[i].numeric) {
+            out += args[i].value;
+        } else {
+            out += '"';
+            out += jsonEscape(args[i].value);
+            out += '"';
+        }
+    }
+    out += '}';
+}
+
+void
+appendEvent(std::string& out, const TraceEvent& e)
+{
+    out += strFormat("{\"ph\":\"%c\",\"cat\":\"%s\",\"name\":\"",
+                     static_cast<char>(e.phase), e.category);
+    out += jsonEscape(e.name);
+    out += strFormat("\",\"ts\":%lld,\"pid\":%llu,\"tid\":%llu,",
+                     static_cast<long long>(e.ts),
+                     static_cast<unsigned long long>(e.pid),
+                     static_cast<unsigned long long>(e.tid));
+    appendArgs(out, e.args);
+    out += '}';
+}
+
+void
+appendProcessName(std::string& out, std::uint64_t pid,
+                  const std::string& name)
+{
+    out += strFormat("{\"ph\":\"M\",\"name\":\"process_name\","
+                     "\"pid\":%llu,\"tid\":0,\"args\":{\"name\":\"",
+                     static_cast<unsigned long long>(pid));
+    out += jsonEscape(name);
+    out += "\"}}";
+}
+
+} // namespace
+
+std::string
+toChromeTraceJson(const std::vector<TraceEvent>& events)
+{
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+    std::set<std::uint64_t> pids;
+    for (const auto& e : events)
+        pids.insert(e.pid);
+    bool first = true;
+    for (std::uint64_t pid : pids) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendProcessName(out, pid,
+                          pid == kControlPlanePid
+                              ? "control-plane"
+                              : strFormat("node-%llu",
+                                          static_cast<unsigned long long>(
+                                              pid - 1)));
+    }
+    for (const auto& e : events) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendEvent(out, e);
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+writeChromeTrace(const TraceRecorder& recorder, const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string json = toChromeTraceJson(recorder.snapshot());
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+                    json.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace specfaas::obs

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Chrome trace_event JSON exporter.
+ *
+ * Serializes recorded events into the JSON Array Format understood by
+ * chrome://tracing and Perfetto (ui.perfetto.dev): each event becomes
+ * one object with ph/cat/name/ts/pid/tid/args, plus process_name
+ * metadata events naming the control plane and worker-node tracks.
+ * Timestamps are already in microseconds (1 Tick = 1 µs), the unit the
+ * format expects.
+ */
+
+#ifndef SPECFAAS_OBS_TRACE_EXPORT_HH
+#define SPECFAAS_OBS_TRACE_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.hh"
+#include "obs/trace_recorder.hh"
+
+namespace specfaas::obs {
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string& s);
+
+/** Render @p events as a Chrome trace_event JSON document. */
+std::string toChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/**
+ * Write @p recorder's buffered events to @p path as Chrome trace
+ * JSON. @return false when the file cannot be opened.
+ */
+bool writeChromeTrace(const TraceRecorder& recorder,
+                      const std::string& path);
+
+} // namespace specfaas::obs
+
+#endif // SPECFAAS_OBS_TRACE_EXPORT_HH

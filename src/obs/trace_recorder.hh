@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bounded in-memory recorder of trace events.
+ *
+ * The recorder is disabled by default and costs one branch per call
+ * site while disabled — call sites must guard any argument
+ * construction behind enabled() so a non-traced run does no string
+ * work at all:
+ *
+ *     auto& tr = obs::trace();
+ *     if (tr.enabled())
+ *         tr.instant(obs::cat::kSpec, "squash", now, pid, tid,
+ *                    {{"reason", "control-mispredict"}});
+ *
+ * Storage is a fixed-capacity ring buffer: when full, the oldest
+ * events are overwritten and dropped() counts the loss, so tracing a
+ * long run keeps the tail (the interesting part when debugging how a
+ * run ended) at a bounded memory cost.
+ *
+ * A process-global instance (obs::trace()) is what the engine layers
+ * record into; standalone instances are used by tests.
+ */
+
+#ifndef SPECFAAS_OBS_TRACE_RECORDER_HH
+#define SPECFAAS_OBS_TRACE_RECORDER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace_event.hh"
+
+namespace specfaas::obs {
+
+/** Ring-buffered trace-event recorder. */
+class TraceRecorder
+{
+  public:
+    /** Default ring capacity (events). */
+    static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+    /** Start recording into a fresh ring of @p capacity events. */
+    void enable(std::size_t capacity = kDefaultCapacity);
+
+    /** Stop recording (buffered events are kept until clear()). */
+    void disable() { enabled_ = false; }
+
+    /** True while events are being recorded. Hot-path check. */
+    bool enabled() const { return enabled_; }
+
+    /** Drop all buffered events and reset the dropped counter. */
+    void clear();
+
+    /** Record one event (no-op when disabled). */
+    void record(TraceEvent ev);
+
+    /** @{ Convenience emitters. */
+    void begin(const char* category, std::string name, Tick ts,
+               std::uint64_t pid, std::uint64_t tid,
+               std::vector<TraceArg> args = {});
+    void end(const char* category, std::string name, Tick ts,
+             std::uint64_t pid, std::uint64_t tid,
+             std::vector<TraceArg> args = {});
+    void instant(const char* category, std::string name, Tick ts,
+                 std::uint64_t pid, std::uint64_t tid,
+                 std::vector<TraceArg> args = {});
+    /** @} */
+
+    /** Buffered events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Number of currently buffered events. */
+    std::size_t size() const { return size_; }
+
+    /** Ring capacity (0 until enable()). */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+  private:
+    bool enabled_ = false;
+    std::size_t capacity_ = 0;
+    std::size_t head_ = 0; ///< next write position
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::vector<TraceEvent> ring_;
+};
+
+/** The process-global recorder the engine layers record into. */
+TraceRecorder& trace();
+
+} // namespace specfaas::obs
+
+#endif // SPECFAAS_OBS_TRACE_RECORDER_HH

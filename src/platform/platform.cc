@@ -1,6 +1,7 @@
 #include "platform.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_recorder.hh"
 
 namespace specfaas {
 
@@ -42,6 +43,20 @@ void
 FaasPlatform::invoke(const Application& app, Value input,
                      std::function<void(InvocationResult)> done)
 {
+    if (obs::trace().enabled()) {
+        obs::trace().instant(obs::cat::kPlatform, "request", sim_.now(),
+                             obs::kControlPlanePid, 0,
+                             {{"app", app.name},
+                              {"engine", engine_->name()}});
+        done = [this, done = std::move(done)](InvocationResult r) {
+            obs::trace().instant(
+                obs::cat::kPlatform, "response", sim_.now(),
+                obs::kControlPlanePid, r.id,
+                {{"app", r.app},
+                 {"rejected", r.rejected ? "1" : "0", true}});
+            done(std::move(r));
+        };
+    }
     engine_->invoke(app, std::move(input), std::move(done));
 }
 

@@ -35,6 +35,24 @@ orderKeyToString(const OrderKey& key)
     return out;
 }
 
+const char*
+squashReasonName(SquashReason reason)
+{
+    switch (reason) {
+    case SquashReason::None:
+        return "none";
+    case SquashReason::ControlMispredict:
+        return "control-mispredict";
+    case SquashReason::DataMispredict:
+        return "data-mispredict";
+    case SquashReason::BufferViolation:
+        return "buffer-violation";
+    case SquashReason::CascadedFromPredecessor:
+        return "cascaded";
+    }
+    return "?";
+}
+
 std::string
 FunctionInstance::label() const
 {

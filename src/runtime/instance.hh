@@ -70,6 +70,9 @@ enum class SquashReason {
     CascadedFromPredecessor,
 };
 
+/** Stable string for a SquashReason (trace/table output). */
+const char* squashReasonName(SquashReason reason);
+
 /** Interpreter progress of one instance. */
 enum class InstanceState {
     /** Waiting for a container / launch overheads. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace_recorder.hh"
 
 namespace specfaas {
 
@@ -19,6 +20,12 @@ Interpreter::start(const InstancePtr& inst)
     inst->state = InstanceState::Running;
     inst->startedAt = sim_.now();
     inst->pc = 0;
+    // Execution span on the node the handler landed on.
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.begin(obs::cat::kExec, inst->def->name, sim_.now(),
+                 obs::nodePid(inst->node), inst->id,
+                 {{"order", orderKeyToString(inst->order)}});
+    }
     step(inst);
 }
 
@@ -56,6 +63,12 @@ Interpreter::step(const InstancePtr& inst)
     inst->output = inst->def->output ? inst->def->output(inst->env)
                                      : inst->env.input;
     inst->ownFiles.clear(); // temp files are discarded (§VI)
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.end(obs::cat::kExec, inst->def->name, sim_.now(),
+               obs::nodePid(inst->node), inst->id);
+        tr.end(obs::cat::kLifecycle, inst->def->name, sim_.now(),
+               obs::kControlPlanePid, inst->id);
+    }
     hooks_.completed(inst, inst->output);
 }
 
@@ -81,6 +94,11 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
       }
       case Op::Kind::StorageRead: {
         const std::string key = op.key(inst->env);
+        if (auto& tr = obs::trace(); tr.enabled()) {
+            tr.instant(obs::cat::kStorage, "storage-read", sim_.now(),
+                       obs::nodePid(inst->node), inst->id,
+                       {{"key", key}});
+        }
         hooks_.storageGet(inst, key,
                           [this, inst, epoch, var = op.var](Value v) {
                               if (!fresh(inst, epoch))
@@ -94,6 +112,11 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
       case Op::Kind::StorageWrite: {
         const std::string key = op.key(inst->env);
         Value v = op.value(inst->env);
+        if (auto& tr = obs::trace(); tr.enabled()) {
+            tr.instant(obs::cat::kStorage, "storage-write", sim_.now(),
+                       obs::nodePid(inst->node), inst->id,
+                       {{"key", key}});
+        }
         hooks_.storagePut(inst, key, std::move(v),
                           [this, inst, epoch]() {
                               if (!fresh(inst, epoch))
@@ -186,6 +209,35 @@ Interpreter::squash(const InstancePtr& inst, SquashPolicy policy)
     const ComputeTaskId task = inst->activeTask;
     Container* container = inst->container;
     Node& node = cluster_.node(inst->node);
+
+    // Close any spans the dead incarnation left open so the trace
+    // stays balanced: the exec span if the body was still running,
+    // and the lifecycle span unless completion already closed it.
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        const bool executing =
+            inst->state == InstanceState::Running ||
+            inst->state == InstanceState::StalledSideEffect ||
+            inst->state == InstanceState::StalledRead ||
+            inst->state == InstanceState::StalledCallee;
+        if (executing) {
+            tr.end(obs::cat::kExec, inst->def->name, sim_.now(),
+                   obs::nodePid(inst->node), inst->id,
+                   {{"squashed", "1", true}});
+        }
+        if (inst->state != InstanceState::Completed) {
+            tr.end(obs::cat::kLifecycle, inst->def->name, sim_.now(),
+                   obs::kControlPlanePid, inst->id,
+                   {{"squashed", "1", true},
+                    {"reason", squashReasonName(inst->squashReason)}});
+        } else {
+            // Completed-but-uncommitted work still vanishes; record
+            // the kill as an instant since both spans are closed.
+            tr.instant(obs::cat::kLifecycle, "squash-completed",
+                       sim_.now(), obs::kControlPlanePid, inst->id,
+                       {{"reason",
+                         squashReasonName(inst->squashReason)}});
+        }
+    }
 
     // CPU the Lazy policy will keep burning in the background: every
     // compute burst from the current op to the end of the body.

@@ -1,8 +1,27 @@
 #include "launcher.hh"
 
 #include "common/logging.hh"
+#include "obs/trace_recorder.hh"
 
 namespace specfaas {
+
+namespace {
+
+const char*
+inputSourceName(InputSource source)
+{
+    switch (source) {
+    case InputSource::Actual:
+        return "actual";
+    case InputSource::Memoized:
+        return "memoized";
+    case InputSource::Inherited:
+        return "inherited";
+    }
+    return "?";
+}
+
+} // namespace
 
 Launcher::Launcher(Simulation& sim, Cluster& cluster,
                    const FunctionRegistry& registry, Interpreter& interp)
@@ -28,6 +47,20 @@ Launcher::launch(LaunchSpec spec)
     inst->launchedAt = sim_.now();
     inst->platformOverheadTime = spec.preOverhead;
     inst->jitterRng = sim_.forkRng();
+
+    // Lifecycle span: launch → completion (or squash). Closed by the
+    // interpreter so both engines share one emission point.
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.begin(obs::cat::kLifecycle, inst->def->name, sim_.now(),
+                 obs::kControlPlanePid, inst->id,
+                 {{"order", orderKeyToString(inst->order)},
+                  {"invocation",
+                   strFormat("%llu", static_cast<unsigned long long>(
+                                         inst->invocation))},
+                  {"input", inputSourceName(inst->inputSource)},
+                  {"control_speculative",
+                   inst->controlSpeculative ? "1" : "0", true}});
+    }
 
     const std::uint64_t epoch = inst->epoch;
     // The launch holds a controller thread for the service time; any

@@ -20,21 +20,21 @@ EventQueue::scheduleAt(Tick when, Callback cb)
                     static_cast<long long>(now_));
     const EventId id = nextId_++;
     queue_.push(Entry{when, nextSeq_++, id, std::move(cb)});
+    states_.push_back(State::Pending);
     return id;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == 0 || id >= nextId_)
+    if (id == 0 || id >= nextId_ ||
+        states_[id - 1] != State::Pending)
         return false;
     // Lazily cancelled: the entry stays in the heap and is skipped
-    // when popped. The set is pruned as entries surface.
-    auto [it, inserted] = cancelled_.insert(id);
-    (void)it;
-    if (inserted)
-        ++cancelledPending_;
-    return inserted;
+    // when popped.
+    states_[id - 1] = State::Cancelled;
+    ++cancelledPending_;
+    return true;
 }
 
 bool
@@ -55,14 +55,14 @@ EventQueue::runOne()
         Callback cb = std::move(top.cb);
         queue_.pop();
 
-        auto it = cancelled_.find(id);
-        if (it != cancelled_.end()) {
-            cancelled_.erase(it);
+        if (states_[id - 1] == State::Cancelled) {
+            states_[id - 1] = State::Done;
             --cancelledPending_;
             continue;
         }
 
         now_ = when;
+        states_[id - 1] = State::Done;
         ++executed_;
         cb();
         return true;
@@ -83,8 +83,8 @@ EventQueue::runUntil(Tick until)
     SPECFAAS_ASSERT(until >= now_, "runUntil into the past");
     while (!queue_.empty()) {
         const auto& top = queue_.top();
-        if (cancelled_.count(top.id)) {
-            cancelled_.erase(top.id);
+        if (states_[top.id - 1] == State::Cancelled) {
+            states_[top.id - 1] = State::Done;
             --cancelledPending_;
             queue_.pop();
             continue;

@@ -13,9 +13,9 @@
 #define SPECFAAS_SIM_EVENT_QUEUE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.hh"
@@ -100,12 +100,23 @@ class EventQueue
         }
     };
 
+    /**
+     * Lifecycle of one scheduled id. Stored densely (ids are
+     * monotonic from 1), so schedule/cancel/fire cost a byte access
+     * instead of hash-set operations on the hot path. One byte per
+     * event ever scheduled, bounded by the simulation's lifetime.
+     * Only Pending ids are cancellable: accepting an already-fired
+     * (or already-cancelled) id would grow cancelledPending_ with no
+     * matching heap entry and underflow pendingCount().
+     */
+    enum class State : std::uint8_t { Pending, Cancelled, Done };
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     EventId nextId_ = 1;
     std::uint64_t executed_ = 0;
     std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-    std::unordered_set<EventId> cancelled_;
+    std::vector<State> states_; ///< indexed by id - 1
     std::size_t cancelledPending_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "branch_predictor.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -89,7 +90,10 @@ BranchPredictor::update(const std::string& branch, std::uint64_t path,
         ++e.counts[outcome];
         ++e.total;
     };
-    bump(table_[key(branch, path)]);
+    // Path 0 IS the aggregate entry: bumping both would double-count
+    // it, crossing minSamples_ in half the real samples.
+    if (path != 0)
+        bump(table_[key(branch, path)]);
     bump(table_[key(branch, 0)]); // path-agnostic aggregate
 }
 
@@ -104,8 +108,10 @@ BranchPredictor::notePrediction(bool correct)
 double
 BranchPredictor::hitRate() const
 {
+    // No predictions means no measurable accuracy: returning 1.0 here
+    // fabricated a 100% hit rate in runs with speculation disabled.
     return predictions_ == 0
-               ? 1.0
+               ? std::nan("")
                : static_cast<double>(hits_) /
                      static_cast<double>(predictions_);
 }

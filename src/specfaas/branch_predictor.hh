@@ -69,6 +69,7 @@ class BranchPredictor
     void notePrediction(bool correct);
     std::uint64_t predictions() const { return predictions_; }
     std::uint64_t hits() const { return hits_; }
+    /** hits/predictions; NaN when no prediction was ever made. */
     double hitRate() const;
     /** @} */
 

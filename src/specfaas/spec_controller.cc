@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace_recorder.hh"
 
 namespace specfaas {
 
@@ -50,7 +51,28 @@ SpecController::SpecController(Simulation& sim, Cluster& cluster,
 {
 }
 
-SpecController::~SpecController() = default;
+SpecController::~SpecController()
+{
+    // Aggregate into the process-global registry so a bench binary
+    // can print totals across every platform it constructed.
+    counters_.mergeInto(obs::counters());
+}
+
+SpecStats
+SpecController::stats() const
+{
+    SpecStats s;
+    s.speculativeLaunches = ctrSpeculativeLaunches_;
+    s.squashes = ctrSquashes_;
+    s.controlMispredicts = ctrControlMispredicts_;
+    s.dataMispredicts = ctrDataMispredicts_;
+    s.bufferViolations = ctrBufferViolations_;
+    s.stalledReads = ctrStalledReads_;
+    s.deferredSideEffects = ctrDeferredSideEffects_;
+    s.commits = ctrCommits_;
+    s.pureSkips = ctrPureSkips_;
+    return s;
+}
 
 const FlowProgram&
 SpecController::compiled(const Application& app)
@@ -131,8 +153,18 @@ SpecController::invoke(const Application& app, Value input,
         rejected.submittedAt = sim_.now();
         rejected.completedAt = sim_.now();
         rejected.rejected = true;
+        if (auto& tr = obs::trace(); tr.enabled()) {
+            tr.instant(obs::cat::kSpec, "reject", sim_.now(),
+                       obs::kControlPlanePid, id,
+                       {{"app", app.name}});
+        }
         done(std::move(rejected));
         return;
+    }
+
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.instant(obs::cat::kSpec, "invoke", sim_.now(),
+                   obs::kControlPlanePid, id, {{"app", app.name}});
     }
 
     auto inv = std::make_unique<SpecInvocation>();
@@ -236,8 +268,20 @@ SpecController::launchSlot(SpecInvocation& inv, Frontier& f,
     inv.byInstance[slot.inst->id] = slot.order;
 
     if (speculative) {
-        ++stats_.speculativeLaunches;
+        ++ctrSpeculativeLaunches_;
         ++inv.result.speculativeLaunches;
+        if (auto& tr = obs::trace(); tr.enabled()) {
+            tr.instant(
+                obs::cat::kSpec, "speculative-launch", sim_.now(),
+                obs::kControlPlanePid, inv.result.id,
+                {{"function", node.function},
+                 {"order", orderKeyToString(f.order)},
+                 {"control", f.afterUnresolvedBranch ? "1" : "0",
+                  true},
+                 {"data",
+                  f.source != InputSource::Actual ? "1" : "0",
+                  true}});
+        }
     }
 
     auto [it, ok] = inv.slots.emplace(slot.order, std::move(slot));
@@ -307,8 +351,14 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
                     slot.output = row->output;
                     slot.pathHash = f.pathHash;
                     inv.slots.emplace(slot.order, std::move(slot));
-                    ++stats_.pureSkips;
+                    ++ctrPureSkips_;
                     ++inv.result.memoHits;
+                    if (auto& tr = obs::trace(); tr.enabled()) {
+                        tr.instant(obs::cat::kSpec, "pure-skip",
+                                   sim_.now(), obs::kControlPlanePid,
+                                   inv.result.id,
+                                   {{"function", node.function}});
+                    }
                     // Purity: input fully determines output, so the
                     // carry keeps its source and producer.
                     f.carry = row->output;
@@ -350,6 +400,14 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
                         memo_.table(node.function).lookup(slot.input);
                     if (row != nullptr)
                         predicted = &row->output;
+                }
+                if (auto& tr = obs::trace(); tr.enabled()) {
+                    tr.instant(obs::cat::kSpec,
+                               predicted != nullptr ? "memo-hit"
+                                                    : "memo-miss",
+                               sim_.now(), obs::kControlPlanePid,
+                               inv.result.id,
+                               {{"function", node.function}});
                 }
                 if (predicted != nullptr) {
                     // Data speculation: feed the memoized output to
@@ -403,6 +461,13 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
                 hint->second.input == slot.input) {
                 slot.predictionMade = true;
                 slot.predictedTarget = hint->second.target;
+                if (auto& tr = obs::trace(); tr.enabled()) {
+                    tr.instant(obs::cat::kSpec, "branch-predict",
+                               sim_.now(), obs::kControlPlanePid,
+                               inv.result.id,
+                               {{"function", node.function},
+                                {"source", "replay-hint"}});
+                }
                 f.flowIdx = slot.predictedTarget;
                 f.afterUnresolvedBranch = true;
                 f.order = increment(f.order);
@@ -420,6 +485,18 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
             if (pred && pred->target < node.targets.size()) {
                 slot.predictionMade = true;
                 slot.predictedTarget = node.targets[pred->target];
+                if (auto& tr = obs::trace(); tr.enabled()) {
+                    tr.instant(
+                        obs::cat::kSpec, "branch-predict", sim_.now(),
+                        obs::kControlPlanePid, inv.result.id,
+                        {{"function", node.function},
+                         {"source", "predictor"},
+                         {"target", std::to_string(pred->target),
+                          true},
+                         {"probability",
+                          strFormat("%.3f", pred->probability),
+                          true}});
+                }
                 // Branch targets inherit the branch's input (§II-A):
                 // carry, source and producer stay unchanged.
                 f.flowIdx = slot.predictedTarget;
@@ -564,6 +641,13 @@ std::size_t
 SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
                             SquashReason reason)
 {
+    // Cascade linkage: a squash issued while this one is being
+    // processed (e.g. by a relaunch below) records this one as its
+    // parent, so the trace shows recursive squashes as a chain.
+    const std::uint64_t parentSquash = activeSquashId_;
+    const std::uint64_t squashId = nextSquashId_++;
+    activeSquashId_ = squashId;
+
     struct Relaunch
     {
         InstancePtr caller;
@@ -606,8 +690,10 @@ SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
             if (inv.buffer->hasColumn(s.inst->id))
                 inv.buffer->invalidateColumn(s.inst->id);
             inv.byInstance.erase(s.inst->id);
-            interp_.squash(s.inst, config_.squashPolicy);
+            // Reason first: the interpreter's squash trace events
+            // carry it.
             s.inst->squashReason = reason;
+            interp_.squash(s.inst, config_.squashPolicy);
             if (config_.squashPolicy == SquashPolicy::ContainerKill)
                 ++inv.containerKillDebt;
         }
@@ -622,9 +708,22 @@ SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
                 ++pit;
         }
 
-        ++stats_.squashes;
+        ++ctrSquashes_;
         ++inv.result.squashes;
         inv.slots.erase(*vit);
+    }
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        std::vector<obs::TraceArg> args = {
+            {"reason", squashReasonName(reason)},
+            {"from", orderKeyToString(from)},
+            {"victims", std::to_string(victims.size()), true},
+            {"id", std::to_string(squashId), true}};
+        if (parentSquash != 0)
+            args.push_back(
+                {"parent", std::to_string(parentSquash), true});
+        tr.instant(obs::cat::kSpec, "squash", sim_.now(),
+                   obs::kControlPlanePid, inv.result.id,
+                   std::move(args));
     }
     SPECFAAS_ASSERT(inv.result.squashes < 20000,
                     "runaway squash loop:\n%s", debugDump().c_str());
@@ -650,6 +749,7 @@ SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
                          std::move(r.input), InputSource::Actual, false,
                          std::move(r.returnTo));
     }
+    activeSquashId_ = parentSquash;
     return victims.size();
 }
 
@@ -686,7 +786,14 @@ SpecController::completed(const InstancePtr& inst, Value output)
             continue;
         if (git->second.callPredictionMade)
             bp_.notePrediction(false);
-        ++stats_.controlMispredicts;
+        ++ctrControlMispredicts_;
+        if (auto& tr = obs::trace(); tr.enabled()) {
+            tr.instant(obs::cat::kSpec, "validate", sim_.now(),
+                       obs::kControlPlanePid, inv.result.id,
+                       {{"kind", "call"},
+                        {"function", git->second.function},
+                        {"correct", "0", true}});
+        }
         // Readers that consumed the garbage callee's buffered writes
         // consumed phantom data: squash from the earliest such
         // reader as well.
@@ -739,8 +846,17 @@ SpecController::onExplicitComplete(SpecInvocation& inv, Slot& slot)
         if (slot.predictionMade) {
             slot.predictionCorrect =
                 slot.actualTarget == slot.predictedTarget;
+            if (auto& tr = obs::trace(); tr.enabled()) {
+                tr.instant(obs::cat::kSpec, "validate", sim_.now(),
+                           obs::kControlPlanePid, inv.result.id,
+                           {{"kind", "control"},
+                            {"function", slot.function},
+                            {"correct",
+                             slot.predictionCorrect ? "1" : "0",
+                             true}});
+            }
             if (!slot.predictionCorrect) {
-                ++stats_.controlMispredicts;
+                ++ctrControlMispredicts_;
                 Frontier f;
                 f.flowIdx = slot.actualTarget;
                 f.carry = slot.input;
@@ -768,13 +884,24 @@ SpecController::onExplicitComplete(SpecInvocation& inv, Slot& slot)
         }
     } else {
         if (slot.outputFedForward) {
+            if (auto& tr = obs::trace(); tr.enabled()) {
+                tr.instant(
+                    obs::cat::kSpec, "validate", sim_.now(),
+                    obs::kControlPlanePid, inv.result.id,
+                    {{"kind", "data"},
+                     {"function", slot.function},
+                     {"correct",
+                      slot.output == slot.memoPredictedOutput ? "1"
+                                                              : "0",
+                      true}});
+            }
             if (slot.output != slot.memoPredictedOutput) {
                 // Data misprediction (§V-B): successors consumed a
                 // stale memoized output. Any frontier parked on this
                 // producer (e.g. a join arm) is superseded by the
                 // rewind below.
                 inv.blocked.erase(slot.order);
-                ++stats_.dataMispredicts;
+                ++ctrDataMispredicts_;
                 Frontier f;
                 f.flowIdx = node.next;
                 f.carry = slot.output;
@@ -931,7 +1058,14 @@ SpecController::flushPendingCommit(SpecInvocation& inv,
         inv.result.platformOverhead += p.inst->platformOverheadTime;
         inv.result.execution += p.inst->execTime;
     }
-    ++stats_.commits;
+    ++ctrCommits_;
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.instant(obs::cat::kSpec, "commit", sim_.now(),
+                   obs::kControlPlanePid, inv.result.id,
+                   {{"function", p.function},
+                    {"order", orderKeyToString(p.order)},
+                    {"merged", "1", true}});
+    }
 }
 
 void
@@ -946,7 +1080,13 @@ SpecController::commitSlot(SpecInvocation& inv, Slot& slot)
     slot.pending.clear();
     updateTablesAtCommit(inv, slot);
     accountCommitted(inv, slot);
-    ++stats_.commits;
+    ++ctrCommits_;
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.instant(obs::cat::kSpec, "commit", sim_.now(),
+                   obs::kControlPlanePid, inv.result.id,
+                   {{"function", slot.function},
+                    {"order", orderKeyToString(slot.order)}});
+    }
     if (slot.inst) {
         slot.inst->state = InstanceState::Committed;
         inv.byInstance.erase(slot.inst->id);
@@ -1133,6 +1273,11 @@ SpecController::performRead(SpecInvocation& inv, const InstancePtr& inst,
 {
     BufferReadResult r = inv.buffer->read(inst->id, key);
     if (r.forwarded) {
+        if (auto& tr = obs::trace(); tr.enabled()) {
+            tr.instant(obs::cat::kSpec, "buffer-forward", sim_.now(),
+                       obs::kControlPlanePid, inv.result.id,
+                       {{"function", inst->def->name}, {"key", key}});
+        }
         // Served by the Data Buffer on the controller node.
         sim_.events().schedule(
             cluster_.config().controllerMsgLatency,
@@ -1186,7 +1331,14 @@ SpecController::storageGet(const InstancePtr& inst, const std::string& key,
                     continue;
                 // Park until the producer writes or completes.
                 minimizer_.noteStall();
-                ++stats_.stalledReads;
+                ++ctrStalledReads_;
+                if (auto& tr = obs::trace(); tr.enabled()) {
+                    tr.instant(obs::cat::kSpec, "stall-read",
+                               sim_.now(), obs::kControlPlanePid,
+                               inv.result.id,
+                               {{"function", inst->def->name},
+                                {"key", key}});
+                }
                 inst->state = InstanceState::StalledRead;
                 inv.parkedReads.push_back(ParkedRead{
                     inst, inst->epoch, key, *producer,
@@ -1224,7 +1376,15 @@ SpecController::storagePut(const InstancePtr& inst, const std::string& key,
             }
         }
         if (!from.empty()) {
-            ++stats_.bufferViolations;
+            ++ctrBufferViolations_;
+            if (auto& tr = obs::trace(); tr.enabled()) {
+                tr.instant(obs::cat::kSpec, "buffer-violation",
+                           sim_.now(), obs::kControlPlanePid,
+                           inv.result.id,
+                           {{"writer", slot->function},
+                            {"reader", consumer},
+                            {"key", key}});
+            }
             minimizer_.recordSquash(slot->function, consumer, key);
 
             // Remember how to relaunch the squashed explicit region.
@@ -1292,7 +1452,12 @@ SpecController::httpRequest(const InstancePtr& inst,
         return;
     }
     // Deferred side effect (§VI): suspend until non-speculative.
-    ++stats_.deferredSideEffects;
+    ++ctrDeferredSideEffects_;
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.instant(obs::cat::kSpec, "defer-side-effect", sim_.now(),
+                   obs::kControlPlanePid, inv.result.id,
+                   {{"function", slot->function}});
+    }
     inst->state = InstanceState::StalledSideEffect;
     slot->parkedEffects.push_back(std::move(done));
 }
@@ -1355,9 +1520,17 @@ SpecController::launchCalleeSlot(SpecInvocation& inv,
     inv.buffer->addColumn(slot.inst->id, order);
     inv.byInstance[slot.inst->id] = order;
     if (slot.launchedSpeculatively) {
-        ++stats_.speculativeLaunches;
+        ++ctrSpeculativeLaunches_;
         ++inv.result.speculativeLaunches;
         inv.pendingCallees[{caller->id, call_site}] = order;
+        if (auto& tr = obs::trace(); tr.enabled()) {
+            tr.instant(obs::cat::kSpec, "speculative-launch",
+                       sim_.now(), obs::kControlPlanePid,
+                       inv.result.id,
+                       {{"function", slot.function},
+                        {"order", orderKeyToString(order)},
+                        {"kind", "callee"}});
+        }
     }
 
     auto [it, ok] = inv.slots.emplace(order, std::move(slot));
@@ -1498,7 +1671,7 @@ SpecController::functionCall(const InstancePtr& inst,
         }
         // Argument misprediction: squash the speculative callee (and
         // everything after it) and perform the call for real.
-        ++stats_.dataMispredicts;
+        ++ctrDataMispredicts_;
         squashRange(inv, cs_slot.order, SquashReason::DataMispredict);
     }
 
@@ -1511,7 +1684,7 @@ SpecController::functionCall(const InstancePtr& inst,
         if (cd != nullptr && cd->pureAnnotation) {
             const MemoRow* row = memo_.table(callee).lookup(args);
             if (row != nullptr) {
-                ++stats_.pureSkips;
+                ++ctrPureSkips_;
                 ++inv.result.memoHits;
                 Slot* caller_slot = slotOf(inv, inst);
                 SPECFAAS_ASSERT(caller_slot != nullptr,

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "obs/counter_registry.hh"
 #include "runtime/engine.hh"
 #include "runtime/hooks.hh"
 #include "runtime/interpreter.hh"
@@ -51,7 +52,11 @@
 
 namespace specfaas {
 
-/** Aggregate engine statistics across all invocations. */
+/**
+ * Aggregate engine statistics across all invocations — a snapshot of
+ * the controller's CounterRegistry, kept as a struct so callers read
+ * plain fields.
+ */
 struct SpecStats
 {
     std::uint64_t speculativeLaunches = 0;
@@ -98,7 +103,10 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     BranchPredictor& branchPredictor() { return bp_; }
     MemoStore& memoStore() { return memo_; }
     SquashMinimizer& squashMinimizer() { return minimizer_; }
-    const SpecStats& stats() const { return stats_; }
+    /** Snapshot of the engine counters. */
+    SpecStats stats() const;
+    /** The underlying named-counter registry. */
+    const obs::CounterRegistry& counters() const { return counters_; }
     std::size_t liveInvocations() const { return live_.size(); }
 
     /** Dump every live invocation's pipeline state (diagnostics). */
@@ -370,7 +378,36 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     BranchPredictor bp_;
     MemoStore memo_;
     SquashMinimizer minimizer_;
-    SpecStats stats_;
+
+    /**
+     * Engine counters, merged into obs::counters() on destruction.
+     * Hot paths increment through the cached references below, which
+     * stay valid for the registry's lifetime (node-based storage).
+     */
+    obs::CounterRegistry counters_;
+    std::uint64_t& ctrSpeculativeLaunches_ =
+        counters_.counter("spec.speculative_launches");
+    std::uint64_t& ctrSquashes_ = counters_.counter("spec.squashes");
+    std::uint64_t& ctrControlMispredicts_ =
+        counters_.counter("spec.control_mispredicts");
+    std::uint64_t& ctrDataMispredicts_ =
+        counters_.counter("spec.data_mispredicts");
+    std::uint64_t& ctrBufferViolations_ =
+        counters_.counter("spec.buffer_violations");
+    std::uint64_t& ctrStalledReads_ =
+        counters_.counter("spec.stalled_reads");
+    std::uint64_t& ctrDeferredSideEffects_ =
+        counters_.counter("spec.deferred_side_effects");
+    std::uint64_t& ctrCommits_ = counters_.counter("spec.commits");
+    std::uint64_t& ctrPureSkips_ = counters_.counter("spec.pure_skips");
+
+    /**
+     * Squash-cascade linkage for tracing: every squashRange gets a
+     * fresh id; a squash triggered while another is being processed
+     * records that one as its parent.
+     */
+    std::uint64_t nextSquashId_ = 1;
+    std::uint64_t activeSquashId_ = 0;
 
     /** Learned call graph: (function, call site) → callee. */
     std::map<std::pair<std::string, std::size_t>, CallSiteInfo>

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "specfaas/branch_predictor.hh"
 
 namespace specfaas {
@@ -81,6 +83,28 @@ TEST(BranchPredictor, AggregateFallbackForUnseenPath)
     EXPECT_EQ(p->target, 1u);
 }
 
+// Regression: path 0 *is* the aggregate entry, and update() used to
+// bump it twice per observation, crossing min_samples in half the
+// real sample count.
+TEST(BranchPredictor, AggregatePathIsNotDoubleCounted)
+{
+    BranchPredictor bp(0.0, /*min_samples=*/4);
+    // Two observations recorded directly against the aggregate path.
+    bp.update("b", 0, 0);
+    bp.update("b", 0, 0);
+    // Only 2 of the 4 required samples exist — double-counting would
+    // have reached 4 and predicted here.
+    EXPECT_FALSE(bp.predict("b", 0).has_value());
+    bp.update("b", 0, 0);
+    bp.update("b", 0, 0);
+    auto p = bp.predict("b", 0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->target, 0u);
+    EXPECT_DOUBLE_EQ(p->probability, 1.0);
+    // Exactly one table entry: path 0 never forks a sub-entry.
+    EXPECT_EQ(bp.entryCount(), 1u);
+}
+
 TEST(BranchPredictor, MinSamplesGate)
 {
     BranchPredictor bp(0.0, /*min_samples=*/5);
@@ -105,7 +129,9 @@ TEST(BranchPredictor, MultiWayTargets)
 TEST(BranchPredictor, HitRateAccounting)
 {
     BranchPredictor bp;
-    EXPECT_DOUBLE_EQ(bp.hitRate(), 1.0); // vacuous
+    // Undefined with no predictions — 1.0 here used to fabricate a
+    // perfect hit rate for speculation-disabled runs.
+    EXPECT_TRUE(std::isnan(bp.hitRate()));
     bp.notePrediction(true);
     bp.notePrediction(true);
     bp.notePrediction(false);

@@ -114,6 +114,46 @@ TEST(EventQueue, PendingCountExcludesCancelled)
     EXPECT_EQ(q.pendingCount(), 1u);
 }
 
+// Regression: cancel() used to accept ids of already-fired events,
+// growing the cancelled-pending tally with no matching heap entry and
+// underflowing pendingCount() (size_t wraparound to ~2^64).
+TEST(EventQueue, CancelAfterExecutionIsRejected)
+{
+    EventQueue q;
+    const EventId id = q.schedule(5, []() {});
+    q.run();
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.pendingCount(), 0u);
+    EXPECT_TRUE(q.empty());
+
+    // The queue must stay consistent afterwards.
+    q.schedule(5, []() {});
+    EXPECT_EQ(q.pendingCount(), 1u);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, PendingCountNeverUnderflows)
+{
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (Tick t : {1, 2, 3})
+        ids.push_back(q.schedule(t, []() {}));
+    q.run();
+    for (EventId id : ids)
+        EXPECT_FALSE(q.cancel(id)); // all fired; none cancellable
+    EXPECT_EQ(q.pendingCount(), 0u);
+
+    // Mixed pattern: one live, one fired, one cancelled twice.
+    const EventId live = q.schedule(10, []() {});
+    const EventId fast = q.schedule(1, []() {});
+    q.runOne(); // fires `fast`
+    EXPECT_FALSE(q.cancel(fast));
+    EXPECT_TRUE(q.cancel(live));
+    EXPECT_FALSE(q.cancel(live));
+    EXPECT_EQ(q.pendingCount(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, ExecutedCount)
 {
     EventQueue q;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "metrics/summary.hh"
 #include "platform/experiment.hh"
 #include "platform/load_generator.hh"
@@ -153,6 +155,23 @@ TEST(Summary, BreakdownAndPercentiles)
     EXPECT_DOUBLE_EQ(s.perFunctionBreakdown.platformOverhead, 10.0);
     EXPECT_NEAR(s.perFunctionBreakdown.executionShare(), 2.0 / 3.0,
                 1e-9);
+    // No predictions in these synthetic results → undefined, not a
+    // fabricated 100%.
+    EXPECT_TRUE(std::isnan(s.branchHitRate));
+}
+
+TEST(Summary, BranchHitRateFromCounts)
+{
+    InvocationResult r1;
+    r1.submittedAt = 0;
+    r1.completedAt = msToTicks(10.0);
+    r1.branchPredictions = 3;
+    r1.branchHits = 2;
+    InvocationResult r2 = r1;
+    r2.branchPredictions = 1;
+    r2.branchHits = 1;
+    auto s = summarize({r1, r2});
+    EXPECT_NEAR(s.branchHitRate, 3.0 / 4.0, 1e-12);
 }
 
 TEST(Summary, EmptyInputIsSafe)

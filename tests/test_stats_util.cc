@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/stats_util.hh"
 #include "common/table.hh"
 
@@ -33,6 +35,16 @@ TEST(Stats, PercentileSingleSample)
     EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
 }
 
+TEST(Stats, PercentileSortedBoundaries)
+{
+    const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_DOUBLE_EQ(percentileSorted(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(sorted, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(sorted, 25.0), 2.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({9.0}, 0.0), 9.0);
+    EXPECT_DOUBLE_EQ(percentileSorted({9.0}, 100.0), 9.0);
+}
+
 TEST(Stats, StddevKnownValue)
 {
     EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
@@ -59,6 +71,26 @@ TEST(Stats, EmpiricalCdfMonotone)
     }
     EXPECT_DOUBLE_EQ(cdf.back().cum, 1.0);
     EXPECT_DOUBLE_EQ(cdf.back().x, 100.0);
+}
+
+TEST(Stats, EmpiricalCdfSmallSample)
+{
+    // maxPoints larger than the sample: one point per observation.
+    auto cdf = empiricalCdf({3.0, 1.0, 2.0}, 50);
+    ASSERT_EQ(cdf.size(), 3u);
+    EXPECT_DOUBLE_EQ(cdf[0].x, 1.0);
+    EXPECT_DOUBLE_EQ(cdf[2].x, 3.0);
+    EXPECT_DOUBLE_EQ(cdf.back().cum, 1.0);
+    EXPECT_TRUE(empiricalCdf({}, 10).empty());
+}
+
+TEST(Stats, AccumulatorPercentileSingleSample)
+{
+    Accumulator acc;
+    acc.add(6.5);
+    EXPECT_DOUBLE_EQ(acc.percentile(0.0), 6.5);
+    EXPECT_DOUBLE_EQ(acc.percentile(50.0), 6.5);
+    EXPECT_DOUBLE_EQ(acc.percentile(100.0), 6.5);
 }
 
 TEST(Stats, AccumulatorTracksMoments)
@@ -100,6 +132,9 @@ TEST(Table, Formatters)
     EXPECT_EQ(fmtRatio(4.64), "4.6x");
     EXPECT_EQ(fmtPercent(0.587), "58.7%");
     EXPECT_EQ(fmtMs(12.34), "12.3 ms");
+    // Undefined rates (0 predictions) render as a dash, not "100%".
+    EXPECT_EQ(fmtPercentOrDash(0.587), "58.7%");
+    EXPECT_EQ(fmtPercentOrDash(std::nan("")), "–");
 }
 
 } // namespace
