@@ -27,7 +27,8 @@ using namespace specfaas::bench;
 namespace {
 
 void
-memoSizeSweep(const ApplicationRegistry& registry)
+memoSizeSweep(const ApplicationRegistry& registry,
+              obs::JsonReport& report)
 {
     std::printf("\n--- Memoization hit rate vs table capacity ---\n");
     TextTable table;
@@ -52,6 +53,11 @@ memoSizeSweep(const ApplicationRegistry& registry)
                                     .overallHitRate());
             }
             row.push_back(fmtPercent(mean(rates)));
+            if (capacity == 50u) {
+                report.addMetric(
+                    strFormat("memo_hit_rate_50.%s", suite),
+                    mean(rates), /*higherIsBetter=*/true);
+            }
         }
         table.row(std::move(row));
     }
@@ -61,7 +67,8 @@ memoSizeSweep(const ApplicationRegistry& registry)
 }
 
 void
-tableFootprints(const ApplicationRegistry& registry)
+tableFootprints(const ApplicationRegistry& registry,
+                obs::JsonReport& report)
 {
     std::printf("\n--- Memoization footprint and branch predictor ---\n");
     TextTable table;
@@ -101,6 +108,10 @@ tableFootprints(const ApplicationRegistry& registry)
                    fmtPercentOrDash(hit_rates.empty()
                                         ? std::nan("")
                                         : mean(hit_rates))});
+        report.addMetric(strFormat("bp_hit_rate.%s", suite),
+                         hit_rates.empty() ? std::nan("")
+                                           : mean(hit_rates),
+                         /*higherIsBetter=*/true);
     }
     table.print();
     std::printf("Paper: combined tables use 100-1K entries and "
@@ -186,8 +197,8 @@ main(int argc, char** argv)
     obs::ObsSession obs(argc, argv);
     banner("Ablation tables (§V-B / §VIII-B in-text numbers)");
     auto registry = makeAllSuites();
-    memoSizeSweep(*registry);
-    tableFootprints(*registry);
+    memoSizeSweep(*registry, obs.report());
+    tableFootprints(*registry, obs.report());
     pureFunctionSkip(*registry);
     dataBufferSize(*registry);
     return 0;

@@ -25,6 +25,9 @@ main(int argc, char** argv)
 
     auto registry = makeAllSuites();
     const std::size_t requests = 250;
+    obs.report().setConfig(
+        "requests", Value(static_cast<std::int64_t>(requests)));
+    obs.report().setConfig("cold", Value(cold));
 
     TextTable table;
     table.header({"Application", "Suite", "Low", "Medium", "High",
@@ -72,6 +75,14 @@ main(int argc, char** argv)
     }
     table.row({"Overall avg", "", "", "", "", fmtRatio(mean(all))});
     table.print();
+
+    for (const auto& [suite, speedups] : suite_speedups) {
+        obs.report().addMetric(
+            strFormat("avg_speedup.%s", suite.c_str()),
+            mean(speedups), /*higherIsBetter=*/true, "x");
+    }
+    obs.report().addMetric("overall_avg_speedup", mean(all),
+                           /*higherIsBetter=*/true, "x");
 
     std::printf("\nPaper reference: average speedup 4.6x warmed-up "
                 "(suite averages ~5.0x FaaSChain, ~4.3x TrainTicket, "

@@ -38,6 +38,8 @@ main(int argc, char** argv)
     obs::ObsSession obs(argc, argv);
     banner("Fig. 12: breakdown of SpecFaaS speedups (cumulative)");
     auto registry = makeAllSuites();
+    obs.report().setConfig("requests",
+                           Value(static_cast<std::int64_t>(200)));
 
     TextTable table;
     table.header({"Application", "Suite", "+BranchPred",
@@ -80,10 +82,23 @@ main(int argc, char** argv)
                    implicit ? "(combined)" : fmtRatio(mean(bp_only)),
                    fmtRatio(mean(bp_memo)), fmtRatio(mean(full))});
         table.separator();
+        if (!implicit) {
+            obs.report().addMetric(
+                strFormat("bp_only_speedup.%s", suite), mean(bp_only),
+                /*higherIsBetter=*/true, "x");
+        }
+        obs.report().addMetric(
+            strFormat("bp_memo_speedup.%s", suite), mean(bp_memo),
+            /*higherIsBetter=*/true, "x");
+        obs.report().addMetric(strFormat("full_speedup.%s", suite),
+                               mean(full), /*higherIsBetter=*/true,
+                               "x");
     }
     table.row({"Overall avg (full)", "", "", "",
                fmtRatio(mean(full_all))});
     table.print();
+    obs.report().addMetric("overall_full_speedup", mean(full_all),
+                           /*higherIsBetter=*/true, "x");
 
     std::printf("\nPaper reference: BP alone gives ~2.9x on FaaSChain; "
                 "BP+memoization 3.9x/3.5x/3.5x; full system "

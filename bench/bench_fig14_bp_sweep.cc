@@ -69,6 +69,9 @@ main(int argc, char** argv)
         if (bias == 1.0)
             perfect = avg;
         avg_row.push_back(fmtRatio(avg));
+        obs.report().addMetric(
+            strFormat("avg_speedup.hit%.0f", bias * 100), avg,
+            /*higherIsBetter=*/true, "x");
     }
     table.row(std::move(avg_row));
     table.print();

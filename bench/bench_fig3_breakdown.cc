@@ -94,6 +94,17 @@ main(int argc, char** argv)
     std::printf("\n");
     printBreakdown("warmed-up", warm);
 
+    for (const auto& [suite, b] : cold) {
+        obs.report().addMetric(
+            strFormat("cold_total_ms.%s", suite.c_str()), b.total(),
+            /*higherIsBetter=*/false, "ms");
+    }
+    for (const auto& [suite, b] : warm) {
+        obs.report().addMetric(
+            strFormat("warm_execution_share.%s", suite.c_str()),
+            b.executionShare(), /*higherIsBetter=*/true);
+    }
+
     std::printf("\nPaper reference: container creation ~1500 ms "
                 "dominates cold starts; warm execution share is "
                 "33-42%% (Observation 1).\n");

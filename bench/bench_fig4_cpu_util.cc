@@ -49,5 +49,8 @@ main(int argc, char** argv)
                 "is mostly 60-80%%, leaving headroom for "
                 "mis-speculated work)\n",
                 fmtPercent(percentile(p90s, 50)).c_str());
+    obs.report().addMetric("median_node_p90_utilization",
+                           percentile(p90s, 50),
+                           /*higherIsBetter=*/false);
     return 0;
 }

@@ -48,6 +48,9 @@ main(int argc, char** argv)
     for (const auto& [suite, shares] : by_suite) {
         table.row({"(average)", suite, "", "",
                    fmtPercent(mean(shares))});
+        obs.report().addMetric(
+            strFormat("dominant_share.%s", suite.c_str()),
+            mean(shares), /*higherIsBetter=*/true);
     }
     table.print();
 

@@ -114,6 +114,11 @@ main(int argc, char** argv)
          }));
 
     table.print();
+    for (const SuiteRow& r : rows) {
+        obs.report().addMetric(
+            strFormat("avg_exec_ms.%s", r.name.c_str()), r.execMs,
+            /*higherIsBetter=*/false, "ms");
+    }
     std::printf("\nPaper reference: Alibaba 17.6 funcs / depth 5 / "
                 "387.2 ms; TrainTicket 11.2 / 3 / 268.8 ms; FaaSChain "
                 "7.8 / 10 / 160.0 ms\n");

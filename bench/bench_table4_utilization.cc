@@ -95,6 +95,15 @@ main(int argc, char** argv)
                    fmtDouble(lazy_cell.utilization),
                    fmtDouble(kill_cell.utilization),
                    fmtRatio(kill_cell.speedup)});
+        obs.report().addMetric(
+            strFormat("lazy_utilization.hit%.0f", bias * 100),
+            lazy_cell.utilization, /*higherIsBetter=*/false);
+        obs.report().addMetric(
+            strFormat("spec_utilization.hit%.0f", bias * 100),
+            kill_cell.utilization, /*higherIsBetter=*/false);
+        obs.report().addMetric(
+            strFormat("spec_speedup.hit%.0f", bias * 100),
+            kill_cell.speedup, /*higherIsBetter=*/true, "x");
     }
     table.print();
 

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * CI regression gate over two --json-out run reports.
+ *
+ *     compare_reports [--threshold=0.05] baseline.json candidate.json
+ *
+ * Exit status: 0 when the candidate is no worse than the baseline
+ * (every metric's bad-direction change is within the threshold),
+ * 1 on regressions or report mismatches, 2 on usage/IO errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json_report.hh"
+
+using namespace specfaas;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: compare_reports [--threshold=<rel>] "
+                 "<baseline.json> <candidate.json>\n");
+    return 2;
+}
+
+bool
+readFile(const char* path, std::string& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+loadReport(const char* path, Value& out)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "compare_reports: cannot read %s\n",
+                     path);
+        return false;
+    }
+    std::string error;
+    if (!obs::parseJson(text, out, &error)) {
+        std::fprintf(stderr, "compare_reports: %s: %s\n", path,
+                     error.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    obs::CompareOptions opts;
+    const char* paths[2] = {nullptr, nullptr};
+    int npaths = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+            char* end = nullptr;
+            opts.relTolerance = std::strtod(argv[i] + 12, &end);
+            if (end == argv[i] + 12 || opts.relTolerance < 0.0) {
+                std::fprintf(stderr,
+                             "compare_reports: bad --threshold=%s\n",
+                             argv[i] + 12);
+                return 2;
+            }
+            continue;
+        }
+        if (npaths == 2)
+            return usage();
+        paths[npaths++] = argv[i];
+    }
+    if (npaths != 2)
+        return usage();
+
+    Value baseline;
+    Value candidate;
+    if (!loadReport(paths[0], baseline) ||
+        !loadReport(paths[1], candidate))
+        return 2;
+
+    const obs::CompareResult result =
+        obs::compareReports(baseline, candidate, opts);
+
+    for (const std::string& e : result.errors)
+        std::printf("ERROR      %s\n", e.c_str());
+    for (const std::string& r : result.regressions)
+        std::printf("REGRESSION %s\n", r.c_str());
+    for (const std::string& n : result.notes)
+        std::printf("note       %s\n", n.c_str());
+
+    if (result.ok()) {
+        std::printf("OK: %s is within %.1f%% of %s\n", paths[1],
+                    100.0 * opts.relTolerance, paths[0]);
+        return 0;
+    }
+    std::printf("FAIL: %zu error(s), %zu regression(s)\n",
+                result.errors.size(), result.regressions.size());
+    return 1;
+}

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "obs/trace_recorder.hh"
+#include "runtime/ids.hh"
 
 namespace specfaas {
 
@@ -35,7 +36,7 @@ void
 BaselineController::invoke(const Application& app, Value input,
                            std::function<void(InvocationResult)> done)
 {
-    const InvocationId id = nextInvocation_++;
+    const InvocationId id = nextInvocationId();
 
     // Admission control: shed load when the control plane is backed
     // up (OpenWhisk returns 429 TooManyRequests).
@@ -341,6 +342,13 @@ BaselineController::finish(Invocation& inv, Value response)
 {
     inv.result.response = std::move(response);
     inv.result.completedAt = sim_.now();
+    // End-to-end completion marker: invokeSync bypasses the platform
+    // "response" wrapper, so the engine records it for the analyzer.
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.instant(obs::cat::kBaseline, "complete", sim_.now(),
+                   obs::kControlPlanePid, inv.result.id,
+                   {{"app", inv.result.app}});
+    }
     std::sort(inv.sequence.begin(), inv.sequence.end(),
               [](const auto& a, const auto& b) {
                   return orderKeyLess(a.first, b.first);

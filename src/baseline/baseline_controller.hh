@@ -51,6 +51,8 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
 
     std::string name() const override { return "baseline"; }
 
+    std::size_t liveInvocations() const override { return live_.size(); }
+
     /** Engine-local tallies (merged into the global set on teardown). */
     const obs::CounterRegistry& counters() const { return counters_; }
 
@@ -115,7 +117,6 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
     Interpreter interp_;
     Launcher launcher_;
 
-    InvocationId nextInvocation_ = 1;
     std::unordered_map<InvocationId, std::unique_ptr<Invocation>> live_;
     std::unordered_map<const Application*, FlowProgram> programs_;
     /** Implicit-callee return continuations, keyed by callee id. */

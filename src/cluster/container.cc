@@ -155,4 +155,15 @@ ContainerPool::containerCount(const std::string& function) const
     return it == pools_.end() ? 0 : it->second.all.size();
 }
 
+std::size_t
+ContainerPool::warmCount() const
+{
+    std::size_t n = 0;
+    for (const auto& [fn, pool] : pools_) {
+        (void)fn;
+        n += pool.warm.size();
+    }
+    return n;
+}
+
 } // namespace specfaas

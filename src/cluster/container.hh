@@ -100,6 +100,9 @@ class ContainerPool
     /** Total containers (warm + busy) for @p function. */
     std::size_t containerCount(const std::string& function) const;
 
+    /** Free warm containers across all functions (sampler gauge). */
+    std::size_t warmCount() const;
+
     /** @{ Counters. */
     std::uint64_t coldStarts() const { return coldStarts_; }
     std::uint64_t warmStarts() const { return warmStarts_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "logging.hh"
 
@@ -54,8 +55,12 @@ stddev(const std::vector<double>& xs)
 double
 geomean(const std::vector<double>& xs)
 {
+    // The geometric mean of zero samples is undefined — returning 0.0
+    // here used to masquerade as "no speedup at all" in aggregate
+    // tables. NaN follows the branchHitRate convention; render with
+    // fmtRatioOrDash / fmtPercentOrDash.
     if (xs.empty())
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     double logsum = 0.0;
     for (double x : xs) {
         SPECFAAS_ASSERT(x > 0.0, "geomean of non-positive sample %f", x);
@@ -105,6 +110,12 @@ double
 Accumulator::percentile(double p) const
 {
     SPECFAAS_ASSERT(keepSamples_, "percentile on sampling-free Accumulator");
+    // Surface the empty-sample case here rather than via the generic
+    // "percentile of empty sample" assert deep inside stats_util: an
+    // empty accumulator has no percentiles, which callers render as
+    // a dash (NaN convention shared with branchHitRate / geomean).
+    if (samples_.empty())
+        return std::numeric_limits<double>::quiet_NaN();
     return specfaas::percentile(samples_, p);
 }
 

@@ -28,7 +28,10 @@ double percentileSorted(const std::vector<double>& sorted, double p);
 /** Sample standard deviation; 0 for n < 2. */
 double stddev(const std::vector<double>& xs);
 
-/** Geometric mean; requires strictly positive samples. */
+/**
+ * Geometric mean; requires strictly positive samples. NaN for an
+ * empty sample (undefined, rendered as a dash in report tables).
+ */
 double geomean(const std::vector<double>& xs);
 
 /** One (x, F(x)) point of an empirical CDF. */
@@ -72,8 +75,8 @@ class Accumulator
     double max() const { return count_ ? max_ : 0.0; }
 
     /**
-     * Percentile of the retained sample. Requires keep_samples=true
-     * and a non-empty accumulator.
+     * Percentile of the retained sample. Requires keep_samples=true;
+     * NaN when no observation has been added yet.
      */
     double percentile(double p) const;
 

@@ -97,6 +97,14 @@ fmtRatio(double v, int precision)
 }
 
 std::string
+fmtRatioOrDash(double v, int precision)
+{
+    if (std::isnan(v))
+        return "–";
+    return fmtRatio(v, precision);
+}
+
+std::string
 fmtPercent(double frac, int precision)
 {
     return strFormat("%.*f%%", precision, frac * 100.0);

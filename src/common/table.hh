@@ -51,6 +51,12 @@ std::string fmtDouble(double v, int precision = 2);
 /** Format a speedup/ratio like "4.6x". */
 std::string fmtRatio(double v, int precision = 1);
 
+/**
+ * Like fmtRatio, but renders NaN as an en-dash "–" — used for ratios
+ * over an empty sample (geomean convention).
+ */
+std::string fmtRatioOrDash(double v, int precision = 1);
+
 /** Format a fraction as a percentage like "58.7%". */
 std::string fmtPercent(double frac, int precision = 1);
 

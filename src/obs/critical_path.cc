@@ -1,0 +1,440 @@
+#include "critical_path.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace specfaas::obs {
+
+void
+SegmentBreakdown::add(const SegmentBreakdown& o)
+{
+    queueing += o.queueing;
+    containerCreation += o.containerCreation;
+    runtimeSetup += o.runtimeSetup;
+    execution += o.execution;
+    stallRead += o.stallRead;
+    validation += o.validation;
+    commitWait += o.commitWait;
+}
+
+double
+WastedWork::wastedFraction() const
+{
+    const double total =
+        static_cast<double>(usefulTicks) + static_cast<double>(wastedTicks);
+    if (total <= 0.0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return static_cast<double>(wastedTicks) / total;
+}
+
+namespace {
+
+const std::string*
+argValue(const TraceEvent& ev, const char* key)
+{
+    for (const TraceArg& a : ev.args)
+        if (a.key == key)
+            return &a.value;
+    return nullptr;
+}
+
+long long
+argNum(const TraceEvent& ev, const char* key, long long def)
+{
+    const std::string* v = argValue(ev, key);
+    if (v == nullptr)
+        return def;
+    return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+/** Everything observed about one function instance. */
+struct InstRec
+{
+    std::uint64_t invocation = 0; ///< 0 = Begin not seen (dropped)
+    std::string order;
+    Tick lifeBegin = -1;
+    Tick lifeEnd = -1;
+    Tick execBegin = -1;
+    Tick execEnd = -1;
+    Tick containerCreation = 0;
+    Tick runtimeSetup = 0;
+    long long execTicks = -1;
+    bool squashed = false;
+    std::string squashReason;
+    std::uint64_t squashId = 0;
+    Tick stallOpen = -1;
+    std::vector<std::pair<Tick, Tick>> stalls;
+};
+
+/** Everything observed about one end-to-end invocation. */
+struct InvRec
+{
+    std::string app;
+    Tick submit = -1;
+    Tick complete = -1;
+    bool spec = false; ///< invoke came from the SpecFaaS engine
+    /** order string -> latest commit ts. */
+    std::map<std::string, Tick> commits;
+    std::vector<std::uint64_t> instances;
+};
+
+/** One candidate interval of a committed instance. */
+struct Interval
+{
+    Tick start;
+    Tick end;
+    int prio; ///< higher wins where intervals overlap
+};
+
+// Priorities: progress beats waiting, specific beats generic.
+constexpr int kExecution = 6;
+constexpr int kStallRead = 5;
+constexpr int kRuntimeSetup = 4;
+constexpr int kContainerCreation = 3;
+constexpr int kQueueing = 2;
+constexpr int kValidation = 1;
+
+void
+addInterval(std::vector<Interval>& out, Tick start, Tick end, int prio,
+            Tick lo, Tick hi)
+{
+    start = std::max(start, lo);
+    end = std::min(end, hi);
+    if (start < end)
+        out.push_back(Interval{start, end, prio});
+}
+
+Tick&
+segmentFor(SegmentBreakdown& b, int prio)
+{
+    switch (prio) {
+    case kExecution:
+        return b.execution;
+    case kStallRead:
+        return b.stallRead;
+    case kRuntimeSetup:
+        return b.runtimeSetup;
+    case kContainerCreation:
+        return b.containerCreation;
+    case kQueueing:
+        return b.queueing;
+    case kValidation:
+        return b.validation;
+    default:
+        return b.commitWait;
+    }
+}
+
+/** Cascade depth of a squash id via the id -> parent chain. */
+int
+cascadeDepth(const std::map<std::uint64_t, std::uint64_t>& parents,
+             std::uint64_t id)
+{
+    int depth = 1;
+    while (id != 0 && depth < 64) {
+        auto it = parents.find(id);
+        if (it == parents.end() || it->second == 0)
+            break;
+        id = it->second;
+        ++depth;
+    }
+    return depth;
+}
+
+} // namespace
+
+CriticalPathReport
+analyzeTrace(const std::vector<TraceEvent>& events)
+{
+    std::map<std::uint64_t, InstRec> insts;
+    std::map<std::uint64_t, InvRec> invs;
+    std::map<std::uint64_t, std::uint64_t> squashParents;
+    CriticalPathReport report;
+
+    for (const TraceEvent& ev : events) {
+        const bool isLifecycle =
+            std::strcmp(ev.category, cat::kLifecycle) == 0;
+        const bool isExec = std::strcmp(ev.category, cat::kExec) == 0;
+        const bool isEngine =
+            std::strcmp(ev.category, cat::kSpec) == 0 ||
+            std::strcmp(ev.category, cat::kBaseline) == 0;
+
+        if (isLifecycle) {
+            if (ev.phase == Phase::Begin) {
+                InstRec& r = insts[ev.tid];
+                r.lifeBegin = ev.ts;
+                r.invocation = static_cast<std::uint64_t>(
+                    argNum(ev, "invocation", 0));
+                if (const std::string* o = argValue(ev, "order"))
+                    r.order = *o;
+                if (r.invocation != 0)
+                    invs[r.invocation].instances.push_back(ev.tid);
+            } else if (ev.phase == Phase::End) {
+                InstRec& r = insts[ev.tid];
+                r.lifeEnd = ev.ts;
+                if (argNum(ev, "squashed", 0) != 0) {
+                    r.squashed = true;
+                    if (const std::string* s = argValue(ev, "reason"))
+                        r.squashReason = *s;
+                    r.squashId = static_cast<std::uint64_t>(
+                        argNum(ev, "squash_id", 0));
+                    r.execTicks = argNum(ev, "exec_ticks", 0);
+                }
+            } else if (ev.name == "squash-completed") {
+                // Completed-but-uncommitted work discarded.
+                InstRec& r = insts[ev.tid];
+                r.squashed = true;
+                if (const std::string* s = argValue(ev, "reason"))
+                    r.squashReason = *s;
+                r.squashId = static_cast<std::uint64_t>(
+                    argNum(ev, "squash_id", 0));
+                r.execTicks = argNum(ev, "exec_ticks", r.execTicks);
+            }
+            continue;
+        }
+
+        if (isExec) {
+            if (ev.name == "stall-read") {
+                InstRec& r = insts[ev.tid];
+                if (ev.phase == Phase::Begin) {
+                    r.stallOpen = ev.ts;
+                } else if (ev.phase == Phase::End &&
+                           r.stallOpen >= 0) {
+                    r.stalls.emplace_back(r.stallOpen, ev.ts);
+                    r.stallOpen = -1;
+                }
+            } else if (ev.phase == Phase::Begin) {
+                InstRec& r = insts[ev.tid];
+                r.execBegin = ev.ts;
+                r.containerCreation =
+                    argNum(ev, "container_creation", 0);
+                r.runtimeSetup = argNum(ev, "runtime_setup", 0);
+            } else if (ev.phase == Phase::End) {
+                InstRec& r = insts[ev.tid];
+                r.execEnd = ev.ts;
+                r.execTicks = argNum(ev, "exec_ticks", r.execTicks);
+            }
+            continue;
+        }
+
+        if (!isEngine || ev.phase != Phase::Instant)
+            continue;
+        if (ev.name == "invoke") {
+            InvRec& inv = invs[ev.tid];
+            inv.submit = ev.ts;
+            inv.spec = std::strcmp(ev.category, cat::kSpec) == 0;
+            if (const std::string* a = argValue(ev, "app"))
+                inv.app = *a;
+        } else if (ev.name == "complete") {
+            invs[ev.tid].complete = ev.ts;
+        } else if (ev.name == "reject") {
+            ++report.rejectedInvocations;
+        } else if (ev.name == "commit") {
+            if (const std::string* o = argValue(ev, "order"))
+                invs[ev.tid].commits[*o] = ev.ts;
+        } else if (ev.name == "squash") {
+            const auto id =
+                static_cast<std::uint64_t>(argNum(ev, "id", 0));
+            if (id != 0) {
+                squashParents[id] = static_cast<std::uint64_t>(
+                    argNum(ev, "parent", 0));
+            }
+        }
+    }
+
+    // Speculation efficiency over every observed instance, analyzed
+    // invocation or not: wasted work is global to the run.
+    WastedWork& ww = report.speculation;
+    for (const auto& [tid, r] : insts) {
+        (void)tid;
+        if (r.squashed) {
+            ++ww.squashedInstances;
+            const Tick wasted = r.execTicks > 0 ? r.execTicks : 0;
+            ww.wastedTicks += wasted;
+            const std::string reason =
+                r.squashReason.empty() ? "unknown" : r.squashReason;
+            ww.wastedByReason[reason] += wasted;
+            ++ww.squashesByReason[reason];
+            ww.wastedByDepth[cascadeDepth(squashParents,
+                                          r.squashId)] += wasted;
+        } else if (r.execEnd >= 0 && r.execTicks > 0) {
+            ++ww.committedInstances;
+            ww.usefulTicks += r.execTicks;
+        }
+    }
+
+    // Per-invocation critical-path decomposition.
+    for (auto& [id, inv] : invs) {
+        if (inv.submit < 0 && inv.complete < 0 &&
+            inv.commits.empty() && inv.instances.empty()) {
+            continue; // artifact of map access, nothing recorded
+        }
+        if (inv.submit < 0 || inv.complete < 0) {
+            ++report.incompleteInvocations;
+            continue;
+        }
+
+        std::vector<Interval> intervals;
+        std::size_t committed = 0;
+        bool incomplete = false;
+        for (std::uint64_t tid : inv.instances) {
+            const InstRec& r = insts.at(tid);
+            if (r.squashed)
+                continue; // wasted work, not on the commit path
+            if (r.lifeEnd < 0 || r.execBegin < 0 || r.execEnd < 0) {
+                incomplete = true; // span dropped from the ring
+                break;
+            }
+            ++committed;
+            const Tick rsStart = r.execBegin - r.runtimeSetup;
+            const Tick ccStart = rsStart - r.containerCreation;
+            addInterval(intervals, r.lifeBegin, ccStart, kQueueing,
+                        inv.submit, inv.complete);
+            addInterval(intervals, ccStart, rsStart,
+                        kContainerCreation, inv.submit, inv.complete);
+            addInterval(intervals, rsStart, r.execBegin,
+                        kRuntimeSetup, inv.submit, inv.complete);
+            // Execution minus this instance's own stall windows; the
+            // windows themselves become stallRead intervals, which
+            // execution by *another* instance may still cover.
+            Tick cursor = r.execBegin;
+            for (const auto& [s, e] : r.stalls) {
+                addInterval(intervals, cursor, s, kExecution,
+                            inv.submit, inv.complete);
+                addInterval(intervals, s, e, kStallRead, inv.submit,
+                            inv.complete);
+                cursor = std::max(cursor, e);
+            }
+            addInterval(intervals, cursor, r.execEnd, kExecution,
+                        inv.submit, inv.complete);
+            // Completed -> commit decision (validation / ordering).
+            Tick commitTs = r.lifeEnd;
+            if (inv.spec) {
+                auto cit = inv.commits.find(r.order);
+                if (cit != inv.commits.end())
+                    commitTs = cit->second;
+            }
+            addInterval(intervals, r.execEnd, commitTs, kValidation,
+                        inv.submit, inv.complete);
+        }
+        if (incomplete) {
+            ++report.incompleteInvocations;
+            continue;
+        }
+
+        // Sweep the elementary intervals between boundary points; the
+        // highest-priority covering interval labels each one, gaps
+        // are commit/control-plane wait. The labels tile
+        // [submit, complete] exactly, so the segments sum to the
+        // measured end-to-end latency by construction.
+        std::vector<Tick> bounds = {inv.submit, inv.complete};
+        for (const Interval& iv : intervals) {
+            bounds.push_back(iv.start);
+            bounds.push_back(iv.end);
+        }
+        std::sort(bounds.begin(), bounds.end());
+        bounds.erase(std::unique(bounds.begin(), bounds.end()),
+                     bounds.end());
+
+        InvocationPath path;
+        path.id = id;
+        path.app = inv.app;
+        path.submittedAt = inv.submit;
+        path.completedAt = inv.complete;
+        path.committedInstances = committed;
+        for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+            const Tick a = bounds[i];
+            const Tick b = bounds[i + 1];
+            int best = 0;
+            for (const Interval& iv : intervals) {
+                if (iv.start <= a && iv.end >= b)
+                    best = std::max(best, iv.prio);
+            }
+            segmentFor(path.segments, best) += b - a;
+        }
+
+        report.totals.add(path.segments);
+        AppPathSummary& app = report.perApp[path.app];
+        ++app.invocations;
+        app.totals.add(path.segments);
+        report.invocations.push_back(std::move(path));
+    }
+
+    return report;
+}
+
+std::string
+CriticalPathReport::table() const
+{
+    TextTable t;
+    t.header({"app", "n", "e2e", "queue", "cold", "setup", "exec",
+              "stall", "valid", "wait"});
+    auto row = [&](const std::string& name, std::size_t n,
+                   const SegmentBreakdown& b) {
+        const double total = static_cast<double>(b.total());
+        auto share = [&](Tick part) {
+            if (total <= 0.0)
+                return fmtPercentOrDash(
+                    std::numeric_limits<double>::quiet_NaN());
+            return fmtPercent(static_cast<double>(part) / total);
+        };
+        t.row({name, std::to_string(n),
+               fmtMs(ticksToMs(b.total()) /
+                     (n > 0 ? static_cast<double>(n) : 1.0)),
+               share(b.queueing), share(b.containerCreation),
+               share(b.runtimeSetup), share(b.execution),
+               share(b.stallRead), share(b.validation),
+               share(b.commitWait)});
+    };
+    for (const auto& [name, app] : perApp)
+        row(name, app.invocations, app.totals);
+    if (perApp.size() > 1) {
+        t.separator();
+        row("all", invocations.size(), totals);
+    }
+
+    std::string out = t.render();
+    out += strFormat(
+        "\nspeculation: useful %.1f ms, wasted %.1f ms (%s), "
+        "%llu committed / %llu squashed instances\n",
+        ticksToMs(speculation.usefulTicks),
+        ticksToMs(speculation.wastedTicks),
+        fmtPercentOrDash(speculation.wastedFraction()).c_str(),
+        static_cast<unsigned long long>(speculation.committedInstances),
+        static_cast<unsigned long long>(
+            speculation.squashedInstances));
+    for (const auto& [reason, ticks] : speculation.wastedByReason) {
+        out += strFormat(
+            "  %-24s %6llu squashes  %10.1f ms wasted\n",
+            reason.c_str(),
+            static_cast<unsigned long long>(
+                speculation.squashesByReason.at(reason)),
+            ticksToMs(ticks));
+    }
+    for (const auto& [depth, ticks] : speculation.wastedByDepth) {
+        out += strFormat("  cascade depth %-11d %10.1f ms wasted\n",
+                         depth, ticksToMs(ticks));
+    }
+    if (rejectedInvocations > 0 || incompleteInvocations > 0) {
+        out += strFormat(
+            "  (%llu rejected, %llu incomplete in trace)\n",
+            static_cast<unsigned long long>(rejectedInvocations),
+            static_cast<unsigned long long>(incompleteInvocations));
+    }
+    return out;
+}
+
+void
+CriticalPathReport::printTable() const
+{
+    std::fputs(table().c_str(), stdout);
+}
+
+} // namespace specfaas::obs

@@ -1,0 +1,634 @@
+#include "json_report.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "common/logging.hh"
+#include "obs/trace_export.hh"
+
+namespace specfaas::obs {
+
+// --- JSON rendering -----------------------------------------------------
+
+namespace {
+
+void
+renderNumber(std::string& out, double d)
+{
+    if (!std::isfinite(d)) {
+        out += "null"; // JSON has no NaN/Inf
+        return;
+    }
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    out.append(buf, res.ptr);
+}
+
+void
+renderInto(std::string& out, const Value& v, bool pretty, int depth)
+{
+    const std::string pad = pretty ? std::string(2 * (depth + 1), ' ')
+                                   : std::string();
+    const std::string close = pretty ? std::string(2 * depth, ' ')
+                                     : std::string();
+    const char* nl = pretty ? "\n" : "";
+    switch (v.kind()) {
+    case Value::Kind::Null:
+        out += "null";
+        return;
+    case Value::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        return;
+    case Value::Kind::Int:
+        out += strFormat("%lld",
+                         static_cast<long long>(v.asInt()));
+        return;
+    case Value::Kind::Double:
+        renderNumber(out, v.asDouble());
+        return;
+    case Value::Kind::String:
+        out += '"';
+        out += jsonEscape(v.asString());
+        out += '"';
+        return;
+    case Value::Kind::Array: {
+        const ValueArray& a = v.asArray();
+        if (a.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            out += pad;
+            renderInto(out, a[i], pretty, depth + 1);
+            if (i + 1 < a.size())
+                out += ',';
+            out += nl;
+        }
+        out += close;
+        out += ']';
+        return;
+    }
+    case Value::Kind::Object: {
+        const ValueObject& o = v.asObject();
+        if (o.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        out += nl;
+        std::size_t i = 0;
+        for (const auto& [key, val] : o) {
+            out += pad;
+            out += '"';
+            out += jsonEscape(key);
+            out += pretty ? "\": " : "\":";
+            renderInto(out, val, pretty, depth + 1);
+            if (++i < o.size())
+                out += ',';
+            out += nl;
+        }
+        out += close;
+        out += '}';
+        return;
+    }
+    }
+}
+
+} // namespace
+
+std::string
+toJson(const Value& v, bool pretty)
+{
+    std::string out;
+    renderInto(out, v, pretty, 0);
+    if (pretty)
+        out += '\n';
+    return out;
+}
+
+// --- JSON parsing -------------------------------------------------------
+
+namespace {
+
+struct Parser
+{
+    const char* p;
+    const char* end;
+    std::string err;
+
+    bool fail(const std::string& what)
+    {
+        if (err.empty())
+            err = what;
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        return fail(strFormat("expected '%c' at offset %zu", c,
+                              static_cast<std::size_t>(p - end)));
+    }
+
+    bool parseValue(Value& out);
+
+    bool parseString(std::string& out)
+    {
+        skipWs();
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        out.clear();
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p >= end)
+                return fail("truncated escape");
+            const char esc = *p++;
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (end - p < 4)
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    code <<= 4;
+                    const char h = *p++;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode the code point (BMP only; surrogate
+                // pairs are not produced by our own writer).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default:
+                return fail("bad escape");
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool parseNumber(Value& out)
+    {
+        const char* start = p;
+        if (p < end && *p == '-')
+            ++p;
+        bool isDouble = false;
+        while (p < end &&
+               ((*p >= '0' && *p <= '9') || *p == '.' || *p == 'e' ||
+                *p == 'E' || *p == '+' || *p == '-')) {
+            if (*p == '.' || *p == 'e' || *p == 'E')
+                isDouble = true;
+            ++p;
+        }
+        if (p == start)
+            return fail("expected number");
+        const std::string text(start, p);
+        if (!isDouble) {
+            errno = 0;
+            char* endp = nullptr;
+            const long long i = std::strtoll(text.c_str(), &endp, 10);
+            if (errno == 0 && endp != nullptr && *endp == '\0') {
+                out = Value(static_cast<std::int64_t>(i));
+                return true;
+            }
+        }
+        out = Value(std::strtod(text.c_str(), nullptr));
+        return true;
+    }
+};
+
+bool
+Parser::parseValue(Value& out)
+{
+    skipWs();
+    if (p >= end)
+        return fail("unexpected end of input");
+    switch (*p) {
+    case '{': {
+        ++p;
+        ValueObject obj;
+        skipWs();
+        if (p < end && *p == '}') {
+            ++p;
+            out = Value(std::move(obj));
+            return true;
+        }
+        while (true) {
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!consume(':'))
+                return false;
+            Value v;
+            if (!parseValue(v))
+                return false;
+            obj.emplace(std::move(key), std::move(v));
+            skipWs();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            break;
+        }
+        if (!consume('}'))
+            return false;
+        out = Value(std::move(obj));
+        return true;
+    }
+    case '[': {
+        ++p;
+        ValueArray arr;
+        skipWs();
+        if (p < end && *p == ']') {
+            ++p;
+            out = Value(std::move(arr));
+            return true;
+        }
+        while (true) {
+            Value v;
+            if (!parseValue(v))
+                return false;
+            arr.push_back(std::move(v));
+            skipWs();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            break;
+        }
+        if (!consume(']'))
+            return false;
+        out = Value(std::move(arr));
+        return true;
+    }
+    case '"': {
+        std::string s;
+        if (!parseString(s))
+            return false;
+        out = Value(std::move(s));
+        return true;
+    }
+    case 't':
+        if (end - p >= 4 && std::strncmp(p, "true", 4) == 0) {
+            p += 4;
+            out = Value(true);
+            return true;
+        }
+        return fail("bad literal");
+    case 'f':
+        if (end - p >= 5 && std::strncmp(p, "false", 5) == 0) {
+            p += 5;
+            out = Value(false);
+            return true;
+        }
+        return fail("bad literal");
+    case 'n':
+        if (end - p >= 4 && std::strncmp(p, "null", 4) == 0) {
+            p += 4;
+            out = Value();
+            return true;
+        }
+        return fail("bad literal");
+    default:
+        return parseNumber(out);
+    }
+}
+
+} // namespace
+
+bool
+parseJson(const std::string& text, Value& out, std::string* error)
+{
+    Parser parser{text.data(), text.data() + text.size(), {}};
+    if (!parser.parseValue(out)) {
+        if (error != nullptr)
+            *error = parser.err;
+        return false;
+    }
+    parser.skipWs();
+    if (parser.p != parser.end) {
+        if (error != nullptr)
+            *error = "trailing characters after document";
+        return false;
+    }
+    return true;
+}
+
+// --- Section conversions ------------------------------------------------
+
+Value
+toValue(const LatencyHistogram& h)
+{
+    ValueObject o;
+    o["count"] = Value(static_cast<std::int64_t>(h.count()));
+    o["sum"] = Value(h.sum());
+    o["min"] = Value(h.min());
+    o["max"] = Value(h.max());
+    o["mean"] = Value(h.mean());
+    ValueObject pct;
+    for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+        pct[strFormat("p%g", p)] = Value(h.percentile(p));
+    }
+    o["percentiles"] = Value(std::move(pct));
+    ValueArray buckets;
+    for (const auto& b : h.buckets()) {
+        buckets.push_back(Value::object(
+            {{"lo", Value(b.lower)},
+             {"hi", Value(b.upper)},
+             {"n", Value(static_cast<std::int64_t>(b.count))}}));
+    }
+    o["buckets"] = Value(std::move(buckets));
+    return Value(std::move(o));
+}
+
+namespace {
+
+Value
+toValue(const SegmentBreakdown& b)
+{
+    return Value::object(
+        {{"queueing", Value(static_cast<std::int64_t>(b.queueing))},
+         {"container_creation",
+          Value(static_cast<std::int64_t>(b.containerCreation))},
+         {"runtime_setup",
+          Value(static_cast<std::int64_t>(b.runtimeSetup))},
+         {"execution", Value(static_cast<std::int64_t>(b.execution))},
+         {"stall_read", Value(static_cast<std::int64_t>(b.stallRead))},
+         {"validation",
+          Value(static_cast<std::int64_t>(b.validation))},
+         {"commit_wait",
+          Value(static_cast<std::int64_t>(b.commitWait))},
+         {"total", Value(static_cast<std::int64_t>(b.total()))}});
+}
+
+} // namespace
+
+Value
+toValue(const CriticalPathReport& r)
+{
+    ValueObject o;
+    o["invocations"] =
+        Value(static_cast<std::int64_t>(r.invocations.size()));
+    o["rejected"] =
+        Value(static_cast<std::int64_t>(r.rejectedInvocations));
+    o["incomplete"] =
+        Value(static_cast<std::int64_t>(r.incompleteInvocations));
+    o["totals"] = toValue(r.totals);
+
+    ValueObject apps;
+    for (const auto& [name, app] : r.perApp) {
+        apps[name] = Value::object(
+            {{"invocations",
+              Value(static_cast<std::int64_t>(app.invocations))},
+             {"totals", toValue(app.totals)}});
+    }
+    o["per_app"] = Value(std::move(apps));
+
+    const WastedWork& ww = r.speculation;
+    ValueObject spec;
+    spec["useful_ticks"] =
+        Value(static_cast<std::int64_t>(ww.usefulTicks));
+    spec["wasted_ticks"] =
+        Value(static_cast<std::int64_t>(ww.wastedTicks));
+    spec["committed_instances"] =
+        Value(static_cast<std::int64_t>(ww.committedInstances));
+    spec["squashed_instances"] =
+        Value(static_cast<std::int64_t>(ww.squashedInstances));
+    spec["wasted_fraction"] = Value(ww.wastedFraction());
+    ValueObject byReason;
+    for (const auto& [reason, ticks] : ww.wastedByReason) {
+        byReason[reason] = Value::object(
+            {{"squashes",
+              Value(static_cast<std::int64_t>(
+                  ww.squashesByReason.at(reason)))},
+             {"wasted_ticks",
+              Value(static_cast<std::int64_t>(ticks))}});
+    }
+    spec["by_reason"] = Value(std::move(byReason));
+    ValueObject byDepth;
+    for (const auto& [depth, ticks] : ww.wastedByDepth) {
+        byDepth[strFormat("%d", depth)] =
+            Value(static_cast<std::int64_t>(ticks));
+    }
+    spec["wasted_by_depth"] = Value(std::move(byDepth));
+    o["speculation"] = Value(std::move(spec));
+    return Value(std::move(o));
+}
+
+Value
+toValue(const SampledSeries& s)
+{
+    ValueObject o;
+    o["label"] = Value(s.label);
+    o["interval"] = Value(static_cast<std::int64_t>(s.interval));
+    o["observations"] =
+        Value(static_cast<std::int64_t>(s.observations));
+    ValueArray times;
+    for (Tick t : s.times)
+        times.push_back(Value(static_cast<std::int64_t>(t)));
+    o["times"] = Value(std::move(times));
+    ValueObject gauges;
+    for (std::size_t g = 0; g < s.gaugeNames.size(); ++g) {
+        ValueArray series;
+        for (double v : s.values[g])
+            series.push_back(Value(v));
+        const auto& st = s.stats[g];
+        gauges[s.gaugeNames[g]] = Value::object(
+            {{"series", Value(std::move(series))},
+             {"min", Value(st.min)},
+             {"max", Value(st.max)},
+             {"mean", Value(st.mean)},
+             {"last", Value(st.last)}});
+    }
+    o["gauges"] = Value(std::move(gauges));
+    return Value(std::move(o));
+}
+
+Value
+counterSnapshotValue(const CounterRegistry& reg)
+{
+    ValueObject o;
+    for (const auto& [name, value] : reg.snapshot())
+        o[name] = Value(value);
+    return Value(std::move(o));
+}
+
+// --- JsonReport ---------------------------------------------------------
+
+JsonReport::JsonReport(std::string benchName)
+    : bench_(std::move(benchName))
+{
+}
+
+void
+JsonReport::setConfig(const std::string& key, Value v)
+{
+    config_[key] = std::move(v);
+}
+
+void
+JsonReport::addMetric(const std::string& name, double value,
+                      bool higherIsBetter, const std::string& unit)
+{
+    ValueObject m;
+    m["value"] = Value(value);
+    m["higher_is_better"] = Value(higherIsBetter);
+    if (!unit.empty())
+        m["unit"] = Value(unit);
+    metrics_[name] = Value(std::move(m));
+}
+
+void
+JsonReport::addSection(const std::string& name, Value v)
+{
+    sections_[name] = std::move(v);
+}
+
+void
+JsonReport::addHistogram(const std::string& name,
+                         const LatencyHistogram& h)
+{
+    histograms_[name] = toValue(h);
+}
+
+Value
+JsonReport::build() const
+{
+    ValueObject doc;
+    doc["schema"] = Value(kReportSchema);
+    doc["bench"] = Value(bench_);
+    doc["config"] = Value(config_);
+    doc["metrics"] = Value(metrics_);
+    doc["sections"] = Value(sections_);
+    doc["histograms"] = Value(histograms_);
+    return Value(std::move(doc));
+}
+
+bool
+JsonReport::writeFile(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string text = toJson(build());
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+// --- Report comparison --------------------------------------------------
+
+CompareResult
+compareReports(const Value& baseline, const Value& candidate,
+               const CompareOptions& opts)
+{
+    CompareResult res;
+    const Value& bs = baseline.at("schema");
+    const Value& cs = candidate.at("schema");
+    if (!bs.isString() || !cs.isString() ||
+        bs.asString() != cs.asString()) {
+        res.errors.push_back("schema mismatch");
+        return res;
+    }
+    const Value& bb = baseline.at("bench");
+    const Value& cb = candidate.at("bench");
+    if (bb.isString() && cb.isString() &&
+        bb.asString() != cb.asString()) {
+        res.errors.push_back(strFormat(
+            "bench mismatch: baseline '%s' vs candidate '%s'",
+            bb.asString().c_str(), cb.asString().c_str()));
+        return res;
+    }
+
+    const Value& bm = baseline.at("metrics");
+    const Value& cm = candidate.at("metrics");
+    if (!bm.isObject()) {
+        res.errors.push_back("baseline has no metrics object");
+        return res;
+    }
+    for (const auto& [name, metric] : bm.asObject()) {
+        const Value& other = cm.at(name);
+        if (other.isNull()) {
+            res.errors.push_back(
+                strFormat("metric '%s' missing from candidate",
+                          name.c_str()));
+            continue;
+        }
+        const Value& oldV = metric.at("value");
+        const Value& newV = other.at("value");
+        if (oldV.isNull() || newV.isNull())
+            continue; // undefined (NaN rendered as null): skip
+        const double oldX = oldV.asNumber();
+        const double newX = newV.asNumber();
+        const bool higherBetter =
+            metric.at("higher_is_better").isBool()
+                ? metric.at("higher_is_better").asBool()
+                : true;
+        const double delta = newX - oldX;
+        if (std::fabs(delta) <= opts.absTolerance)
+            continue;
+        const double rel =
+            oldX != 0.0 ? delta / std::fabs(oldX)
+                        : std::numeric_limits<double>::infinity() *
+                              (delta > 0 ? 1.0 : -1.0);
+        const double badness = higherBetter ? -rel : rel;
+        const std::string line = strFormat(
+            "%s: %g -> %g (%+.2f%%, %s is better)", name.c_str(), oldX,
+            newX, rel * 100.0, higherBetter ? "higher" : "lower");
+        if (badness > opts.relTolerance)
+            res.regressions.push_back(line);
+        else
+            res.notes.push_back(line);
+    }
+    return res;
+}
+
+} // namespace specfaas::obs

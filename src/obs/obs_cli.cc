@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "obs/counter_registry.hh"
+#include "obs/critical_path.hh"
+#include "obs/histogram.hh"
 #include "obs/trace_export.hh"
 #include "obs/trace_recorder.hh"
 
@@ -22,12 +24,29 @@ flagValue(const char* arg, const char* flag)
     return arg + n + 1;
 }
 
+/** Bench name from argv[0]: basename without a "bench_" prefix. */
+std::string
+benchNameFromArgv0(const char* argv0)
+{
+    std::string name = argv0 != nullptr ? argv0 : "";
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    if (name.rfind("bench_", 0) == 0)
+        name = name.substr(6);
+    return name;
+}
+
+/** Default gauge-sampling period under --json-out: 10 simulated ms. */
+constexpr Tick kDefaultSampleInterval = 10'000;
+
 } // namespace
 
 ObsSession::ObsSession(int& argc, char** argv)
 {
     std::size_t capacity = TraceRecorder::kDefaultCapacity;
-    int out = 1; // argv[0] always stays
+    Tick sampleEvery = -1; // -1: flag absent
+    int out = 1;           // argv[0] always stays
     for (int i = 1; i < argc; ++i) {
         if (const char* v = flagValue(argv[i], "--trace-out")) {
             traceOut_ = v;
@@ -45,6 +64,21 @@ ObsSession::ObsSession(int& argc, char** argv)
             }
             continue;
         }
+        if (const char* v = flagValue(argv[i], "--json-out")) {
+            jsonOut_ = v;
+            continue;
+        }
+        if (const char* v = flagValue(argv[i], "--sample-interval")) {
+            sampleEvery =
+                static_cast<Tick>(std::strtoll(v, nullptr, 10));
+            if (sampleEvery < 0) {
+                std::fprintf(
+                    stderr,
+                    "obs: ignoring bad --sample-interval=%s\n", v);
+                sampleEvery = -1;
+            }
+            continue;
+        }
         if (std::strcmp(argv[i], "--counters") == 0) {
             printCounters_ = true;
             continue;
@@ -54,15 +88,22 @@ ObsSession::ObsSession(int& argc, char** argv)
     argc = out;
     argv[argc] = nullptr;
 
-    if (!traceOut_.empty())
+    report_.setBenchName(benchNameFromArgv0(argv[0]));
+
+    // The report needs the trace (critical path) and the sampler
+    // archive (timelines), so --json-out implies both.
+    if (!traceOut_.empty() || !jsonOut_.empty())
         trace().enable(capacity);
+    if (sampleEvery < 0)
+        sampleEvery = jsonOut_.empty() ? 0 : kDefaultSampleInterval;
+    setSampleInterval(sampleEvery);
 }
 
 ObsSession::~ObsSession()
 {
+    TraceRecorder& tr = trace();
+    tr.disable();
     if (!traceOut_.empty()) {
-        TraceRecorder& tr = trace();
-        tr.disable();
         if (writeChromeTrace(tr, traceOut_)) {
             std::printf("\ntrace: %zu events -> %s", tr.size(),
                         traceOut_.c_str());
@@ -74,6 +115,37 @@ ObsSession::~ObsSession()
         } else {
             std::fprintf(stderr, "trace: failed to write %s\n",
                          traceOut_.c_str());
+        }
+    }
+    if (!jsonOut_.empty()) {
+        report_.addSection("counters",
+                           counterSnapshotValue(counters()));
+        report_.addSection("critical_path",
+                           toValue(analyzeTrace(tr.snapshot())));
+
+        const SamplerArchive& archive = samplerArchive();
+        ValueArray series;
+        for (const SampledSeries& s : archive.series())
+            series.push_back(toValue(s));
+        report_.addSection(
+            "samplers",
+            Value::object({{"series", Value(std::move(series))},
+                           {"dropped",
+                            Value(static_cast<std::int64_t>(
+                                archive.dropped()))}}));
+        report_.addSection(
+            "trace",
+            Value::object({{"events", Value(static_cast<std::int64_t>(
+                                          tr.size()))},
+                           {"dropped",
+                            Value(static_cast<std::int64_t>(
+                                tr.dropped()))}}));
+
+        if (report_.writeFile(jsonOut_)) {
+            std::printf("\nreport: -> %s\n", jsonOut_.c_str());
+        } else {
+            std::fprintf(stderr, "report: failed to write %s\n",
+                         jsonOut_.c_str());
         }
     }
     if (printCounters_) {

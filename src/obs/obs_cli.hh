@@ -5,19 +5,29 @@
  * A bench binary declares one ObsSession at the top of main(); the
  * constructor strips the observability flags out of argv (so existing
  * positional-argument handling keeps working) and the destructor
- * writes the trace file and prints the counter table after the run:
+ * writes the trace file / JSON report and prints the counter table
+ * after the run:
  *
  *     int main(int argc, char** argv) {
  *         obs::ObsSession obs(argc, argv);
  *         ...
+ *         obs.report().addMetric("speedup", 4.6, true);
  *     }
  *
  * Recognized flags:
- *   --trace-out=<file>   enable tracing; write a Chrome trace_event
- *                        JSON file (load in chrome://tracing or
- *                        https://ui.perfetto.dev) on exit
- *   --trace-capacity=<n> ring capacity in events (default 1M)
- *   --counters           print the global counter table on exit
+ *   --trace-out=<file>       enable tracing; write a Chrome
+ *                            trace_event JSON file (load in
+ *                            chrome://tracing or ui.perfetto.dev)
+ *   --trace-capacity=<n>     ring capacity in events (default 1M)
+ *   --counters               print the global counter table on exit
+ *   --json-out=<file>        write a schema-versioned JSON run report
+ *                            (metrics, counters, histograms,
+ *                            critical-path breakdown, utilization
+ *                            timelines); implies tracing and gauge
+ *                            sampling
+ *   --sample-interval=<us>   gauge-sampling period in simulated µs
+ *                            (0 disables; default 0, or 10000 when
+ *                            --json-out is given)
  */
 
 #ifndef SPECFAAS_OBS_OBS_CLI_HH
@@ -25,9 +35,11 @@
 
 #include <string>
 
+#include "obs/json_report.hh"
+
 namespace specfaas::obs {
 
-/** Scoped enable/flush of tracing and counter printing for a main(). */
+/** Scoped enable/flush of tracing, reporting, and counter printing. */
 class ObsSession
 {
   public:
@@ -37,7 +49,7 @@ class ObsSession
      */
     ObsSession(int& argc, char** argv);
 
-    /** Flush: write the trace file and/or print counters. */
+    /** Flush: write trace file / JSON report, print counters. */
     ~ObsSession();
 
     ObsSession(const ObsSession&) = delete;
@@ -46,12 +58,23 @@ class ObsSession
     /** Non-empty when --trace-out was given. */
     const std::string& traceOut() const { return traceOut_; }
 
+    /** Non-empty when --json-out was given. */
+    const std::string& jsonOut() const { return jsonOut_; }
+
     /** True when --counters was given. */
     bool printCounters() const { return printCounters_; }
 
+    /**
+     * The run report. Benches record config and headline metrics
+     * here unconditionally; it is written only under --json-out.
+     */
+    JsonReport& report() { return report_; }
+
   private:
     std::string traceOut_;
+    std::string jsonOut_;
     bool printCounters_ = false;
+    JsonReport report_;
 };
 
 } // namespace specfaas::obs

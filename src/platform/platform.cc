@@ -21,6 +21,52 @@ FaasPlatform::FaasPlatform(PlatformOptions options)
         engine_ = std::make_unique<BaselineController>(
             sim_, *cluster_, store_, registry_);
     }
+
+    if (const Tick every = obs::sampleInterval(); every > 0) {
+        sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+            sim_.events(), every);
+        sampler_->addGauge("in_flight_invocations", [this] {
+            return static_cast<double>(engine_->liveInvocations());
+        });
+        sampler_->addGauge("warm_containers", [this] {
+            return static_cast<double>(
+                cluster_->containers().warmCount());
+        });
+        sampler_->addGauge("busy_cores", [this] {
+            std::uint32_t busy = 0;
+            for (const auto& n : cluster_->nodes())
+                busy += n->busyCores();
+            return static_cast<double>(busy);
+        });
+        // Per-node detail only for small clusters; per-gauge memory
+        // on a many-node sweep is not worth the resolution.
+        if (cluster_->nodes().size() <= 8) {
+            for (std::size_t i = 0; i < cluster_->nodes().size(); ++i) {
+                sampler_->addGauge(
+                    strFormat("busy_cores.node%zu", i), [this, i] {
+                        return static_cast<double>(
+                            cluster_->nodes()[i]->busyCores());
+                    });
+            }
+        }
+        if (spec_ != nullptr) {
+            sampler_->addGauge("speculative_in_flight", [this] {
+                return static_cast<double>(spec_->speculativeInFlight());
+            });
+        }
+        sampler_->start();
+    }
+}
+
+FaasPlatform::~FaasPlatform()
+{
+    if (sampler_ != nullptr) {
+        sampler_->stop();
+        obs::samplerArchive().deposit(
+            *sampler_,
+            strFormat("%s-seed%llu", engine_->name().c_str(),
+                      static_cast<unsigned long long>(options_.seed)));
+    }
 }
 
 void

@@ -18,6 +18,7 @@
 
 #include "baseline/baseline_controller.hh"
 #include "cluster/cluster.hh"
+#include "obs/histogram.hh"
 #include "runtime/engine.hh"
 #include "sim/simulation.hh"
 #include "specfaas/spec_controller.hh"
@@ -56,6 +57,9 @@ class FaasPlatform
 {
   public:
     explicit FaasPlatform(PlatformOptions options = {});
+
+    /** Deposits gauge-sampler series into the global archive. */
+    ~FaasPlatform();
 
     FaasPlatform(const FaasPlatform&) = delete;
     FaasPlatform& operator=(const FaasPlatform&) = delete;
@@ -107,6 +111,8 @@ class FaasPlatform
     std::unique_ptr<WorkflowEngine> engine_;
     SpecController* spec_ = nullptr;
     Rng inputRng_;
+    /** Periodic gauge sampler; null unless obs::sampleInterval() > 0. */
+    std::unique_ptr<obs::TimeSeriesSampler> sampler_;
 };
 
 } // namespace specfaas

@@ -11,6 +11,7 @@
 #ifndef SPECFAAS_RUNTIME_ENGINE_HH
 #define SPECFAAS_RUNTIME_ENGINE_HH
 
+#include <cstddef>
 #include <functional>
 #include <string>
 
@@ -85,6 +86,9 @@ class WorkflowEngine
 
     /** Engine name for reports. */
     virtual std::string name() const = 0;
+
+    /** Requests in flight right now (gauge for the sampler). */
+    virtual std::size_t liveInvocations() const = 0;
 };
 
 } // namespace specfaas

@@ -1,0 +1,29 @@
+#include "ids.hh"
+
+namespace specfaas {
+
+namespace {
+InvocationId nextInvocation = 1;
+InstanceId nextInstance = 1;
+} // namespace
+
+InvocationId
+nextInvocationId()
+{
+    return nextInvocation++;
+}
+
+InstanceId
+nextInstanceId()
+{
+    return nextInstance++;
+}
+
+void
+resetIdsForTest()
+{
+    nextInvocation = 1;
+    nextInstance = 1;
+}
+
+} // namespace specfaas

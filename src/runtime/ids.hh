@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Process-global invocation / instance id sources.
+ *
+ * Benchmarks build many FaasPlatform instances in one process (load
+ * sweeps, baseline-vs-SpecFaaS pairs). Per-engine counters would
+ * reuse ids across platforms, which breaks trace analysis: the trace
+ * ring is process-global and uses invocation / instance ids as thread
+ * tracks and join keys. Drawing from one global sequence keeps every
+ * id unique for the lifetime of the process.
+ *
+ * Tests that assert byte-identical artifacts across repeated runs
+ * reset the sequences between runs with resetIdsForTest().
+ */
+
+#ifndef SPECFAAS_RUNTIME_IDS_HH
+#define SPECFAAS_RUNTIME_IDS_HH
+
+#include "common/types.hh"
+
+namespace specfaas {
+
+/** Next process-unique invocation id (starts at 1). */
+InvocationId nextInvocationId();
+
+/** Next process-unique function-instance id (starts at 1). */
+InstanceId nextInstanceId();
+
+/** Restart both sequences at 1. Determinism tests only. */
+void resetIdsForTest();
+
+} // namespace specfaas
+
+#endif // SPECFAAS_RUNTIME_IDS_HH

@@ -115,6 +115,21 @@ struct FunctionInstance
     InstanceState state = InstanceState::Launching;
     SquashReason squashReason = SquashReason::None;
 
+    /**
+     * A "stall-read" trace span is open on this instance's exec
+     * track. Closed by resume (SpecController) or squash
+     * (Interpreter); the flag keeps begin/end emission balanced.
+     */
+    bool stallSpanOpen = false;
+
+    /**
+     * Cascade id of the squash that killed this instance (0 = never
+     * squashed). Squash trace events carry the same id plus a parent
+     * link, so the analyzer can attribute wasted work to cascade
+     * depth.
+     */
+    std::uint64_t squashId = 0;
+
     /** Interpreter state. */
     Env env;
     std::size_t pc = 0;

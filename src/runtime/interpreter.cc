@@ -24,7 +24,15 @@ Interpreter::start(const InstancePtr& inst)
     if (auto& tr = obs::trace(); tr.enabled()) {
         tr.begin(obs::cat::kExec, inst->def->name, sim_.now(),
                  obs::nodePid(inst->node), inst->id,
-                 {{"order", orderKeyToString(inst->order)}});
+                 {{"order", orderKeyToString(inst->order)},
+                  {"container_creation",
+                   strFormat("%lld", static_cast<long long>(
+                                         inst->containerCreationTime)),
+                   true},
+                  {"runtime_setup",
+                   strFormat("%lld", static_cast<long long>(
+                                         inst->runtimeSetupTime)),
+                   true}});
     }
     step(inst);
 }
@@ -65,7 +73,11 @@ Interpreter::step(const InstancePtr& inst)
     inst->ownFiles.clear(); // temp files are discarded (§VI)
     if (auto& tr = obs::trace(); tr.enabled()) {
         tr.end(obs::cat::kExec, inst->def->name, sim_.now(),
-               obs::nodePid(inst->node), inst->id);
+               obs::nodePid(inst->node), inst->id,
+               {{"exec_ticks",
+                 strFormat("%lld",
+                           static_cast<long long>(inst->execTime)),
+                 true}});
         tr.end(obs::cat::kLifecycle, inst->def->name, sim_.now(),
                obs::kControlPlanePid, inst->id);
     }
@@ -219,23 +231,40 @@ Interpreter::squash(const InstancePtr& inst, SquashPolicy policy)
             inst->state == InstanceState::StalledSideEffect ||
             inst->state == InstanceState::StalledRead ||
             inst->state == InstanceState::StalledCallee;
+        if (inst->stallSpanOpen) {
+            // The squash minimizer's stall span is still open inside
+            // the exec span; close it first to keep nesting balanced.
+            inst->stallSpanOpen = false;
+            tr.end(obs::cat::kExec, "stall-read", sim_.now(),
+                   obs::nodePid(inst->node), inst->id,
+                   {{"squashed", "1", true}});
+        }
+        const std::string execTicks =
+            strFormat("%lld", static_cast<long long>(inst->execTime));
+        const std::string squashId = strFormat(
+            "%llu", static_cast<unsigned long long>(inst->squashId));
         if (executing) {
             tr.end(obs::cat::kExec, inst->def->name, sim_.now(),
                    obs::nodePid(inst->node), inst->id,
-                   {{"squashed", "1", true}});
+                   {{"squashed", "1", true},
+                    {"exec_ticks", execTicks, true}});
         }
         if (inst->state != InstanceState::Completed) {
             tr.end(obs::cat::kLifecycle, inst->def->name, sim_.now(),
                    obs::kControlPlanePid, inst->id,
                    {{"squashed", "1", true},
-                    {"reason", squashReasonName(inst->squashReason)}});
+                    {"reason", squashReasonName(inst->squashReason)},
+                    {"squash_id", squashId, true},
+                    {"exec_ticks", execTicks, true}});
         } else {
             // Completed-but-uncommitted work still vanishes; record
             // the kill as an instant since both spans are closed.
             tr.instant(obs::cat::kLifecycle, "squash-completed",
                        sim_.now(), obs::kControlPlanePid, inst->id,
                        {{"reason",
-                         squashReasonName(inst->squashReason)}});
+                         squashReasonName(inst->squashReason)},
+                        {"squash_id", squashId, true},
+                        {"exec_ticks", execTicks, true}});
         }
     }
 

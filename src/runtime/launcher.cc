@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "obs/trace_recorder.hh"
+#include "runtime/ids.hh"
 
 namespace specfaas {
 
@@ -33,7 +34,8 @@ InstancePtr
 Launcher::launch(LaunchSpec spec)
 {
     auto inst = std::make_shared<FunctionInstance>();
-    inst->id = nextInstance_++;
+    inst->id = nextInstanceId();
+    ++launches_;
     inst->invocation = spec.invocation;
     inst->def = &registry_.get(spec.function);
     inst->order = std::move(spec.order);

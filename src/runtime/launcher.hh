@@ -69,8 +69,8 @@ class Launcher
      */
     InstancePtr launch(LaunchSpec spec);
 
-    /** Total instances ever launched. */
-    std::uint64_t launchCount() const { return nextInstance_ - 1; }
+    /** Total instances launched by this launcher. */
+    std::uint64_t launchCount() const { return launches_; }
 
   private:
     /** Continue a launch after the controller station and wire time. */
@@ -81,7 +81,7 @@ class Launcher
     Cluster& cluster_;
     const FunctionRegistry& registry_;
     Interpreter& interp_;
-    InstanceId nextInstance_ = 1;
+    std::uint64_t launches_ = 0;
 };
 
 } // namespace specfaas

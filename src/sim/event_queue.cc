@@ -9,11 +9,25 @@ EventQueue::schedule(Tick delay, Callback cb)
 {
     SPECFAAS_ASSERT(delay >= 0, "negative delay %lld",
                     static_cast<long long>(delay));
-    return scheduleAt(now_ + delay, std::move(cb));
+    return scheduleEntry(now_ + delay, std::move(cb), false);
 }
 
 EventId
 EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    return scheduleEntry(when, std::move(cb), false);
+}
+
+EventId
+EventQueue::scheduleDaemon(Tick delay, Callback cb)
+{
+    SPECFAAS_ASSERT(delay >= 0, "negative daemon delay %lld",
+                    static_cast<long long>(delay));
+    return scheduleEntry(now_ + delay, std::move(cb), true);
+}
+
+EventId
+EventQueue::scheduleEntry(Tick when, Callback cb, bool daemon)
 {
     SPECFAAS_ASSERT(when >= now_, "scheduling in the past (%lld < %lld)",
                     static_cast<long long>(when),
@@ -21,7 +35,22 @@ EventQueue::scheduleAt(Tick when, Callback cb)
     const EventId id = nextId_++;
     queue_.push(Entry{when, nextSeq_++, id, std::move(cb)});
     states_.push_back(State::Pending);
+    if (daemon)
+        daemonIds_.push_back(id);
     return id;
+}
+
+bool
+EventQueue::dropDaemonId(EventId id)
+{
+    for (std::size_t i = 0; i < daemonIds_.size(); ++i) {
+        if (daemonIds_[i] == id) {
+            daemonIds_[i] = daemonIds_.back();
+            daemonIds_.pop_back();
+            return true;
+        }
+    }
+    return false;
 }
 
 bool
@@ -34,6 +63,8 @@ EventQueue::cancel(EventId id)
     // when popped.
     states_[id - 1] = State::Cancelled;
     ++cancelledPending_;
+    if (!daemonIds_.empty())
+        dropDaemonId(id);
     return true;
 }
 
@@ -63,6 +94,8 @@ EventQueue::runOne()
 
         now_ = when;
         states_[id - 1] = State::Done;
+        if (!daemonIds_.empty())
+            dropDaemonId(id);
         ++executed_;
         cb();
         return true;
@@ -73,7 +106,10 @@ EventQueue::runOne()
 void
 EventQueue::run()
 {
-    while (runOne()) {
+    // Stop once only daemon events remain; a self-rescheduling
+    // sampler would otherwise keep the loop alive forever. Remaining
+    // daemons stay queued and fire if more work arrives later.
+    while (pendingWorkCount() > 0 && runOne()) {
     }
 }
 
@@ -94,12 +130,6 @@ EventQueue::runUntil(Tick until)
         runOne();
     }
     now_ = until;
-}
-
-std::size_t
-EventQueue::pendingCount() const
-{
-    return queue_.size() - cancelledPending_;
 }
 
 } // namespace specfaas

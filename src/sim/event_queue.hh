@@ -47,6 +47,15 @@ class EventQueue
     EventId scheduleAt(Tick when, Callback cb);
 
     /**
+     * Schedule a daemon event: it fires in timestamp order like any
+     * other event, but does not keep run() alive — when only daemon
+     * events remain pending, run() returns and leaves them queued.
+     * Periodic background work (gauge samplers) self-reschedules with
+     * this so simulations still terminate when real work drains.
+     */
+    EventId scheduleDaemon(Tick delay, Callback cb);
+
+    /**
      * Cancel a pending event. Cancelling an already-fired or
      * already-cancelled event is a no-op.
      * @return true if the event was pending and is now cancelled
@@ -71,8 +80,17 @@ class EventQueue
      */
     void runUntil(Tick until);
 
-    /** Number of pending (uncancelled) events. */
-    std::size_t pendingCount() const;
+    /** Number of pending (uncancelled) events, daemons included. */
+    std::size_t pendingCount() const
+    {
+        return queue_.size() - cancelledPending_;
+    }
+
+    /** Pending non-daemon events (what keeps run() alive). */
+    std::size_t pendingWorkCount() const
+    {
+        return queue_.size() - cancelledPending_ - daemonIds_.size();
+    }
 
     /** Total number of events executed so far. */
     std::uint64_t executedCount() const { return executed_; }
@@ -111,6 +129,11 @@ class EventQueue
      */
     enum class State : std::uint8_t { Pending, Cancelled, Done };
 
+    EventId scheduleEntry(Tick when, Callback cb, bool daemon);
+
+    /** Remove @p id from daemonIds_ if present. */
+    bool dropDaemonId(EventId id);
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     EventId nextId_ = 1;
@@ -118,6 +141,13 @@ class EventQueue
     std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
     std::vector<State> states_; ///< indexed by id - 1
     std::size_t cancelledPending_ = 0;
+    /**
+     * Ids of pending daemon events. Daemons are rare (a handful of
+     * periodic samplers at most), so a tiny linear-scanned list keeps
+     * the per-event cost of the common non-daemon path at one
+     * empty()-check instead of a per-id side table.
+     */
+    std::vector<EventId> daemonIds_;
 };
 
 } // namespace specfaas

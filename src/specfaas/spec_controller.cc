@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "obs/trace_recorder.hh"
+#include "runtime/ids.hh"
 
 namespace specfaas {
 
@@ -138,11 +139,22 @@ SpecController::liveSpeculativeSlots(const SpecInvocation& inv) const
     return n;
 }
 
+std::size_t
+SpecController::speculativeInFlight() const
+{
+    std::size_t n = 0;
+    for (const auto& [id, inv] : live_) {
+        (void)id;
+        n += liveSpeculativeSlots(*inv);
+    }
+    return n;
+}
+
 void
 SpecController::invoke(const Application& app, Value input,
                        std::function<void(InvocationResult)> done)
 {
-    const InvocationId id = nextInvocation_++;
+    const InvocationId id = nextInvocationId();
 
     // Admission control, as in the baseline (§II-B front-end).
     if (cluster_.controller().queueLength() >
@@ -690,9 +702,10 @@ SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
             if (inv.buffer->hasColumn(s.inst->id))
                 inv.buffer->invalidateColumn(s.inst->id);
             inv.byInstance.erase(s.inst->id);
-            // Reason first: the interpreter's squash trace events
-            // carry it.
+            // Reason and cascade id first: the interpreter's squash
+            // trace events carry them.
             s.inst->squashReason = reason;
+            s.inst->squashId = squashId;
             interp_.squash(s.inst, config_.squashPolicy);
             if (config_.squashPolicy == SquashPolicy::ContainerKill)
                 ++inv.containerKillDebt;
@@ -1162,6 +1175,13 @@ SpecController::finish(SpecInvocation& inv)
     inv.finished = true;
     inv.result.response = inv.responseValue;
     inv.result.completedAt = sim_.now();
+    // End-to-end completion marker: invokeSync bypasses the platform
+    // "response" wrapper, so the engine records it for the analyzer.
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.instant(obs::cat::kSpec, "complete", sim_.now(),
+                   obs::kControlPlanePid, inv.result.id,
+                   {{"app", inv.result.app}});
+    }
     std::sort(inv.sequence.begin(), inv.sequence.end(),
               [](const auto& a, const auto& b) {
                   return orderKeyLess(a.first, b.first);
@@ -1254,7 +1274,14 @@ SpecController::resumeParkedReads(SpecInvocation& inv)
     for (auto& p : parked) {
         if (p.reader->epoch != p.epoch ||
             p.reader->state == InstanceState::Dead) {
-            continue; // squashed while parked
+            continue; // squashed while parked (squash closed the span)
+        }
+        if (p.reader->stallSpanOpen) {
+            p.reader->stallSpanOpen = false;
+            if (auto& tr = obs::trace(); tr.enabled()) {
+                tr.end(obs::cat::kExec, "stall-read", sim_.now(),
+                       obs::nodePid(p.reader->node), p.reader->id);
+            }
         }
         // Re-attempt: if the stall condition still holds, the read
         // re-parks inside performRead's caller (storageGet).
@@ -1338,6 +1365,12 @@ SpecController::storageGet(const InstancePtr& inst, const std::string& key,
                                inv.result.id,
                                {{"function", inst->def->name},
                                 {"key", key}});
+                    // Stall interval on the exec track, nested in the
+                    // instance's exec span; ended on resume or squash.
+                    tr.begin(obs::cat::kExec, "stall-read", sim_.now(),
+                             obs::nodePid(inst->node), inst->id,
+                             {{"key", key}});
+                    inst->stallSpanOpen = true;
                 }
                 inst->state = InstanceState::StalledRead;
                 inv.parkedReads.push_back(ParkedRead{

@@ -107,7 +107,9 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     SpecStats stats() const;
     /** The underlying named-counter registry. */
     const obs::CounterRegistry& counters() const { return counters_; }
-    std::size_t liveInvocations() const { return live_.size(); }
+    std::size_t liveInvocations() const override { return live_.size(); }
+    /** Speculatively-launched, not-yet-completed instances in flight. */
+    std::size_t speculativeInFlight() const;
 
     /** Dump every live invocation's pipeline state (diagnostics). */
     std::string debugDump() const;
@@ -413,7 +415,6 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     std::map<std::pair<std::string, std::size_t>, CallSiteInfo>
         callGraph_;
 
-    InvocationId nextInvocation_ = 1;
     InvMap live_;
     std::unordered_map<const Application*, FlowProgram> programs_;
 };

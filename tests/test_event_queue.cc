@@ -154,6 +154,65 @@ TEST(EventQueue, PendingCountNeverUnderflows)
     EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, DaemonDoesNotKeepRunAlive)
+{
+    EventQueue q;
+    int daemon_fires = 0;
+    std::function<void()> tick = [&]() {
+        ++daemon_fires;
+        q.scheduleDaemon(5, tick);
+    };
+    q.scheduleDaemon(5, tick);
+    bool work_done = false;
+    q.schedule(12, [&]() { work_done = true; });
+    EXPECT_EQ(q.pendingWorkCount(), 1u);
+    q.run();
+    // run() drains the real work and stops; the self-rescheduling
+    // daemon fired only while work was still pending.
+    EXPECT_TRUE(work_done);
+    EXPECT_EQ(q.now(), 12);
+    EXPECT_EQ(daemon_fires, 2); // t=5 and t=10
+    EXPECT_EQ(q.pendingWorkCount(), 0u);
+    EXPECT_FALSE(q.empty()); // the daemon itself is still queued
+}
+
+TEST(EventQueue, RunReturnsImmediatelyWithOnlyDaemons)
+{
+    EventQueue q;
+    bool fired = false;
+    q.scheduleDaemon(5, [&]() { fired = true; });
+    q.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(q.now(), 0);
+}
+
+TEST(EventQueue, RunUntilFiresDaemons)
+{
+    EventQueue q;
+    std::vector<Tick> at;
+    std::function<void()> tick = [&]() {
+        at.push_back(q.now());
+        q.scheduleDaemon(10, tick);
+    };
+    q.scheduleDaemon(10, tick);
+    q.runUntil(35);
+    EXPECT_EQ(at, (std::vector<Tick>{10, 20, 30}));
+    EXPECT_EQ(q.now(), 35);
+}
+
+TEST(EventQueue, CancelDaemonKeepsCountsConsistent)
+{
+    EventQueue q;
+    const EventId d = q.scheduleDaemon(5, []() {});
+    q.schedule(10, []() {});
+    EXPECT_EQ(q.pendingWorkCount(), 1u);
+    EXPECT_TRUE(q.cancel(d));
+    EXPECT_EQ(q.pendingWorkCount(), 1u);
+    q.run();
+    EXPECT_EQ(q.pendingWorkCount(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, ExecutedCount)
 {
     EventQueue q;

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Tests for the trace-analysis half of src/obs: latency histograms,
+ * the gauge sampler, the critical-path analyzer, the JSON report
+ * renderer/parser, report comparison, and run-report determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/critical_path.hh"
+#include "obs/histogram.hh"
+#include "obs/json_report.hh"
+#include "obs/trace_export.hh"
+#include "obs/trace_recorder.hh"
+#include "platform/platform.hh"
+#include "runtime/ids.hh"
+#include "workloads/app_helpers.hh"
+
+namespace specfaas {
+namespace {
+
+using obs::LatencyHistogram;
+using obs::TimeSeriesSampler;
+
+// ---------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------
+
+TEST(LatencyHistogram, EmptyIsNaN)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_TRUE(std::isnan(h.mean()));
+    EXPECT_TRUE(std::isnan(h.min()));
+    EXPECT_TRUE(std::isnan(h.max()));
+    EXPECT_TRUE(std::isnan(h.percentile(50)));
+    EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(LatencyHistogram, ExactStatsAndApproximatePercentiles)
+{
+    LatencyHistogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_DOUBLE_EQ(h.sum(), 500500.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+    // Log-bucketed: percentiles are within one sub-bucket (~6%).
+    EXPECT_NEAR(h.percentile(50), 500.0, 500.0 * 0.07);
+    EXPECT_NEAR(h.percentile(99), 990.0, 990.0 * 0.07);
+    // Extremes clamp to the exact min / max.
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(LatencyHistogram, SubUnitAndNegativeShareTheZeroBucket)
+{
+    LatencyHistogram h;
+    h.add(0.0);
+    h.add(0.5);
+    h.add(-3.0); // clamps
+    h.add(std::nan("")); // clamps
+    EXPECT_EQ(h.count(), 4u);
+    const auto buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), 1u);
+    EXPECT_EQ(buckets[0].count, 4u);
+    EXPECT_DOUBLE_EQ(buckets[0].lower, 0.0);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedAdds)
+{
+    LatencyHistogram a;
+    LatencyHistogram b;
+    LatencyHistogram both;
+    for (int i = 1; i <= 50; ++i) {
+        a.add(i);
+        both.add(i);
+    }
+    for (int i = 51; i <= 100; ++i) {
+        b.add(i * 10.0);
+        both.add(i * 10.0);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+    EXPECT_DOUBLE_EQ(a.min(), both.min());
+    EXPECT_DOUBLE_EQ(a.max(), both.max());
+    EXPECT_DOUBLE_EQ(a.percentile(90), both.percentile(90));
+}
+
+TEST(LatencyHistogram, BoundedBucketsOverHugeRange)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 10000; ++i)
+        h.add(std::pow(1.001, i)); // spans ~14 octaves
+    // Memory stays O(log range), not O(n).
+    EXPECT_LT(h.buckets().size(),
+              20 * LatencyHistogram::kSubBuckets);
+}
+
+// ---------------------------------------------------------------------
+// TimeSeriesSampler
+// ---------------------------------------------------------------------
+
+TEST(TimeSeriesSampler, SamplesOnCadenceViaDaemonEvents)
+{
+    EventQueue q;
+    TimeSeriesSampler sampler(q, /*interval=*/10);
+    double gauge = 0.0;
+    sampler.addGauge("g", [&] { return gauge; });
+    sampler.start();
+    // Real work carries the clock to t=25; daemons ride along.
+    q.schedule(25, [&] { gauge = 7.0; });
+    q.run();
+    EXPECT_EQ(q.now(), 25);
+    ASSERT_EQ(sampler.times(),
+              (std::vector<Tick>{0, 10, 20})); // start + 2 ticks
+    EXPECT_EQ(sampler.gaugeSeries(0),
+              (std::vector<double>{0.0, 0.0, 0.0}));
+    EXPECT_EQ(sampler.observations(), 3u);
+    sampler.stop();
+}
+
+TEST(TimeSeriesSampler, CompactionBoundsMemoryAndKeepsStats)
+{
+    EventQueue q;
+    TimeSeriesSampler sampler(q, /*interval=*/1, /*maxSamples=*/8);
+    double v = 0.0;
+    sampler.addGauge("v", [&] { return v; });
+    sampler.start();
+    q.schedule(100, [&] { v = 1.0; });
+    q.run();
+    // Compaction coarsens the cadence instead of growing the buffer:
+    // far fewer than 101 samples taken, at most 8 retained.
+    EXPECT_GT(sampler.observations(), 8u);
+    EXPECT_LT(sampler.observations(), 101u);
+    EXPECT_LE(sampler.times().size(), 8u);
+    EXPECT_GT(sampler.interval(), 1); // doubled at least once
+    // Whole-run stats see every observation, not just retained ones.
+    const auto stats = sampler.gaugeStats(0);
+    EXPECT_EQ(stats.count, sampler.observations());
+    EXPECT_DOUBLE_EQ(stats.min, 0.0);
+    EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+    // Retained samples always span the run (first stays at t=0).
+    EXPECT_EQ(sampler.times().front(), 0);
+    EXPECT_GE(sampler.times().back(), 64);
+}
+
+// ---------------------------------------------------------------------
+// Shared traced workload
+// ---------------------------------------------------------------------
+
+/** Two-branch chain whose rare direction forces a squash. */
+Application
+reportBranchChain()
+{
+    Application app;
+    app.name = "rpt-chain";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+    app.functions.push_back(condFunction("Ra", "b0", 5.0));
+    app.functions.push_back(worker("Rmid", 6.0, fns::passInput()));
+    app.functions.push_back(worker("Rend", 5.0, [](const Env&) {
+        return Value("done");
+    }));
+    app.functions.push_back(worker("Rfail", 2.0, [](const Env&) {
+        return Value("failed");
+    }));
+    app.workflow =
+        when("Ra", sequence({task("Rmid"), task("Rend")}),
+             task("Rfail"));
+    app.inputGen = [](Rng& rng) {
+        Value v = Value::object({});
+        v["b0"] = Value(rng.bernoulli(0.95));
+        return v;
+    };
+    return app;
+}
+
+/** Reset every process-global obs/id sink determinism cares about. */
+void
+resetGlobalObsState()
+{
+    resetIdsForTest();
+    obs::trace().disable();
+    obs::trace().clear();
+    obs::counters().clear();
+    obs::samplerArchive().clear();
+    obs::setSampleInterval(0);
+}
+
+/**
+ * One traced SpecFaaS mini-run: train untraced, then invoke the
+ * common direction and the forced-misprediction direction under
+ * tracing. Returns the recorded events.
+ */
+std::vector<obs::TraceEvent>
+tracedSpecRun(std::uint64_t seed)
+{
+    Application app = reportBranchChain();
+    PlatformOptions options;
+    options.speculative = true;
+    options.seed = seed;
+    FaasPlatform platform(options);
+    platform.deploy(app);
+    platform.train(app, 20);
+
+    obs::trace().enable(1u << 16);
+    for (int i = 0; i < 3; ++i) {
+        auto ok = platform.invokeSync(
+            app, Value::object({{"b0", Value(true)}}));
+        EXPECT_EQ(ok.response.asString(), "done");
+    }
+    auto rare = platform.invokeSync(
+        app, Value::object({{"b0", Value(false)}}));
+    EXPECT_EQ(rare.response.asString(), "failed");
+    obs::trace().disable();
+    return obs::trace().snapshot();
+}
+
+// ---------------------------------------------------------------------
+// Critical-path analyzer
+// ---------------------------------------------------------------------
+
+TEST(CriticalPath, SegmentsTileEndToEndLatencyExactly)
+{
+    resetGlobalObsState();
+    const auto evs = tracedSpecRun(11);
+    const auto report = obs::analyzeTrace(evs);
+
+    ASSERT_EQ(report.invocations.size(), 4u);
+    EXPECT_EQ(report.incompleteInvocations, 0u);
+    for (const auto& inv : report.invocations) {
+        EXPECT_GT(inv.latency(), 0);
+        // Acceptance criterion: the exclusive segments sum to the
+        // measured end-to-end latency within one tick.
+        EXPECT_LE(std::llabs(static_cast<long long>(
+                      inv.segments.total() - inv.latency())),
+                  1)
+            << "invocation " << inv.id;
+        EXPECT_GT(inv.segments.execution, 0);
+        EXPECT_EQ(inv.app, "rpt-chain");
+    }
+    EXPECT_EQ(report.perApp.at("rpt-chain").invocations, 4u);
+    EXPECT_EQ(report.totals.execution,
+              report.perApp.at("rpt-chain").totals.execution);
+    resetGlobalObsState();
+}
+
+TEST(CriticalPath, ForcedMispredictionAttributesWastedTicks)
+{
+    resetGlobalObsState();
+    const auto evs = tracedSpecRun(12);
+    const auto report = obs::analyzeTrace(evs);
+    const auto& w = report.speculation;
+
+    EXPECT_GT(w.usefulTicks, 0);
+    EXPECT_GT(w.committedInstances, 0u);
+    // The rare direction squashed speculative work...
+    EXPECT_GT(w.squashedInstances, 0u);
+    // ...and the burn is attributed to the squash reason.
+    ASSERT_TRUE(w.squashesByReason.count("control-mispredict"))
+        << report.table();
+    EXPECT_GT(w.squashesByReason.at("control-mispredict"), 0u);
+    EXPECT_TRUE(w.wastedByReason.count("control-mispredict"));
+    // Per-depth attribution covers all wasted ticks.
+    Tick by_depth = 0;
+    for (const auto& [depth, ticks] : w.wastedByDepth) {
+        EXPECT_GE(depth, 1);
+        by_depth += ticks;
+    }
+    EXPECT_EQ(by_depth, w.wastedTicks);
+    const double f = w.wastedFraction();
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+
+    // The printable report renders without dying.
+    EXPECT_NE(report.table().find("rpt-chain"), std::string::npos);
+    resetGlobalObsState();
+}
+
+// ---------------------------------------------------------------------
+// JSON rendering, parsing, comparison
+// ---------------------------------------------------------------------
+
+TEST(JsonReport, RenderParseRoundTrip)
+{
+    Value v = Value::object(
+        {{"s", Value("quote\"new\nline")},
+         {"i", Value(static_cast<std::int64_t>(-42))},
+         {"d", Value(3.25)},
+         {"b", Value(true)},
+         {"arr", Value(ValueArray{Value(1), Value("two")})},
+         {"nested", Value::object({{"k", Value(false)}})}});
+    const std::string text = obs::toJson(v);
+
+    Value back;
+    std::string error;
+    ASSERT_TRUE(obs::parseJson(text, back, &error)) << error;
+    EXPECT_EQ(obs::toJson(back), text); // stable fixpoint
+    EXPECT_EQ(back["s"].asString(), "quote\"new\nline");
+    EXPECT_EQ(back["i"].asInt(), -42);
+    EXPECT_DOUBLE_EQ(back["d"].asDouble(), 3.25);
+}
+
+TEST(JsonReport, ParseRejectsMalformedInput)
+{
+    Value out;
+    std::string error;
+    EXPECT_FALSE(obs::parseJson("{\"a\": ", out, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(obs::parseJson("{\"a\": 1} trailing", out));
+    EXPECT_FALSE(obs::parseJson("", out));
+}
+
+TEST(JsonReport, BuildCarriesSchemaConfigAndMetrics)
+{
+    obs::JsonReport report("unit");
+    report.setConfig("seed", Value(static_cast<std::int64_t>(42)));
+    report.addMetric("speedup", 4.6, /*higherIsBetter=*/true, "x");
+    LatencyHistogram h;
+    h.add(5.0);
+    report.addHistogram("lat_ms", h);
+
+    Value doc = report.build();
+    EXPECT_EQ(doc["schema"].asString(), obs::kReportSchema);
+    EXPECT_EQ(doc["bench"].asString(), "unit");
+    EXPECT_EQ(doc["config"]["seed"].asInt(), 42);
+    EXPECT_DOUBLE_EQ(doc["metrics"]["speedup"]["value"].asDouble(),
+                     4.6);
+    EXPECT_TRUE(
+        doc["metrics"]["speedup"]["higher_is_better"].asBool());
+    EXPECT_EQ(doc["histograms"]["lat_ms"]["count"].asInt(), 1);
+}
+
+TEST(CompareReports, IdenticalReportsPass)
+{
+    obs::JsonReport report("cmp");
+    report.addMetric("speedup", 4.0, true, "x");
+    report.addMetric("latency_ms", 120.0, false, "ms");
+    const auto result =
+        obs::compareReports(report.build(), report.build());
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.regressions.empty());
+    EXPECT_TRUE(result.errors.empty());
+}
+
+TEST(CompareReports, FlagsBadDirectionBeyondTolerance)
+{
+    obs::JsonReport base("cmp");
+    base.addMetric("speedup", 4.0, true);
+    base.addMetric("latency_ms", 100.0, false);
+    obs::JsonReport cand("cmp");
+    cand.addMetric("speedup", 3.0, true);     // -25%: regression
+    cand.addMetric("latency_ms", 103.0, false); // +3%: within 5%
+    const auto result = obs::compareReports(base.build(),
+                                            cand.build());
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.regressions.size(), 1u);
+    EXPECT_NE(result.regressions[0].find("speedup"),
+              std::string::npos);
+}
+
+TEST(CompareReports, GoodDirectionNeverFails)
+{
+    obs::JsonReport base("cmp");
+    base.addMetric("speedup", 4.0, true);
+    base.addMetric("latency_ms", 100.0, false);
+    obs::JsonReport cand("cmp");
+    cand.addMetric("speedup", 8.0, true);      // better
+    cand.addMetric("latency_ms", 50.0, false); // better
+    EXPECT_TRUE(
+        obs::compareReports(base.build(), cand.build()).ok());
+}
+
+TEST(CompareReports, MismatchAndMissingMetricsAreErrors)
+{
+    obs::JsonReport base("bench-a");
+    base.addMetric("m", 1.0, true);
+    obs::JsonReport other("bench-b");
+    other.addMetric("m", 1.0, true);
+    EXPECT_FALSE(
+        obs::compareReports(base.build(), other.build()).ok());
+
+    obs::JsonReport missing("bench-a");
+    const auto result =
+        obs::compareReports(base.build(), missing.build());
+    EXPECT_FALSE(result.ok());
+    EXPECT_FALSE(result.errors.empty());
+}
+
+// ---------------------------------------------------------------------
+// Determinism: same seed => byte-identical artifacts
+// ---------------------------------------------------------------------
+
+/** One full mini-run producing both artifacts, like ObsSession does. */
+std::pair<std::string, std::string>
+artifactsForSeed(std::uint64_t seed)
+{
+    resetGlobalObsState();
+    obs::setSampleInterval(500);
+    const auto evs = tracedSpecRun(seed);
+
+    const std::string chrome = obs::toChromeTraceJson(evs);
+
+    obs::JsonReport report("determinism");
+    report.setConfig("seed",
+                     Value(static_cast<std::int64_t>(seed)));
+    report.addSection("counters",
+                      obs::counterSnapshotValue(obs::counters()));
+    report.addSection("critical_path",
+                      obs::toValue(obs::analyzeTrace(evs)));
+    ValueArray series;
+    for (const auto& s : obs::samplerArchive().series())
+        series.push_back(obs::toValue(s));
+    report.addSection("samplers", Value(std::move(series)));
+    const std::string json = obs::toJson(report.build());
+    resetGlobalObsState();
+    return {chrome, json};
+}
+
+TEST(Determinism, SameSeedYieldsByteIdenticalTraceAndReport)
+{
+    const auto first = artifactsForSeed(42);
+    const auto second = artifactsForSeed(42);
+    EXPECT_EQ(first.first, second.first);   // Chrome trace JSON
+    EXPECT_EQ(first.second, second.second); // run report JSON
+    EXPECT_NE(first.first.find("\"traceEvents\""),
+              std::string::npos);
+    EXPECT_NE(first.second.find("critical_path"),
+              std::string::npos);
+}
+
+TEST(Determinism, DifferentSeedsYieldDifferentReports)
+{
+    const auto a = artifactsForSeed(42);
+    const auto b = artifactsForSeed(43);
+    EXPECT_NE(a.second, b.second);
+}
+
+} // namespace
+} // namespace specfaas

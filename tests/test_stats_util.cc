@@ -56,6 +56,8 @@ TEST(Stats, Geomean)
 {
     EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
     EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-9);
+    // Undefined for an empty sample: NaN, not a fabricated 0.0.
+    EXPECT_TRUE(std::isnan(geomean({})));
 }
 
 TEST(Stats, EmpiricalCdfMonotone)
@@ -113,6 +115,17 @@ TEST(Stats, AccumulatorWithoutSamples)
     EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
 }
 
+TEST(Stats, AccumulatorEmptyPercentileIsNaN)
+{
+    // An empty keep-samples accumulator has no percentiles; this must
+    // surface as NaN at the Accumulator level, not die on the generic
+    // "percentile of empty sample" assert inside stats_util.
+    Accumulator acc;
+    EXPECT_TRUE(std::isnan(acc.percentile(50.0)));
+    acc.add(1.5);
+    EXPECT_DOUBLE_EQ(acc.percentile(50.0), 1.5);
+}
+
 TEST(Table, RendersAlignedColumns)
 {
     TextTable t;
@@ -135,6 +148,8 @@ TEST(Table, Formatters)
     // Undefined rates (0 predictions) render as a dash, not "100%".
     EXPECT_EQ(fmtPercentOrDash(0.587), "58.7%");
     EXPECT_EQ(fmtPercentOrDash(std::nan("")), "–");
+    EXPECT_EQ(fmtRatioOrDash(4.64), "4.6x");
+    EXPECT_EQ(fmtRatioOrDash(geomean({})), "–");
 }
 
 } // namespace
