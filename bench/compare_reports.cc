@@ -12,8 +12,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "obs/json_report.hh"
@@ -29,36 +27,6 @@ usage()
                  "usage: compare_reports [--threshold=<rel>] "
                  "<baseline.json> <candidate.json>\n");
     return 2;
-}
-
-bool
-readFile(const char* path, std::string& out)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    out = ss.str();
-    return true;
-}
-
-bool
-loadReport(const char* path, Value& out)
-{
-    std::string text;
-    if (!readFile(path, text)) {
-        std::fprintf(stderr, "compare_reports: cannot read %s\n",
-                     path);
-        return false;
-    }
-    std::string error;
-    if (!obs::parseJson(text, out, &error)) {
-        std::fprintf(stderr, "compare_reports: %s: %s\n", path,
-                     error.c_str());
-        return false;
-    }
-    return true;
 }
 
 } // namespace
@@ -88,28 +56,9 @@ main(int argc, char** argv)
     if (npaths != 2)
         return usage();
 
-    Value baseline;
-    Value candidate;
-    if (!loadReport(paths[0], baseline) ||
-        !loadReport(paths[1], candidate))
-        return 2;
-
-    const obs::CompareResult result =
-        obs::compareReports(baseline, candidate, opts);
-
-    for (const std::string& e : result.errors)
-        std::printf("ERROR      %s\n", e.c_str());
-    for (const std::string& r : result.regressions)
-        std::printf("REGRESSION %s\n", r.c_str());
-    for (const std::string& n : result.notes)
-        std::printf("note       %s\n", n.c_str());
-
-    if (result.ok()) {
-        std::printf("OK: %s is within %.1f%% of %s\n", paths[1],
-                    100.0 * opts.relTolerance, paths[0]);
-        return 0;
-    }
-    std::printf("FAIL: %zu error(s), %zu regression(s)\n",
-                result.errors.size(), result.regressions.size());
-    return 1;
+    std::string output;
+    const int rc =
+        obs::compareReportFiles(paths[0], paths[1], opts, &output);
+    std::fputs(output.c_str(), rc == 2 ? stderr : stdout);
+    return rc;
 }

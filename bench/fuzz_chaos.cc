@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Standalone chaos differential fuzzer.
+ *
+ *     fuzz_chaos [--seeds=<lo>:<hi>] [--requests=<n>] [--plans=<n>]
+ *
+ * Runs the same differential check as the ChaosEquivalence ctest
+ * suite over an arbitrary seed range: for each app seed, generate a
+ * random application (explicit workflows on even seeds, implicit
+ * call trees on odd) and a batch of random fault plans, run both
+ * engines under the identical plan, and require termination, equal
+ * responses and an equal final-store fingerprint.
+ *
+ * On a failure the app kind, both seeds and the plan's text spec are
+ * printed — append `<kind> <app-seed> <plan-seed>` to
+ * tests/corpus/chaos_seeds.txt to pin the case as a regression test
+ * (see the corpus header for the workflow). Exit status 1 on any
+ * divergence or hang, 0 when the whole range is clean.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz_apps.hh"
+#include "platform/platform.hh"
+
+using namespace specfaas;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr, "usage: fuzz_chaos [--seeds=<lo>:<hi>] "
+                         "[--requests=<n>] [--plans=<n>]\n");
+    return 2;
+}
+
+SpecConfig
+aggressiveConfig()
+{
+    SpecConfig aggressive;
+    aggressive.bpDeadBand = 0.0;
+    aggressive.stallThreshold = 2;
+    return aggressive;
+}
+
+struct CaseId
+{
+    bool explicitApp;
+    std::uint64_t appSeed;
+    std::uint64_t planSeed;
+
+    const char* kind() const
+    {
+        return explicitApp ? "explicit" : "implicit";
+    }
+};
+
+void
+reportFailure(const CaseId& id, const FaultPlan& plan,
+              const char* what)
+{
+    std::printf("FAIL %s app-seed %llu plan-seed %llu: %s\n",
+                id.kind(),
+                static_cast<unsigned long long>(id.appSeed),
+                static_cast<unsigned long long>(id.planSeed), what);
+    std::printf("  corpus line: %s %llu %llu\n", id.kind(),
+                static_cast<unsigned long long>(id.appSeed),
+                static_cast<unsigned long long>(id.planSeed));
+    std::printf("  fault plan:\n%s", plan.toSpec().c_str());
+}
+
+/** @return true when the case passed */
+bool
+runCase(const CaseId& id, std::size_t requests)
+{
+    // Mirrors chaosApp()/chaosPlan() in tests/test_chaos_equivalence.cc
+    // so corpus lines mean the same thing in both drivers.
+    fuzz::AppFuzzer fuzzer(id.appSeed * 2654435761ull + 101);
+    const Application app =
+        id.explicitApp ? fuzzer.explicitApp() : fuzzer.implicitApp();
+    Rng plan_rng(id.planSeed * 1000003ull + 29);
+    const FaultPlan plan = FaultPlan::random(
+        plan_rng, fuzz::functionNames(app), ClusterConfig{}.numNodes);
+
+    const fuzz::ChaosOutcome base =
+        fuzz::runChaos(app, false, {}, 53, requests, plan);
+    const fuzz::ChaosOutcome spec = fuzz::runChaos(
+        app, true, aggressiveConfig(), 53, requests, plan);
+
+    if (!base.allTerminated) {
+        reportFailure(id, plan, "baseline request did not terminate");
+        return false;
+    }
+    if (!spec.allTerminated) {
+        reportFailure(id, plan,
+                      "speculative request did not terminate");
+        return false;
+    }
+    if (base.responses.size() != spec.responses.size()) {
+        reportFailure(id, plan, "response counts differ");
+        return false;
+    }
+    for (std::size_t i = 0; i < base.responses.size(); ++i) {
+        if (base.responses[i].toString() !=
+            spec.responses[i].toString()) {
+            reportFailure(id, plan, "responses diverged");
+            std::printf("  request %zu\n    baseline: %s\n    "
+                        "speculative: %s\n",
+                        i, base.responses[i].toString().c_str(),
+                        spec.responses[i].toString().c_str());
+            return false;
+        }
+    }
+    if (base.fingerprint != spec.fingerprint) {
+        reportFailure(id, plan, "final store state diverged");
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 100;
+    std::size_t requests = 10;
+    std::uint64_t plans = 2;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--seeds=", 8) == 0) {
+            char* end = nullptr;
+            lo = std::strtoull(argv[i] + 8, &end, 10);
+            if (end == nullptr || *end != ':')
+                return usage();
+            hi = std::strtoull(end + 1, &end, 10);
+            if (*end != '\0' || hi <= lo)
+                return usage();
+        } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+            requests = std::strtoull(argv[i] + 11, nullptr, 10);
+            if (requests == 0)
+                return usage();
+        } else if (std::strncmp(argv[i], "--plans=", 8) == 0) {
+            plans = std::strtoull(argv[i] + 8, nullptr, 10);
+            if (plans == 0)
+                return usage();
+        } else {
+            return usage();
+        }
+    }
+
+    std::uint64_t cases = 0;
+    std::uint64_t failures = 0;
+    for (std::uint64_t seed = lo; seed < hi; ++seed) {
+        for (std::uint64_t p = 0; p < plans; ++p) {
+            const CaseId id{seed % 2 == 0, seed, seed * plans + p};
+            ++cases;
+            if (!runCase(id, requests))
+                ++failures;
+        }
+    }
+
+    std::printf("%llu/%llu chaos cases passed (seeds [%llu, %llu), "
+                "%llu plan(s) each, %zu requests)\n",
+                static_cast<unsigned long long>(cases - failures),
+                static_cast<unsigned long long>(cases),
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(plans), requests);
+    return failures == 0 ? 0 : 1;
+}

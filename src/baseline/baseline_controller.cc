@@ -1,5 +1,7 @@
 #include "baseline_controller.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "obs/trace_recorder.hh"
 #include "runtime/ids.hh"
@@ -115,7 +117,8 @@ BaselineController::dispatch(Invocation& inv, FlowIndex idx, Value input,
                    obs::kControlPlanePid, inv.result.id,
                    {{"function", fname}});
     }
-    launcher_.launch(std::move(spec));
+    InstancePtr inst = launcher_.launch(std::move(spec));
+    inv.instances[inst->id] = std::move(inst);
 }
 
 void
@@ -236,6 +239,22 @@ BaselineController::completed(const InstancePtr& inst, Value output)
     inv.result.execution += inst->execTime;
     SPECFAAS_ASSERT(inv.liveInstances > 0, "live-instance underflow");
     --inv.liveInstances;
+    inv.instances.erase(inst->id);
+    // A completed callee's writes stay attached to its caller: if the
+    // caller later crashes, its whole attempt — nested calls included —
+    // rolls back before the retry, mirroring the spec engine where a
+    // returning callee's buffer column merges into its caller's. Only
+    // a root's writes become final here (the request is done).
+    if (auto uit = inv.undo.find(inst->id); uit != inv.undo.end()) {
+        std::vector<UndoEntry> entries = std::move(uit->second);
+        inv.undo.erase(uit);
+        if (inst->caller != nullptr) {
+            auto& up = inv.undo[inst->caller->id];
+            up.insert(up.end(),
+                      std::make_move_iterator(entries.begin()),
+                      std::make_move_iterator(entries.end()));
+        }
+    }
     inst->state = InstanceState::Committed;
 
     if (inst->caller != nullptr) {
@@ -270,13 +289,29 @@ BaselineController::storagePut(const InstancePtr& inst,
                                const std::string& key, Value value,
                                std::function<void()> done)
 {
-    (void)inst;
-    sim_.events().schedule(store_.latency().writeLatency,
-                           [this, key, value = std::move(value),
-                            done = std::move(done)]() mutable {
-                               store_.put(key, std::move(value));
-                               done();
-                           });
+    const std::uint64_t epoch = inst->epoch;
+    sim_.events().schedule(
+        store_.latency().writeLatency,
+        [this, inst, epoch, key, value = std::move(value),
+         done = std::move(done)]() mutable {
+            // A write in flight when its handler crashed never
+            // reaches the store (without faults the baseline never
+            // squashes, so this guard is inert).
+            if (inst->epoch != epoch ||
+                inst->state == InstanceState::Dead)
+                return;
+            if (sim_.faultInjector() != nullptr) {
+                // Attempt-scoped undo log: capture the prior value so
+                // a later crash of this handler rolls the write back.
+                if (auto it = live_.find(inst->invocation);
+                    it != live_.end()) {
+                    it->second->undo[inst->id].emplace_back(
+                        key, store_.peek(key));
+                }
+            }
+            store_.put(key, std::move(value));
+            done();
+        });
 }
 
 void
@@ -292,13 +327,20 @@ BaselineController::functionCall(const InstancePtr& inst,
     inst->state = InstanceState::StalledCallee;
 
     const InvocationId id = inv.result.id;
-    sim_.events().schedule(rpc, [this, id, callee, args, call_site,
-                                 caller = inst.get(),
+    const InstanceId callerId = inst->id;
+    sim_.events().schedule(rpc, [this, id, callerId, callee, args,
+                                 call_site,
                                  done = std::move(done)]() mutable {
         auto it = live_.find(id);
         if (it == live_.end())
             return;
         Invocation& inv2 = *it->second;
+        // The caller crashed while the RPC was in flight: its retried
+        // incarnation re-issues the call.
+        auto cit = inv2.instances.find(callerId);
+        if (cit == inv2.instances.end())
+            return;
+        FunctionInstance* caller = cit->second.get();
 
         OrderKey order = caller->order;
         order.push_back(static_cast<std::int32_t>(call_site));
@@ -315,6 +357,7 @@ BaselineController::functionCall(const InstancePtr& inst,
         spec.caller = caller;
         ++inv2.liveInstances;
         InstancePtr callee_inst = launcher_.launch(std::move(spec));
+        inv2.instances[callee_inst->id] = callee_inst;
         // Return path: one more RPC hop back to the caller.
         const Tick rpc2 = cluster_.config().rpcLatency;
         callReturns_[callee_inst->id] =
@@ -335,6 +378,196 @@ BaselineController::httpRequest(const InstancePtr& inst,
     // Nothing speculative in the baseline: requests go out directly.
     (void)inst;
     done();
+}
+
+void
+BaselineController::teardown(Invocation& inv, const InstancePtr& inst)
+{
+    // Roll back this attempt's storage writes, newest first, restoring
+    // what each write overwrote.
+    if (auto uit = inv.undo.find(inst->id); uit != inv.undo.end()) {
+        for (auto rit = uit->second.rbegin(); rit != uit->second.rend();
+             ++rit) {
+            if (rit->second.has_value())
+                store_.put(rit->first, *rit->second);
+            else
+                store_.erase(rit->first);
+        }
+        inv.undo.erase(uit);
+    }
+    callReturns_.erase(inst->id);
+    inst->squashReason = SquashReason::Fault;
+    // The container dies with the handler: a crash takes out the
+    // whole sandbox, so there is no process to kill selectively.
+    interp_.squash(inst, SquashPolicy::ContainerKill);
+    SPECFAAS_ASSERT(inv.liveInstances > 0, "live-instance underflow");
+    --inv.liveInstances;
+    inv.instances.erase(inst->id);
+}
+
+void
+BaselineController::crashed(const InstancePtr& inst, FaultKind kind)
+{
+    auto* faults = sim_.faultInjector();
+    SPECFAAS_ASSERT(faults != nullptr, "crash without an injector");
+    auto it = live_.find(inst->invocation);
+    if (it == live_.end() || inst->state == InstanceState::Dead)
+        return;
+    Invocation& inv = *it->second;
+
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.instant(obs::cat::kFault, "crash", sim_.now(),
+                   obs::kControlPlanePid, inv.result.id,
+                   {{"kind", faultKindName(kind)},
+                    {"function", inst->def->name},
+                    {"order", orderKeyToString(inst->order)}});
+    }
+
+    // Save the callee-return continuation before teardown drops it;
+    // a retried incarnation re-registers it under its new id.
+    std::function<void(Value)> ret;
+    if (inst->caller != nullptr) {
+        auto rit = callReturns_.find(inst->id);
+        SPECFAAS_ASSERT(rit != callReturns_.end(),
+                        "crashed callee without return path");
+        ret = std::move(rit->second);
+    }
+
+    // Kill the crashed handler's live callee subtree, deepest first:
+    // their RPC return paths died with their callers, and the retried
+    // handler re-issues every call.
+    std::vector<InstancePtr> subtree;
+    for (const auto& [iid, p] : inv.instances) {
+        (void)iid;
+        if (p.get() != inst.get() &&
+            orderKeyIsPrefix(inst->order, p->order))
+            subtree.push_back(p);
+    }
+    std::sort(subtree.begin(), subtree.end(),
+              [](const InstancePtr& a, const InstancePtr& b) {
+                  return orderKeyLess(b->order, a->order);
+              });
+    for (const InstancePtr& victim : subtree)
+        teardown(inv, victim);
+    teardown(inv, inst);
+
+    const std::uint32_t attempt = ++inv.attempts[inst->order];
+    if (attempt >= faults->plan().maxAttempts) {
+        faults->noteGaveUp(inst->def->name);
+        failInvocation(inv, inst->def->name);
+        return;
+    }
+    faults->noteRetry(inst->def->name, attempt);
+    scheduleRetry(inv, inst, faults->backoffDelay(attempt),
+                  std::move(ret));
+}
+
+void
+BaselineController::scheduleRetry(Invocation& inv,
+                                  const InstancePtr& inst, Tick delay,
+                                  std::function<void(Value)> ret)
+{
+    const InvocationId id = inv.result.id;
+    if (inst->caller == nullptr) {
+        // Flow node or implicit root: re-dispatch at the same
+        // pipeline coordinate with the original input.
+        const FlowIndex idx = inst->flowNode;
+        sim_.events().schedule(
+            delay, [this, id, idx, order = inst->order,
+                    input = inst->env.input]() mutable {
+                auto it = live_.find(id);
+                if (it == live_.end())
+                    return;
+                dispatch(*it->second, idx, std::move(input),
+                         std::move(order));
+            });
+        return;
+    }
+    // Implicit callee: relaunch under the same caller, wiring the
+    // saved return continuation to the new incarnation. Dropped when
+    // the caller itself crashed meanwhile — its retry re-issues the
+    // call from scratch.
+    const InstanceId callerId = inst->caller->id;
+    sim_.events().schedule(
+        delay,
+        [this, id, callerId, fn = inst->def->name, order = inst->order,
+         input = inst->env.input, ret = std::move(ret)]() mutable {
+            auto it = live_.find(id);
+            if (it == live_.end())
+                return;
+            Invocation& inv2 = *it->second;
+            auto cit = inv2.instances.find(callerId);
+            if (cit == inv2.instances.end())
+                return;
+            LaunchSpec spec;
+            spec.function = fn;
+            spec.input = std::move(input);
+            spec.invocation = id;
+            spec.order = std::move(order);
+            spec.flowNode = kFlowNone;
+            spec.preOverhead = cluster_.config().platformOverhead;
+            spec.controllerService =
+                cluster_.config().baselineLaunchService;
+            spec.caller = cit->second.get();
+            ++inv2.liveInstances;
+            InstancePtr callee = launcher_.launch(std::move(spec));
+            inv2.instances[callee->id] = callee;
+            callReturns_[callee->id] = std::move(ret);
+        });
+}
+
+void
+BaselineController::failInvocation(Invocation& inv,
+                                   const std::string& function)
+{
+    // Retries exhausted: kill every remaining live handler (parallel
+    // arms, the callers above a failed callee), deepest first so undo
+    // logs roll back in reverse write order.
+    while (!inv.instances.empty()) {
+        auto vit = std::max_element(
+            inv.instances.begin(), inv.instances.end(),
+            [](const auto& a, const auto& b) {
+                return orderKeyLess(a.second->order, b.second->order);
+            });
+        InstancePtr victim = vit->second;
+        teardown(inv, victim);
+    }
+    inv.joins.clear();
+    finish(inv, FaultInjector::errorResponse(function));
+}
+
+void
+BaselineController::onNodeFailure(NodeId node)
+{
+    std::vector<InvocationId> ids;
+    ids.reserve(live_.size());
+    for (const auto& [id, inv] : live_) {
+        (void)inv;
+        ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (const InvocationId id : ids) {
+        while (true) {
+            auto it = live_.find(id);
+            if (it == live_.end())
+                break; // the sweep itself failed the invocation
+            Invocation& inv = *it->second;
+            // Topmost victim first: crashing it also tears down its
+            // callee subtree, so rescan until the node is clear.
+            InstancePtr victim;
+            for (const auto& [iid, p] : inv.instances) {
+                (void)iid;
+                if (p->container == nullptr || p->node != node ||
+                    p->state == InstanceState::Dead)
+                    continue;
+                if (!victim || orderKeyLess(p->order, victim->order))
+                    victim = p;
+            }
+            if (!victim)
+                break;
+            crashed(victim, FaultKind::NodeFailure);
+        }
+    }
 }
 
 void

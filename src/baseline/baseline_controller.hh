@@ -15,10 +15,14 @@
 #ifndef SPECFAAS_BASELINE_BASELINE_CONTROLLER_HH
 #define SPECFAAS_BASELINE_BASELINE_CONTROLLER_HH
 
+#include <map>
 #include <memory>
+#include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "cluster/cluster.hh"
+#include "fault/fault_injector.hh"
 #include "obs/counter_registry.hh"
 #include "runtime/engine.hh"
 #include "runtime/hooks.hh"
@@ -53,6 +57,8 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
 
     std::size_t liveInvocations() const override { return live_.size(); }
 
+    void onNodeFailure(NodeId node) override;
+
     /** Engine-local tallies (merged into the global set on teardown). */
     const obs::CounterRegistry& counters() const { return counters_; }
 
@@ -67,6 +73,7 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
     void httpRequest(const InstancePtr& inst,
                      std::function<void()> done) override;
     void completed(const InstancePtr& inst, Value output) override;
+    void crashed(const InstancePtr& inst, FaultKind kind) override;
     /** @} */
 
   private:
@@ -75,6 +82,9 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
         std::size_t pending = 0;
         ValueArray outputs;
     };
+
+    /** One attempt-scoped storage write: key and the value before. */
+    using UndoEntry = std::pair<std::string, std::optional<Value>>;
 
     struct Invocation
     {
@@ -89,6 +99,15 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
         // (program order, function) pairs; sorted into
         // result.executedSequence when the invocation finishes.
         std::vector<std::pair<OrderKey, std::string>> sequence;
+        // Live instance handles, for fault recovery (subtree kill,
+        // node-failure sweep). Mirrors liveInstances.
+        std::unordered_map<InstanceId, InstancePtr> instances;
+        // Fault-retry attempts per pipeline coordinate.
+        std::map<OrderKey, std::uint32_t> attempts;
+        // Per-instance undo log: this attempt's storage writes, in
+        // order, so a crashed attempt's effects roll back (a real
+        // platform's transactional SDK / idempotency layer).
+        std::unordered_map<InstanceId, std::vector<UndoEntry>> undo;
     };
 
     /** Compiled program cache, one per application. */
@@ -109,6 +128,16 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
     void finish(Invocation& inv, Value response);
 
     Invocation& invocationOf(const InstancePtr& inst);
+
+    /** @{ Fault recovery. */
+    /** Kill one live instance: roll back writes, squash, unaccount. */
+    void teardown(Invocation& inv, const InstancePtr& inst);
+    /** Schedule the re-execution of a crashed instance. */
+    void scheduleRetry(Invocation& inv, const InstancePtr& inst,
+                       Tick delay, std::function<void(Value)> ret);
+    /** Retries exhausted: kill everything, answer the error. */
+    void failInvocation(Invocation& inv, const std::string& function);
+    /** @} */
 
     Simulation& sim_;
     Cluster& cluster_;

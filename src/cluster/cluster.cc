@@ -33,6 +33,19 @@ Cluster::totalCores() const
 }
 
 void
+Cluster::failNode(NodeId id)
+{
+    node(id).setDown(true);
+    containers_->dropNode(id);
+}
+
+void
+Cluster::restoreNode(NodeId id)
+{
+    node(id).setDown(false);
+}
+
+void
 Cluster::resetUtilization()
 {
     for (auto& n : nodes_)

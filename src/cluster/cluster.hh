@@ -55,6 +55,16 @@ class Cluster
     /** Total cores across all nodes. */
     std::uint32_t totalCores() const;
 
+    /**
+     * @{ Injected node failure: mark the node down so it receives no
+     * new placements and drop its warm containers; restore brings it
+     * back empty (cold). In-flight handlers on the node are crashed
+     * by the engines, not here.
+     */
+    void failNode(NodeId id);
+    void restoreNode(NodeId id);
+    /** @} */
+
     /** Start a cluster-wide utilization measurement window. */
     void resetUtilization();
 

@@ -25,11 +25,14 @@ Node&
 ContainerPool::pickNode()
 {
     // Least-loaded placement with round-robin tie-breaking, so cold
-    // starts spread across the cluster deterministically.
+    // starts spread across the cluster deterministically. Down nodes
+    // receive no placements unless the whole cluster is down.
     Node* best = nullptr;
     std::uint32_t bestLoad = ~0u;
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         Node* n = nodes_[(rrNext_ + i) % nodes_.size()];
+        if (n->isDown())
+            continue;
         const auto load = n->busyCores() +
                           static_cast<std::uint32_t>(n->queueLength());
         if (load < bestLoad) {
@@ -38,7 +41,18 @@ ContainerPool::pickNode()
         }
     }
     rrNext_ = (rrNext_ + 1) % static_cast<std::uint32_t>(nodes_.size());
+    if (best == nullptr)
+        best = nodes_[rrNext_ % nodes_.size()];
     return *best;
+}
+
+Node*
+ContainerPool::nodeById(NodeId id) const
+{
+    for (Node* n : nodes_)
+        if (n->id() == id)
+            return n;
+    return nullptr;
 }
 
 void
@@ -98,11 +112,20 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
                    true}});
     }
     sim_.events().schedule(
-        timing.total(), [this, c, timing, cb = std::move(done)]() {
+        timing.total(),
+        [this, c, timing, function, cb = std::move(done)]() mutable {
             if (auto& tr = obs::trace(); tr.enabled()) {
                 tr.end(obs::cat::kContainer, "cold-start", sim_.now(),
                        obs::nodePid(c->node),
                        obs::kContainerTidBase + c->id);
+            }
+            // The node died while this container was being created:
+            // the creation is lost; place the request again.
+            if (Node* n = nodeById(c->node);
+                n != nullptr && n->isDown()) {
+                destroy(*c);
+                acquire(function, std::move(cb));
+                return;
             }
             cb(*c, timing);
         });
@@ -113,6 +136,12 @@ ContainerPool::release(Container& c)
 {
     SPECFAAS_ASSERT(c.busy, "releasing idle container %llu",
                     static_cast<unsigned long long>(c.id));
+    // A container on a failed node cannot rejoin the warm pool; its
+    // state died with the node.
+    if (Node* n = nodeById(c.node); n != nullptr && n->isDown()) {
+        destroy(c);
+        return;
+    }
     c.busy = false;
     pools_[c.function].warm.push_back(&c);
 }
@@ -146,6 +175,37 @@ ContainerPool::prewarm(const std::string& function, std::uint32_t count)
         pool.warm.push_back(owned.get());
         pool.all.push_back(std::move(owned));
     }
+}
+
+std::size_t
+ContainerPool::dropNode(NodeId node)
+{
+    std::size_t dropped = 0;
+    for (auto& [fn, pool] : pools_) {
+        (void)fn;
+        for (std::size_t i = pool.warm.size(); i-- > 0;) {
+            Container* c = pool.warm[i];
+            if (c->node != node)
+                continue;
+            pool.warm.erase(pool.warm.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            auto ait = std::find_if(
+                pool.all.begin(), pool.all.end(),
+                [c](const std::unique_ptr<Container>& p) {
+                    return p.get() == c;
+                });
+            SPECFAAS_ASSERT(ait != pool.all.end(),
+                            "warm container not owned by pool");
+            pool.all.erase(ait);
+            ++dropped;
+        }
+    }
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.instant(obs::cat::kFault, "warm-pool-lost", sim_.now(),
+                   obs::nodePid(node), 0,
+                   {{"dropped", strFormat("%zu", dropped), true}});
+    }
+    return dropped;
 }
 
 std::size_t

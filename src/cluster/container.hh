@@ -97,6 +97,15 @@ class ContainerPool
      */
     void prewarm(const std::string& function, std::uint32_t count);
 
+    /**
+     * Node @p node failed: drop its free warm containers (the warm
+     * pool is node-local state and dies with the node). Busy
+     * containers are destroyed by the engines when they crash the
+     * handlers running in them.
+     * @return number of warm containers lost
+     */
+    std::size_t dropNode(NodeId node);
+
     /** Total containers (warm + busy) for @p function. */
     std::size_t containerCount(const std::string& function) const;
 
@@ -110,6 +119,7 @@ class ContainerPool
 
   private:
     Node& pickNode();
+    Node* nodeById(NodeId id) const;
 
     Simulation& sim_;
     std::vector<Node*> nodes_;

@@ -51,6 +51,15 @@ class Node
     std::size_t queueLength() const { return waiting_.size(); }
 
     /**
+     * @{ Failure state (fault injection). A down node receives no new
+     * container placements; its in-flight work is crashed by the
+     * engines and its warm containers dropped by the pool.
+     */
+    bool isDown() const { return down_; }
+    void setDown(bool down) { down_ = down; }
+    /** @} */
+
+    /**
      * Submit a compute burst. When a core is free the task runs for
      * @p duration ticks, then @p done fires. Otherwise it waits FCFS.
      * @return handle usable with abort()
@@ -102,6 +111,7 @@ class Node
     Simulation& sim_;
     NodeId id_;
     std::uint32_t cores_;
+    bool down_ = false;
     std::uint32_t busy_ = 0;
     ComputeTaskId nextTask_ = 1;
     std::deque<Waiting> waiting_;

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Seed-deterministic fault injection.
+ *
+ * One FaultInjector per platform consumes a FaultPlan and answers
+ * point queries from the runtime layer (interpreter, launcher): should
+ * this handler crash here, should this storage op fail, how much extra
+ * latency does this read pay. Decisions draw from a private RNG stream
+ * seeded by the plan, so a given (plan, query sequence) always injects
+ * the same faults — chaos runs replay exactly. Scheduled faults (node
+ * failures) are delivered through the EventQueue as daemon events.
+ *
+ * The injector also centralises fault observability: counters
+ * `fault.injected.<kind>`, `fault.retries`, `fault.gave_up` and the
+ * matching trace instants, which controllers feed via noteRetry() /
+ * noteGaveUp() when they exercise recovery.
+ */
+
+#ifndef SPECFAAS_FAULT_FAULT_INJECTOR_HH
+#define SPECFAAS_FAULT_FAULT_INJECTOR_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/value.hh"
+#include "fault/fault_plan.hh"
+#include "obs/counter_registry.hh"
+#include "sim/simulation.hh"
+
+namespace specfaas {
+
+class KvStore;
+
+/** Answers "does a fault strike here?" queries against one plan. */
+class FaultInjector
+{
+  public:
+    FaultInjector(Simulation& sim, FaultPlan plan);
+
+    /** Folds fault counters into the global registry. */
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector&) = delete;
+    FaultInjector& operator=(const FaultInjector&) = delete;
+
+    const FaultPlan& plan() const { return plan_; }
+
+    /** Record injected storage errors on the store itself too. */
+    void attachStore(KvStore* store) { store_ = store; }
+
+    /**
+     * Schedule every NodeFailure rule on the event queue (as daemon
+     * events, so an idle platform still terminates). @p onNodeFailure
+     * receives the node id and its downtime when a failure fires.
+     */
+    void
+    armNodeFailures(std::function<void(NodeId, Tick)> onNodeFailure);
+
+    /** @{ Point queries; each consumes decision-stream randomness. */
+    bool shouldCrash(const std::string& function, CrashPhase phase);
+    bool shouldFailStorage(const std::string& function, bool write);
+    Tick storageDelay(const std::string& function);
+    bool shouldFailHttp(const std::string& function);
+    /** 0 = not stuck; otherwise the watchdog timeout to charge. */
+    Tick stuckDuration(const std::string& function);
+    /** @} */
+
+    /** @{ Recovery accounting, called by the controllers. */
+    void noteRetry(const std::string& function, std::uint32_t attempt);
+    void noteGaveUp(const std::string& function);
+    /** @} */
+
+    /** Capped exponential backoff before retry number @p attempt. */
+    Tick backoffDelay(std::uint32_t attempt) const;
+
+    /**
+     * The deterministic client-visible response of an invocation
+     * whose retries were exhausted. Identical across engines: it
+     * carries no attempt counts or timing.
+     */
+    static Value errorResponse(const std::string& function);
+
+    /** @{ Introspection for tests. */
+    std::uint64_t injected(FaultKind kind) const;
+    std::uint64_t injectedTotal() const;
+    std::uint64_t retries() const { return ctrRetries_; }
+    std::uint64_t gaveUp() const { return ctrGaveUp_; }
+    /** @} */
+
+  private:
+    /**
+     * Roll every live rule matching (kind, function, phase); the
+     * first hit consumes budget and is recorded.
+     * @return index into plan_.rules, or npos when nothing fired
+     */
+    std::size_t decide(FaultKind kind, const std::string& function,
+                       CrashPhase phase);
+
+    void recordInjection(FaultKind kind, const std::string& function);
+
+    Simulation& sim_;
+    FaultPlan plan_;
+    Rng rng_;
+    KvStore* store_ = nullptr;
+    /** Remaining budget per plan rule. */
+    std::vector<std::uint32_t> remaining_;
+
+    obs::CounterRegistry counters_;
+    std::uint64_t& ctrRetries_ = counters_.counter("fault.retries");
+    std::uint64_t& ctrGaveUp_ = counters_.counter("fault.gave_up");
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_FAULT_FAULT_INJECTOR_HH

@@ -1,0 +1,347 @@
+#include "fault_plan.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::ContainerCrash:
+        return "container-crash";
+    case FaultKind::NodeFailure:
+        return "node-failure";
+    case FaultKind::StorageReadError:
+        return "storage-read-error";
+    case FaultKind::StorageWriteError:
+        return "storage-write-error";
+    case FaultKind::StorageDelay:
+        return "storage-delay";
+    case FaultKind::HttpFailure:
+        return "http-failure";
+    case FaultKind::StuckFunction:
+        return "stuck";
+    }
+    return "?";
+}
+
+const char*
+crashPhaseName(CrashPhase phase)
+{
+    switch (phase) {
+    case CrashPhase::ColdStart:
+        return "cold-start";
+    case CrashPhase::MidExecution:
+        return "mid-execution";
+    case CrashPhase::AtCommit:
+        return "at-commit";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string
+budgetToString(std::uint32_t budget)
+{
+    if (budget == kUnlimitedBudget)
+        return "inf";
+    return strFormat("%u", budget);
+}
+
+bool
+parseBudget(const std::string& text, std::uint32_t& out)
+{
+    if (text == "inf") {
+        out = kUnlimitedBudget;
+        return true;
+    }
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+bool
+parseTick(const std::string& text, Tick& out)
+{
+    char* end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || v < 0)
+        return false;
+    out = static_cast<Tick>(v);
+    return true;
+}
+
+bool
+parseDouble(const std::string& text, double& out)
+{
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+/** Split a line into whitespace-separated tokens. */
+std::vector<std::string>
+tokenize(const std::string& line)
+{
+    std::vector<std::string> out;
+    std::istringstream in(line);
+    std::string tok;
+    while (in >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+/**
+ * Apply one "key=value" option token to @p rule.
+ * @return false when the key is unknown or the value malformed
+ */
+bool
+applyRuleOption(const std::string& tok, FaultRule& rule)
+{
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+        return false;
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (key == "budget")
+        return parseBudget(val, rule.budget);
+    if (key == "p")
+        return parseDouble(val, rule.probability) &&
+               rule.probability >= 0.0 && rule.probability <= 1.0;
+    if (key == "phase") {
+        if (val == "cold-start")
+            rule.phase = CrashPhase::ColdStart;
+        else if (val == "mid-execution")
+            rule.phase = CrashPhase::MidExecution;
+        else if (val == "at-commit")
+            rule.phase = CrashPhase::AtCommit;
+        else
+            return false;
+        return true;
+    }
+    if (key == "extra-us")
+        return parseTick(val, rule.extraDelay);
+    if (key == "node") {
+        Tick node = 0;
+        if (!parseTick(val, node))
+            return false;
+        rule.node = static_cast<NodeId>(node);
+        return true;
+    }
+    if (key == "at-us")
+        return parseTick(val, rule.atTick);
+    if (key == "down-us")
+        return parseTick(val, rule.downtime);
+    return false;
+}
+
+} // namespace
+
+std::string
+FaultPlan::toSpec() const
+{
+    std::string out;
+    out += strFormat("seed %llu\n",
+                     static_cast<unsigned long long>(seed));
+    out += strFormat("max-attempts %u\n", maxAttempts);
+    out += strFormat("backoff-base-us %lld\n",
+                     static_cast<long long>(retryBackoffBase));
+    out += strFormat("backoff-cap-us %lld\n",
+                     static_cast<long long>(retryBackoffCap));
+    out += strFormat("stuck-timeout-us %lld\n",
+                     static_cast<long long>(stuckTimeout));
+    for (const FaultRule& r : rules) {
+        if (r.kind == FaultKind::NodeFailure) {
+            out += strFormat(
+                "node-failure node=%u at-us=%lld down-us=%lld\n",
+                r.node, static_cast<long long>(r.atTick),
+                static_cast<long long>(r.downtime));
+            continue;
+        }
+        out += strFormat("%s %s", faultKindName(r.kind),
+                         r.function.c_str());
+        if (r.kind == FaultKind::ContainerCrash)
+            out += strFormat(" phase=%s", crashPhaseName(r.phase));
+        if (r.kind == FaultKind::StorageDelay)
+            out += strFormat(" extra-us=%lld",
+                             static_cast<long long>(r.extraDelay));
+        out += strFormat(" budget=%s p=%g\n",
+                         budgetToString(r.budget).c_str(),
+                         r.probability);
+    }
+    return out;
+}
+
+bool
+FaultPlan::parse(const std::string& text, FaultPlan& out,
+                 std::string* error)
+{
+    auto fail = [&](std::size_t lineNo, const std::string& why) {
+        if (error != nullptr)
+            *error = strFormat("line %zu: %s", lineNo, why.c_str());
+        return false;
+    };
+
+    out = FaultPlan{};
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        const std::vector<std::string> toks = tokenize(line);
+        if (toks.empty())
+            continue;
+        const std::string& head = toks[0];
+
+        // Scalar directives.
+        if (head == "seed" || head == "max-attempts" ||
+            head == "backoff-base-us" || head == "backoff-cap-us" ||
+            head == "stuck-timeout-us") {
+            if (toks.size() != 2)
+                return fail(lineNo, head + " needs one value");
+            Tick v = 0;
+            if (!parseTick(toks[1], v))
+                return fail(lineNo, "bad value '" + toks[1] + "'");
+            if (head == "seed")
+                out.seed = static_cast<std::uint64_t>(v);
+            else if (head == "max-attempts") {
+                if (v < 1)
+                    return fail(lineNo, "max-attempts must be >= 1");
+                out.maxAttempts = static_cast<std::uint32_t>(v);
+            } else if (head == "backoff-base-us")
+                out.retryBackoffBase = v;
+            else if (head == "backoff-cap-us")
+                out.retryBackoffCap = v;
+            else
+                out.stuckTimeout = v;
+            continue;
+        }
+
+        // Rule directives.
+        FaultRule rule;
+        std::size_t optStart = 0;
+        if (head == "node-failure") {
+            rule.kind = FaultKind::NodeFailure;
+            rule.function.clear();
+            optStart = 1;
+        } else {
+            if (head == "crash" ||
+                head == faultKindName(FaultKind::ContainerCrash))
+                rule.kind = FaultKind::ContainerCrash;
+            else if (head == faultKindName(FaultKind::StorageReadError))
+                rule.kind = FaultKind::StorageReadError;
+            else if (head == faultKindName(FaultKind::StorageWriteError))
+                rule.kind = FaultKind::StorageWriteError;
+            else if (head == faultKindName(FaultKind::StorageDelay))
+                rule.kind = FaultKind::StorageDelay;
+            else if (head == faultKindName(FaultKind::HttpFailure))
+                rule.kind = FaultKind::HttpFailure;
+            else if (head == faultKindName(FaultKind::StuckFunction))
+                rule.kind = FaultKind::StuckFunction;
+            else
+                return fail(lineNo, "unknown directive '" + head + "'");
+            if (toks.size() < 2)
+                return fail(lineNo, head + " needs a function name");
+            rule.function = toks[1];
+            optStart = 2;
+        }
+        for (std::size_t i = optStart; i < toks.size(); ++i)
+            if (!applyRuleOption(toks[i], rule))
+                return fail(lineNo, "bad option '" + toks[i] + "'");
+        out.rules.push_back(std::move(rule));
+    }
+    return true;
+}
+
+FaultPlan
+FaultPlan::random(Rng& rng, const std::vector<std::string>& functions,
+                  std::uint32_t numNodes)
+{
+    FaultPlan plan;
+    plan.seed = rng.next();
+    plan.retryBackoffBase = msToTicks(1.0);
+    plan.retryBackoffCap = msToTicks(20.0);
+    plan.stuckTimeout = msToTicks(8.0);
+
+    const std::size_t numRules = 1 + rng.uniformInt(3);
+    std::uint32_t totalBudget = 0;
+    for (std::size_t i = 0; i < numRules; ++i) {
+        FaultRule rule;
+        // NodeFailure is rarer: it perturbs every in-flight function
+        // at once, so one per plan is plenty.
+        const std::size_t pick = rng.uniformInt(9);
+        switch (pick) {
+        case 0:
+        case 1:
+        case 2:
+            rule.kind = FaultKind::ContainerCrash;
+            rule.phase = static_cast<CrashPhase>(rng.uniformInt(3));
+            break;
+        case 3:
+            rule.kind = FaultKind::StorageReadError;
+            break;
+        case 4:
+            rule.kind = FaultKind::StorageWriteError;
+            break;
+        case 5:
+            rule.kind = FaultKind::StorageDelay;
+            rule.extraDelay =
+                static_cast<Tick>(rng.uniformInt(200, 2000));
+            break;
+        case 6:
+            rule.kind = FaultKind::HttpFailure;
+            break;
+        case 7:
+            rule.kind = FaultKind::StuckFunction;
+            break;
+        default:
+            rule.kind = FaultKind::NodeFailure;
+            break;
+        }
+        if (rule.kind == FaultKind::NodeFailure) {
+            rule.function.clear();
+            rule.node = static_cast<NodeId>(
+                rng.uniformInt(numNodes > 0 ? numNodes : 1));
+            rule.atTick = static_cast<Tick>(
+                rng.uniformInt(msToTicks(5.0), msToTicks(120.0)));
+            rule.downtime = static_cast<Tick>(
+                rng.uniformInt(msToTicks(10.0), msToTicks(60.0)));
+            rule.budget = 1;
+        } else {
+            // Half the rules target one specific function, the rest
+            // any function.
+            if (!functions.empty() && rng.bernoulli(0.5))
+                rule.function =
+                    functions[rng.uniformInt(functions.size())];
+            else
+                rule.function = "*";
+            rule.budget =
+                static_cast<std::uint32_t>(1 + rng.uniformInt(2));
+            rule.probability = rng.uniform(0.05, 0.6);
+        }
+        totalBudget += rule.budget;
+        plan.rules.push_back(std::move(rule));
+    }
+    // Transient by construction: even if every firing lands on one
+    // pipeline coordinate, the retry cap is never reached, so both
+    // engines always recover and outcomes stay fault-free-identical.
+    plan.maxAttempts = totalBudget + 2;
+    return plan;
+}
+
+} // namespace specfaas

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic fault plans.
+ *
+ * A FaultPlan is the complete, replayable description of every fault a
+ * run may inject: a list of rules (what kind, which function, how
+ * often, with what budget) plus the platform's recovery knobs (retry
+ * cap, backoff). Plans are pure data — the same plan and injector seed
+ * always produce the same injections — and round-trip through a small
+ * line-based text spec so failing chaos cases can be reported and
+ * replayed verbatim.
+ */
+
+#ifndef SPECFAAS_FAULT_FAULT_PLAN_HH
+#define SPECFAAS_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "fault/fault_types.hh"
+
+namespace specfaas {
+
+/** Budget value meaning "fire on every opportunity, forever". */
+constexpr std::uint32_t kUnlimitedBudget = ~0u;
+
+/** One injectable-fault rule. */
+struct FaultRule
+{
+    FaultKind kind = FaultKind::ContainerCrash;
+
+    /** Target function name; "*" matches every function. */
+    std::string function = "*";
+
+    /** Phase within the handler lifetime (ContainerCrash only). */
+    CrashPhase phase = CrashPhase::MidExecution;
+
+    /** Remaining firings before the rule goes quiet. */
+    std::uint32_t budget = 1;
+
+    /** Per-opportunity firing probability in [0,1]. */
+    double probability = 1.0;
+
+    /** Extra latency of a StorageDelay spike, in ticks. */
+    Tick extraDelay = 0;
+
+    /** @{ NodeFailure-only: which node, when, and for how long. */
+    NodeId node = 0;
+    Tick atTick = 0;
+    Tick downtime = msToTicks(50.0);
+    /** @} */
+};
+
+/** A replayable schedule of faults plus the recovery policy. */
+struct FaultPlan
+{
+    /** Seed of the injector's private decision stream. */
+    std::uint64_t seed = 1;
+
+    /** Attempts per pipeline coordinate before giving up. */
+    std::uint32_t maxAttempts = 4;
+
+    /** @{ Capped exponential retry backoff. */
+    Tick retryBackoffBase = msToTicks(2.0);
+    Tick retryBackoffCap = msToTicks(50.0);
+    /** @} */
+
+    /** Watchdog timeout charged to a stuck handler. */
+    Tick stuckTimeout = msToTicks(10.0);
+
+    std::vector<FaultRule> rules;
+
+    /** True when the plan injects nothing (faults disabled). */
+    bool empty() const { return rules.empty(); }
+
+    /** Render the plan as its text spec. */
+    std::string toSpec() const;
+
+    /**
+     * Parse a text spec (one directive per line, '#' comments).
+     * @return false with @p error set on malformed input
+     */
+    static bool parse(const std::string& text, FaultPlan& out,
+                      std::string* error);
+
+    /**
+     * Draw a random transient plan over @p functions for chaos
+     * testing. Every generated rule has a finite budget and
+     * maxAttempts exceeds the total crash budget, so recovery always
+     * succeeds and fault handling stays invisible in final outcomes.
+     */
+    static FaultPlan random(Rng& rng,
+                            const std::vector<std::string>& functions,
+                            std::uint32_t numNodes);
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_FAULT_FAULT_PLAN_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fault taxonomy shared between the injector and the recovery hooks.
+ *
+ * Kept dependency-free so the runtime layer (hooks, interpreter) can
+ * name fault kinds without pulling in the full injector.
+ */
+
+#ifndef SPECFAAS_FAULT_FAULT_TYPES_HH
+#define SPECFAAS_FAULT_FAULT_TYPES_HH
+
+namespace specfaas {
+
+/** Injectable fault categories. */
+enum class FaultKind {
+    /** The container hosting a handler dies. */
+    ContainerCrash,
+    /** A whole worker node fails (warm pool lost, tasks killed). */
+    NodeFailure,
+    /** Global-storage read returns an error. */
+    StorageReadError,
+    /** Global-storage write returns an error. */
+    StorageWriteError,
+    /** Global-storage operation hit by a latency spike. */
+    StorageDelay,
+    /** External HTTP request fails. */
+    HttpFailure,
+    /** Handler hangs; the watchdog timeout kills it. */
+    StuckFunction,
+};
+
+/** When within a handler's lifetime a container crash strikes. */
+enum class CrashPhase {
+    /** During container acquisition / runtime setup. */
+    ColdStart,
+    /** At an op boundary while the body executes. */
+    MidExecution,
+    /** After the body finished, before the completion message. */
+    AtCommit,
+};
+
+/** Stable string for a FaultKind (trace/spec output). */
+const char* faultKindName(FaultKind kind);
+
+/** Stable string for a CrashPhase (trace/spec output). */
+const char* crashPhaseName(CrashPhase phase);
+
+} // namespace specfaas
+
+#endif // SPECFAAS_FAULT_FAULT_TYPES_HH

@@ -566,11 +566,33 @@ JsonReport::writeFile(const std::string& path) const
 
 // --- Report comparison --------------------------------------------------
 
+namespace {
+
+/** A metric value that compares as "not there": JSON null (how NaN
+ * renders) or a non-finite double (a NaN that never round-tripped). */
+bool
+undefinedMetric(const Value& v)
+{
+    return v.isNull() || (v.isDouble() && !std::isfinite(v.asNumber()));
+}
+
+} // namespace
+
 CompareResult
 compareReports(const Value& baseline, const Value& candidate,
                const CompareOptions& opts)
 {
     CompareResult res;
+    if (!baseline.isObject() || baseline.asObject().empty()) {
+        res.errors.push_back(
+            "baseline report is empty or not a JSON object");
+        return res;
+    }
+    if (!candidate.isObject() || candidate.asObject().empty()) {
+        res.errors.push_back(
+            "candidate report is empty or not a JSON object");
+        return res;
+    }
     const Value& bs = baseline.at("schema");
     const Value& cs = candidate.at("schema");
     if (!bs.isString() || !cs.isString() ||
@@ -594,6 +616,10 @@ compareReports(const Value& baseline, const Value& candidate,
         res.errors.push_back("baseline has no metrics object");
         return res;
     }
+    if (!cm.isObject()) {
+        res.errors.push_back("candidate has no metrics object");
+        return res;
+    }
     for (const auto& [name, metric] : bm.asObject()) {
         const Value& other = cm.at(name);
         if (other.isNull()) {
@@ -604,8 +630,25 @@ compareReports(const Value& baseline, const Value& candidate,
         }
         const Value& oldV = metric.at("value");
         const Value& newV = other.at("value");
-        if (oldV.isNull() || newV.isNull())
-            continue; // undefined (NaN rendered as null): skip
+        // NaN renders as JSON null; a metric that silently became
+        // undefined is a broken bench, not a pass.
+        if (undefinedMetric(oldV) && undefinedMetric(newV)) {
+            res.notes.push_back(strFormat(
+                "metric '%s' undefined in both reports", name.c_str()));
+            continue;
+        }
+        if (undefinedMetric(newV)) {
+            res.errors.push_back(strFormat(
+                "metric '%s' became undefined (NaN) in candidate",
+                name.c_str()));
+            continue;
+        }
+        if (undefinedMetric(oldV)) {
+            res.notes.push_back(strFormat(
+                "metric '%s' undefined in baseline, %g in candidate",
+                name.c_str(), newV.asNumber()));
+            continue;
+        }
         const double oldX = oldV.asNumber();
         const double newX = newV.asNumber();
         const bool higherBetter =
@@ -628,7 +671,72 @@ compareReports(const Value& baseline, const Value& candidate,
         else
             res.notes.push_back(line);
     }
+    // Candidate-only metrics can't regress anything, but surfacing
+    // them catches renamed metrics whose old name then reads as
+    // "missing from candidate" forever.
+    for (const auto& [name, metric] : cm.asObject()) {
+        (void)metric;
+        if (bm.at(name).isNull()) {
+            res.notes.push_back(strFormat(
+                "metric '%s' only in candidate", name.c_str()));
+        }
+    }
     return res;
+}
+
+int
+compareReportFiles(const std::string& baselinePath,
+                   const std::string& candidatePath,
+                   const CompareOptions& opts, std::string* output)
+{
+    auto say = [output](const std::string& line) {
+        if (output != nullptr) {
+            *output += line;
+            *output += '\n';
+        }
+    };
+
+    Value reports[2];
+    const std::string* paths[2] = {&baselinePath, &candidatePath};
+    for (int i = 0; i < 2; ++i) {
+        std::FILE* f = std::fopen(paths[i]->c_str(), "rb");
+        if (f == nullptr) {
+            say(strFormat("ERROR      cannot read %s",
+                          paths[i]->c_str()));
+            return 2;
+        }
+        std::string text;
+        char buf[4096];
+        std::size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+        std::string error;
+        if (!parseJson(text, reports[i], &error)) {
+            say(strFormat("ERROR      %s: %s", paths[i]->c_str(),
+                          error.c_str()));
+            return 2;
+        }
+    }
+
+    const CompareResult result =
+        compareReports(reports[0], reports[1], opts);
+    for (const std::string& e : result.errors)
+        say("ERROR      " + e);
+    for (const std::string& r : result.regressions)
+        say("REGRESSION " + r);
+    for (const std::string& n2 : result.notes)
+        say("note       " + n2);
+    if (result.ok()) {
+        say(strFormat("OK: %s is within %.1f%% of %s",
+                      candidatePath.c_str(),
+                      100.0 * opts.relTolerance,
+                      baselinePath.c_str()));
+        return 0;
+    }
+    say(strFormat("FAIL: %zu error(s), %zu regression(s)",
+                  result.errors.size(), result.regressions.size()));
+    return 1;
 }
 
 } // namespace specfaas::obs

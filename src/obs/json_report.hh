@@ -133,6 +133,18 @@ CompareResult compareReports(const Value& baseline,
                              const Value& candidate,
                              const CompareOptions& opts = {});
 
+/**
+ * Load, parse and compare two report files — the testable body of
+ * the bench/compare_reports CLI. Appends the human-readable result
+ * lines (the exact text the CLI prints) to @p output when non-null.
+ * @return the CLI exit status: 0 within tolerance, 1 on regressions
+ *         or report mismatches, 2 on IO/parse errors
+ */
+int compareReportFiles(const std::string& baselinePath,
+                       const std::string& candidatePath,
+                       const CompareOptions& opts = {},
+                       std::string* output = nullptr);
+
 } // namespace specfaas::obs
 
 #endif // SPECFAAS_OBS_JSON_REPORT_HH

@@ -39,6 +39,7 @@ inline constexpr const char* kContainer = "container";
 inline constexpr const char* kStorage = "storage";
 inline constexpr const char* kSpec = "spec";
 inline constexpr const char* kBaseline = "baseline";
+inline constexpr const char* kFault = "fault";
 } // namespace cat
 
 /**

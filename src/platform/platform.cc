@@ -11,6 +11,12 @@ FaasPlatform::FaasPlatform(PlatformOptions options)
       store_(options.storeLatency),
       inputRng_(options.seed ^ 0x1715517ull)
 {
+    if (!options_.faultPlan.empty()) {
+        faults_ =
+            std::make_unique<FaultInjector>(sim_, options_.faultPlan);
+        faults_->attachStore(&store_);
+        sim_.setFaultInjector(faults_.get());
+    }
     cluster_ = std::make_unique<Cluster>(sim_, options_.cluster);
     if (options_.speculative) {
         auto spec = std::make_unique<SpecController>(
@@ -20,6 +26,20 @@ FaasPlatform::FaasPlatform(PlatformOptions options)
     } else {
         engine_ = std::make_unique<BaselineController>(
             sim_, *cluster_, store_, registry_);
+    }
+    if (faults_ != nullptr) {
+        // Node failures are platform-level events: drop the node's
+        // warm pool, crash its in-flight handlers through the engine,
+        // and bring it back (empty) after the downtime.
+        faults_->armNodeFailures([this](NodeId node, Tick downtime) {
+            cluster_->failNode(node);
+            engine_->onNodeFailure(node);
+            if (downtime > 0) {
+                sim_.events().scheduleDaemon(downtime, [this, node]() {
+                    cluster_->restoreNode(node);
+                });
+            }
+        });
     }
 
     if (const Tick every = obs::sampleInterval(); every > 0) {

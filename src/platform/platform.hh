@@ -18,6 +18,8 @@
 
 #include "baseline/baseline_controller.hh"
 #include "cluster/cluster.hh"
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
 #include "obs/histogram.hh"
 #include "runtime/engine.hh"
 #include "sim/simulation.hh"
@@ -46,6 +48,13 @@ struct PlatformOptions
     std::uint64_t seed = 1;
 
     /**
+     * Deterministic fault-injection plan; an empty plan (no rules)
+     * means no injector is constructed and the fault hooks cost one
+     * null check.
+     */
+    FaultPlan faultPlan;
+
+    /**
      * Pre-provision this many warm containers per deployed function
      * (0 = cold environment, every first acquisition cold-starts).
      */
@@ -72,6 +81,8 @@ class FaasPlatform
     WorkflowEngine& engine() { return *engine_; }
     /** The speculative engine, or nullptr on a baseline platform. */
     SpecController* specController() { return spec_; }
+    /** The fault injector, or nullptr when the plan is empty. */
+    FaultInjector* faultInjector() { return faults_.get(); }
     const PlatformOptions& options() const { return options_; }
     /** @} */
 
@@ -106,6 +117,8 @@ class FaasPlatform
     PlatformOptions options_;
     Simulation sim_;
     KvStore store_;
+    /** Declared before the engine: hooks query it during execution. */
+    std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<Cluster> cluster_;
     FunctionRegistry registry_;
     std::unique_ptr<WorkflowEngine> engine_;

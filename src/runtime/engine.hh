@@ -89,6 +89,13 @@ class WorkflowEngine
 
     /** Requests in flight right now (gauge for the sampler). */
     virtual std::size_t liveInvocations() const = 0;
+
+    /**
+     * Worker node @p node just failed: crash every live handler on it
+     * so the per-invocation retry machinery re-executes the work
+     * elsewhere. Default no-op (fault injection disabled).
+     */
+    virtual void onNodeFailure(NodeId node) { (void)node; }
 };
 
 } // namespace specfaas

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/value.hh"
+#include "fault/fault_types.hh"
 #include "runtime/instance.hh"
 
 namespace specfaas {
@@ -59,6 +60,19 @@ class RuntimeHooks
 
     /** The handler finished its body and produced @p output. */
     virtual void completed(const InstancePtr& inst, Value output) = 0;
+
+    /**
+     * An injected fault killed the handler of @p inst (the runtime
+     * never crashes on its own). The controller owns recovery: tear
+     * the instance down, retry its pipeline coordinate with backoff,
+     * and answer a deterministic error once retries are exhausted.
+     * Default no-op for controllers that never run with faults.
+     */
+    virtual void crashed(const InstancePtr& inst, FaultKind kind)
+    {
+        (void)inst;
+        (void)kind;
+    }
 };
 
 } // namespace specfaas

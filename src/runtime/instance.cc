@@ -49,6 +49,8 @@ squashReasonName(SquashReason reason)
         return "buffer-violation";
     case SquashReason::CascadedFromPredecessor:
         return "cascaded";
+    case SquashReason::Fault:
+        return "fault";
     }
     return "?";
 }

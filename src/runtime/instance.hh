@@ -68,6 +68,8 @@ enum class SquashReason {
     DataMispredict,
     BufferViolation,
     CascadedFromPredecessor,
+    /** Killed by an injected fault (crash, node failure, ...). */
+    Fault,
 };
 
 /** Stable string for a SquashReason (trace/table output). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "obs/trace_recorder.hh"
 
 namespace specfaas {
@@ -49,6 +50,15 @@ Interpreter::step(const InstancePtr& inst)
 {
     if (inst->state == InstanceState::Dead)
         return;
+    // Injected container crash at an op boundary: the handler process
+    // dies and the controller's recovery machinery takes over.
+    if (auto* faults = sim_.faultInjector();
+        faults != nullptr && inst->pc < inst->def->body.size() &&
+        faults->shouldCrash(inst->def->name,
+                            CrashPhase::MidExecution)) {
+        hooks_.crashed(inst, FaultKind::ContainerCrash);
+        return;
+    }
     // Skip over guarded ops whose guard is false without paying any
     // simulated time (the guard evaluation is part of the preceding
     // compute work).
@@ -63,6 +73,14 @@ Interpreter::step(const InstancePtr& inst)
         if (op.kind == Op::Kind::Call)
             inst->callSiteOutcomes.emplace_back(inst->pc, true);
         execOp(inst, op);
+        return;
+    }
+    // Injected crash between finishing the body and reporting
+    // completion: the controller never hears from this handler.
+    if (auto* faults = sim_.faultInjector();
+        faults != nullptr &&
+        faults->shouldCrash(inst->def->name, CrashPhase::AtCommit)) {
+        hooks_.crashed(inst, FaultKind::ContainerCrash);
         return;
     }
     // Body finished: produce the output and notify the controller.
@@ -90,6 +108,24 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
     const std::uint64_t epoch = inst->epoch;
     switch (op.kind) {
       case Op::Kind::Compute: {
+        // Stuck handler: the burst hangs, the core stays occupied for
+        // the watchdog timeout, then the platform kills the handler.
+        if (auto* faults = sim_.faultInjector(); faults != nullptr) {
+            if (const Tick timeout =
+                    faults->stuckDuration(inst->def->name);
+                timeout > 0) {
+                Node& node = cluster_.node(inst->node);
+                inst->activeTask =
+                    node.submit(timeout, [this, inst, epoch]() {
+                        if (!fresh(inst, epoch))
+                            return;
+                        inst->activeTask = 0;
+                        hooks_.crashed(inst,
+                                       FaultKind::StuckFunction);
+                    });
+                return;
+            }
+        }
         Tick duration = static_cast<Tick>(inst->jitterRng.lognormal(
             static_cast<double>(op.duration), inst->def->computeCv));
         duration = std::max<Tick>(duration, 10);
@@ -106,36 +142,80 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
       }
       case Op::Kind::StorageRead: {
         const std::string key = op.key(inst->env);
-        if (auto& tr = obs::trace(); tr.enabled()) {
-            tr.instant(obs::cat::kStorage, "storage-read", sim_.now(),
-                       obs::nodePid(inst->node), inst->id,
-                       {{"key", key}});
+        Tick extraDelay = 0;
+        if (auto* faults = sim_.faultInjector(); faults != nullptr) {
+            // A failed read crashes the handler (the SDK retries
+            // internally; what the platform sees is a dead handler).
+            if (faults->shouldFailStorage(inst->def->name, false)) {
+                hooks_.crashed(inst, FaultKind::StorageReadError);
+                return;
+            }
+            extraDelay = faults->storageDelay(inst->def->name);
         }
-        hooks_.storageGet(inst, key,
-                          [this, inst, epoch, var = op.var](Value v) {
-                              if (!fresh(inst, epoch))
-                                  return;
-                              inst->state = InstanceState::Running;
-                              inst->env.vars[var] = std::move(v);
-                              advance(inst);
-                          });
+        auto doRead = [this, inst, epoch, key, var = op.var]() {
+            if (auto& tr = obs::trace(); tr.enabled()) {
+                tr.instant(obs::cat::kStorage, "storage-read",
+                           sim_.now(), obs::nodePid(inst->node),
+                           inst->id, {{"key", key}});
+            }
+            hooks_.storageGet(
+                inst, key, [this, inst, epoch, var](Value v) {
+                    if (!fresh(inst, epoch))
+                        return;
+                    inst->state = InstanceState::Running;
+                    inst->env.vars[var] = std::move(v);
+                    advance(inst);
+                });
+        };
+        if (extraDelay > 0) {
+            sim_.events().schedule(
+                extraDelay, [inst, epoch, doRead]() {
+                    if (!fresh(inst, epoch))
+                        return;
+                    doRead();
+                });
+        } else {
+            doRead();
+        }
         return;
       }
       case Op::Kind::StorageWrite: {
         const std::string key = op.key(inst->env);
         Value v = op.value(inst->env);
-        if (auto& tr = obs::trace(); tr.enabled()) {
-            tr.instant(obs::cat::kStorage, "storage-write", sim_.now(),
-                       obs::nodePid(inst->node), inst->id,
-                       {{"key", key}});
+        Tick extraDelay = 0;
+        if (auto* faults = sim_.faultInjector(); faults != nullptr) {
+            if (faults->shouldFailStorage(inst->def->name, true)) {
+                hooks_.crashed(inst, FaultKind::StorageWriteError);
+                return;
+            }
+            extraDelay = faults->storageDelay(inst->def->name);
         }
-        hooks_.storagePut(inst, key, std::move(v),
-                          [this, inst, epoch]() {
-                              if (!fresh(inst, epoch))
-                                  return;
-                              inst->state = InstanceState::Running;
-                              advance(inst);
-                          });
+        auto doWrite = [this, inst, epoch, key,
+                        v = std::move(v)]() mutable {
+            if (auto& tr = obs::trace(); tr.enabled()) {
+                tr.instant(obs::cat::kStorage, "storage-write",
+                           sim_.now(), obs::nodePid(inst->node),
+                           inst->id, {{"key", key}});
+            }
+            hooks_.storagePut(inst, key, std::move(v),
+                              [this, inst, epoch]() {
+                                  if (!fresh(inst, epoch))
+                                      return;
+                                  inst->state = InstanceState::Running;
+                                  advance(inst);
+                              });
+        };
+        if (extraDelay > 0) {
+            sim_.events().schedule(
+                extraDelay,
+                [inst, epoch, doWrite = std::move(doWrite)]() mutable {
+                    if (!fresh(inst, epoch))
+                        return;
+                    doWrite();
+                });
+        } else {
+            doWrite();
+        }
         return;
       }
       case Op::Kind::Call: {
@@ -153,6 +233,12 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
         return;
       }
       case Op::Kind::Http: {
+        if (auto* faults = sim_.faultInjector();
+            faults != nullptr &&
+            faults->shouldFailHttp(inst->def->name)) {
+            hooks_.crashed(inst, FaultKind::HttpFailure);
+            return;
+        }
         hooks_.httpRequest(inst, [this, inst, epoch]() {
             if (!fresh(inst, epoch))
                 return;

@@ -70,6 +70,9 @@ class Interpreter
     /** Mutable access so experiments can recalibrate. */
     RuntimeCosts& costs() { return costs_; }
 
+    /** Controller hooks (the launcher reports cold-start crashes). */
+    RuntimeHooks& hooks() { return hooks_; }
+
   private:
     void step(const InstancePtr& inst);
     void execOp(const InstancePtr& inst, const Op& op);

@@ -1,6 +1,7 @@
 #include "launcher.hh"
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "obs/trace_recorder.hh"
 #include "runtime/ids.hh"
 
@@ -103,6 +104,16 @@ Launcher::proceedToContainer(const InstancePtr& inst, std::uint64_t epoch)
             inst->node = c.node;
             inst->containerCreationTime = t.containerCreation;
             inst->runtimeSetupTime = t.runtimeSetup;
+            // Injected crash during container start-up: the handler
+            // never begins executing; the controller retries.
+            if (auto* faults = sim_.faultInjector();
+                faults != nullptr &&
+                faults->shouldCrash(inst->def->name,
+                                    CrashPhase::ColdStart)) {
+                interp_.hooks().crashed(inst,
+                                        FaultKind::ContainerCrash);
+                return;
+            }
             interp_.start(inst);
         });
 }

@@ -16,6 +16,8 @@
 
 namespace specfaas {
 
+class FaultInjector;
+
 /**
  * Root object of one simulated experiment run.
  *
@@ -49,10 +51,20 @@ class Simulation
     /** Root seed this run was constructed with. */
     std::uint64_t seed() const { return seed_; }
 
+    /**
+     * The run's fault injector, or nullptr when faults are disabled
+     * (the default). Exposed here — forward-declared, never called
+     * through by the sim layer — so every component that already
+     * holds the Simulation can reach it without new plumbing.
+     */
+    FaultInjector* faultInjector() const { return faults_; }
+    void setFaultInjector(FaultInjector* faults) { faults_ = faults; }
+
   private:
     std::uint64_t seed_;
     Rng rng_;
     EventQueue events_;
+    FaultInjector* faults_ = nullptr;
 };
 
 } // namespace specfaas

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "obs/trace_recorder.hh"
 #include "runtime/ids.hh"
 
@@ -332,6 +333,27 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
         const FlowNode& node = inv.program->node(f.flowIdx);
         switch (node.kind) {
           case FlowNode::Kind::Func: {
+            // Already committed at this coordinate: a rewind walked
+            // back over irrevocable work. Replay the committed
+            // outcome; re-launching would double-apply its effects.
+            if (auto cit = inv.committed.find(f.order);
+                cit != inv.committed.end()) {
+                const auto& cn = cit->second;
+                SPECFAAS_ASSERT(cn.function == node.function &&
+                                    f.source == InputSource::Actual &&
+                                    f.carry == cn.input,
+                                "committed-replay mismatch at %s",
+                                orderKeyToString(f.order).c_str());
+                f.carry = cn.output;
+                f.flowIdx = node.next;
+                f.order = increment(f.order);
+                f.pathHash =
+                    pathhash::extend(f.pathHash, node.function);
+                // Committed ⇒ every earlier branch is resolved.
+                f.afterUnresolvedBranch = false;
+                continue;
+            }
+
             const FunctionDef& def = registry_.get(node.function);
 
             // `non-speculative` annotation (§VI): don't launch until
@@ -446,6 +468,26 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
             return;
           }
           case FlowNode::Kind::Branch: {
+            // Committed branch: its direction is settled — follow it
+            // without re-launching (see the Func case above).
+            if (auto cit = inv.committed.find(f.order);
+                cit != inv.committed.end()) {
+                const auto& cn = cit->second;
+                SPECFAAS_ASSERT(cn.function == node.function &&
+                                    f.source == InputSource::Actual &&
+                                    f.carry == cn.input,
+                                "committed-replay mismatch at %s",
+                                orderKeyToString(f.order).c_str());
+                // Branch targets inherit the branch input: the carry
+                // is unchanged.
+                f.flowIdx = cn.actualTarget;
+                f.order = increment(f.order);
+                f.pathHash =
+                    pathhash::extend(f.pathHash, node.function);
+                f.afterUnresolvedBranch = false;
+                continue;
+            }
+
             if (registry_.get(node.function).nonSpeculativeAnnotation &&
                 !inv.slots.empty() &&
                 orderKeyLess(inv.slots.begin()->first, f.order)) {
@@ -764,6 +806,188 @@ SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
     }
     activeSquashId_ = parentSquash;
     return victims.size();
+}
+
+// ---------------------------------------------------------------------
+// Fault recovery
+// ---------------------------------------------------------------------
+
+void
+SpecController::crashed(const InstancePtr& inst, FaultKind kind)
+{
+    auto* faults = sim_.faultInjector();
+    SPECFAAS_ASSERT(faults != nullptr, "crash without an injector");
+    if (inst->state == InstanceState::Dead)
+        return;
+    SpecInvocation* pinv = find(inst->invocation);
+    if (pinv == nullptr || pinv->finished)
+        return;
+    SpecInvocation& inv = *pinv;
+    Slot* slot = slotOf(inv, inst);
+    if (slot == nullptr)
+        return; // a squash already removed this coordinate
+
+    if (auto& tr = obs::trace(); tr.enabled()) {
+        tr.instant(obs::cat::kFault, "crash", sim_.now(),
+                   obs::kControlPlanePid, inv.result.id,
+                   {{"kind", faultKindName(kind)},
+                    {"function", inst->def->name},
+                    {"order", orderKeyToString(inst->order)}});
+    }
+
+    // Kill the handler immediately — no parked read or deferred side
+    // effect may revive a crashed incarnation — but leave the slot in
+    // place: the pipeline-level squash and re-walk run only after the
+    // retry backoff, from recoverFromCrash.
+    inst->squashReason = SquashReason::Fault;
+    interp_.squash(inst, SquashPolicy::ContainerKill);
+
+    const std::string function = slot->function;
+    const std::uint32_t attempt = ++inv.faultAttempts[slot->order];
+    // Only a non-speculative slot can exhaust its retries: giving up
+    // on a speculative coordinate could fail the request on work the
+    // committed path never needed.
+    if (slot->nonSpeculative && attempt >= faults->plan().maxAttempts) {
+        faults->noteGaveUp(function);
+        failInvocation(inv, function);
+        return;
+    }
+    faults->noteRetry(function, attempt);
+    sim_.events().schedule(faults->backoffDelay(attempt),
+                           [this, id = inst->invocation,
+                            instId = inst->id]() {
+                               recoverFromCrash(id, instId);
+                           });
+}
+
+void
+SpecController::recoverFromCrash(InvocationId id, InstanceId instId)
+{
+    SpecInvocation* pinv = find(id);
+    if (pinv == nullptr || pinv->finished)
+        return;
+    SpecInvocation& inv = *pinv;
+    auto bit = inv.byInstance.find(instId);
+    if (bit == inv.byInstance.end())
+        return; // a wider squash already covered this coordinate
+    auto sit = inv.slots.find(bit->second);
+    SPECFAAS_ASSERT(sit != inv.slots.end(), "byInstance without slot");
+    Slot& slot = sit->second;
+
+    if (slot.flowNode != kFlowNone) {
+        // Explicit flow node: squash from the crash coordinate and
+        // re-walk, exactly like a misprediction rewind (Figure 6).
+        Frontier f;
+        f.flowIdx = slot.flowNode;
+        f.carry = slot.input;
+        f.source = slot.inputValidated ? InputSource::Actual
+                                       : slot.inputSource;
+        f.carryProducer =
+            slot.inputValidated ? OrderKey{} : slot.carryProducer;
+        f.order = slot.order;
+        f.pathHash = slot.pathHash;
+        OrderKey from = slot.order;
+        adjustRewindToForkBase(inv, from, f);
+        for (const auto& [o, s] : inv.slots) {
+            if (!orderKeyLess(o, from))
+                break;
+            if (s.isBranch && !s.completed)
+                f.afterUnresolvedBranch = true;
+        }
+        squashRange(inv, from, SquashReason::Fault);
+        rewindExplicit(inv, std::move(f));
+    } else if (!slot.isImplicitCallee) {
+        // Implicit root: everything hangs off it, so everything dies
+        // with it; relaunch the root exactly as invoke() did.
+        Value input = slot.input;
+        const Application* app = inv.app;
+        squashRange(inv, OrderKey{0}, SquashReason::Fault);
+
+        Slot root;
+        root.function = app->rootFunction;
+        root.order = OrderKey{0};
+        root.input = input;
+        root.pathHash = pathhash::kEmpty;
+        root.nonSpeculative = true;
+
+        LaunchSpec spec;
+        spec.function = app->rootFunction;
+        spec.input = std::move(input);
+        spec.invocation = id;
+        spec.order = root.order;
+        spec.preOverhead = cluster_.config().platformOverhead;
+        spec.controllerService = cluster_.config().specLaunchService;
+        root.inst = launcher_.launch(std::move(spec));
+        root.inst->pathHash = root.pathHash;
+
+        inv.buffer->addColumn(root.inst->id, root.order);
+        inv.byInstance[root.inst->id] = root.order;
+        auto [rit, ok] = inv.slots.emplace(root.order, std::move(root));
+        SPECFAAS_ASSERT(ok, "root slot collision on retry");
+        speculateCallees(inv, rit->second);
+    } else {
+        // Implicit callee: the range squash itself relaunches it (and
+        // any adopted descendants) under its surviving caller.
+        const OrderKey from = slot.order;
+        squashRange(inv, from, SquashReason::Fault);
+    }
+    resumeParkedReads(inv);
+    tryCommit(inv);
+}
+
+void
+SpecController::failInvocation(SpecInvocation& inv,
+                               const std::string& function)
+{
+    // Retries exhausted at a non-speculative coordinate: the request
+    // fails. Committed work stays committed (as on a real platform);
+    // everything still in the pipeline is squashed unconditionally.
+    squashRange(inv, OrderKey{}, SquashReason::Fault);
+    inv.blocked.clear();
+    inv.depthBlocked.clear();
+    inv.joins.clear();
+    inv.forks.clear();
+    inv.pendingCallees.clear();
+    inv.parkedReads.clear();
+    inv.responseValue = FaultInjector::errorResponse(function);
+    inv.responseSeen = true;
+    finish(inv);
+}
+
+void
+SpecController::onNodeFailure(NodeId node)
+{
+    std::vector<InvocationId> ids;
+    ids.reserve(live_.size());
+    for (const auto& [id, inv] : live_) {
+        (void)inv;
+        ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (const InvocationId id : ids) {
+        while (true) {
+            SpecInvocation* inv = find(id);
+            if (inv == nullptr || inv->finished)
+                break;
+            // Lowest live coordinate on the node first; each crash
+            // marks its victim Dead, so the rescan terminates.
+            InstancePtr victim;
+            for (const auto& [order, s] : inv->slots) {
+                (void)order;
+                if (!s.inst ||
+                    s.inst->state == InstanceState::Dead ||
+                    s.inst->state == InstanceState::Committed ||
+                    s.inst->container == nullptr ||
+                    s.inst->node != node)
+                    continue;
+                victim = s.inst;
+                break;
+            }
+            if (!victim)
+                break;
+            crashed(victim, FaultKind::NodeFailure);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1093,6 +1317,17 @@ SpecController::commitSlot(SpecInvocation& inv, Slot& slot)
     slot.pending.clear();
     updateTablesAtCommit(inv, slot);
     accountCommitted(inv, slot);
+    if (slot.flowNode != kFlowNone) {
+        SpecInvocation::CommittedNode cn;
+        cn.function = slot.function;
+        cn.input = slot.input;
+        cn.output = slot.output;
+        cn.actualTarget = slot.actualTarget;
+        const bool fresh =
+            inv.committed.emplace(slot.order, std::move(cn)).second;
+        SPECFAAS_ASSERT(fresh, "double commit at %s",
+                        orderKeyToString(slot.order).c_str());
+    }
     ++ctrCommits_;
     if (auto& tr = obs::trace(); tr.enabled()) {
         tr.instant(obs::cat::kSpec, "commit", sim_.now(),

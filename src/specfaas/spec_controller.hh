@@ -96,7 +96,10 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     void httpRequest(const InstancePtr& inst,
                      std::function<void()> done) override;
     void completed(const InstancePtr& inst, Value output) override;
+    void crashed(const InstancePtr& inst, FaultKind kind) override;
     /** @} */
+
+    void onNodeFailure(NodeId node) override;
 
     /** @{ Introspection for tests and ablation benches. */
     const SpecConfig& config() const { return config_; }
@@ -283,12 +286,34 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
         std::map<OrderKey, OutputHint, OrderLess> outputHints;
 
         /**
+         * Flow coordinates irrevocably committed in this invocation.
+         * A rewind that restarts a fork region can walk back over
+         * them (the fork restart frontier predates the commits); the
+         * walk replays the recorded outcome instead of re-launching.
+         * Re-execution would double-apply storage effects and
+         * diverge from the baseline's crash-retry semantics, which
+         * never re-runs completed work.
+         */
+        struct CommittedNode
+        {
+            std::string function;
+            Value input;
+            Value output;
+            FlowIndex actualTarget = kFlowNone; // branches only
+        };
+        std::map<OrderKey, CommittedNode, OrderLess> committed;
+
+        /**
          * Outstanding container-kill squash debt: number of upcoming
          * launches that must wait for a replacement container
          * because their warm container was destroyed (§VI, second
          * squash approach).
          */
         std::uint32_t containerKillDebt = 0;
+
+        /** Fault-retry attempts per pipeline coordinate; survives the
+         * squash/relaunch cycle so give-up thresholds are honest. */
+        std::map<OrderKey, std::uint32_t, OrderLess> faultAttempts;
 
         /** Response payload observed when the walk reaches the end
          * of the program. */
@@ -352,6 +377,14 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
      */
     bool adjustRewindToForkBase(SpecInvocation& inv, OrderKey& from,
                                 Frontier& f);
+
+    /** @{ Fault recovery. */
+    /** Delayed (post-backoff) squash + relaunch of a crashed slot. */
+    void recoverFromCrash(InvocationId id, InstanceId instId);
+    /** Retries exhausted: squash everything, answer the error. */
+    void failInvocation(SpecInvocation& inv,
+                        const std::string& function);
+    /** @} */
 
     void maybePromote(SpecInvocation& inv, Slot& slot);
     void flushPendingCommit(SpecInvocation& inv,

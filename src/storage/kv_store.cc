@@ -42,6 +42,8 @@ KvStore::clear()
     data_.clear();
     reads_ = 0;
     writes_ = 0;
+    injectedReadErrors_ = 0;
+    injectedWriteErrors_ = 0;
 }
 
 std::uint64_t

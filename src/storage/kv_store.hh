@@ -64,6 +64,21 @@ class KvStore
     std::uint64_t writeCount() const { return writes_; }
     /** @} */
 
+    /** @{ Injected-fault accounting (fed by the FaultInjector). */
+    void noteInjectedError(bool write)
+    {
+        ++(write ? injectedWriteErrors_ : injectedReadErrors_);
+    }
+    std::uint64_t injectedReadErrors() const
+    {
+        return injectedReadErrors_;
+    }
+    std::uint64_t injectedWriteErrors() const
+    {
+        return injectedWriteErrors_;
+    }
+    /** @} */
+
     /**
      * Deterministic fingerprint of the full store contents. Used by
      * the correctness oracle: a SpecFaaS run must leave the store in
@@ -82,6 +97,8 @@ class KvStore
     std::unordered_map<std::string, Value> data_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
+    std::uint64_t injectedReadErrors_ = 0;
+    std::uint64_t injectedWriteErrors_ = 0;
 };
 
 } // namespace specfaas

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the compare_reports regression gate: the exit codes and
+ * messages of compareReportFiles (the CLI's testable body) and the
+ * compareReports edge cases — metrics missing on either side, NaN
+ * metric values (which render as JSON null), and empty or malformed
+ * reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "obs/json_report.hh"
+
+namespace specfaas {
+namespace {
+
+using obs::CompareOptions;
+using obs::CompareResult;
+using obs::JsonReport;
+
+/** Write a report file into the test temp dir; returns its path. */
+std::string
+writeReport(const JsonReport& report, const std::string& name)
+{
+    const std::string path = ::testing::TempDir() + name;
+    EXPECT_TRUE(report.writeFile(path));
+    return path;
+}
+
+std::string
+writeText(const std::string& text, const std::string& name)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    EXPECT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return path;
+}
+
+JsonReport
+simpleReport(double latency, double throughput)
+{
+    JsonReport report("bench_x");
+    report.addMetric("latency_ms", latency,
+                     /*higherIsBetter=*/false, "ms");
+    report.addMetric("throughput_rps", throughput,
+                     /*higherIsBetter=*/true, "rps");
+    return report;
+}
+
+bool
+contains(const std::string& haystack, const std::string& needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+TEST(CompareReportFiles, IdenticalReportsExitZero)
+{
+    const std::string base =
+        writeReport(simpleReport(10.0, 500.0), "crf_ident_a.json");
+    const std::string cand =
+        writeReport(simpleReport(10.0, 500.0), "crf_ident_b.json");
+    std::string out;
+    EXPECT_EQ(obs::compareReportFiles(base, cand, {}, &out), 0);
+    EXPECT_TRUE(contains(out, "OK:")) << out;
+}
+
+TEST(CompareReportFiles, RegressionExitsOne)
+{
+    const std::string base =
+        writeReport(simpleReport(10.0, 500.0), "crf_reg_a.json");
+    const std::string cand =
+        writeReport(simpleReport(14.0, 500.0), "crf_reg_b.json");
+    std::string out;
+    EXPECT_EQ(obs::compareReportFiles(base, cand, {}, &out), 1);
+    EXPECT_TRUE(contains(out, "REGRESSION latency_ms")) << out;
+    EXPECT_TRUE(contains(out, "FAIL: 0 error(s), 1 regression(s)"))
+        << out;
+}
+
+TEST(CompareReportFiles, ImprovementWithinToleranceExitsZero)
+{
+    const std::string base =
+        writeReport(simpleReport(10.0, 500.0), "crf_imp_a.json");
+    const std::string cand =
+        writeReport(simpleReport(8.0, 600.0), "crf_imp_b.json");
+    std::string out;
+    EXPECT_EQ(obs::compareReportFiles(base, cand, {}, &out), 0);
+    EXPECT_TRUE(contains(out, "note       latency_ms")) << out;
+}
+
+TEST(CompareReportFiles, MetricMissingFromCandidateExitsOne)
+{
+    JsonReport cand("bench_x");
+    cand.addMetric("latency_ms", 10.0, false, "ms");
+    const std::string base =
+        writeReport(simpleReport(10.0, 500.0), "crf_miss_a.json");
+    const std::string cand_path =
+        writeReport(cand, "crf_miss_b.json");
+    std::string out;
+    EXPECT_EQ(obs::compareReportFiles(base, cand_path, {}, &out), 1);
+    EXPECT_TRUE(contains(
+        out, "ERROR      metric 'throughput_rps' missing from "
+             "candidate"))
+        << out;
+}
+
+TEST(CompareReportFiles, CandidateOnlyMetricIsNoteNotError)
+{
+    JsonReport cand = simpleReport(10.0, 500.0);
+    cand.addMetric("new_metric", 1.0, true);
+    const std::string base =
+        writeReport(simpleReport(10.0, 500.0), "crf_extra_a.json");
+    const std::string cand_path =
+        writeReport(cand, "crf_extra_b.json");
+    std::string out;
+    EXPECT_EQ(obs::compareReportFiles(base, cand_path, {}, &out), 0);
+    EXPECT_TRUE(
+        contains(out, "note       metric 'new_metric' only in "
+                      "candidate"))
+        << out;
+}
+
+TEST(CompareReportFiles, NanInCandidateExitsOne)
+{
+    JsonReport cand = simpleReport(10.0, 500.0);
+    cand.addMetric("latency_ms", std::nan(""), false, "ms");
+    const std::string base =
+        writeReport(simpleReport(10.0, 500.0), "crf_nan_a.json");
+    const std::string cand_path = writeReport(cand, "crf_nan_b.json");
+    std::string out;
+    EXPECT_EQ(obs::compareReportFiles(base, cand_path, {}, &out), 1);
+    EXPECT_TRUE(contains(
+        out, "ERROR      metric 'latency_ms' became undefined (NaN) "
+             "in candidate"))
+        << out;
+}
+
+TEST(CompareReportFiles, NanInBothSidesIsNote)
+{
+    JsonReport base = simpleReport(10.0, 500.0);
+    base.addMetric("p99_ms", std::nan(""), false, "ms");
+    JsonReport cand = simpleReport(10.0, 500.0);
+    cand.addMetric("p99_ms", std::nan(""), false, "ms");
+    const std::string base_path =
+        writeReport(base, "crf_nan2_a.json");
+    const std::string cand_path =
+        writeReport(cand, "crf_nan2_b.json");
+    std::string out;
+    EXPECT_EQ(obs::compareReportFiles(base_path, cand_path, {}, &out),
+              0);
+    EXPECT_TRUE(contains(
+        out, "note       metric 'p99_ms' undefined in both reports"))
+        << out;
+}
+
+TEST(CompareReportFiles, NanInBaselineOnlyIsNote)
+{
+    JsonReport base = simpleReport(10.0, 500.0);
+    base.addMetric("p99_ms", std::nan(""), false, "ms");
+    JsonReport cand = simpleReport(10.0, 500.0);
+    cand.addMetric("p99_ms", 25.0, false, "ms");
+    const std::string base_path =
+        writeReport(base, "crf_nan3_a.json");
+    const std::string cand_path =
+        writeReport(cand, "crf_nan3_b.json");
+    std::string out;
+    EXPECT_EQ(obs::compareReportFiles(base_path, cand_path, {}, &out),
+              0);
+    EXPECT_TRUE(contains(out,
+                         "note       metric 'p99_ms' undefined in "
+                         "baseline"))
+        << out;
+}
+
+TEST(CompareReportFiles, EmptyJsonObjectExitsOne)
+{
+    const std::string base =
+        writeReport(simpleReport(10.0, 500.0), "crf_empty_a.json");
+    const std::string cand = writeText("{}", "crf_empty_b.json");
+    std::string out;
+    EXPECT_EQ(obs::compareReportFiles(base, cand, {}, &out), 1);
+    EXPECT_TRUE(contains(
+        out,
+        "ERROR      candidate report is empty or not a JSON object"))
+        << out;
+}
+
+TEST(CompareReportFiles, EmptyFileExitsTwo)
+{
+    const std::string base =
+        writeReport(simpleReport(10.0, 500.0), "crf_zero_a.json");
+    const std::string cand = writeText("", "crf_zero_b.json");
+    std::string out;
+    EXPECT_EQ(obs::compareReportFiles(base, cand, {}, &out), 2);
+    EXPECT_TRUE(contains(out, "ERROR")) << out;
+}
+
+TEST(CompareReportFiles, MissingFileExitsTwo)
+{
+    const std::string base =
+        writeReport(simpleReport(10.0, 500.0), "crf_nof_a.json");
+    std::string out;
+    EXPECT_EQ(obs::compareReportFiles(
+                  base, ::testing::TempDir() + "does_not_exist.json",
+                  {}, &out),
+              2);
+    EXPECT_TRUE(contains(out, "ERROR      cannot read")) << out;
+}
+
+TEST(CompareReports, NonObjectReportsAreErrors)
+{
+    CompareResult r =
+        obs::compareReports(Value(std::int64_t{3}), Value());
+    EXPECT_FALSE(r.ok());
+    ASSERT_EQ(r.errors.size(), 1u);
+    EXPECT_EQ(r.errors[0],
+              "baseline report is empty or not a JSON object");
+}
+
+TEST(CompareReports, InMemoryNanIsTreatedAsUndefined)
+{
+    // Built (never round-tripped) reports hold a real NaN double, not
+    // the JSON null it would render to; both spellings must behave
+    // the same.
+    JsonReport base = simpleReport(10.0, 500.0);
+    JsonReport cand = simpleReport(10.0, 500.0);
+    cand.addMetric("latency_ms", std::nan(""), false, "ms");
+    CompareResult r =
+        obs::compareReports(base.build(), cand.build());
+    EXPECT_FALSE(r.ok());
+    ASSERT_EQ(r.errors.size(), 1u);
+    EXPECT_EQ(r.errors[0],
+              "metric 'latency_ms' became undefined (NaN) in "
+              "candidate");
+}
+
+} // namespace
+} // namespace specfaas

@@ -2,341 +2,56 @@
  * @file
  * Randomized equivalence fuzzing.
  *
- * Generates random applications — random explicit workflow trees
- * (sequences, branches, parallel sections) and random implicit call
- * trees (gathers, guarded calls), with random function bodies mixing
- * compute, global reads/writes, HTTP, temp files and local steps —
- * and checks the core correctness property on each: for the same
- * request sequence, a SpecFaaS run must produce exactly the baseline's
- * responses and final global-store state, under aggressive speculation
- * settings.
+ * Generates random applications (via tests/fuzz_apps.hh) — random
+ * explicit workflow trees (sequences, branches, loops, parallel
+ * sections) and random implicit call trees (gathers, guarded calls),
+ * with random function bodies mixing compute, global reads/writes,
+ * HTTP, temp files and local steps — and checks the core correctness
+ * property on each: for the same request sequence, a SpecFaaS run must
+ * produce exactly the baseline's responses and final global-store
+ * state, under aggressive speculation settings.
+ *
+ * On top of the fresh-app differential, this suite covers the replay
+ * fast paths (memoized repeats of one input), loop-carried storage
+ * dependences, and determinism of the engine counters themselves
+ * (same seed twice ⇒ identical squash/launch/commit totals).
  */
 
 #include <gtest/gtest.h>
 
 #include "common/logging.hh"
+#include "fuzz_apps.hh"
 #include "platform/platform.hh"
 #include "workloads/app_helpers.hh"
 
 namespace specfaas {
 namespace {
 
-/** Generator of random-but-deterministic applications. */
-class AppFuzzer
+using fuzz::AppFuzzer;
+using fuzz::Outcome;
+using fuzz::runApp;
+using fuzz::runAppInputs;
+
+SpecConfig
+aggressiveConfig()
 {
-  public:
-    explicit AppFuzzer(std::uint64_t seed) : rng_(seed) {}
+    SpecConfig aggressive;
+    aggressive.bpDeadBand = 0.0;
+    aggressive.stallThreshold = 2;
+    return aggressive;
+}
 
-    Application
-    explicitApp()
-    {
-        Application app;
-        app.name = "fuzz-explicit";
-        app.suite = "fuzz";
-        app.type = WorkflowType::Explicit;
-        app_ = &app;
-        app.workflow = genNode(0);
-        finishApp(app);
-        return app;
-    }
-
-    Application
-    implicitApp()
-    {
-        Application app;
-        app.name = "fuzz-implicit";
-        app.suite = "fuzz";
-        app.type = WorkflowType::Implicit;
-        app_ = &app;
-        app.rootFunction = genCallTree(0);
-        finishApp(app);
-        return app;
-    }
-
-  private:
-    /** Random explicit workflow node (bounded depth). */
-    WorkflowNode
-    genNode(int depth)
-    {
-        const double roll = rng_.uniform();
-        if (depth >= 2 || roll < 0.45)
-            return task(genFunction(/*allow_calls=*/depth < 2));
-        if (roll < 0.65) {
-            std::vector<WorkflowNode> children;
-            const int n = static_cast<int>(rng_.uniformInt(
-                std::int64_t{2}, std::int64_t{4}));
-            for (int i = 0; i < n; ++i)
-                children.push_back(genNode(depth + 1));
-            return sequence(std::move(children));
-        }
-        if (roll < 0.84) {
-            const std::string cond = genCondFunction();
-            if (rng_.bernoulli(0.3))
-                return when(cond, genNode(depth + 1));
-            return when(cond, genNode(depth + 1), genNode(depth + 1));
-        }
-        if (roll < 0.9) {
-            // Bounded loop: the condition counts its own visits via a
-            // loop-carried field the body threads through.
-            const std::string cond = genLoopCondFunction();
-            const std::string body = genLoopBodyFunction();
-            return whileLoop(cond, task(body));
-        }
-        std::vector<WorkflowNode> arms;
-        const int n = static_cast<int>(
-            rng_.uniformInt(std::int64_t{2}, std::int64_t{3}));
-        // Parallel arms get disjoint storage zones: sibling arms run
-        // concurrently in the BASELINE too, so records shared across
-        // arms would be racy there (no canonical outcome to compare
-        // against). SpecFaaS itself orders arms via the Data Buffer.
-        const int saved_zone = zone_;
-        for (int i = 0; i < n; ++i) {
-            zone_ = nextZone_++;
-            arms.push_back(genNode(depth + 1));
-        }
-        zone_ = saved_zone;
-        return parallel(std::move(arms));
-    }
-
-    /** Random implicit call subtree; returns the function name. */
-    std::string
-    genCallTree(int depth)
-    {
-        const bool caller = depth < 2 && rng_.bernoulli(depth == 0 ? 1.0 : 0.4);
-        FunctionDef def = genBody(/*allow_calls=*/false);
-        def.name = nextName();
-        if (caller) {
-            const int calls = static_cast<int>(
-                rng_.uniformInt(std::int64_t{1}, std::int64_t{3}));
-            for (int c = 0; c < calls; ++c) {
-                const std::string callee = genCallTree(depth + 1);
-                const std::string var = strFormat("c%d", c);
-                ValueFn args = [](const Env& e) {
-                    Value a = Value::object({});
-                    a["key"] = e.input.at("key");
-                    return a;
-                };
-                if (rng_.bernoulli(0.3)) {
-                    def.body.push_back(Op::callIf(
-                        fns::bucketGuard("key", 8), callee, args, var));
-                } else {
-                    def.body.push_back(Op::call(callee, args, var));
-                }
-            }
-            // Fold call results into the output deterministically.
-            const int calls_made = calls;
-            def.output = [calls_made](const Env& e) {
-                std::int64_t acc = intOr(e.input.at("salt"), 0);
-                for (int c = 0; c < calls_made; ++c) {
-                    const Value& v = e.var(strFormat("c%d", c));
-                    if (v.isObject())
-                        acc = (acc * 31 + intOr(v.at("v"), 0)) % 1009;
-                }
-                Value out = Value::object({});
-                out["v"] = Value(acc);
-                return out;
-            };
-        }
-        app_->functions.push_back(std::move(def));
-        return app_->functions.back().name;
-    }
-
-    std::string
-    nextName()
-    {
-        return strFormat("Fz%u", counter_++);
-    }
-
-    /** Random function body (no calls; calls added separately). */
-    FunctionDef
-    genBody(bool allow_calls)
-    {
-        (void)allow_calls;
-        FunctionDef def;
-        def.computeCv = 0.1;
-        const int ops = static_cast<int>(
-            rng_.uniformInt(std::int64_t{1}, std::int64_t{4}));
-        bool read = false;
-        for (int i = 0; i < ops; ++i) {
-            const double roll = rng_.uniform();
-            if (roll < 0.40) {
-                def.body.push_back(Op::compute(msToTicks(
-                    rng_.uniform(1.0, 8.0))));
-            } else if (roll < 0.62) {
-                const int bank = static_cast<int>(rng_.uniformInt(
-                    std::int64_t{0}, std::int64_t{3}));
-                def.body.push_back(Op::storageRead(
-                    [bank, zone = zone_](const Env& e) {
-                        return strFormat(
-                            "fz%d_%d:%s", zone, bank,
-                            e.input.at("key").toString().c_str());
-                    },
-                    strFormat("r%d", i)));
-                read = true;
-            } else if (roll < 0.80) {
-                const int bank = static_cast<int>(rng_.uniformInt(
-                    std::int64_t{0}, std::int64_t{3}));
-                def.body.push_back(Op::storageWrite(
-                    [bank, zone = zone_](const Env& e) {
-                        return strFormat(
-                            "fz%d_%d:%s", zone, bank,
-                            e.input.at("key").toString().c_str());
-                    },
-                    [](const Env& e) {
-                        Value rec = Value::object({});
-                        rec["v"] = Value(intOr(e.input.at("salt"), 1));
-                        return rec;
-                    }));
-            } else if (roll < 0.88) {
-                def.body.push_back(Op::http());
-            } else if (roll < 0.94) {
-                def.body.push_back(Op::fileWrite([](const Env&) {
-                    return std::string("tmp.dat");
-                }));
-            } else {
-                def.body.push_back(Op::setVar(
-                    strFormat("s%d", i), [](const Env& e) {
-                        return Value(intOr(e.input.at("salt"), 0) + 1);
-                    }));
-            }
-        }
-        const bool uses_read = read;
-        def.output = [uses_read](const Env& e) {
-            std::int64_t acc =
-                bucketOf(e.input.toString(), 97);
-            if (uses_read) {
-                for (int i = 0; i < 4; ++i) {
-                    const Value& v = e.var(strFormat("r%d", i));
-                    if (v.isObject())
-                        acc = (acc * 17 + intOr(v.at("v"), 0)) % 1009;
-                }
-            }
-            Value out = Value::object({});
-            out["v"] = Value(acc);
-            out["key"] = e.input.at("key");
-            out["salt"] = e.input.at("salt");
-            return out;
-        };
-        return def;
-    }
-
-    std::string
-    genFunction(bool allow_calls)
-    {
-        FunctionDef def = genBody(allow_calls);
-        def.name = nextName();
-        app_->functions.push_back(std::move(def));
-        return app_->functions.back().name;
-    }
-
-    /** Loop condition: true while input.iter < 2. */
-    std::string
-    genLoopCondFunction()
-    {
-        FunctionDef def;
-        def.name = nextName();
-        def.body.push_back(Op::compute(msToTicks(1.5)));
-        def.output = [](const Env& e) {
-            return Value(intOr(e.input.at("iter"), 0) < 2);
-        };
-        app_->functions.push_back(std::move(def));
-        return app_->functions.back().name;
-    }
-
-    /** Loop body: passes the input through with iter incremented. */
-    std::string
-    genLoopBodyFunction()
-    {
-        FunctionDef def;
-        def.name = nextName();
-        def.body.push_back(Op::compute(msToTicks(2.0)));
-        def.output = [](const Env& e) {
-            Value out = e.input;
-            out["iter"] = Value(intOr(e.input.at("iter"), 0) + 1);
-            return out;
-        };
-        app_->functions.push_back(std::move(def));
-        return app_->functions.back().name;
-    }
-
-    std::string
-    genCondFunction()
-    {
-        FunctionDef def;
-        def.name = nextName();
-        def.body.push_back(Op::compute(msToTicks(rng_.uniform(1.0, 4.0))));
-        const int field = static_cast<int>(
-            rng_.uniformInt(std::int64_t{0}, std::int64_t{2}));
-        def.output = [field](const Env& e) {
-            return e.input.at(strFormat("b%d", field));
-        };
-        app_->functions.push_back(std::move(def));
-        return app_->functions.back().name;
-    }
-
-    void
-    finishApp(Application& app)
-    {
-        app.inputGen = [](Rng& rng) {
-            Value v = Value::object({});
-            v["key"] = Value(strFormat(
-                "k%llu",
-                static_cast<unsigned long long>(rng.zipf(12, 1.4))));
-            v["salt"] = Value(rng.uniformInt(std::int64_t{0},
-                                             std::int64_t{5}));
-            for (int b = 0; b < 3; ++b)
-                v[strFormat("b%d", b)] = Value(rng.bernoulli(0.85));
-            return v;
-        };
-        const int zones = nextZone_;
-        app.seedStore = [zones](KvStore& store, Rng& rng) {
-            for (int zone = 0; zone < zones; ++zone) {
-                for (int bank = 0; bank < 4; ++bank) {
-                    for (int k = 0; k < 12; ++k) {
-                        store.put(
-                            strFormat("fz%d_%d:\"k%d\"", zone, bank,
-                                      k),
-                            Value::object(
-                                {{"v", Value(rng.uniformInt(
-                                          std::int64_t{0},
-                                          std::int64_t{99}))}}));
-                    }
-                }
-            }
-        };
-    }
-
-    Rng rng_;
-    Application* app_ = nullptr;
-    std::uint32_t counter_ = 0;
-    int zone_ = 0;
-    int nextZone_ = 1;
-};
-
-struct Outcome
+void
+expectSameOutcome(const Outcome& base, const Outcome& spec,
+                  std::uint64_t seed)
 {
-    std::vector<Value> responses;
-    std::uint64_t fingerprint = 0;
-};
-
-Outcome
-runApp(const Application& app, bool speculative, SpecConfig config,
-       std::uint64_t seed, std::size_t requests)
-{
-    PlatformOptions options;
-    options.speculative = speculative;
-    options.spec = config;
-    options.seed = seed;
-    FaasPlatform platform(options);
-    platform.deploy(app);
-    Outcome out;
-    for (std::size_t i = 0; i < requests; ++i) {
-        Value input = app.inputGen(platform.inputRng());
-        auto r = platform.invokeSync(app, std::move(input));
-        out.responses.push_back(r.response);
+    ASSERT_EQ(base.responses.size(), spec.responses.size());
+    for (std::size_t i = 0; i < base.responses.size(); ++i) {
+        ASSERT_EQ(base.responses[i].toString(),
+                  spec.responses[i].toString())
+            << "seed " << seed << " request " << i;
     }
-    out.fingerprint = platform.store().fingerprint();
-    return out;
+    EXPECT_EQ(base.fingerprint, spec.fingerprint) << "seed " << seed;
 }
 
 class FuzzEquivalence : public ::testing::TestWithParam<std::uint64_t>
@@ -348,20 +63,9 @@ TEST_P(FuzzEquivalence, ExplicitAppMatchesBaseline)
     AppFuzzer fuzzer(GetParam() * 2654435761ull + 1);
     Application app = fuzzer.explicitApp();
 
-    SpecConfig aggressive;
-    aggressive.bpDeadBand = 0.0;
-    aggressive.stallThreshold = 2;
-
     Outcome base = runApp(app, false, {}, 17, 18);
-    Outcome spec = runApp(app, true, aggressive, 17, 18);
-    ASSERT_EQ(base.responses.size(), spec.responses.size());
-    for (std::size_t i = 0; i < base.responses.size(); ++i) {
-        ASSERT_EQ(base.responses[i].toString(),
-                  spec.responses[i].toString())
-            << "seed " << GetParam() << " request " << i;
-    }
-    EXPECT_EQ(base.fingerprint, spec.fingerprint)
-        << "seed " << GetParam();
+    Outcome spec = runApp(app, true, aggressiveConfig(), 17, 18);
+    expectSameOutcome(base, spec, GetParam());
 }
 
 TEST_P(FuzzEquivalence, ImplicitAppMatchesBaseline)
@@ -369,19 +73,74 @@ TEST_P(FuzzEquivalence, ImplicitAppMatchesBaseline)
     AppFuzzer fuzzer(GetParam() * 40503ull + 7);
     Application app = fuzzer.implicitApp();
 
-    SpecConfig aggressive;
-    aggressive.bpDeadBand = 0.0;
-    aggressive.stallThreshold = 2;
-
     Outcome base = runApp(app, false, {}, 23, 18);
-    Outcome spec = runApp(app, true, aggressive, 23, 18);
-    ASSERT_EQ(base.responses.size(), spec.responses.size());
-    for (std::size_t i = 0; i < base.responses.size(); ++i) {
-        ASSERT_EQ(base.responses[i].toString(),
-                  spec.responses[i].toString())
-            << "seed " << GetParam() << " request " << i;
-    }
-    EXPECT_EQ(base.fingerprint, spec.fingerprint)
+    Outcome spec = runApp(app, true, aggressiveConfig(), 23, 18);
+    expectSameOutcome(base, spec, GetParam());
+}
+
+/**
+ * Loop-carrying apps: every iteration reads the record the previous
+ * iteration wrote, so memoized/predicted iteration outputs that skip
+ * the read-modify-write would corrupt both the carry and the store.
+ */
+TEST_P(FuzzEquivalence, LoopCarryAppMatchesBaseline)
+{
+    AppFuzzer fuzzer(GetParam() * 6364136223846793005ull + 11);
+    Application app = fuzzer.loopApp();
+
+    Outcome base = runApp(app, false, {}, 29, 18);
+    Outcome spec = runApp(app, true, aggressiveConfig(), 29, 18);
+    expectSameOutcome(base, spec, GetParam());
+}
+
+/**
+ * Memoized replay: repeat one input until the memoization tables are
+ * hot, so later requests ride the replay fast path (pure skips and
+ * predicted outputs). The replayed run must still match a baseline
+ * fed the identical input list.
+ */
+TEST_P(FuzzEquivalence, MemoizedReplayMatchesBaseline)
+{
+    AppFuzzer fuzzer(GetParam() * 2654435761ull + 1);
+    Application app = fuzzer.explicitApp();
+
+    Rng input_rng(31);
+    std::vector<Value> inputs;
+    const Value repeated = app.inputGen(input_rng);
+    for (int i = 0; i < 10; ++i)
+        inputs.push_back(repeated);
+    // A couple of fresh inputs after the hot streak, so mispredicted
+    // replays of a now-stale memo entry get exercised too.
+    inputs.push_back(app.inputGen(input_rng));
+    inputs.push_back(app.inputGen(input_rng));
+
+    Outcome base = runAppInputs(app, false, {}, 37, inputs);
+    Outcome spec = runAppInputs(app, true, aggressiveConfig(), 37,
+                                inputs);
+    expectSameOutcome(base, spec, GetParam());
+}
+
+/**
+ * Engine determinism: two speculative runs with identical seeds must
+ * agree not just on outputs but on the internal event totals —
+ * speculative launches, squashes and commits. A drift here means some
+ * decision consumed nondeterministic state even though the outputs
+ * happened to converge.
+ */
+TEST_P(FuzzEquivalence, SameSeedRunsHaveIdenticalCounters)
+{
+    AppFuzzer fuzzer(GetParam() * 40503ull + 7);
+    Application app = fuzzer.implicitApp();
+
+    Outcome first = runApp(app, true, aggressiveConfig(), 41, 12);
+    Outcome second = runApp(app, true, aggressiveConfig(), 41, 12);
+
+    EXPECT_EQ(first.squashes, second.squashes)
+        << "seed " << GetParam();
+    EXPECT_EQ(first.speculativeLaunches, second.speculativeLaunches)
+        << "seed " << GetParam();
+    EXPECT_EQ(first.commits, second.commits) << "seed " << GetParam();
+    EXPECT_EQ(first.fingerprint, second.fingerprint)
         << "seed " << GetParam();
 }
 
