@@ -11,18 +11,50 @@
 #define SPECFAAS_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/stats_util.hh"
 #include "common/table.hh"
 #include "obs/obs_cli.hh"
 #include "platform/experiment.hh"
+#include "sim/sim_context.hh"
 #include "workloads/suites.hh"
 
 namespace specfaas::bench {
+
+/**
+ * Strip a `--jobs=<n>` flag from argv (after ObsSession has taken the
+ * observability flags) and return the worker count for the bench's
+ * sweep: 1 by default (serial, the historical behavior), 0 meaning
+ * "all hardware threads". Independent sweep points then run through
+ * runSimTasks(), whose ordered context merge keeps every artifact
+ * byte-identical to the serial run regardless of the job count.
+ */
+inline std::size_t
+jobsArg(int& argc, char** argv)
+{
+    std::size_t jobs = 1;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            jobs = static_cast<std::size_t>(
+                std::strtoull(argv[i] + 7, nullptr, 10));
+            if (jobs == 0)
+                jobs = defaultJobs();
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return jobs;
+}
 
 /** Print a banner naming the experiment. */
 inline void

@@ -18,6 +18,7 @@ int
 main(int argc, char** argv)
 {
     obs::ObsSession obs(argc, argv);
+    const std::size_t jobs = jobsArg(argc, argv);
     const bool cold = argc > 1 && std::strcmp(argv[1], "--cold") == 0;
     banner(std::string("Fig. 11: SpecFaaS speedup per application and "
                        "load level") +
@@ -33,40 +34,61 @@ main(int argc, char** argv)
     table.header({"Application", "Suite", "Low", "Medium", "High",
                   "Avg"});
 
+    // One task per (application, load level); tasks are independent
+    // simulations, so they fan out across --jobs worker threads and
+    // the ordered merge keeps output identical to a serial run.
+    std::vector<const Application*> apps;
+    std::vector<const char*> app_suite;
+    for (const char* suite : {"FaaSChain", "TrainTicket", "Alibaba"}) {
+        for (const Application* app : registry->suite(suite)) {
+            apps.push_back(app);
+            app_suite.push_back(suite);
+        }
+    }
+    const std::vector<double> loads = loadLevels();
+    std::vector<std::function<double(SimContext&)>> tasks;
+    for (const Application* app : apps) {
+        for (double rps : loads) {
+            tasks.push_back([app, rps, cold,
+                             requests](SimContext& context) {
+                EngineSetup base = baselineSetup();
+                EngineSetup spec = specSetup();
+                base.context = &context;
+                spec.context = &context;
+                if (cold) {
+                    // Cold environment: no pre-provisioned containers,
+                    // so the measurement includes the cold-start ramp
+                    // (the platform still keeps containers alive once
+                    // created, like OpenWhisk's grace period, and the
+                    // speculation tables persist across invocations as
+                    // in §V-E).
+                    base.prewarmPerFunction = 0;
+                    spec.prewarmPerFunction = 0;
+                }
+                return Experiment::speedupAtLoad(*app, base, spec, rps,
+                                                 requests);
+            });
+        }
+    }
+    const std::vector<double> results =
+        runSimTasks<double>(jobs, std::move(tasks));
+
     std::map<std::string, std::vector<double>> suite_speedups;
     std::vector<double> all;
-
-    auto run_app = [&](const Application& app,
-                       const std::string& suite) {
-        std::vector<std::string> row = {app.name, suite};
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        std::vector<std::string> row = {apps[a]->name, app_suite[a]};
         std::vector<double> speedups;
-        for (double rps : loadLevels()) {
-            EngineSetup base = baselineSetup();
-            EngineSetup spec = specSetup();
-            if (cold) {
-                // Cold environment: no pre-provisioned containers, so
-                // the measurement includes the cold-start ramp (the
-                // platform still keeps containers alive once created,
-                // like OpenWhisk's grace period, and the speculation
-                // tables persist across invocations as in §V-E).
-                base.prewarmPerFunction = 0;
-                spec.prewarmPerFunction = 0;
-            }
-            const double s = Experiment::speedupAtLoad(
-                app, base, spec, rps, requests);
+        for (std::size_t l = 0; l < loads.size(); ++l) {
+            const double s = results[a * loads.size() + l];
             speedups.push_back(s);
             row.push_back(fmtRatio(s));
         }
         const double avg = mean(speedups);
         row.push_back(fmtRatio(avg));
         table.row(std::move(row));
-        suite_speedups[suite].push_back(avg);
+        suite_speedups[app_suite[a]].push_back(avg);
         all.push_back(avg);
-    };
-
-    for (const char* suite : {"FaaSChain", "TrainTicket", "Alibaba"})
-        for (const Application* app : registry->suite(suite))
-            run_app(*app, suite);
+    }
 
     table.separator();
     for (const char* suite : {"FaaSChain", "TrainTicket", "Alibaba"}) {

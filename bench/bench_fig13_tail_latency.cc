@@ -10,10 +10,22 @@
 using namespace specfaas;
 using namespace specfaas::bench;
 
+namespace {
+
+/** Baseline and SpecFaaS P99 of one (app, load) measurement. */
+struct P99Pair
+{
+    double base = 0.0;
+    double spec = 0.0;
+};
+
+} // namespace
+
 int
 main(int argc, char** argv)
 {
     obs::ObsSession obs(argc, argv);
+    const std::size_t jobs = jobsArg(argc, argv);
     banner("Fig. 13: P99 tail latency (SpecFaaS / baseline)");
     auto registry = makeAllSuites();
     const std::size_t requests = 400;
@@ -23,24 +35,50 @@ main(int argc, char** argv)
     TextTable table;
     table.header({"Suite", "Low", "Medium", "High", "Avg reduction"});
 
+    // One task per (suite, load, app) pair of measurements, built in
+    // the same nesting order the serial loop used; the ordered results
+    // are then folded back into the per-suite histograms below.
+    const std::vector<double> loads = loadLevels();
+    std::vector<std::function<P99Pair(SimContext&)>> tasks;
+    for (const char* suite : {"FaaSChain", "TrainTicket", "Alibaba"}) {
+        for (double rps : loads) {
+            for (const Application* app : registry->suite(suite)) {
+                tasks.push_back([app, rps,
+                                 requests](SimContext& context) {
+                    EngineSetup base = baselineSetup();
+                    EngineSetup spec = specSetup();
+                    base.context = &context;
+                    spec.context = &context;
+                    auto b = Experiment::measureAtLoad(*app, base, rps,
+                                                       requests);
+                    auto s = Experiment::measureAtLoad(*app, spec, rps,
+                                                       requests);
+                    return P99Pair{b.summary.p99ResponseMs,
+                                   s.summary.p99ResponseMs};
+                });
+            }
+        }
+    }
+    const std::vector<P99Pair> results =
+        runSimTasks<P99Pair>(jobs, std::move(tasks));
+
     // Per-suite P99 distributions across apps and load levels, in a
     // bounded log-bucketed histogram instead of raw vectors.
     obs::LatencyHistogram base_hist;
     obs::LatencyHistogram spec_hist;
 
+    std::size_t cursor = 0;
     std::vector<double> all_reductions;
     for (const char* suite : {"FaaSChain", "TrainTicket", "Alibaba"}) {
         std::vector<double> normalized;
-        for (double rps : loadLevels()) {
+        for (std::size_t l = 0; l < loads.size(); ++l) {
             obs::LatencyHistogram base_p99s;
             obs::LatencyHistogram spec_p99s;
-            for (const Application* app : registry->suite(suite)) {
-                auto b = Experiment::measureAtLoad(
-                    *app, baselineSetup(), rps, requests);
-                auto s = Experiment::measureAtLoad(
-                    *app, specSetup(), rps, requests);
-                base_p99s.add(b.summary.p99ResponseMs);
-                spec_p99s.add(s.summary.p99ResponseMs);
+            for (std::size_t a = 0; a < registry->suite(suite).size();
+                 ++a) {
+                const P99Pair& p = results[cursor++];
+                base_p99s.add(p.base);
+                spec_p99s.add(p.spec);
             }
             base_hist.merge(base_p99s);
             spec_hist.merge(spec_p99s);

@@ -16,6 +16,7 @@ int
 main(int argc, char** argv)
 {
     obs::ObsSession obs(argc, argv);
+    const std::size_t jobs = jobsArg(argc, argv);
     banner("Fig. 14: speedup vs branch-prediction hit rate "
            "(FaaSChain)");
 
@@ -39,21 +40,43 @@ main(int argc, char** argv)
     for (std::size_t i = 0; i < names.size(); ++i)
         rows[i].push_back(names[i]);
 
+    // One task per (bias, app, load); registries for every bias are
+    // built up front so the task lambdas can borrow the Application
+    // pointers for the duration of the parallel batch.
+    const std::vector<double> loads = loadLevels();
+    std::vector<std::unique_ptr<ApplicationRegistry>> registries;
+    std::vector<std::function<double(SimContext&)>> tasks;
     for (double bias : biases) {
         SuiteOptions options;
         options.faasChain.branchBias = bias;
-        auto registry = makeAllSuites(options);
-        auto apps = registry->suite("FaaSChain");
-        for (std::size_t i = 0; i < apps.size(); ++i) {
-            std::vector<double> speedups;
-            // The sweep measures prediction quality directly, so the
-            // dead band (which would refuse 50/50 branches) is off.
-            EngineSetup spec = specSetup();
-            spec.spec.bpDeadBand = 0.0;
-            for (double rps : loadLevels()) {
-                speedups.push_back(Experiment::speedupAtLoad(
-                    *apps[i], baselineSetup(), spec, rps, 200));
+        registries.push_back(makeAllSuites(options));
+        for (const Application* app :
+             registries.back()->suite("FaaSChain")) {
+            for (double rps : loads) {
+                tasks.push_back([app, rps](SimContext& context) {
+                    EngineSetup base = baselineSetup();
+                    // The sweep measures prediction quality directly,
+                    // so the dead band (which would refuse 50/50
+                    // branches) is off.
+                    EngineSetup spec = specSetup();
+                    spec.spec.bpDeadBand = 0.0;
+                    base.context = &context;
+                    spec.context = &context;
+                    return Experiment::speedupAtLoad(*app, base, spec,
+                                                     rps, 200);
+                });
             }
+        }
+    }
+    const std::vector<double> results =
+        runSimTasks<double>(jobs, std::move(tasks));
+
+    std::size_t cursor = 0;
+    for (double bias : biases) {
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            std::vector<double> speedups;
+            for (std::size_t l = 0; l < loads.size(); ++l)
+                speedups.push_back(results[cursor++]);
             const double avg = mean(speedups);
             per_bias[bias].push_back(avg);
             rows[i].push_back(fmtRatio(avg));

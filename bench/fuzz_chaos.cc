@@ -11,6 +11,12 @@
  * engines under the identical plan, and require termination, equal
  * responses and an equal final-store fingerprint.
  *
+ * Cases are independent simulations, so `--jobs=<n>` fans them out
+ * across n worker threads (0 = all hardware threads). Each case runs
+ * against a private SimContext and its diagnostics are buffered, then
+ * everything is emitted in case order — stdout, the exit status and
+ * the merged counters are byte-identical to a `--jobs=1` run.
+ *
  * On a failure the app kind, both seeds and the plan's text spec are
  * printed — append `<kind> <app-seed> <plan-seed>` to
  * tests/corpus/chaos_seeds.txt to pin the case as a regression test
@@ -18,13 +24,19 @@
  * divergence or hang, 0 when the whole range is clean.
  */
 
+#include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "common/parallel.hh"
 #include "fuzz_apps.hh"
 #include "platform/platform.hh"
+#include "sim/sim_context.hh"
 
 using namespace specfaas;
 
@@ -34,7 +46,8 @@ int
 usage()
 {
     std::fprintf(stderr, "usage: fuzz_chaos [--seeds=<lo>:<hi>] "
-                         "[--requests=<n>] [--plans=<n>]\n");
+                         "[--requests=<n>] [--plans=<n>] "
+                         "[--jobs=<n>]\n");
     return 2;
 }
 
@@ -59,23 +72,39 @@ struct CaseId
     }
 };
 
-void
-reportFailure(const CaseId& id, const FaultPlan& plan,
-              const char* what)
+/** Outcome of one chaos case; log is non-empty only on failure. */
+struct CaseResult
 {
-    std::printf("FAIL %s app-seed %llu plan-seed %llu: %s\n",
-                id.kind(),
-                static_cast<unsigned long long>(id.appSeed),
-                static_cast<unsigned long long>(id.planSeed), what);
-    std::printf("  corpus line: %s %llu %llu\n", id.kind(),
-                static_cast<unsigned long long>(id.appSeed),
-                static_cast<unsigned long long>(id.planSeed));
-    std::printf("  fault plan:\n%s", plan.toSpec().c_str());
+    bool passed = false;
+    std::string log;
+};
+
+void
+appendf(std::string& out, const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    out += buf;
 }
 
-/** @return true when the case passed */
-bool
-runCase(const CaseId& id, std::size_t requests)
+void
+reportFailure(std::string& log, const CaseId& id,
+              const FaultPlan& plan, const char* what)
+{
+    appendf(log, "FAIL %s app-seed %llu plan-seed %llu: %s\n",
+            id.kind(), static_cast<unsigned long long>(id.appSeed),
+            static_cast<unsigned long long>(id.planSeed), what);
+    appendf(log, "  corpus line: %s %llu %llu\n", id.kind(),
+            static_cast<unsigned long long>(id.appSeed),
+            static_cast<unsigned long long>(id.planSeed));
+    appendf(log, "  fault plan:\n%s", plan.toSpec().c_str());
+}
+
+CaseResult
+runCase(const CaseId& id, std::size_t requests, SimContext& context)
 {
     // Mirrors chaosApp()/chaosPlan() in tests/test_chaos_equivalence.cc
     // so corpus lines mean the same thing in both drivers.
@@ -87,39 +116,45 @@ runCase(const CaseId& id, std::size_t requests)
         plan_rng, fuzz::functionNames(app), ClusterConfig{}.numNodes);
 
     const fuzz::ChaosOutcome base =
-        fuzz::runChaos(app, false, {}, 53, requests, plan);
-    const fuzz::ChaosOutcome spec = fuzz::runChaos(
-        app, true, aggressiveConfig(), 53, requests, plan);
+        fuzz::runChaos(app, false, {}, 53, requests, plan, 4, &context);
+    const fuzz::ChaosOutcome spec =
+        fuzz::runChaos(app, true, aggressiveConfig(), 53, requests,
+                       plan, 4, &context);
 
+    CaseResult result;
     if (!base.allTerminated) {
-        reportFailure(id, plan, "baseline request did not terminate");
-        return false;
+        reportFailure(result.log, id, plan,
+                      "baseline request did not terminate");
+        return result;
     }
     if (!spec.allTerminated) {
-        reportFailure(id, plan,
+        reportFailure(result.log, id, plan,
                       "speculative request did not terminate");
-        return false;
+        return result;
     }
     if (base.responses.size() != spec.responses.size()) {
-        reportFailure(id, plan, "response counts differ");
-        return false;
+        reportFailure(result.log, id, plan, "response counts differ");
+        return result;
     }
     for (std::size_t i = 0; i < base.responses.size(); ++i) {
         if (base.responses[i].toString() !=
             spec.responses[i].toString()) {
-            reportFailure(id, plan, "responses diverged");
-            std::printf("  request %zu\n    baseline: %s\n    "
-                        "speculative: %s\n",
-                        i, base.responses[i].toString().c_str(),
-                        spec.responses[i].toString().c_str());
-            return false;
+            reportFailure(result.log, id, plan, "responses diverged");
+            appendf(result.log,
+                    "  request %zu\n    baseline: %s\n    "
+                    "speculative: %s\n",
+                    i, base.responses[i].toString().c_str(),
+                    spec.responses[i].toString().c_str());
+            return result;
         }
     }
     if (base.fingerprint != spec.fingerprint) {
-        reportFailure(id, plan, "final store state diverged");
-        return false;
+        reportFailure(result.log, id, plan,
+                      "final store state diverged");
+        return result;
     }
-    return true;
+    result.passed = true;
+    return result;
 }
 
 } // namespace
@@ -131,8 +166,13 @@ main(int argc, char** argv)
     std::uint64_t hi = 100;
     std::size_t requests = 10;
     std::uint64_t plans = 2;
+    std::size_t jobs = 1;
     for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--seeds=", 8) == 0) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            jobs = std::strtoull(argv[i] + 7, nullptr, 10);
+            if (jobs == 0)
+                jobs = defaultJobs();
+        } else if (std::strncmp(argv[i], "--seeds=", 8) == 0) {
             char* end = nullptr;
             lo = std::strtoull(argv[i] + 8, &end, 10);
             if (end == nullptr || *end != ':')
@@ -153,14 +193,34 @@ main(int argc, char** argv)
         }
     }
 
-    std::uint64_t cases = 0;
+    std::vector<CaseId> ids;
+    for (std::uint64_t seed = lo; seed < hi; ++seed)
+        for (std::uint64_t p = 0; p < plans; ++p)
+            ids.push_back({seed % 2 == 0, seed, seed * plans + p});
+    const std::uint64_t cases = ids.size();
+
+    // Run in bounded slabs so wide seed ranges never hold tens of
+    // thousands of forked contexts alive at once. Slabs execute in
+    // case order and each slab's results are emitted in case order,
+    // so stdout and the exit status do not depend on --jobs.
+    constexpr std::size_t kSlab = 1024;
     std::uint64_t failures = 0;
-    for (std::uint64_t seed = lo; seed < hi; ++seed) {
-        for (std::uint64_t p = 0; p < plans; ++p) {
-            const CaseId id{seed % 2 == 0, seed, seed * plans + p};
-            ++cases;
-            if (!runCase(id, requests))
+    for (std::size_t base = 0; base < ids.size(); base += kSlab) {
+        const std::size_t count =
+            std::min(kSlab, ids.size() - base);
+        std::vector<std::function<CaseResult(SimContext&)>> tasks;
+        tasks.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            const CaseId id = ids[base + i];
+            tasks.push_back([id, requests](SimContext& context) {
+                return runCase(id, requests, context);
+            });
+        }
+        for (const CaseResult& result :
+             runSimTasks<CaseResult>(jobs, std::move(tasks))) {
+            if (!result.passed)
                 ++failures;
+            std::fputs(result.log.c_str(), stdout);
         }
     }
 

@@ -3,8 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "obs/trace_recorder.hh"
-#include "runtime/ids.hh"
+#include "sim/sim_context.hh"
 
 namespace specfaas {
 
@@ -22,7 +21,7 @@ BaselineController::BaselineController(Simulation& sim, Cluster& cluster,
 
 BaselineController::~BaselineController()
 {
-    counters_.mergeInto(obs::counters());
+    counters_.mergeInto(sim_.context().counters());
 }
 
 const FlowProgram&
@@ -38,7 +37,7 @@ void
 BaselineController::invoke(const Application& app, Value input,
                            std::function<void(InvocationResult)> done)
 {
-    const InvocationId id = nextInvocationId();
+    const InvocationId id = sim_.context().nextInvocationId();
 
     // Admission control: shed load when the control plane is backed
     // up (OpenWhisk returns 429 TooManyRequests).
@@ -51,7 +50,7 @@ BaselineController::invoke(const Application& app, Value input,
         rejected.completedAt = sim_.now();
         rejected.rejected = true;
         ++ctrRejections_;
-        if (auto& tr = obs::trace(); tr.enabled()) {
+        if (auto& tr = sim_.context().trace(); tr.enabled()) {
             tr.instant(obs::cat::kBaseline, "reject", sim_.now(),
                        obs::kControlPlanePid, id, {{"app", app.name}});
         }
@@ -60,7 +59,7 @@ BaselineController::invoke(const Application& app, Value input,
     }
 
     ++ctrInvocations_;
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kBaseline, "invoke", sim_.now(),
                    obs::kControlPlanePid, id, {{"app", app.name}});
     }
@@ -112,7 +111,7 @@ BaselineController::dispatch(Invocation& inv, FlowIndex idx, Value input,
     spec.controllerService = cluster_.config().baselineLaunchService;
     ++inv.liveInstances;
     ++ctrDispatches_;
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kBaseline, "dispatch", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
                    {{"function", fname}});
@@ -203,7 +202,7 @@ BaselineController::stepFlow(Invocation& inv, const InstancePtr& inst,
     // worker launch: the Transfer Function Overhead of Fig. 3.
     const Tick transfer = cluster_.config().conductorOverhead;
     inv.result.transferOverhead += transfer;
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kBaseline, "conductor", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
                    {{"after", inst->def->name}});
@@ -415,7 +414,7 @@ BaselineController::crashed(const InstancePtr& inst, FaultKind kind)
         return;
     Invocation& inv = *it->second;
 
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kFault, "crash", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
                    {{"kind", faultKindName(kind)},
@@ -577,7 +576,7 @@ BaselineController::finish(Invocation& inv, Value response)
     inv.result.completedAt = sim_.now();
     // End-to-end completion marker: invokeSync bypasses the platform
     // "response" wrapper, so the engine records it for the analyzer.
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kBaseline, "complete", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
                    {{"app", inv.result.app}});

@@ -3,8 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "obs/counter_registry.hh"
-#include "obs/trace_recorder.hh"
+#include "sim/sim_context.hh"
 
 namespace specfaas {
 
@@ -17,8 +16,8 @@ ContainerPool::ContainerPool(Simulation& sim, std::vector<Node*> nodes,
 
 ContainerPool::~ContainerPool()
 {
-    obs::counters().add("cluster.cold_starts", coldStarts_);
-    obs::counters().add("cluster.warm_starts", warmStarts_);
+    sim_.context().counters().add("cluster.cold_starts", coldStarts_);
+    sim_.context().counters().add("cluster.warm_starts", warmStarts_);
 }
 
 Node&
@@ -64,7 +63,7 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
         pool.warm.pop_front();
         c->busy = true;
         ++warmStarts_;
-        if (auto& tr = obs::trace(); tr.enabled()) {
+        if (auto& tr = sim_.context().trace(); tr.enabled()) {
             tr.instant(obs::cat::kContainer, "warm-start", sim_.now(),
                        obs::nodePid(c->node),
                        obs::kContainerTidBase + c->id,
@@ -94,7 +93,7 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
     timing.containerCreation = config_.containerCreation;
     timing.runtimeSetup = config_.runtimeSetup;
     timing.handlerFork = config_.handlerForkOverhead;
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.begin(obs::cat::kContainer, "cold-start", sim_.now(),
                  obs::nodePid(c->node), obs::kContainerTidBase + c->id,
                  {{"function", function},
@@ -114,7 +113,7 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
     sim_.events().schedule(
         timing.total(),
         [this, c, timing, function, cb = std::move(done)]() mutable {
-            if (auto& tr = obs::trace(); tr.enabled()) {
+            if (auto& tr = sim_.context().trace(); tr.enabled()) {
                 tr.end(obs::cat::kContainer, "cold-start", sim_.now(),
                        obs::nodePid(c->node),
                        obs::kContainerTidBase + c->id);
@@ -200,7 +199,7 @@ ContainerPool::dropNode(NodeId node)
             ++dropped;
         }
     }
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kFault, "warm-pool-lost", sim_.now(),
                    obs::nodePid(node), 0,
                    {{"dropped", strFormat("%zu", dropped), true}});

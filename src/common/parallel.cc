@@ -1,0 +1,69 @@
+#include "parallel.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace specfaas {
+
+std::size_t
+defaultJobs()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+void
+runParallel(std::size_t jobs, std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+    if (jobs == 0)
+        jobs = 1;
+    if (jobs > tasks.size())
+        jobs = tasks.size();
+    if (jobs == 1) {
+        for (auto& task : tasks)
+            task();
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex errorMutex;
+    std::size_t firstErrorIndex = tasks.size();
+    std::exception_ptr firstError;
+
+    auto worker = [&]() {
+        while (!failed.load(std::memory_order_relaxed)) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks.size())
+                return;
+            try {
+                tasks[i]();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (i < firstErrorIndex) {
+                    firstErrorIndex = i;
+                    firstError = std::current_exception();
+                }
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(jobs - 1);
+    for (std::size_t t = 0; t + 1 < jobs; ++t)
+        threads.emplace_back(worker);
+    worker();
+    for (auto& thread : threads)
+        thread.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace specfaas

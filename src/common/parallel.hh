@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Small fixed-size thread pool for batches of independent tasks.
+ *
+ * runParallel() executes a batch of closures on a bounded number of
+ * worker threads and blocks until the batch drains. Workers claim
+ * tasks in submission order through one atomic cursor, so there is no
+ * per-task queueing structure and no dynamic growth; with jobs <= 1
+ * (or a single task) everything runs inline on the calling thread and
+ * no thread is ever created.
+ *
+ * Error handling matches serial semantics as closely as concurrency
+ * allows: once any task throws, no *new* tasks are claimed, in-flight
+ * tasks finish, and the exception of the lowest-indexed failing task
+ * is rethrown to the caller after every worker has stopped.
+ *
+ * mapParallel() is the typed wrapper: results come back indexed by
+ * submission order regardless of completion order, which is what the
+ * deterministic sweep/fuzz harnesses build their merged output from.
+ */
+
+#ifndef SPECFAAS_COMMON_PARALLEL_HH
+#define SPECFAAS_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace specfaas {
+
+/** Hardware thread count, at least 1 (for --jobs=0 = "all cores"). */
+std::size_t defaultJobs();
+
+/**
+ * Run every closure in @p tasks, using up to @p jobs worker threads
+ * (clamped to [1, tasks.size()]; 0 counts as 1). Returns when all
+ * claimed tasks have finished. An empty batch is a no-op. If tasks
+ * throw, the exception of the lowest-indexed failing task is rethrown
+ * and tasks not yet claimed at that point are skipped.
+ */
+void runParallel(std::size_t jobs,
+                 std::vector<std::function<void()>> tasks);
+
+/**
+ * Run every closure in @p fns via runParallel() and return their
+ * results in submission order. Results are buffered per task (never
+ * in adjacent bits, so R = bool is safe too).
+ */
+template <typename R>
+std::vector<R>
+mapParallel(std::size_t jobs, std::vector<std::function<R()>> fns)
+{
+    std::vector<std::optional<R>> slots(fns.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(fns.size());
+    for (std::size_t i = 0; i < fns.size(); ++i) {
+        tasks.push_back(
+            [&slots, &fns, i]() { slots[i].emplace(fns[i]()); });
+    }
+    runParallel(jobs, std::move(tasks));
+    std::vector<R> results;
+    results.reserve(slots.size());
+    for (auto& slot : slots)
+        results.push_back(std::move(*slot));
+    return results;
+}
+
+} // namespace specfaas
+
+#endif // SPECFAAS_COMMON_PARALLEL_HH

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "obs/trace_recorder.hh"
+#include "sim/sim_context.hh"
 #include "storage/kv_store.hh"
 
 namespace specfaas {
@@ -18,7 +18,7 @@ FaultInjector::FaultInjector(Simulation& sim, FaultPlan plan)
 
 FaultInjector::~FaultInjector()
 {
-    counters_.mergeInto(obs::counters());
+    counters_.mergeInto(sim_.context().counters());
 }
 
 void
@@ -74,7 +74,7 @@ FaultInjector::recordInjection(FaultKind kind,
 {
     counters_.add(strFormat("fault.injected.%s", faultKindName(kind)),
                   1);
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kFault, "fault-injected", sim_.now(),
                    obs::kControlPlanePid, 0,
                    {{"kind", faultKindName(kind)},
@@ -139,7 +139,7 @@ FaultInjector::noteRetry(const std::string& function,
                          std::uint32_t attempt)
 {
     ++ctrRetries_;
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kFault, "fault-retry", sim_.now(),
                    obs::kControlPlanePid, 0,
                    {{"function", function},
@@ -151,7 +151,7 @@ void
 FaultInjector::noteGaveUp(const std::string& function)
 {
     ++ctrGaveUp_;
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kFault, "fault-gave-up", sim_.now(),
                    obs::kControlPlanePid, 0,
                    {{"function", function}});

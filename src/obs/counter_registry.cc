@@ -87,11 +87,7 @@ CounterRegistry::clear()
     gauges_.clear();
 }
 
-CounterRegistry&
-counters()
-{
-    static CounterRegistry instance;
-    return instance;
-}
+// counters() — the default-context shim — is defined in
+// sim/sim_context.cc.
 
 } // namespace specfaas::obs

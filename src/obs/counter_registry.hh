@@ -8,10 +8,11 @@
  * stable: storage is a node-based map), so steady-state cost is a
  * single integer increment.
  *
- * A process-global registry (obs::counters()) aggregates across
- * platform instances: engines merge their per-run registries into it
- * on destruction, which is what the bench binaries print under
- * --counters.
+ * Each SimContext owns one registry aggregating across the platform
+ * instances of its simulation: engines merge their per-run registries
+ * into it on destruction, which is what the bench binaries print
+ * under --counters. obs::counters() is the default context's
+ * registry, for single-simulation binaries and tests.
  */
 
 #ifndef SPECFAAS_OBS_COUNTER_REGISTRY_HH
@@ -72,7 +73,12 @@ class CounterRegistry
     std::map<std::string, double> gauges_;
 };
 
-/** The process-global registry engines merge into on teardown. */
+/**
+ * The default SimContext's registry (single-sim shim; defined in
+ * sim/sim_context.cc). Engines merge into their own
+ * Simulation::context() registry on teardown; this accessor serves
+ * session-level code and tests.
+ */
 CounterRegistry& counters();
 
 } // namespace specfaas::obs

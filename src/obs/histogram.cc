@@ -284,34 +284,31 @@ SamplerArchive::deposit(const TimeSeriesSampler& sampler,
 }
 
 void
+SamplerArchive::deposit(SampledSeries series)
+{
+    if (series_.size() >= kMaxSeries) {
+        ++dropped_;
+        return;
+    }
+    series_.push_back(std::move(series));
+}
+
+void
+SamplerArchive::absorb(const SamplerArchive& other)
+{
+    for (const SampledSeries& s : other.series_)
+        deposit(s);
+    dropped_ += other.dropped_;
+}
+
+void
 SamplerArchive::clear()
 {
     series_.clear();
     dropped_ = 0;
 }
 
-SamplerArchive&
-samplerArchive()
-{
-    static SamplerArchive archive;
-    return archive;
-}
-
-namespace {
-Tick globalSampleInterval = 0;
-} // namespace
-
-Tick
-sampleInterval()
-{
-    return globalSampleInterval;
-}
-
-void
-setSampleInterval(Tick interval)
-{
-    SPECFAAS_ASSERT(interval >= 0, "negative sample interval");
-    globalSampleInterval = interval;
-}
+// samplerArchive() / sampleInterval() / setSampleInterval() — the
+// default-context shims — are defined in sim/sim_context.cc.
 
 } // namespace specfaas::obs

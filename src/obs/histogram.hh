@@ -208,6 +208,15 @@ class SamplerArchive
     /** Copy @p sampler's series into the archive under @p label. */
     void deposit(const TimeSeriesSampler& sampler, std::string label);
 
+    /** Append one already-extracted series (archive merges). */
+    void deposit(SampledSeries series);
+
+    /**
+     * Append @p other's series in their deposit order, subject to
+     * this archive's cap; @p other's dropped count carries over.
+     */
+    void absorb(const SamplerArchive& other);
+
     const std::vector<SampledSeries>& series() const { return series_; }
     /** Deposits rejected because the archive was full. */
     std::uint64_t dropped() const { return dropped_; }
@@ -219,13 +228,15 @@ class SamplerArchive
     std::uint64_t dropped_ = 0;
 };
 
-/** Process-global sampler archive. */
+/** The default SimContext's sampler archive (single-sim shim). */
 SamplerArchive& samplerArchive();
 
 /**
- * Global sampling period in ticks; 0 (the default) disables gauge
- * sampling. FaasPlatform reads this at construction; ObsSession sets
- * it from --sample-interval.
+ * The default SimContext's sampling period in ticks; 0 (the default)
+ * disables gauge sampling. FaasPlatform reads its own context's
+ * interval at construction; ObsSession sets this one from
+ * --sample-interval. Per-simulation state lives in SimContext
+ * (sim/sim_context.hh); these shims serve single-simulation binaries.
  */
 Tick sampleInterval();
 void setSampleInterval(Tick interval);

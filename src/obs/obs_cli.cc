@@ -4,11 +4,9 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "obs/counter_registry.hh"
 #include "obs/critical_path.hh"
-#include "obs/histogram.hh"
 #include "obs/trace_export.hh"
-#include "obs/trace_recorder.hh"
+#include "sim/sim_context.hh"
 
 namespace specfaas::obs {
 
@@ -93,15 +91,21 @@ ObsSession::ObsSession(int& argc, char** argv)
     // The report needs the trace (critical path) and the sampler
     // archive (timelines), so --json-out implies both.
     if (!traceOut_.empty() || !jsonOut_.empty())
-        trace().enable(capacity);
+        context().trace().enable(capacity);
     if (sampleEvery < 0)
         sampleEvery = jsonOut_.empty() ? 0 : kDefaultSampleInterval;
-    setSampleInterval(sampleEvery);
+    context().setSampleInterval(sampleEvery);
+}
+
+SimContext&
+ObsSession::context() const
+{
+    return defaultSimContext();
 }
 
 ObsSession::~ObsSession()
 {
-    TraceRecorder& tr = trace();
+    TraceRecorder& tr = context().trace();
     tr.disable();
     if (!traceOut_.empty()) {
         if (writeChromeTrace(tr, traceOut_)) {
@@ -119,11 +123,11 @@ ObsSession::~ObsSession()
     }
     if (!jsonOut_.empty()) {
         report_.addSection("counters",
-                           counterSnapshotValue(counters()));
+                           counterSnapshotValue(context().counters()));
         report_.addSection("critical_path",
                            toValue(analyzeTrace(tr.snapshot())));
 
-        const SamplerArchive& archive = samplerArchive();
+        const SamplerArchive& archive = context().samplerArchive();
         ValueArray series;
         for (const SampledSeries& s : archive.series())
             series.push_back(toValue(s));
@@ -150,7 +154,7 @@ ObsSession::~ObsSession()
     }
     if (printCounters_) {
         std::printf("\n-- counters --\n");
-        counters().printTable();
+        context().counters().printTable();
     }
 }
 

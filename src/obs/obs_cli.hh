@@ -37,6 +37,10 @@
 
 #include "obs/json_report.hh"
 
+namespace specfaas {
+class SimContext;
+}
+
 namespace specfaas::obs {
 
 /** Scoped enable/flush of tracing, reporting, and counter printing. */
@@ -69,6 +73,16 @@ class ObsSession
      * here unconditionally; it is written only under --json-out.
      */
     JsonReport& report() { return report_; }
+
+    /**
+     * The session's SimContext — the process-global default context
+     * this session configured in its constructor and flushes in its
+     * destructor. Parallel sweeps fork per-task contexts from it and
+     * merge them back in submission order (see runSimTasks in
+     * sim/sim_context.hh), so the flushed artifacts are identical to
+     * a serial run's.
+     */
+    SimContext& context() const;
 
   private:
     std::string traceOut_;

@@ -79,11 +79,19 @@ TraceRecorder::snapshot() const
     return out;
 }
 
-TraceRecorder&
-trace()
+void
+TraceRecorder::absorb(const TraceRecorder& other)
 {
-    static TraceRecorder instance;
-    return instance;
+    if (!enabled_)
+        return;
+    const std::size_t start =
+        other.size_ < other.capacity_ ? 0 : other.head_;
+    for (std::size_t i = 0; i < other.size_; ++i)
+        record(other.ring_[(start + i) % other.capacity_]);
+    dropped_ += other.dropped_;
 }
+
+// trace() — the default-context shim — is defined in
+// sim/sim_context.cc.
 
 } // namespace specfaas::obs

@@ -17,8 +17,9 @@
  * long run keeps the tail (the interesting part when debugging how a
  * run ended) at a bounded memory cost.
  *
- * A process-global instance (obs::trace()) is what the engine layers
- * record into; standalone instances are used by tests.
+ * Each SimContext owns one recorder; engine layers record into their
+ * Simulation::context().trace(). obs::trace() is the default
+ * context's instance, for single-simulation binaries and tests.
  */
 
 #ifndef SPECFAAS_OBS_TRACE_RECORDER_HH
@@ -54,6 +55,16 @@ class TraceRecorder
     /** Record one event (no-op when disabled). */
     void record(TraceEvent ev);
 
+    /**
+     * Append @p other's buffered events (oldest first) and carry over
+     * its dropped count. No-op while disabled. Merging several
+     * recorders in submission order reproduces exactly the ring a
+     * serial run would have produced: the ring keeps the newest
+     * capacity() events either way, and dropped() sums to the same
+     * total.
+     */
+    void absorb(const TraceRecorder& other);
+
     /** @{ Convenience emitters. */
     void begin(const char* category, std::string name, Tick ts,
                std::uint64_t pid, std::uint64_t tid,
@@ -87,7 +98,13 @@ class TraceRecorder
     std::vector<TraceEvent> ring_;
 };
 
-/** The process-global recorder the engine layers record into. */
+/**
+ * The default SimContext's recorder (single-sim shim; defined in
+ * sim/sim_context.cc). Engine layers record through their
+ * Simulation::context() instead so multi-simulation harnesses stay
+ * isolated; this accessor serves session-level code (ObsSession) and
+ * tests.
+ */
 TraceRecorder& trace();
 
 } // namespace specfaas::obs

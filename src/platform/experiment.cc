@@ -16,6 +16,7 @@ Experiment::preparedPlatform(const Application& app,
     options.cluster = setup.cluster;
     options.seed = setup.seed;
     options.prewarmPerFunction = setup.prewarmPerFunction;
+    options.context = setup.context;
 
     auto platform = std::make_unique<FaasPlatform>(options);
     platform->deploy(app);

@@ -38,6 +38,13 @@ struct EngineSetup
     std::size_t trainingInvocations = 30;
     std::uint64_t seed = 42;
     ClusterConfig cluster;
+    /**
+     * Per-simulation context for the platforms this setup builds;
+     * null = process-global default. Parallel sweeps point both the
+     * baseline and SpecFaaS setup of one sweep task at the task's
+     * private context.
+     */
+    SimContext* context = nullptr;
 };
 
 /** Results of one (app, engine, load) measurement. */

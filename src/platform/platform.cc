@@ -1,13 +1,13 @@
 #include "platform.hh"
 
 #include "common/logging.hh"
-#include "obs/trace_recorder.hh"
+#include "sim/sim_context.hh"
 
 namespace specfaas {
 
 FaasPlatform::FaasPlatform(PlatformOptions options)
     : options_(options),
-      sim_(options.seed),
+      sim_(options.seed, options.context),
       store_(options.storeLatency),
       inputRng_(options.seed ^ 0x1715517ull)
 {
@@ -42,7 +42,8 @@ FaasPlatform::FaasPlatform(PlatformOptions options)
         });
     }
 
-    if (const Tick every = obs::sampleInterval(); every > 0) {
+    if (const Tick every = sim_.context().sampleInterval();
+        every > 0) {
         sampler_ = std::make_unique<obs::TimeSeriesSampler>(
             sim_.events(), every);
         sampler_->addGauge("in_flight_invocations", [this] {
@@ -82,7 +83,7 @@ FaasPlatform::~FaasPlatform()
 {
     if (sampler_ != nullptr) {
         sampler_->stop();
-        obs::samplerArchive().deposit(
+        sim_.context().samplerArchive().deposit(
             *sampler_,
             strFormat("%s-seed%llu", engine_->name().c_str(),
                       static_cast<unsigned long long>(options_.seed)));
@@ -109,13 +110,13 @@ void
 FaasPlatform::invoke(const Application& app, Value input,
                      std::function<void(InvocationResult)> done)
 {
-    if (obs::trace().enabled()) {
-        obs::trace().instant(obs::cat::kPlatform, "request", sim_.now(),
+    if (sim_.context().trace().enabled()) {
+        sim_.context().trace().instant(obs::cat::kPlatform, "request", sim_.now(),
                              obs::kControlPlanePid, 0,
                              {{"app", app.name},
                               {"engine", engine_->name()}});
         done = [this, done = std::move(done)](InvocationResult r) {
-            obs::trace().instant(
+            sim_.context().trace().instant(
                 obs::cat::kPlatform, "response", sim_.now(),
                 obs::kControlPlanePid, r.id,
                 {{"app", r.app},

@@ -59,6 +59,14 @@ struct PlatformOptions
      * (0 = cold environment, every first acquisition cold-starts).
      */
     std::uint32_t prewarmPerFunction = 320;
+
+    /**
+     * Per-simulation mutable-state context (ids, trace, counters,
+     * sampler series). Null selects the process-global default
+     * context; parallel sweep/fuzz harnesses pass a private context
+     * per platform so concurrent runs stay isolated.
+     */
+    SimContext* context = nullptr;
 };
 
 /** One simulated serverless deployment. */
@@ -124,7 +132,7 @@ class FaasPlatform
     std::unique_ptr<WorkflowEngine> engine_;
     SpecController* spec_ = nullptr;
     Rng inputRng_;
-    /** Periodic gauge sampler; null unless obs::sampleInterval() > 0. */
+    /** Gauge sampler; null unless the context's sampleInterval() > 0. */
     std::unique_ptr<obs::TimeSeriesSampler> sampler_;
 };
 

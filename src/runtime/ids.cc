@@ -1,29 +1,25 @@
 #include "ids.hh"
 
-namespace specfaas {
+#include "sim/sim_context.hh"
 
-namespace {
-InvocationId nextInvocation = 1;
-InstanceId nextInstance = 1;
-} // namespace
+namespace specfaas {
 
 InvocationId
 nextInvocationId()
 {
-    return nextInvocation++;
+    return defaultSimContext().nextInvocationId();
 }
 
 InstanceId
 nextInstanceId()
 {
-    return nextInstance++;
+    return defaultSimContext().nextInstanceId();
 }
 
 void
 resetIdsForTest()
 {
-    nextInvocation = 1;
-    nextInstance = 1;
+    defaultSimContext().resetIds();
 }
 
 } // namespace specfaas

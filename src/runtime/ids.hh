@@ -1,16 +1,14 @@
 /**
  * @file
- * Process-global invocation / instance id sources.
+ * Default-context invocation / instance id shims.
  *
- * Benchmarks build many FaasPlatform instances in one process (load
- * sweeps, baseline-vs-SpecFaaS pairs). Per-engine counters would
- * reuse ids across platforms, which breaks trace analysis: the trace
- * ring is process-global and uses invocation / instance ids as thread
- * tracks and join keys. Drawing from one global sequence keeps every
- * id unique for the lifetime of the process.
- *
- * Tests that assert byte-identical artifacts across repeated runs
- * reset the sequences between runs with resetIdsForTest().
+ * Id sequences are per-simulation state owned by SimContext
+ * (sim/sim_context.hh): every engine draws ids through its
+ * Simulation::context(), so concurrent or back-to-back simulations in
+ * one process never share or leak a sequence. These free functions
+ * are thin shims over the process-global default context, kept for
+ * single-simulation code and tests written against the old global
+ * sources.
  */
 
 #ifndef SPECFAAS_RUNTIME_IDS_HH
@@ -20,13 +18,13 @@
 
 namespace specfaas {
 
-/** Next process-unique invocation id (starts at 1). */
+/** Next invocation id from the default SimContext (starts at 1). */
 InvocationId nextInvocationId();
 
-/** Next process-unique function-instance id (starts at 1). */
+/** Next instance id from the default SimContext (starts at 1). */
 InstanceId nextInstanceId();
 
-/** Restart both sequences at 1. Determinism tests only. */
+/** Restart the default context's sequences. Determinism tests only. */
 void resetIdsForTest();
 
 } // namespace specfaas

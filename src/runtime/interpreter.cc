@@ -4,7 +4,7 @@
 
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
-#include "obs/trace_recorder.hh"
+#include "sim/sim_context.hh"
 
 namespace specfaas {
 
@@ -22,7 +22,7 @@ Interpreter::start(const InstancePtr& inst)
     inst->startedAt = sim_.now();
     inst->pc = 0;
     // Execution span on the node the handler landed on.
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.begin(obs::cat::kExec, inst->def->name, sim_.now(),
                  obs::nodePid(inst->node), inst->id,
                  {{"order", orderKeyToString(inst->order)},
@@ -89,7 +89,7 @@ Interpreter::step(const InstancePtr& inst)
     inst->output = inst->def->output ? inst->def->output(inst->env)
                                      : inst->env.input;
     inst->ownFiles.clear(); // temp files are discarded (§VI)
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.end(obs::cat::kExec, inst->def->name, sim_.now(),
                obs::nodePid(inst->node), inst->id,
                {{"exec_ticks",
@@ -153,7 +153,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
             extraDelay = faults->storageDelay(inst->def->name);
         }
         auto doRead = [this, inst, epoch, key, var = op.var]() {
-            if (auto& tr = obs::trace(); tr.enabled()) {
+            if (auto& tr = sim_.context().trace(); tr.enabled()) {
                 tr.instant(obs::cat::kStorage, "storage-read",
                            sim_.now(), obs::nodePid(inst->node),
                            inst->id, {{"key", key}});
@@ -192,7 +192,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
         }
         auto doWrite = [this, inst, epoch, key,
                         v = std::move(v)]() mutable {
-            if (auto& tr = obs::trace(); tr.enabled()) {
+            if (auto& tr = sim_.context().trace(); tr.enabled()) {
                 tr.instant(obs::cat::kStorage, "storage-write",
                            sim_.now(), obs::nodePid(inst->node),
                            inst->id, {{"key", key}});
@@ -311,7 +311,7 @@ Interpreter::squash(const InstancePtr& inst, SquashPolicy policy)
     // Close any spans the dead incarnation left open so the trace
     // stays balanced: the exec span if the body was still running,
     // and the lifecycle span unless completion already closed it.
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         const bool executing =
             inst->state == InstanceState::Running ||
             inst->state == InstanceState::StalledSideEffect ||

@@ -2,8 +2,7 @@
 
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
-#include "obs/trace_recorder.hh"
-#include "runtime/ids.hh"
+#include "sim/sim_context.hh"
 
 namespace specfaas {
 
@@ -35,7 +34,7 @@ InstancePtr
 Launcher::launch(LaunchSpec spec)
 {
     auto inst = std::make_shared<FunctionInstance>();
-    inst->id = nextInstanceId();
+    inst->id = sim_.context().nextInstanceId();
     ++launches_;
     inst->invocation = spec.invocation;
     inst->def = &registry_.get(spec.function);
@@ -53,7 +52,7 @@ Launcher::launch(LaunchSpec spec)
 
     // Lifecycle span: launch → completion (or squash). Closed by the
     // interpreter so both engines share one emission point.
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.begin(obs::cat::kLifecycle, inst->def->name, sim_.now(),
                  obs::kControlPlanePid, inst->id,
                  {{"order", orderKeyToString(inst->order)},

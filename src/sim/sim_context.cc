@@ -1,0 +1,84 @@
+#include "sim_context.hh"
+
+#include "sim/simulation.hh"
+
+namespace specfaas {
+
+void
+SimContext::reset()
+{
+    resetIds();
+    trace_.disable();
+    trace_.clear();
+    counters_.clear();
+    archive_.clear();
+    sampleInterval_ = 0;
+}
+
+std::unique_ptr<SimContext>
+SimContext::forTask(const SimContext& session, std::uint64_t taskIndex)
+{
+    auto context = std::make_unique<SimContext>();
+    if (session.trace_.enabled())
+        context->trace_.enable(session.trace_.capacity());
+    context->sampleInterval_ = session.sampleInterval_;
+    context->setIdBase((taskIndex + 1) << kTaskIdBits);
+    return context;
+}
+
+void
+SimContext::mergeInto(SimContext& dst) const
+{
+    dst.trace_.absorb(trace_);
+    counters_.mergeInto(dst.counters_);
+    dst.archive_.absorb(archive_);
+}
+
+SimContext&
+defaultSimContext()
+{
+    static SimContext context;
+    return context;
+}
+
+SimContext&
+Simulation::context() const
+{
+    return context_ != nullptr ? *context_ : defaultSimContext();
+}
+
+namespace obs {
+
+TraceRecorder&
+trace()
+{
+    return defaultSimContext().trace();
+}
+
+CounterRegistry&
+counters()
+{
+    return defaultSimContext().counters();
+}
+
+SamplerArchive&
+samplerArchive()
+{
+    return defaultSimContext().samplerArchive();
+}
+
+Tick
+sampleInterval()
+{
+    return defaultSimContext().sampleInterval();
+}
+
+void
+setSampleInterval(Tick interval)
+{
+    defaultSimContext().setSampleInterval(interval);
+}
+
+} // namespace obs
+
+} // namespace specfaas

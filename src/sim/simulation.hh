@@ -17,6 +17,7 @@
 namespace specfaas {
 
 class FaultInjector;
+class SimContext;
 
 /**
  * Root object of one simulated experiment run.
@@ -27,9 +28,16 @@ class FaultInjector;
 class Simulation
 {
   public:
-    /** @param seed root seed; forks feed every stochastic component */
-    explicit Simulation(std::uint64_t seed = 1)
-        : seed_(seed), rng_(seed)
+    /**
+     * @param seed root seed; forks feed every stochastic component
+     * @param context per-simulation mutable-state context (ids, trace,
+     *        counters — see sim/sim_context.hh); null selects the
+     *        process-global default context, which is what
+     *        single-simulation binaries use
+     */
+    explicit Simulation(std::uint64_t seed = 1,
+                        SimContext* context = nullptr)
+        : seed_(seed), rng_(seed), context_(context)
     {}
 
     Simulation(const Simulation&) = delete;
@@ -60,11 +68,21 @@ class Simulation
     FaultInjector* faultInjector() const { return faults_; }
     void setFaultInjector(FaultInjector* faults) { faults_ = faults; }
 
+    /**
+     * The per-simulation mutable-state context: id sources, trace
+     * recorder, counters, sampler archive. Components reach all
+     * observability through here so concurrent simulations never
+     * share state. Defined out of line (sim/sim_context.cc) so this
+     * header needs only the forward declaration.
+     */
+    SimContext& context() const;
+
   private:
     std::uint64_t seed_;
     Rng rng_;
     EventQueue events_;
     FaultInjector* faults_ = nullptr;
+    SimContext* context_ = nullptr;
 };
 
 } // namespace specfaas

@@ -4,8 +4,7 @@
 
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
-#include "obs/trace_recorder.hh"
-#include "runtime/ids.hh"
+#include "sim/sim_context.hh"
 
 namespace specfaas {
 
@@ -57,7 +56,7 @@ SpecController::~SpecController()
 {
     // Aggregate into the process-global registry so a bench binary
     // can print totals across every platform it constructed.
-    counters_.mergeInto(obs::counters());
+    counters_.mergeInto(sim_.context().counters());
 }
 
 SpecStats
@@ -155,7 +154,7 @@ void
 SpecController::invoke(const Application& app, Value input,
                        std::function<void(InvocationResult)> done)
 {
-    const InvocationId id = nextInvocationId();
+    const InvocationId id = sim_.context().nextInvocationId();
 
     // Admission control, as in the baseline (§II-B front-end).
     if (cluster_.controller().queueLength() >
@@ -166,7 +165,7 @@ SpecController::invoke(const Application& app, Value input,
         rejected.submittedAt = sim_.now();
         rejected.completedAt = sim_.now();
         rejected.rejected = true;
-        if (auto& tr = obs::trace(); tr.enabled()) {
+        if (auto& tr = sim_.context().trace(); tr.enabled()) {
             tr.instant(obs::cat::kSpec, "reject", sim_.now(),
                        obs::kControlPlanePid, id,
                        {{"app", app.name}});
@@ -175,7 +174,7 @@ SpecController::invoke(const Application& app, Value input,
         return;
     }
 
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kSpec, "invoke", sim_.now(),
                    obs::kControlPlanePid, id, {{"app", app.name}});
     }
@@ -283,7 +282,7 @@ SpecController::launchSlot(SpecInvocation& inv, Frontier& f,
     if (speculative) {
         ++ctrSpeculativeLaunches_;
         ++inv.result.speculativeLaunches;
-        if (auto& tr = obs::trace(); tr.enabled()) {
+        if (auto& tr = sim_.context().trace(); tr.enabled()) {
             tr.instant(
                 obs::cat::kSpec, "speculative-launch", sim_.now(),
                 obs::kControlPlanePid, inv.result.id,
@@ -387,7 +386,7 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
                     inv.slots.emplace(slot.order, std::move(slot));
                     ++ctrPureSkips_;
                     ++inv.result.memoHits;
-                    if (auto& tr = obs::trace(); tr.enabled()) {
+                    if (auto& tr = sim_.context().trace(); tr.enabled()) {
                         tr.instant(obs::cat::kSpec, "pure-skip",
                                    sim_.now(), obs::kControlPlanePid,
                                    inv.result.id,
@@ -435,7 +434,7 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
                     if (row != nullptr)
                         predicted = &row->output;
                 }
-                if (auto& tr = obs::trace(); tr.enabled()) {
+                if (auto& tr = sim_.context().trace(); tr.enabled()) {
                     tr.instant(obs::cat::kSpec,
                                predicted != nullptr ? "memo-hit"
                                                     : "memo-miss",
@@ -515,7 +514,7 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
                 hint->second.input == slot.input) {
                 slot.predictionMade = true;
                 slot.predictedTarget = hint->second.target;
-                if (auto& tr = obs::trace(); tr.enabled()) {
+                if (auto& tr = sim_.context().trace(); tr.enabled()) {
                     tr.instant(obs::cat::kSpec, "branch-predict",
                                sim_.now(), obs::kControlPlanePid,
                                inv.result.id,
@@ -539,7 +538,7 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
             if (pred && pred->target < node.targets.size()) {
                 slot.predictionMade = true;
                 slot.predictedTarget = node.targets[pred->target];
-                if (auto& tr = obs::trace(); tr.enabled()) {
+                if (auto& tr = sim_.context().trace(); tr.enabled()) {
                     tr.instant(
                         obs::cat::kSpec, "branch-predict", sim_.now(),
                         obs::kControlPlanePid, inv.result.id,
@@ -767,7 +766,7 @@ SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
         ++inv.result.squashes;
         inv.slots.erase(*vit);
     }
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         std::vector<obs::TraceArg> args = {
             {"reason", squashReasonName(reason)},
             {"from", orderKeyToString(from)},
@@ -827,7 +826,7 @@ SpecController::crashed(const InstancePtr& inst, FaultKind kind)
     if (slot == nullptr)
         return; // a squash already removed this coordinate
 
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kFault, "crash", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
                    {{"kind", faultKindName(kind)},
@@ -1024,7 +1023,7 @@ SpecController::completed(const InstancePtr& inst, Value output)
         if (git->second.callPredictionMade)
             bp_.notePrediction(false);
         ++ctrControlMispredicts_;
-        if (auto& tr = obs::trace(); tr.enabled()) {
+        if (auto& tr = sim_.context().trace(); tr.enabled()) {
             tr.instant(obs::cat::kSpec, "validate", sim_.now(),
                        obs::kControlPlanePid, inv.result.id,
                        {{"kind", "call"},
@@ -1083,7 +1082,7 @@ SpecController::onExplicitComplete(SpecInvocation& inv, Slot& slot)
         if (slot.predictionMade) {
             slot.predictionCorrect =
                 slot.actualTarget == slot.predictedTarget;
-            if (auto& tr = obs::trace(); tr.enabled()) {
+            if (auto& tr = sim_.context().trace(); tr.enabled()) {
                 tr.instant(obs::cat::kSpec, "validate", sim_.now(),
                            obs::kControlPlanePid, inv.result.id,
                            {{"kind", "control"},
@@ -1121,7 +1120,7 @@ SpecController::onExplicitComplete(SpecInvocation& inv, Slot& slot)
         }
     } else {
         if (slot.outputFedForward) {
-            if (auto& tr = obs::trace(); tr.enabled()) {
+            if (auto& tr = sim_.context().trace(); tr.enabled()) {
                 tr.instant(
                     obs::cat::kSpec, "validate", sim_.now(),
                     obs::kControlPlanePid, inv.result.id,
@@ -1296,7 +1295,7 @@ SpecController::flushPendingCommit(SpecInvocation& inv,
         inv.result.execution += p.inst->execTime;
     }
     ++ctrCommits_;
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kSpec, "commit", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
                    {{"function", p.function},
@@ -1329,7 +1328,7 @@ SpecController::commitSlot(SpecInvocation& inv, Slot& slot)
                         orderKeyToString(slot.order).c_str());
     }
     ++ctrCommits_;
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kSpec, "commit", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
                    {{"function", slot.function},
@@ -1345,6 +1344,8 @@ SpecController::commitSlot(SpecInvocation& inv, Slot& slot)
 void
 SpecController::tryCommit(SpecInvocation& inv)
 {
+    if (inv.finished)
+        return;
     while (!inv.slots.empty()) {
         Slot& head = inv.slots.begin()->second;
         if (!head.completed || !head.inputValidated)
@@ -1412,7 +1413,7 @@ SpecController::finish(SpecInvocation& inv)
     inv.result.completedAt = sim_.now();
     // End-to-end completion marker: invokeSync bypasses the platform
     // "response" wrapper, so the engine records it for the analyzer.
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kSpec, "complete", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
                    {{"app", inv.result.app}});
@@ -1429,7 +1430,19 @@ SpecController::finish(SpecInvocation& inv)
     SPECFAAS_ASSERT(it != live_.end(), "finishing unknown invocation");
     auto owned = std::move(it->second);
     live_.erase(it);
-    owned->done(std::move(owned->result));
+    // `inv` aliases *owned, and frames up the completion stack still
+    // hold references to it (e.g. onExplicitComplete's tail after a
+    // resumeBlockedOn that walked into this finish). Park the owner
+    // and free it at the event-loop boundary; `finished` (set above)
+    // turns every later touch from those frames into a no-op. The
+    // daemon event never keeps the simulation alive.
+    auto done = std::move(owned->done);
+    auto result = std::move(owned->result);
+    graveyard_.push_back(std::move(owned));
+    if (graveyard_.size() == 1) {
+        sim_.events().scheduleDaemon(0, [this] { graveyard_.clear(); });
+    }
+    done(std::move(result));
 }
 
 // ---------------------------------------------------------------------
@@ -1502,7 +1515,7 @@ SpecController::resumeDepthBlocked(SpecInvocation& inv)
 void
 SpecController::resumeParkedReads(SpecInvocation& inv)
 {
-    if (inv.parkedReads.empty())
+    if (inv.finished || inv.parkedReads.empty())
         return;
     std::vector<ParkedRead> parked = std::move(inv.parkedReads);
     inv.parkedReads.clear();
@@ -1513,7 +1526,7 @@ SpecController::resumeParkedReads(SpecInvocation& inv)
         }
         if (p.reader->stallSpanOpen) {
             p.reader->stallSpanOpen = false;
-            if (auto& tr = obs::trace(); tr.enabled()) {
+            if (auto& tr = sim_.context().trace(); tr.enabled()) {
                 tr.end(obs::cat::kExec, "stall-read", sim_.now(),
                        obs::nodePid(p.reader->node), p.reader->id);
             }
@@ -1535,7 +1548,7 @@ SpecController::performRead(SpecInvocation& inv, const InstancePtr& inst,
 {
     BufferReadResult r = inv.buffer->read(inst->id, key);
     if (r.forwarded) {
-        if (auto& tr = obs::trace(); tr.enabled()) {
+        if (auto& tr = sim_.context().trace(); tr.enabled()) {
             tr.instant(obs::cat::kSpec, "buffer-forward", sim_.now(),
                        obs::kControlPlanePid, inv.result.id,
                        {{"function", inst->def->name}, {"key", key}});
@@ -1594,7 +1607,7 @@ SpecController::storageGet(const InstancePtr& inst, const std::string& key,
                 // Park until the producer writes or completes.
                 minimizer_.noteStall();
                 ++ctrStalledReads_;
-                if (auto& tr = obs::trace(); tr.enabled()) {
+                if (auto& tr = sim_.context().trace(); tr.enabled()) {
                     tr.instant(obs::cat::kSpec, "stall-read",
                                sim_.now(), obs::kControlPlanePid,
                                inv.result.id,
@@ -1645,7 +1658,7 @@ SpecController::storagePut(const InstancePtr& inst, const std::string& key,
         }
         if (!from.empty()) {
             ++ctrBufferViolations_;
-            if (auto& tr = obs::trace(); tr.enabled()) {
+            if (auto& tr = sim_.context().trace(); tr.enabled()) {
                 tr.instant(obs::cat::kSpec, "buffer-violation",
                            sim_.now(), obs::kControlPlanePid,
                            inv.result.id,
@@ -1721,7 +1734,7 @@ SpecController::httpRequest(const InstancePtr& inst,
     }
     // Deferred side effect (§VI): suspend until non-speculative.
     ++ctrDeferredSideEffects_;
-    if (auto& tr = obs::trace(); tr.enabled()) {
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kSpec, "defer-side-effect", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
                    {{"function", slot->function}});
@@ -1791,7 +1804,7 @@ SpecController::launchCalleeSlot(SpecInvocation& inv,
         ++ctrSpeculativeLaunches_;
         ++inv.result.speculativeLaunches;
         inv.pendingCallees[{caller->id, call_site}] = order;
-        if (auto& tr = obs::trace(); tr.enabled()) {
+        if (auto& tr = sim_.context().trace(); tr.enabled()) {
             tr.instant(obs::cat::kSpec, "speculative-launch",
                        sim_.now(), obs::kControlPlanePid,
                        inv.result.id,

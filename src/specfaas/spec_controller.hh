@@ -449,6 +449,18 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
         callGraph_;
 
     InvMap live_;
+
+    /**
+     * Invocations removed from live_ whose storage must outlive the
+     * current event: frames up the completion stack (completed() →
+     * resumeBlockedOn() → walk() → tryCommit() → finish()) still hold
+     * references into the invocation when finish() runs, so freeing
+     * it immediately is a use-after-free. finish() parks the owner
+     * here and a daemon event frees it at the event-loop boundary,
+     * where no such frame can exist.
+     */
+    std::vector<std::unique_ptr<SpecInvocation>> graveyard_;
+
     std::unordered_map<const Application*, FlowProgram> programs_;
 };
 

@@ -407,15 +407,21 @@ struct Outcome
     std::uint64_t commits = 0;
 };
 
-/** Run @p requests dataset-drawn requests serially on one engine. */
+/**
+ * Run @p requests dataset-drawn requests serially on one engine.
+ * @p context isolates the run's ids/trace/counters when harnesses
+ * execute many runs in one process (null = default context).
+ */
 inline Outcome
 runApp(const Application& app, bool speculative, SpecConfig config,
-       std::uint64_t seed, std::size_t requests)
+       std::uint64_t seed, std::size_t requests,
+       SimContext* context = nullptr)
 {
     PlatformOptions options;
     options.speculative = speculative;
     options.spec = config;
     options.seed = seed;
+    options.context = context;
     FaasPlatform platform(options);
     platform.deploy(app);
     Outcome out;
@@ -438,12 +444,14 @@ runApp(const Application& app, bool speculative, SpecConfig config,
  * drive the memoized-replay fast paths). */
 inline Outcome
 runAppInputs(const Application& app, bool speculative, SpecConfig config,
-             std::uint64_t seed, const std::vector<Value>& inputs)
+             std::uint64_t seed, const std::vector<Value>& inputs,
+             SimContext* context = nullptr)
 {
     PlatformOptions options;
     options.speculative = speculative;
     options.spec = config;
     options.seed = seed;
+    options.context = context;
     FaasPlatform platform(options);
     platform.deploy(app);
     Outcome out;
@@ -495,7 +503,7 @@ struct ChaosOutcome
 inline ChaosOutcome
 runChaos(const Application& app, bool speculative, SpecConfig config,
          std::uint64_t seed, std::size_t requests, const FaultPlan& plan,
-         std::uint32_t prewarm = 4)
+         std::uint32_t prewarm = 4, SimContext* context = nullptr)
 {
     PlatformOptions options;
     options.speculative = speculative;
@@ -503,6 +511,7 @@ runChaos(const Application& app, bool speculative, SpecConfig config,
     options.seed = seed;
     options.faultPlan = plan;
     options.prewarmPerFunction = prewarm;
+    options.context = context;
     FaasPlatform platform(options);
     platform.deploy(app);
 

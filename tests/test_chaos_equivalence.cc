@@ -29,17 +29,15 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
 
 #include "common/logging.hh"
 #include "fuzz_apps.hh"
-#include "obs/counter_registry.hh"
-#include "obs/histogram.hh"
 #include "obs/trace_export.hh"
-#include "obs/trace_recorder.hh"
 #include "platform/platform.hh"
-#include "runtime/ids.hh"
+#include "sim/sim_context.hh"
 #include "workloads/app_helpers.hh"
 
 namespace specfaas {
@@ -142,34 +140,22 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosEquivalence,
 // Invariant 3: replayability.
 // ---------------------------------------------------------------------
 
-/** Reset every process-global obs/id sink determinism cares about. */
-void
-resetGlobalObsState()
-{
-    resetIdsForTest();
-    obs::trace().disable();
-    obs::trace().clear();
-    obs::counters().clear();
-    obs::samplerArchive().clear();
-    obs::setSampleInterval(0);
-}
-
-/** One traced speculative chaos run, rendered to Chrome-trace JSON. */
+/**
+ * One traced speculative chaos run, rendered to Chrome-trace JSON.
+ * Each run gets a private SimContext, so no global resets are needed
+ * between runs — that isolation is itself part of what this pins.
+ */
 std::string
 tracedChaosJson(std::uint64_t seed)
 {
-    resetGlobalObsState();
     const Application app = chaosApp(/*explicit_app=*/true, seed);
     const FaultPlan plan = chaosPlan(app, seed);
-    obs::trace().enable(1u << 16);
-    ChaosOutcome out =
-        runChaos(app, true, aggressiveConfig(), 53, 6, plan);
-    obs::trace().disable();
+    SimContext context;
+    context.trace().enable(1u << 16);
+    ChaosOutcome out = runChaos(app, true, aggressiveConfig(), 53, 6,
+                                plan, 4, &context);
     EXPECT_TRUE(out.allTerminated);
-    const std::string json =
-        obs::toChromeTraceJson(obs::trace().snapshot());
-    obs::trace().clear();
-    return json;
+    return obs::toChromeTraceJson(context.trace().snapshot());
 }
 
 TEST(ChaosDeterminism, SameSeedYieldsByteIdenticalTrace)
@@ -180,7 +166,6 @@ TEST(ChaosDeterminism, SameSeedYieldsByteIdenticalTrace)
         ASSERT_FALSE(first.empty());
         EXPECT_EQ(first, second) << "trace drift at seed " << seed;
     }
-    resetGlobalObsState();
 }
 
 TEST(ChaosDeterminism, SameSeedYieldsIdenticalFaultCounters)
@@ -195,6 +180,66 @@ TEST(ChaosDeterminism, SameSeedYieldsIdenticalFaultCounters)
     EXPECT_EQ(first.retries, second.retries);
     EXPECT_EQ(first.gaveUp, second.gaveUp);
     EXPECT_EQ(first.fingerprint, second.fingerprint);
+}
+
+// ---------------------------------------------------------------------
+// Parallel-harness differential: running chaos cases through
+// runSimTasks() with any job count must be indistinguishable from a
+// serial run — same verdicts, same merged trace, same counters.
+// ---------------------------------------------------------------------
+
+/** Comparable digest of one chaos case (both engines). */
+std::string
+chaosCaseDigest(bool explicit_app, std::uint64_t app_seed,
+                std::uint64_t plan_seed, SimContext& context)
+{
+    const Application app = chaosApp(explicit_app, app_seed);
+    const FaultPlan plan = chaosPlan(app, plan_seed);
+    const ChaosOutcome base =
+        runChaos(app, false, {}, 53, 6, plan, 4, &context);
+    const ChaosOutcome spec = runChaos(app, true, aggressiveConfig(),
+                                       53, 6, plan, 4, &context);
+    std::string digest = strFormat(
+        "%s/%llu/%llu terminated=%d/%d faults=%llu/%llu fp=%llx/%llx",
+        explicit_app ? "explicit" : "implicit",
+        static_cast<unsigned long long>(app_seed),
+        static_cast<unsigned long long>(plan_seed),
+        base.allTerminated ? 1 : 0, spec.allTerminated ? 1 : 0,
+        static_cast<unsigned long long>(base.faultsInjected),
+        static_cast<unsigned long long>(spec.faultsInjected),
+        static_cast<unsigned long long>(base.fingerprint),
+        static_cast<unsigned long long>(spec.fingerprint));
+    for (const Value& r : base.responses)
+        digest += "\n  " + r.toString();
+    for (const Value& r : spec.responses)
+        digest += "\n  " + r.toString();
+    return digest;
+}
+
+TEST(ChaosParallel, JobCountDoesNotChangeOutcomesOrArtifacts)
+{
+    auto run_batch = [](std::size_t jobs) {
+        SimContext session;
+        session.trace().enable(1u << 14);
+        std::vector<std::function<std::string(SimContext&)>> tasks;
+        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+            tasks.push_back([seed](SimContext& context) {
+                return chaosCaseDigest(seed % 2 == 0, seed, seed * 2,
+                                       context);
+            });
+        }
+        std::string all;
+        for (const std::string& digest : runSimTasks<std::string>(
+                 jobs, std::move(tasks), &session))
+            all += digest + "\n";
+        all += obs::toChromeTraceJson(session.trace().snapshot());
+        all += session.counters().table();
+        return all;
+    };
+    const std::string serial = run_batch(1);
+    const std::string parallel = run_batch(4);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
 }
 
 // ---------------------------------------------------------------------

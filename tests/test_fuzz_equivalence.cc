@@ -19,9 +19,13 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <vector>
+
 #include "common/logging.hh"
 #include "fuzz_apps.hh"
 #include "platform/platform.hh"
+#include "sim/sim_context.hh"
 #include "workloads/app_helpers.hh"
 
 namespace specfaas {
@@ -146,6 +150,35 @@ TEST_P(FuzzEquivalence, SameSeedRunsHaveIdenticalCounters)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalence,
                          ::testing::Range<std::uint64_t>(0, 60));
+
+/**
+ * The fuzz differential run through the parallel harness: per-seed
+ * equivalence must hold on every worker, and the batched verdicts
+ * must not depend on the job count.
+ */
+TEST(FuzzParallel, BatchedEquivalenceIsJobCountIndependent)
+{
+    auto run_batch = [](std::size_t jobs) {
+        SimContext session;
+        std::vector<std::function<std::uint64_t(SimContext&)>> tasks;
+        for (std::uint64_t seed = 0; seed < 8; ++seed) {
+            tasks.push_back([seed](SimContext& context) {
+                AppFuzzer fuzzer(seed * 2654435761ull + 1);
+                Application app = fuzzer.explicitApp();
+                const Outcome base =
+                    runApp(app, false, {}, 17, 8, &context);
+                const Outcome spec = runApp(
+                    app, true, aggressiveConfig(), 17, 8, &context);
+                EXPECT_EQ(base.fingerprint, spec.fingerprint)
+                    << "seed " << seed;
+                return base.fingerprint ^ (spec.fingerprint << 1);
+            });
+        }
+        return runSimTasks<std::uint64_t>(jobs, std::move(tasks),
+                                          &session);
+    };
+    EXPECT_EQ(run_batch(1), run_batch(4));
+}
 
 } // namespace
 } // namespace specfaas

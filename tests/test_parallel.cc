@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the fixed-size thread pool (common/parallel.hh):
+ * ordered results, serial-equivalent error propagation, and the
+ * degenerate batch shapes (empty, jobs=0, more jobs than tasks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+
+namespace specfaas {
+namespace {
+
+TEST(Parallel, DefaultJobsIsAtLeastOne)
+{
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+TEST(Parallel, EmptyBatchIsANoOp)
+{
+    runParallel(4, {});
+    EXPECT_TRUE(mapParallel<int>(4, {}).empty());
+}
+
+TEST(Parallel, RunsEveryTaskExactlyOnce)
+{
+    for (std::size_t jobs : {std::size_t{0}, std::size_t{1},
+                             std::size_t{3}, std::size_t{64}}) {
+        constexpr std::size_t kTasks = 57;
+        std::vector<std::atomic<int>> ran(kTasks);
+        std::vector<std::function<void()>> tasks;
+        for (std::size_t i = 0; i < kTasks; ++i)
+            tasks.push_back([&ran, i]() { ++ran[i]; });
+        runParallel(jobs, std::move(tasks));
+        for (std::size_t i = 0; i < kTasks; ++i)
+            EXPECT_EQ(ran[i].load(), 1) << "jobs=" << jobs << " task "
+                                        << i;
+    }
+}
+
+TEST(Parallel, MapResultsComeBackInSubmissionOrder)
+{
+    for (std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+        std::vector<std::function<int()>> fns;
+        for (int i = 0; i < 40; ++i)
+            fns.push_back([i]() { return i * i; });
+        const std::vector<int> results =
+            mapParallel<int>(jobs, std::move(fns));
+        ASSERT_EQ(results.size(), 40u);
+        for (int i = 0; i < 40; ++i)
+            EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
+    }
+}
+
+TEST(Parallel, BoolResultsAreSafe)
+{
+    // R = bool exercises the per-slot buffering (a packed
+    // vector<bool> written from many threads would be a data race).
+    std::vector<std::function<bool()>> fns;
+    for (int i = 0; i < 100; ++i)
+        fns.push_back([i]() { return i % 3 == 0; });
+    const std::vector<bool> results =
+        mapParallel<bool>(8, std::move(fns));
+    ASSERT_EQ(results.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(results[static_cast<std::size_t>(i)], i % 3 == 0);
+}
+
+TEST(Parallel, LowestIndexedExceptionPropagates)
+{
+    for (std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 30; ++i) {
+            tasks.push_back([i]() {
+                if (i == 7 || i == 21)
+                    throw std::runtime_error(
+                        "task " + std::to_string(i));
+            });
+        }
+        try {
+            runParallel(jobs, std::move(tasks));
+            FAIL() << "expected an exception (jobs=" << jobs << ")";
+        } catch (const std::runtime_error& e) {
+            // With jobs=1 task 21 is never reached; with more jobs it
+            // may run, but the rethrown error is still task 7's.
+            EXPECT_STREQ(e.what(), "task 7") << "jobs=" << jobs;
+        }
+    }
+}
+
+TEST(Parallel, TasksAfterAFailureAreSkipped)
+{
+    // Once a task throws no *new* tasks are claimed. With jobs=1 the
+    // cutoff is exact: nothing after the failing index runs.
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 10; ++i) {
+        tasks.push_back([&ran, i]() {
+            ++ran;
+            if (i == 3)
+                throw std::runtime_error("boom");
+        });
+    }
+    EXPECT_THROW(runParallel(1, std::move(tasks)), std::runtime_error);
+    EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(Parallel, MoreJobsThanTasks)
+{
+    std::vector<std::function<int()>> fns;
+    for (int i = 0; i < 3; ++i)
+        fns.push_back([i]() { return i + 1; });
+    const std::vector<int> results =
+        mapParallel<int>(32, std::move(fns));
+    EXPECT_EQ(results, (std::vector<int>{1, 2, 3}));
+}
+
+} // namespace
+} // namespace specfaas
