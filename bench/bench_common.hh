@@ -31,8 +31,10 @@ namespace specfaas::bench {
 /**
  * Strip a `--jobs=<n>` flag from argv (after ObsSession has taken the
  * observability flags) and return the worker count for the bench's
- * sweep: 1 by default (serial, the historical behavior), 0 meaning
- * "all hardware threads". Independent sweep points then run through
+ * sweep: 1 by default (serial, the historical behavior), an explicit
+ * 0 meaning "all hardware threads". Malformed values — empty or with
+ * trailing garbage ("--jobs=4abc") — abort with a clear error instead
+ * of being silently misread. Independent sweep points then run through
  * runSimTasks(), whose ordered context merge keeps every artifact
  * byte-identical to the serial run regardless of the job count.
  */
@@ -43,8 +45,8 @@ jobsArg(int& argc, char** argv)
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-            jobs = static_cast<std::size_t>(
-                std::strtoull(argv[i] + 7, nullptr, 10));
+            if (!parseJobsValue(argv[i] + 7, jobs))
+                fatal("invalid --jobs value: '%s'", argv[i] + 7);
             if (jobs == 0)
                 jobs = defaultJobs();
             continue;

@@ -2,11 +2,15 @@
  * @file
  * CI regression gate over two --json-out run reports.
  *
- *     compare_reports [--threshold=0.05] baseline.json candidate.json
+ *     compare_reports [--threshold=0.05] [--two-sided]
+ *                     baseline.json candidate.json
  *
  * Exit status: 0 when the candidate is no worse than the baseline
  * (every metric's bad-direction change is within the threshold),
  * 1 on regressions or report mismatches, 2 on usage/IO errors.
+ * With --two-sided, any change beyond the threshold fails in either
+ * direction — the mode identity gates use, where the metrics are a
+ * deterministic fingerprint and all drift is a behaviour change.
  */
 
 #include <cstdio>
@@ -25,6 +29,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: compare_reports [--threshold=<rel>] "
+                 "[--two-sided] "
                  "<baseline.json> <candidate.json>\n");
     return 2;
 }
@@ -47,6 +52,10 @@ main(int argc, char** argv)
                              argv[i] + 12);
                 return 2;
             }
+            continue;
+        }
+        if (std::strcmp(argv[i], "--two-sided") == 0) {
+            opts.twoSided = true;
             continue;
         }
         if (npaths == 2)

@@ -169,7 +169,8 @@ main(int argc, char** argv)
     std::size_t jobs = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-            jobs = std::strtoull(argv[i] + 7, nullptr, 10);
+            if (!parseJobsValue(argv[i] + 7, jobs))
+                return usage();
             if (jobs == 0)
                 jobs = defaultJobs();
         } else if (std::strncmp(argv[i], "--seeds=", 8) == 0) {

@@ -35,7 +35,7 @@ BaselineController::compiled(const Application& app)
 
 void
 BaselineController::invoke(const Application& app, Value input,
-                           std::function<void(InvocationResult)> done)
+                           ResultCallback done)
 {
     const InvocationId id = sim_.context().nextInvocationId();
 
@@ -273,11 +273,12 @@ BaselineController::completed(const InstancePtr& inst, Value output)
 void
 BaselineController::storageGet(const InstancePtr& inst,
                                const std::string& key,
-                               std::function<void(Value)> done)
+                               ValueCallback done)
 {
     (void)inst;
     sim_.events().schedule(store_.latency().readLatency,
-                           [this, key, done = std::move(done)]() {
+                           [this, key,
+                            done = std::move(done)]() mutable {
                                auto v = store_.get(key);
                                done(v ? std::move(*v) : Value());
                            });
@@ -286,7 +287,7 @@ BaselineController::storageGet(const InstancePtr& inst,
 void
 BaselineController::storagePut(const InstancePtr& inst,
                                const std::string& key, Value value,
-                               std::function<void()> done)
+                               DoneCallback done)
 {
     const std::uint64_t epoch = inst->epoch;
     sim_.events().schedule(
@@ -317,7 +318,7 @@ void
 BaselineController::functionCall(const InstancePtr& inst,
                                  std::size_t call_site,
                                  const std::string& callee, Value args,
-                                 std::function<void(Value)> done)
+                                 ValueCallback done)
 {
 
     Invocation& inv = invocationOf(inst);
@@ -372,7 +373,7 @@ BaselineController::functionCall(const InstancePtr& inst,
 
 void
 BaselineController::httpRequest(const InstancePtr& inst,
-                                std::function<void()> done)
+                                DoneCallback done)
 {
     // Nothing speculative in the baseline: requests go out directly.
     (void)inst;
@@ -424,7 +425,7 @@ BaselineController::crashed(const InstancePtr& inst, FaultKind kind)
 
     // Save the callee-return continuation before teardown drops it;
     // a retried incarnation re-registers it under its new id.
-    std::function<void(Value)> ret;
+    ValueCallback ret;
     if (inst->caller != nullptr) {
         auto rit = callReturns_.find(inst->id);
         SPECFAAS_ASSERT(rit != callReturns_.end(),
@@ -464,7 +465,7 @@ BaselineController::crashed(const InstancePtr& inst, FaultKind kind)
 void
 BaselineController::scheduleRetry(Invocation& inv,
                                   const InstancePtr& inst, Tick delay,
-                                  std::function<void(Value)> ret)
+                                  ValueCallback ret)
 {
     const InvocationId id = inv.result.id;
     if (inst->caller == nullptr) {

@@ -51,7 +51,7 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
     ~BaselineController() override;
 
     void invoke(const Application& app, Value input,
-                std::function<void(InvocationResult)> done) override;
+                ResultCallback done) override;
 
     std::string name() const override { return "baseline"; }
 
@@ -64,14 +64,14 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
 
     /** @{ RuntimeHooks (called by the interpreter). */
     void storageGet(const InstancePtr& inst, const std::string& key,
-                    std::function<void(Value)> done) override;
+                    ValueCallback done) override;
     void storagePut(const InstancePtr& inst, const std::string& key,
-                    Value value, std::function<void()> done) override;
+                    Value value, DoneCallback done) override;
     void functionCall(const InstancePtr& inst, std::size_t call_site,
                       const std::string& callee, Value args,
-                      std::function<void(Value)> done) override;
+                      ValueCallback done) override;
     void httpRequest(const InstancePtr& inst,
-                     std::function<void()> done) override;
+                     DoneCallback done) override;
     void completed(const InstancePtr& inst, Value output) override;
     void crashed(const InstancePtr& inst, FaultKind kind) override;
     /** @} */
@@ -91,7 +91,7 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
         InvocationResult result;
         const Application* app = nullptr;
         const FlowProgram* program = nullptr;
-        std::function<void(InvocationResult)> done;
+        ResultCallback done;
         // Explicit-walk state: join node index → collection state.
         std::unordered_map<FlowIndex, JoinState> joins;
         // Live instances spawned for this invocation.
@@ -134,7 +134,7 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
     void teardown(Invocation& inv, const InstancePtr& inst);
     /** Schedule the re-execution of a crashed instance. */
     void scheduleRetry(Invocation& inv, const InstancePtr& inst,
-                       Tick delay, std::function<void(Value)> ret);
+                       Tick delay, ValueCallback ret);
     /** Retries exhausted: kill everything, answer the error. */
     void failInvocation(Invocation& inv, const std::string& function);
     /** @} */
@@ -149,7 +149,7 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
     std::unordered_map<InvocationId, std::unique_ptr<Invocation>> live_;
     std::unordered_map<const Application*, FlowProgram> programs_;
     /** Implicit-callee return continuations, keyed by callee id. */
-    std::unordered_map<InstanceId, std::function<void(Value)>>
+    std::unordered_map<InstanceId, ValueCallback>
         callReturns_;
 
     obs::CounterRegistry counters_;

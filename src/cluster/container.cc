@@ -54,10 +54,40 @@ ContainerPool::nodeById(NodeId id) const
     return nullptr;
 }
 
+ContainerFunctionPool&
+ContainerPool::poolFor(const std::string& function)
+{
+    auto it = pools_.find(function);
+    if (it == pools_.end()) {
+        it = pools_.emplace(function, ContainerFunctionPool{}).first;
+        it->second.name = function;
+    }
+    return it->second;
+}
+
+Container*
+ContainerPool::createContainer(ContainerFunctionPool& pool, NodeId node)
+{
+    Container* c;
+    if (!pool.free_.empty()) {
+        c = pool.free_.back();
+        pool.free_.pop_back();
+    } else {
+        c = &pool.slots.emplace_back();
+    }
+    c->id = nextContainer_++;
+    c->owner = &pool;
+    c->node = node;
+    c->busy = false;
+    c->dead = false;
+    ++pool.live;
+    return c;
+}
+
 void
 ContainerPool::acquire(const std::string& function, AcquireCallback done)
 {
-    auto& pool = pools_[function];
+    ContainerFunctionPool& pool = poolFor(function);
     if (!pool.warm.empty()) {
         Container* c = pool.warm.front();
         pool.warm.pop_front();
@@ -72,7 +102,8 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
         AcquireTiming timing;
         timing.handlerFork = config_.handlerForkOverhead;
         sim_.events().schedule(timing.handlerFork,
-                               [c, timing, cb = std::move(done)]() {
+                               [c, timing,
+                                cb = std::move(done)]() mutable {
                                    cb(*c, timing);
                                });
         return;
@@ -81,13 +112,8 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
     // Cold start: create a container on the least-loaded node.
     ++coldStarts_;
     Node& node = pickNode();
-    auto owned = std::make_unique<Container>();
-    owned->id = nextContainer_++;
-    owned->function = function;
-    owned->node = node.id();
-    owned->busy = true;
-    Container* c = owned.get();
-    pool.all.push_back(std::move(owned));
+    Container* c = createContainer(pool, node.id());
+    c->busy = true;
 
     AcquireTiming timing;
     timing.containerCreation = config_.containerCreation;
@@ -112,7 +138,7 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
     }
     sim_.events().schedule(
         timing.total(),
-        [this, c, timing, function, cb = std::move(done)]() mutable {
+        [this, c, timing, cb = std::move(done)]() mutable {
             if (auto& tr = sim_.context().trace(); tr.enabled()) {
                 tr.end(obs::cat::kContainer, "cold-start", sim_.now(),
                        obs::nodePid(c->node),
@@ -122,8 +148,9 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
             // the creation is lost; place the request again.
             if (Node* n = nodeById(c->node);
                 n != nullptr && n->isDown()) {
+                ContainerFunctionPool& p = *c->owner;
                 destroy(*c);
-                acquire(function, std::move(cb));
+                acquire(p.name, std::move(cb));
                 return;
             }
             cb(*c, timing);
@@ -142,37 +169,30 @@ ContainerPool::release(Container& c)
         return;
     }
     c.busy = false;
-    pools_[c.function].warm.push_back(&c);
+    c.owner->warm.push_back(&c);
 }
 
 void
 ContainerPool::destroy(Container& c)
 {
-    auto& pool = pools_[c.function];
+    SPECFAAS_ASSERT(!c.dead, "destroying container %llu twice",
+                    static_cast<unsigned long long>(c.id));
+    ContainerFunctionPool& pool = *c.owner;
     auto wit = std::find(pool.warm.begin(), pool.warm.end(), &c);
     if (wit != pool.warm.end())
         pool.warm.erase(wit);
-    auto ait = std::find_if(pool.all.begin(), pool.all.end(),
-                            [&c](const std::unique_ptr<Container>& p) {
-                                return p.get() == &c;
-                            });
-    SPECFAAS_ASSERT(ait != pool.all.end(), "destroying unknown container");
-    pool.all.erase(ait);
+    c.dead = true;
+    --pool.live;
+    pool.free_.push_back(&c);
 }
 
 void
 ContainerPool::prewarm(const std::string& function, std::uint32_t count)
 {
-    auto& pool = pools_[function];
+    ContainerFunctionPool& pool = poolFor(function);
     for (std::uint32_t i = 0; i < count; ++i) {
         Node& node = pickNode();
-        auto owned = std::make_unique<Container>();
-        owned->id = nextContainer_++;
-        owned->function = function;
-        owned->node = node.id();
-        owned->busy = false;
-        pool.warm.push_back(owned.get());
-        pool.all.push_back(std::move(owned));
+        pool.warm.push_back(createContainer(pool, node.id()));
     }
 }
 
@@ -188,14 +208,9 @@ ContainerPool::dropNode(NodeId node)
                 continue;
             pool.warm.erase(pool.warm.begin() +
                             static_cast<std::ptrdiff_t>(i));
-            auto ait = std::find_if(
-                pool.all.begin(), pool.all.end(),
-                [c](const std::unique_ptr<Container>& p) {
-                    return p.get() == c;
-                });
-            SPECFAAS_ASSERT(ait != pool.all.end(),
-                            "warm container not owned by pool");
-            pool.all.erase(ait);
+            c->dead = true;
+            --pool.live;
+            pool.free_.push_back(c);
             ++dropped;
         }
     }
@@ -211,7 +226,7 @@ std::size_t
 ContainerPool::containerCount(const std::string& function) const
 {
     auto it = pools_.find(function);
-    return it == pools_.end() ? 0 : it->second.all.size();
+    return it == pools_.end() ? 0 : it->second.live;
 }
 
 std::size_t

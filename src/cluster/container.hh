@@ -15,11 +15,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/inline_function.hh"
 
 #include "cluster/cluster_config.hh"
 #include "cluster/node.hh"
@@ -28,14 +29,48 @@
 
 namespace specfaas {
 
+struct ContainerFunctionPool;
+
 /** One container instance bound to a function and a node. */
 struct Container
 {
     std::uint64_t id;
-    std::string function;
+    ContainerFunctionPool* owner;
     NodeId node;
     bool busy = false;
+    bool dead = false; ///< destroyed slot, parked on the free list
+
+    const std::string& function() const;
 };
+
+/**
+ * Per-function warm pool: the function's interned name, slab storage
+ * for every container slot ever created for it, and the free-warm
+ * subset. Containers point back at their pool, so the per-request
+ * release path touches no string hashing at all. Slots live in a
+ * deque (stable addresses, ~one heap block per dozen containers
+ * instead of one per container); destroyed slots go on a free list
+ * and are recycled by the next creation, so `live` — not a container
+ * scan — answers containerCount().
+ */
+struct ContainerFunctionPool
+{
+    std::string name;
+    // Slot storage; entries may be dead (awaiting reuse via free_).
+    std::deque<Container> slots;
+    // Free warm containers (live subset of slots).
+    std::deque<Container*> warm;
+    // Destroyed slots ready for reuse.
+    std::vector<Container*> free_;
+    // Live (warm + busy) containers.
+    std::size_t live = 0;
+};
+
+inline const std::string&
+Container::function() const
+{
+    return owner->name;
+}
 
 /** Timing split of one container acquisition, for Fig. 3. */
 struct AcquireTiming
@@ -60,7 +95,7 @@ class ContainerPool
 {
   public:
     using AcquireCallback =
-        std::function<void(Container&, const AcquireTiming&)>;
+        InlineFunction<void(Container&, const AcquireTiming&), 48>;
 
     /**
      * @param sim simulation context
@@ -126,15 +161,12 @@ class ContainerPool
     const ClusterConfig& config_;
     std::uint64_t nextContainer_ = 1;
 
-    struct FunctionPool
-    {
-        // All containers ever created for this function.
-        std::vector<std::unique_ptr<Container>> all;
-        // Free warm containers (subset of all).
-        std::deque<Container*> warm;
-    };
+    ContainerFunctionPool& poolFor(const std::string& function);
 
-    std::unordered_map<std::string, FunctionPool> pools_;
+    /** Create (or recycle) a live slot in @p pool placed on @p node. */
+    Container* createContainer(ContainerFunctionPool& pool, NodeId node);
+
+    std::unordered_map<std::string, ContainerFunctionPool> pools_;
     std::uint64_t coldStarts_ = 0;
     std::uint64_t warmStarts_ = 0;
     std::uint32_t rrNext_ = 0;

@@ -21,7 +21,7 @@ Node::accountBusy()
 }
 
 ComputeTaskId
-Node::submit(Tick duration, std::function<void()> done)
+Node::submit(Tick duration, ComputeCallback done)
 {
     SPECFAAS_ASSERT(duration >= 0, "negative compute duration");
     const ComputeTaskId id = nextTask_++;
@@ -32,18 +32,35 @@ Node::submit(Tick duration, std::function<void()> done)
     return id;
 }
 
+Node::Running*
+Node::findRunning(ComputeTaskId id)
+{
+    for (Running& r : running_)
+        if (r.id == id)
+            return &r;
+    return nullptr;
+}
+
 void
-Node::startTask(ComputeTaskId id, Tick duration, std::function<void()> done)
+Node::startTask(ComputeTaskId id, Tick duration, ComputeCallback done)
 {
     accountBusy();
     ++busy_;
-    const EventId completion = sim_.events().schedule(
-        duration, [this, id, cb = std::move(done)]() {
-            running_.erase(id);
+    // The callback stays in the running-task table rather than being
+    // captured into the event, so the scheduled closure is two words
+    // and the completion path needs no extra allocation.
+    const EventId completion =
+        sim_.events().schedule(duration, [this, id]() {
+            Running* r = findRunning(id);
+            SPECFAAS_ASSERT(r != nullptr, "completion for unknown task");
+            ComputeCallback cb = std::move(r->done);
+            if (r != &running_.back())
+                *r = std::move(running_.back());
+            running_.pop_back();
             coreReleased();
             cb();
         });
-    running_[id] = Running{completion};
+    running_.push_back(Running{id, completion, std::move(done)});
 }
 
 void
@@ -52,9 +69,19 @@ Node::coreReleased()
     accountBusy();
     SPECFAAS_ASSERT(busy_ > 0, "releasing core on idle node");
     --busy_;
-    if (!waiting_.empty() && busy_ < cores_) {
-        Waiting next = std::move(waiting_.front());
-        waiting_.pop_front();
+    if (waitHead_ < waiting_.size() && busy_ < cores_) {
+        Waiting next = std::move(waiting_[waitHead_]);
+        ++waitHead_;
+        if (waitHead_ == waiting_.size()) {
+            waiting_.clear();
+            waitHead_ = 0;
+        } else if (waitHead_ > 64 &&
+                   waitHead_ * 2 > waiting_.size()) {
+            waiting_.erase(waiting_.begin(),
+                           waiting_.begin() +
+                               static_cast<std::ptrdiff_t>(waitHead_));
+            waitHead_ = 0;
+        }
         startTask(next.id, next.duration, std::move(next.done));
     }
 }
@@ -63,7 +90,9 @@ bool
 Node::abort(ComputeTaskId task, Tick kill_overhead)
 {
     // Queued task: drop it outright.
-    auto it = std::find_if(waiting_.begin(), waiting_.end(),
+    auto it = std::find_if(waiting_.begin() +
+                               static_cast<std::ptrdiff_t>(waitHead_),
+                           waiting_.end(),
                            [task](const Waiting& w) {
                                return w.id == task;
                            });
@@ -74,11 +103,13 @@ Node::abort(ComputeTaskId task, Tick kill_overhead)
 
     // Running task: cancel its completion and occupy the core for the
     // kill overhead before reclaiming it.
-    auto rit = running_.find(task);
-    if (rit == running_.end())
+    Running* r = findRunning(task);
+    if (r == nullptr)
         return false;
-    sim_.events().cancel(rit->second.completion);
-    running_.erase(rit);
+    sim_.events().cancel(r->completion);
+    if (r != &running_.back())
+        *r = std::move(running_.back());
+    running_.pop_back();
     sim_.events().schedule(kill_overhead, [this]() { coreReleased(); });
     return true;
 }
@@ -86,9 +117,12 @@ Node::abort(ComputeTaskId task, Tick kill_overhead)
 bool
 Node::isActive(ComputeTaskId task) const
 {
-    if (running_.count(task))
-        return true;
-    return std::any_of(waiting_.begin(), waiting_.end(),
+    for (const Running& r : running_)
+        if (r.id == task)
+            return true;
+    return std::any_of(waiting_.begin() +
+                           static_cast<std::ptrdiff_t>(waitHead_),
+                       waiting_.end(),
                        [task](const Waiting& w) { return w.id == task; });
 }
 

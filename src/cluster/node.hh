@@ -12,10 +12,9 @@
 #define SPECFAAS_CLUSTER_NODE_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <unordered_map>
+#include <vector>
 
+#include "common/inline_function.hh"
 #include "common/types.hh"
 #include "sim/simulation.hh"
 
@@ -23,6 +22,9 @@ namespace specfaas {
 
 /** Handle to a submitted compute task. */
 using ComputeTaskId = std::uint64_t;
+
+/** Completion callback for a compute burst (small-buffer, no heap). */
+using ComputeCallback = InlineFunction<void(), 72>;
 
 /** A worker node with @c cores cores and an FCFS queue. */
 class Node
@@ -48,7 +50,7 @@ class Node
     std::uint32_t busyCores() const { return busy_; }
 
     /** Tasks waiting for a core. */
-    std::size_t queueLength() const { return waiting_.size(); }
+    std::size_t queueLength() const { return waiting_.size() - waitHead_; }
 
     /**
      * @{ Failure state (fault injection). A down node receives no new
@@ -64,7 +66,7 @@ class Node
      * @p duration ticks, then @p done fires. Otherwise it waits FCFS.
      * @return handle usable with abort()
      */
-    ComputeTaskId submit(Tick duration, std::function<void()> done);
+    ComputeTaskId submit(Tick duration, ComputeCallback done);
 
     /**
      * Abort a pending or running task. The completion callback never
@@ -95,18 +97,21 @@ class Node
     {
         ComputeTaskId id;
         Tick duration;
-        std::function<void()> done;
+        ComputeCallback done;
     };
 
     struct Running
     {
+        ComputeTaskId id;
         EventId completion;
+        ComputeCallback done;
     };
 
     void accountBusy();
     void startTask(ComputeTaskId id, Tick duration,
-                   std::function<void()> done);
+                   ComputeCallback done);
     void coreReleased();
+    Running* findRunning(ComputeTaskId id);
 
     Simulation& sim_;
     NodeId id_;
@@ -114,8 +119,14 @@ class Node
     bool down_ = false;
     std::uint32_t busy_ = 0;
     ComputeTaskId nextTask_ = 1;
-    std::deque<Waiting> waiting_;
-    std::unordered_map<ComputeTaskId, Running> running_;
+    // FCFS queue as a vector with a consumed-prefix head index; the
+    // prefix is compacted once it dominates so memory stays bounded
+    // without per-pop reallocation.
+    std::vector<Waiting> waiting_;
+    std::size_t waitHead_ = 0;
+    // Tasks currently on a core. Bounded by the core count, so a flat
+    // vector with linear lookup beats a node-per-entry hash map.
+    std::vector<Running> running_;
 
     // Utilization accounting.
     Tick windowStart_ = 0;

@@ -97,12 +97,19 @@ panicAssert(const char* file, int line, const char* cond,
 std::string
 strFormatV(const char* fmt, std::va_list args)
 {
+    // Single-pass fast path: nearly every formatted string in the
+    // simulator (ids, counters, field values) fits a stack buffer, so
+    // the measure-allocate-format dance is reserved for the rare long
+    // result.
+    char local[192];
     std::va_list args_copy;
     va_copy(args_copy, args);
-    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    int needed = std::vsnprintf(local, sizeof local, fmt, args_copy);
     va_end(args_copy);
     if (needed <= 0)
         return {};
+    if (static_cast<std::size_t>(needed) < sizeof local)
+        return std::string(local, static_cast<std::size_t>(needed));
     std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
     std::vsnprintf(buf.data(), buf.size(), fmt, args);
     return std::string(buf.data(), static_cast<std::size_t>(needed));

@@ -34,6 +34,29 @@ namespace specfaas {
 std::size_t defaultJobs();
 
 /**
+ * Strict parse of a `--jobs=<n>` value. The whole text must be a
+ * plain decimal number: empty values and trailing garbage
+ * ("--jobs=4abc") are rejected instead of being silently truncated
+ * or treated as "all hardware threads". An explicit 0 is valid and
+ * means "all hardware threads"; callers resolve it via defaultJobs().
+ * @return true and set @p jobs on success
+ */
+inline bool
+parseJobsValue(const char* text, std::size_t& jobs)
+{
+    if (*text == '\0')
+        return false;
+    std::size_t n = 0;
+    for (const char* p = text; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        n = n * 10 + static_cast<std::size_t>(*p - '0');
+    }
+    jobs = n;
+    return true;
+}
+
+/**
  * Run every closure in @p tasks, using up to @p jobs worker threads
  * (clamped to [1, tasks.size()]; 0 counts as 1). Returns when all
  * claimed tasks have finished. An empty batch is a no-op. If tasks

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Small-buffer vector for trivially copyable elements.
+ *
+ * OrderKey — the program-order coordinate attached to every function
+ * instance — is a short sequence of small integers that gets copied
+ * on every launch, squash scan and Data-Buffer column insert. As a
+ * std::vector those copies were the single largest allocation source
+ * in the engine hot path, so this container keeps up to @p N elements
+ * inline and only touches the heap for deeper nesting.
+ *
+ * Only the std::vector subset the simulator uses is provided:
+ * construction (default / fill-free initializer-list / iterator
+ * range), push_back/pop_back, element access, iteration (including
+ * reverse), and lexicographic comparison.
+ */
+
+#ifndef SPECFAAS_COMMON_SMALL_VECTOR_HH
+#define SPECFAAS_COMMON_SMALL_VECTOR_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <iterator>
+#include <type_traits>
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+template <typename T, std::size_t N>
+class SmallVector
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVector requires trivially copyable elements");
+    static_assert(N > 0, "inline capacity must be positive");
+
+  public:
+    using value_type = T;
+    using iterator = T*;
+    using const_iterator = const T*;
+    using reverse_iterator = std::reverse_iterator<iterator>;
+    using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+    SmallVector() noexcept : data_(inline_) {}
+
+    SmallVector(std::initializer_list<T> init) : data_(inline_)
+    {
+        reserve(init.size());
+        for (const T& v : init)
+            data_[size_++] = v;
+    }
+
+    template <typename It>
+    SmallVector(It first, It last) : data_(inline_)
+    {
+        for (; first != last; ++first)
+            push_back(*first);
+    }
+
+    SmallVector(const SmallVector& other) : data_(inline_)
+    {
+        assignFrom(other);
+    }
+
+    SmallVector(SmallVector&& other) noexcept : data_(inline_)
+    {
+        stealFrom(other);
+    }
+
+    SmallVector&
+    operator=(const SmallVector& other)
+    {
+        if (this != &other) {
+            size_ = 0;
+            assignFrom(other);
+        }
+        return *this;
+    }
+
+    SmallVector&
+    operator=(SmallVector&& other) noexcept
+    {
+        if (this != &other) {
+            releaseHeap();
+            stealFrom(other);
+        }
+        return *this;
+    }
+
+    ~SmallVector() { releaseHeap(); }
+
+    bool empty() const noexcept { return size_ == 0; }
+    std::size_t size() const noexcept { return size_; }
+
+    T* begin() noexcept { return data_; }
+    T* end() noexcept { return data_ + size_; }
+    const T* begin() const noexcept { return data_; }
+    const T* end() const noexcept { return data_ + size_; }
+    reverse_iterator rbegin() noexcept
+    {
+        return reverse_iterator(end());
+    }
+    reverse_iterator rend() noexcept
+    {
+        return reverse_iterator(begin());
+    }
+    const_reverse_iterator rbegin() const noexcept
+    {
+        return const_reverse_iterator(end());
+    }
+    const_reverse_iterator rend() const noexcept
+    {
+        return const_reverse_iterator(begin());
+    }
+
+    T& operator[](std::size_t i) { return data_[i]; }
+    const T& operator[](std::size_t i) const { return data_[i]; }
+    T& front() { return data_[0]; }
+    const T& front() const { return data_[0]; }
+    T& back() { return data_[size_ - 1]; }
+    const T& back() const { return data_[size_ - 1]; }
+
+    void
+    push_back(const T& v)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        data_[size_++] = v;
+    }
+
+    void pop_back() { --size_; }
+    void clear() noexcept { size_ = 0; }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+    bool
+    operator==(const SmallVector& other) const
+    {
+        return size_ == other.size_ &&
+               std::equal(begin(), end(), other.begin());
+    }
+
+    bool
+    operator!=(const SmallVector& other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Lexicographic order, matching std::vector::operator<. */
+    bool
+    operator<(const SmallVector& other) const
+    {
+        return std::lexicographical_compare(begin(), end(),
+                                            other.begin(), other.end());
+    }
+
+  private:
+    void
+    assignFrom(const SmallVector& other)
+    {
+        reserve(other.size_);
+        std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+        size_ = other.size_;
+    }
+
+    void
+    stealFrom(SmallVector& other) noexcept
+    {
+        if (other.data_ != other.inline_) {
+            // Steal the heap block; the source reverts to its empty
+            // inline state.
+            data_ = other.data_;
+            cap_ = other.cap_;
+            size_ = other.size_;
+            other.data_ = other.inline_;
+            other.cap_ = static_cast<std::uint32_t>(N);
+        } else {
+            data_ = inline_;
+            cap_ = static_cast<std::uint32_t>(N);
+            std::memcpy(inline_, other.inline_,
+                        other.size_ * sizeof(T));
+            size_ = other.size_;
+        }
+        other.size_ = 0;
+    }
+
+    void
+    grow(std::size_t newCap)
+    {
+        newCap = std::max<std::size_t>(newCap, N * 2);
+        T* heap = new T[newCap];
+        std::memcpy(heap, data_, size_ * sizeof(T));
+        releaseHeap();
+        data_ = heap;
+        cap_ = static_cast<std::uint32_t>(newCap);
+    }
+
+    void
+    releaseHeap() noexcept
+    {
+        if (data_ != inline_) {
+            delete[] data_;
+            data_ = inline_;
+            cap_ = static_cast<std::uint32_t>(N);
+        }
+    }
+
+    T* data_;
+    std::uint32_t size_ = 0;
+    std::uint32_t cap_ = static_cast<std::uint32_t>(N);
+    T inline_[N];
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_COMMON_SMALL_VECTOR_HH

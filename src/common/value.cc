@@ -34,26 +34,104 @@ fnvMixByte(std::uint64_t& h, unsigned char b)
 
 } // namespace
 
-Value::Kind
-Value::kind() const
+void
+Value::destroyData() noexcept
 {
-    return static_cast<Kind>(data_.index());
+    switch (kind_) {
+      case Kind::String:
+        data_.s.~basic_string();
+        break;
+      case Kind::Array:
+        data_.arr.~shared_ptr();
+        break;
+      case Kind::Object:
+        data_.obj.~shared_ptr();
+        break;
+      default:
+        break;
+    }
+    kind_ = Kind::Null;
+}
+
+void
+Value::copyFrom(const Value& other)
+{
+    kind_ = other.kind_;
+    switch (kind_) {
+      case Kind::Null:
+        break;
+      case Kind::Bool:
+        data_.b = other.data_.b;
+        break;
+      case Kind::Int:
+        data_.i = other.data_.i;
+        break;
+      case Kind::Double:
+        data_.d = other.data_.d;
+        break;
+      case Kind::String:
+        ::new (&data_.s) std::string(other.data_.s);
+        break;
+      case Kind::Array:
+        ::new (&data_.arr)
+            std::shared_ptr<ValueArray>(other.data_.arr);
+        break;
+      case Kind::Object:
+        ::new (&data_.obj)
+            std::shared_ptr<ValueObject>(other.data_.obj);
+        break;
+    }
+}
+
+void
+Value::moveFrom(Value&& other) noexcept
+{
+    kind_ = other.kind_;
+    switch (kind_) {
+      case Kind::Null:
+        break;
+      case Kind::Bool:
+        data_.b = other.data_.b;
+        break;
+      case Kind::Int:
+        data_.i = other.data_.i;
+        break;
+      case Kind::Double:
+        data_.d = other.data_.d;
+        break;
+      case Kind::String:
+        ::new (&data_.s) std::string(std::move(other.data_.s));
+        other.data_.s.~basic_string();
+        break;
+      case Kind::Array:
+        ::new (&data_.arr) std::shared_ptr<ValueArray>(
+            std::move(other.data_.arr));
+        other.data_.arr.~shared_ptr();
+        break;
+      case Kind::Object:
+        ::new (&data_.obj) std::shared_ptr<ValueObject>(
+            std::move(other.data_.obj));
+        other.data_.obj.~shared_ptr();
+        break;
+    }
+    // The source relinquishes ownership and reverts to null.
+    other.kind_ = Kind::Null;
 }
 
 bool
 Value::truthy() const
 {
-    switch (kind()) {
+    switch (kind_) {
       case Kind::Null:
         return false;
       case Kind::Bool:
-        return std::get<bool>(data_);
+        return data_.b;
       case Kind::Int:
-        return std::get<std::int64_t>(data_) != 0;
+        return data_.i != 0;
       case Kind::Double:
-        return std::get<double>(data_) != 0.0;
+        return data_.d != 0.0;
       case Kind::String:
-        return !std::get<std::string>(data_).empty();
+        return !data_.s.empty();
       case Kind::Array:
       case Kind::Object:
         return true;
@@ -66,7 +144,7 @@ Value::asBool() const
 {
     SPECFAAS_ASSERT(isBool(), "Value::asBool on non-bool: %s",
                     toString().c_str());
-    return std::get<bool>(data_);
+    return data_.b;
 }
 
 std::int64_t
@@ -74,7 +152,7 @@ Value::asInt() const
 {
     SPECFAAS_ASSERT(isInt(), "Value::asInt on non-int: %s",
                     toString().c_str());
-    return std::get<std::int64_t>(data_);
+    return data_.i;
 }
 
 double
@@ -82,17 +160,17 @@ Value::asDouble() const
 {
     SPECFAAS_ASSERT(isDouble(), "Value::asDouble on non-double: %s",
                     toString().c_str());
-    return std::get<double>(data_);
+    return data_.d;
 }
 
 double
 Value::asNumber() const
 {
     if (isInt())
-        return static_cast<double>(std::get<std::int64_t>(data_));
+        return static_cast<double>(data_.i);
     SPECFAAS_ASSERT(isDouble(), "Value::asNumber on non-numeric: %s",
                     toString().c_str());
-    return std::get<double>(data_);
+    return data_.d;
 }
 
 const std::string&
@@ -100,7 +178,7 @@ Value::asString() const
 {
     SPECFAAS_ASSERT(isString(), "Value::asString on non-string: %s",
                     toString().c_str());
-    return std::get<std::string>(data_);
+    return data_.s;
 }
 
 const ValueArray&
@@ -108,7 +186,7 @@ Value::asArray() const
 {
     SPECFAAS_ASSERT(isArray(), "Value::asArray on non-array: %s",
                     toString().c_str());
-    return std::get<ValueArray>(data_);
+    return *data_.arr;
 }
 
 const ValueObject&
@@ -116,21 +194,37 @@ Value::asObject() const
 {
     SPECFAAS_ASSERT(isObject(), "Value::asObject on non-object: %s",
                     toString().c_str());
-    return std::get<ValueObject>(data_);
+    return *data_.obj;
+}
+
+ValueArray&
+Value::mutableArray()
+{
+    if (data_.arr.use_count() > 1)
+        data_.arr = std::make_shared<ValueArray>(*data_.arr);
+    return *data_.arr;
+}
+
+ValueObject&
+Value::mutableObject()
+{
+    if (data_.obj.use_count() > 1)
+        data_.obj = std::make_shared<ValueObject>(*data_.obj);
+    return *data_.obj;
 }
 
 ValueArray&
 Value::asArray()
 {
     SPECFAAS_ASSERT(isArray(), "Value::asArray on non-array");
-    return std::get<ValueArray>(data_);
+    return mutableArray();
 }
 
 ValueObject&
 Value::asObject()
 {
     SPECFAAS_ASSERT(isObject(), "Value::asObject on non-object");
-    return std::get<ValueObject>(data_);
+    return mutableObject();
 }
 
 const Value&
@@ -138,7 +232,7 @@ Value::at(const std::string& field) const
 {
     if (!isObject())
         return kNullValue;
-    const auto& obj = std::get<ValueObject>(data_);
+    const ValueObject& obj = *data_.obj;
     auto it = obj.find(field);
     return it == obj.end() ? kNullValue : it->second;
 }
@@ -146,52 +240,73 @@ Value::at(const std::string& field) const
 Value&
 Value::operator[](const std::string& field)
 {
-    if (isNull())
-        data_ = ValueObject{};
+    if (isNull()) {
+        ::new (&data_.obj) std::shared_ptr<ValueObject>(
+            std::make_shared<ValueObject>());
+        kind_ = Kind::Object;
+    }
     SPECFAAS_ASSERT(isObject(), "Value::operator[] on non-object");
-    return std::get<ValueObject>(data_)[field];
+    return mutableObject()[field];
 }
 
 bool
 Value::operator==(const Value& other) const
 {
-    return data_ == other.data_;
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return data_.b == other.data_.b;
+      case Kind::Int:
+        return data_.i == other.data_.i;
+      case Kind::Double:
+        return data_.d == other.data_.d;
+      case Kind::String:
+        return data_.s == other.data_.s;
+      case Kind::Array:
+        return data_.arr == other.data_.arr ||
+               *data_.arr == *other.data_.arr;
+      case Kind::Object:
+        return data_.obj == other.data_.obj ||
+               *data_.obj == *other.data_.obj;
+    }
+    return false;
 }
 
 void
 Value::hashInto(std::uint64_t& h) const
 {
-    fnvMixByte(h, static_cast<unsigned char>(data_.index()));
-    switch (kind()) {
+    fnvMixByte(h, static_cast<unsigned char>(kind_));
+    switch (kind_) {
       case Kind::Null:
         break;
       case Kind::Bool: {
-        unsigned char b = std::get<bool>(data_) ? 1 : 0;
+        unsigned char b = data_.b ? 1 : 0;
         fnvMixByte(h, b);
         break;
       }
       case Kind::Int: {
-        auto i = std::get<std::int64_t>(data_);
+        auto i = data_.i;
         fnvMix(h, &i, sizeof(i));
         break;
       }
       case Kind::Double: {
-        auto d = std::get<double>(data_);
+        auto d = data_.d;
         fnvMix(h, &d, sizeof(d));
         break;
       }
-      case Kind::String: {
-        const auto& s = std::get<std::string>(data_);
-        fnvMix(h, s.data(), s.size());
+      case Kind::String:
+        fnvMix(h, data_.s.data(), data_.s.size());
         break;
-      }
       case Kind::Array: {
-        for (const auto& v : std::get<ValueArray>(data_))
+        for (const auto& v : *data_.arr)
             v.hashInto(h);
         break;
       }
       case Kind::Object: {
-        for (const auto& [k, v] : std::get<ValueObject>(data_)) {
+        for (const auto& [k, v] : *data_.obj) {
             fnvMix(h, k.data(), k.size());
             fnvMixByte(h, ':');
             v.hashInto(h);
@@ -213,31 +328,30 @@ void
 Value::printInto(std::string& out) const
 {
     char buf[64];
-    switch (kind()) {
+    switch (kind_) {
       case Kind::Null:
         out += "null";
         break;
       case Kind::Bool:
-        out += std::get<bool>(data_) ? "true" : "false";
+        out += data_.b ? "true" : "false";
         break;
       case Kind::Int:
-        std::snprintf(buf, sizeof(buf), "%" PRId64,
-                      std::get<std::int64_t>(data_));
+        std::snprintf(buf, sizeof(buf), "%" PRId64, data_.i);
         out += buf;
         break;
       case Kind::Double:
-        std::snprintf(buf, sizeof(buf), "%.6g", std::get<double>(data_));
+        std::snprintf(buf, sizeof(buf), "%.6g", data_.d);
         out += buf;
         break;
       case Kind::String:
         out += '"';
-        out += std::get<std::string>(data_);
+        out += data_.s;
         out += '"';
         break;
       case Kind::Array: {
         out += '[';
         bool first = true;
-        for (const auto& v : std::get<ValueArray>(data_)) {
+        for (const auto& v : *data_.arr) {
             if (!first)
                 out += ',';
             first = false;
@@ -249,7 +363,7 @@ Value::printInto(std::string& out) const
       case Kind::Object: {
         out += '{';
         bool first = true;
-        for (const auto& [k, v] : std::get<ValueObject>(data_)) {
+        for (const auto& [k, v] : *data_.obj) {
             if (!first)
                 out += ',';
             first = false;
@@ -276,9 +390,9 @@ std::size_t
 Value::size() const
 {
     if (isArray())
-        return std::get<ValueArray>(data_).size();
+        return data_.arr->size();
     if (isObject())
-        return std::get<ValueObject>(data_).size();
+        return data_.obj->size();
     return 0;
 }
 

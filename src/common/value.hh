@@ -7,24 +7,101 @@
  * (memoization-table lookup and output validation), hashing
  * (memoization keys), and printing (tracing). Value provides exactly
  * that: null, boolean, integer, double, string, array and object.
+ *
+ * Storage is a hand-rolled tagged union sized for the hot path:
+ * Null/Bool/Int/Double live entirely inline, String is an inline
+ * std::string (so short strings ride the small-string optimization
+ * with no heap), and only Array/Object are boxed. That keeps
+ * sizeof(Value) at one tag byte plus one std::string — well under
+ * the std::variant layout it replaces, which paid for the largest
+ * alternative (a std::map) in every scalar payload field.
+ *
+ * Array/Object boxes are copy-on-write: copying a Value shares the
+ * box, and the mutating accessors (asArray()/asObject() non-const,
+ * operator[]) clone a shared box before returning. The speculation
+ * engine copies payloads constantly (slot inputs/outputs, memo rows,
+ * hints, committed nodes) and almost never mutates a copy, so CoW
+ * turns the dominant allocation source into a refcount bump. The
+ * one sharp edge: a reference obtained from a mutating accessor is
+ * invalidated by copying the Value it came from and then writing
+ * through the reference — don't hold such references across copies
+ * (the usual build-then-copy pattern is unaffected).
  */
 
 #ifndef SPECFAAS_COMMON_VALUE_HH
 #define SPECFAAS_COMMON_VALUE_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <initializer_list>
 #include <memory>
 #include <string>
-#include <variant>
+#include <utility>
 #include <vector>
 
 namespace specfaas {
 
 class Value;
 
-/** Ordered key/value mapping used for JSON-object payloads. */
-using ValueObject = std::map<std::string, Value>;
+/**
+ * Ordered key/value mapping used for JSON-object payloads.
+ *
+ * A sorted flat vector with a std::map-shaped interface (the subset
+ * the simulator uses). Payload objects are a handful of fields, so
+ * one contiguous buffer replaces a red-black tree node per field —
+ * the tree nodes were a top allocation source in the engine hot path
+ * — while keeping the sorted iteration order the deterministic hash
+ * and printer depend on.
+ */
+class ValueObject
+{
+  public:
+    using value_type = std::pair<std::string, Value>;
+    // Contiguous storage, so plain pointers serve as iterators (the
+    // element type is incomplete here; vector iterators would force
+    // instantiation before Value is defined).
+    using iterator = value_type*;
+    using const_iterator = const value_type*;
+
+    ValueObject() = default;
+    ValueObject(std::initializer_list<value_type> init);
+
+    // Bodies follow Value's definition: touching the vector member
+    // instantiates std::pair<std::string, Value>, which needs the
+    // complete type.
+    iterator begin();
+    iterator end();
+    const_iterator begin() const;
+    const_iterator end() const;
+
+    bool empty() const;
+    std::size_t size() const;
+    void clear();
+
+    iterator find(const std::string& key);
+    const_iterator find(const std::string& key) const;
+    std::size_t count(const std::string& key) const;
+
+    /** Field access; default-constructs a null value when missing. */
+    Value& operator[](const std::string& key);
+
+    /** Insert @p key unless present (std::map::emplace semantics). */
+    std::pair<iterator, bool> emplace(std::string key, Value v);
+
+    iterator erase(const_iterator pos);
+
+    bool operator==(const ValueObject& other) const;
+    bool operator!=(const ValueObject& other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    /** First position whose key is >= @p key (binary search). */
+    const_iterator lowerBound(const std::string& key) const;
+
+    std::vector<value_type> items_;
+};
 
 /** Sequence of values used for JSON-array payloads. */
 using ValueArray = std::vector<Value>;
@@ -39,39 +116,84 @@ using ValueArray = std::vector<Value>;
 class Value
 {
   public:
-    /** Discriminator for the stored alternative. */
-    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+    /**
+     * Discriminator for the stored alternative. The numeric order is
+     * part of the hash: hashInto() mixes the kind as the tag byte, so
+     * reordering entries would silently change every memoization key
+     * and committed-report hash.
+     */
+    enum class Kind : std::uint8_t
+    { Null, Bool, Int, Double, String, Array, Object };
 
     /** Construct a null value. */
-    Value() : data_(std::monostate{}) {}
+    Value() noexcept {}
     /** Construct a boolean value. */
-    Value(bool b) : data_(b) {}
+    Value(bool b) : kind_(Kind::Bool) { data_.b = b; }
     /** Construct an integer value. */
-    Value(std::int64_t i) : data_(i) {}
+    Value(std::int64_t i) : kind_(Kind::Int) { data_.i = i; }
     /** Construct an integer value from int (convenience). */
-    Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+    Value(int i) : kind_(Kind::Int) { data_.i = i; }
     /** Construct a floating point value. */
-    Value(double d) : data_(d) {}
+    Value(double d) : kind_(Kind::Double) { data_.d = d; }
     /** Construct a string value. */
-    Value(std::string s) : data_(std::move(s)) {}
+    Value(std::string s) : kind_(Kind::String)
+    {
+        ::new (&data_.s) std::string(std::move(s));
+    }
     /** Construct a string value from a C literal. */
-    Value(const char* s) : data_(std::string(s)) {}
+    Value(const char* s) : kind_(Kind::String)
+    {
+        ::new (&data_.s) std::string(s);
+    }
     /** Construct an array value. */
-    Value(ValueArray a) : data_(std::move(a)) {}
+    Value(ValueArray a) : kind_(Kind::Array)
+    {
+        ::new (&data_.arr) std::shared_ptr<ValueArray>(
+            std::make_shared<ValueArray>(std::move(a)));
+    }
     /** Construct an object value. */
-    Value(ValueObject o) : data_(std::move(o)) {}
+    Value(ValueObject o) : kind_(Kind::Object)
+    {
+        ::new (&data_.obj) std::shared_ptr<ValueObject>(
+            std::make_shared<ValueObject>(std::move(o)));
+    }
+
+    Value(const Value& other) { copyFrom(other); }
+    Value(Value&& other) noexcept { moveFrom(std::move(other)); }
+
+    Value&
+    operator=(const Value& other)
+    {
+        if (this != &other) {
+            destroyData();
+            copyFrom(other);
+        }
+        return *this;
+    }
+
+    Value&
+    operator=(Value&& other) noexcept
+    {
+        if (this != &other) {
+            destroyData();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    ~Value() { destroyData(); }
 
     /** Kind of the stored alternative. */
-    Kind kind() const;
+    Kind kind() const { return kind_; }
 
     /** @{ Type predicates. */
-    bool isNull() const { return kind() == Kind::Null; }
-    bool isBool() const { return kind() == Kind::Bool; }
-    bool isInt() const { return kind() == Kind::Int; }
-    bool isDouble() const { return kind() == Kind::Double; }
-    bool isString() const { return kind() == Kind::String; }
-    bool isArray() const { return kind() == Kind::Array; }
-    bool isObject() const { return kind() == Kind::Object; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool isDouble() const { return kind_ == Kind::Double; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
     /** @} */
 
     /**
@@ -130,14 +252,152 @@ class Value
     static Value array(std::initializer_list<Value> init);
 
   private:
-    using Storage = std::variant<std::monostate, bool, std::int64_t, double,
-                                 std::string, ValueArray, ValueObject>;
+    union Data
+    {
+        bool b;
+        std::int64_t i;
+        double d;
+        std::string s;
+        std::shared_ptr<ValueArray> arr;
+        std::shared_ptr<ValueObject> obj;
+
+        Data() noexcept {}
+        ~Data() {}
+    };
+
+    void destroyData() noexcept;
+    void copyFrom(const Value& other);
+    void moveFrom(Value&& other) noexcept;
+
+    /** Clone a shared array box before mutation (CoW). */
+    ValueArray& mutableArray();
+    /** Clone a shared object box before mutation (CoW). */
+    ValueObject& mutableObject();
 
     void hashInto(std::uint64_t& h) const;
     void printInto(std::string& out) const;
 
-    Storage data_;
+    Kind kind_ = Kind::Null;
+    Data data_;
 };
+
+inline ValueObject::ValueObject(std::initializer_list<value_type> init)
+{
+    items_.reserve(init.size());
+    for (const value_type& kv : init)
+        emplace(kv.first, kv.second);
+}
+
+inline ValueObject::iterator
+ValueObject::begin()
+{
+    return items_.data();
+}
+
+inline ValueObject::iterator
+ValueObject::end()
+{
+    return items_.data() + items_.size();
+}
+
+inline ValueObject::const_iterator
+ValueObject::begin() const
+{
+    return items_.data();
+}
+
+inline ValueObject::const_iterator
+ValueObject::end() const
+{
+    return items_.data() + items_.size();
+}
+
+inline bool
+ValueObject::empty() const
+{
+    return items_.empty();
+}
+
+inline std::size_t
+ValueObject::size() const
+{
+    return items_.size();
+}
+
+inline void
+ValueObject::clear()
+{
+    items_.clear();
+}
+
+inline std::size_t
+ValueObject::count(const std::string& key) const
+{
+    return find(key) == end() ? 0 : 1;
+}
+
+inline ValueObject::const_iterator
+ValueObject::lowerBound(const std::string& key) const
+{
+    return std::lower_bound(begin(), end(), key,
+                            [](const value_type& kv,
+                               const std::string& k) {
+                                return kv.first < k;
+                            });
+}
+
+inline ValueObject::iterator
+ValueObject::find(const std::string& key)
+{
+    const_iterator it = lowerBound(key);
+    if (it == end() || it->first != key)
+        return end();
+    return begin() + (it - begin());
+}
+
+inline ValueObject::const_iterator
+ValueObject::find(const std::string& key) const
+{
+    const_iterator it = lowerBound(key);
+    return it == end() || it->first != key ? end() : it;
+}
+
+inline Value&
+ValueObject::operator[](const std::string& key)
+{
+    const_iterator it = lowerBound(key);
+    const std::ptrdiff_t idx = it - begin();
+    if (it == end() || it->first != key)
+        items_.insert(items_.begin() + idx, value_type(key, Value()));
+    return items_[static_cast<std::size_t>(idx)].second;
+}
+
+inline std::pair<ValueObject::iterator, bool>
+ValueObject::emplace(std::string key, Value v)
+{
+    const_iterator it = lowerBound(key);
+    const std::ptrdiff_t idx = it - begin();
+    if (it != end() && it->first == key)
+        return {begin() + idx, false};
+    items_.insert(items_.begin() + idx,
+                  value_type(std::move(key), std::move(v)));
+    return {begin() + idx, true};
+}
+
+inline ValueObject::iterator
+ValueObject::erase(const_iterator pos)
+{
+    const std::ptrdiff_t idx = pos - begin();
+    items_.erase(items_.begin() + idx);
+    return begin() + idx;
+}
+
+inline bool
+ValueObject::operator==(const ValueObject& other) const
+{
+    return items_.size() == other.items_.size() &&
+           std::equal(begin(), end(), other.begin());
+}
 
 /** Stream-style printing helper for logs and test failure messages. */
 std::string toDisplayString(const Value& v);

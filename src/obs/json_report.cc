@@ -662,7 +662,9 @@ compareReports(const Value& baseline, const Value& candidate,
             oldX != 0.0 ? delta / std::fabs(oldX)
                         : std::numeric_limits<double>::infinity() *
                               (delta > 0 ? 1.0 : -1.0);
-        const double badness = higherBetter ? -rel : rel;
+        const double badness = opts.twoSided
+                                   ? std::fabs(rel)
+                                   : (higherBetter ? -rel : rel);
         const std::string line = strFormat(
             "%s: %g -> %g (%+.2f%%, %s is better)", name.c_str(), oldX,
             newX, rel * 100.0, higherBetter ? "higher" : "lower");

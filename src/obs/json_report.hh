@@ -104,11 +104,20 @@ struct CompareOptions
 {
     /**
      * Allowed relative change of a metric in its bad direction
-     * (0.05 = 5%). Changes in the good direction never fail.
+     * (0.05 = 5%). Changes in the good direction never fail unless
+     * @ref twoSided is set.
      */
     double relTolerance = 0.05;
     /** Ignore changes smaller than this in absolute value. */
     double absTolerance = 1e-9;
+    /**
+     * Treat any change beyond the tolerances as a failure, regardless
+     * of direction. This is what identity gates want: the metrics are
+     * the deterministic fingerprint of a run (event counts, ticks),
+     * where drifting "better" is just as much a behaviour change as
+     * drifting worse.
+     */
+    bool twoSided = false;
 };
 
 /** Outcome of comparing a candidate report against a baseline. */

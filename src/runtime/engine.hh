@@ -12,14 +12,19 @@
 #define SPECFAAS_RUNTIME_ENGINE_HH
 
 #include <cstddef>
-#include <functional>
 #include <string>
 
+#include "common/inline_function.hh"
 #include "common/types.hh"
 #include "common/value.hh"
 #include "workflow/workflow.hh"
 
 namespace specfaas {
+
+struct InvocationResult;
+
+/** Completion callback for one end-to-end request. */
+using ResultCallback = InlineFunction<void(InvocationResult), 72>;
 
 /** Outcome and accounting of one end-to-end application request. */
 struct InvocationResult
@@ -82,7 +87,7 @@ class WorkflowEngine
      * be in flight concurrently.
      */
     virtual void invoke(const Application& app, Value input,
-                        std::function<void(InvocationResult)> done) = 0;
+                        ResultCallback done) = 0;
 
     /** Engine name for reports. */
     virtual std::string name() const = 0;

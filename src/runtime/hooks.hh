@@ -14,14 +14,24 @@
 #ifndef SPECFAAS_RUNTIME_HOOKS_HH
 #define SPECFAAS_RUNTIME_HOOKS_HH
 
-#include <functional>
 #include <string>
 
+#include "common/inline_function.hh"
 #include "common/value.hh"
 #include "fault/fault_types.hh"
 #include "runtime/instance.hh"
 
 namespace specfaas {
+
+/**
+ * @{ Hook completion callbacks. Small-buffer move-only callables: the
+ * interpreter's continuations capture an instance pointer and a few
+ * words of state, so they ride inline and the per-interception heap
+ * allocation std::function used to pay is gone.
+ */
+using ValueCallback = InlineFunction<void(Value), 72>;
+using DoneCallback = InlineFunction<void(), 72>;
+/** @} */
 
 /** Controller-side handlers for intercepted runtime operations. */
 class RuntimeHooks
@@ -35,12 +45,12 @@ class RuntimeHooks
      */
     virtual void storageGet(const InstancePtr& inst,
                             const std::string& key,
-                            std::function<void(Value)> done) = 0;
+                            ValueCallback done) = 0;
 
     /** Intercepted global-storage write. */
     virtual void storagePut(const InstancePtr& inst,
                             const std::string& key, Value value,
-                            std::function<void()> done) = 0;
+                            DoneCallback done) = 0;
 
     /**
      * Intercepted subroutine call (implicit workflows, §II-C). The
@@ -49,14 +59,14 @@ class RuntimeHooks
     virtual void functionCall(const InstancePtr& inst,
                               std::size_t call_site,
                               const std::string& callee, Value args,
-                              std::function<void(Value)> done) = 0;
+                              ValueCallback done) = 0;
 
     /**
      * Intercepted external HTTP request (sendto, §VI). Speculative
      * instances are suspended until they turn non-speculative.
      */
     virtual void httpRequest(const InstancePtr& inst,
-                             std::function<void()> done) = 0;
+                             DoneCallback done) = 0;
 
     /** The handler finished its body and produced @p output. */
     virtual void completed(const InstancePtr& inst, Value output) = 0;

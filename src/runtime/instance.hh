@@ -23,6 +23,7 @@
 
 #include "cluster/node.hh"
 #include "common/rng.hh"
+#include "common/small_vector.hh"
 #include "common/types.hh"
 #include "common/value.hh"
 #include "workflow/flow_program.hh"
@@ -40,7 +41,7 @@ struct Container;
  * caller's key, placing it immediately after the caller and before
  * the caller's later callees): [2] < [2,0] < [2,0,1] < [2,1] < [3].
  */
-using OrderKey = std::vector<std::int32_t>;
+using OrderKey = SmallVector<std::int32_t, 8>;
 
 /** Lexicographic comparison; a proper prefix orders first. */
 bool orderKeyLess(const OrderKey& a, const OrderKey& b);

@@ -1,5 +1,7 @@
 #include "event_queue.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
 
 namespace specfaas {
@@ -33,11 +35,68 @@ EventQueue::scheduleEntry(Tick when, Callback cb, bool daemon)
                     static_cast<long long>(when),
                     static_cast<long long>(now_));
     const EventId id = nextId_++;
-    queue_.push(Entry{when, nextSeq_++, id, std::move(cb)});
+    Callback* slot = pool_.create(std::move(cb));
+    heapPush(Item{when, id, slot});
     states_.push_back(State::Pending);
+    maybeCompact();
     if (daemon)
         daemonIds_.push_back(id);
     return id;
+}
+
+void
+EventQueue::heapPush(Item item)
+{
+    heap_.push_back(item);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!earlier(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::heapPop()
+{
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    while (true) {
+        const std::size_t left = 2 * i + 1;
+        std::size_t smallest = i;
+        if (left < n && earlier(heap_[left], heap_[smallest]))
+            smallest = left;
+        if (left + 1 < n && earlier(heap_[left + 1], heap_[smallest]))
+            smallest = left + 1;
+        if (smallest == i)
+            break;
+        std::swap(heap_[i], heap_[smallest]);
+        i = smallest;
+    }
+}
+
+void
+EventQueue::maybeCompact()
+{
+    while (donePrefix_ < states_.size() &&
+           states_[donePrefix_] == State::Done)
+        ++donePrefix_;
+    // Compact only when the resolved prefix dominates the window, so
+    // the erase (which shifts the tail down) is amortized O(1) per
+    // scheduled event.
+    constexpr std::size_t kCompactMin = 1024;
+    if (donePrefix_ >= kCompactMin &&
+        donePrefix_ * 2 >= states_.size()) {
+        states_.erase(states_.begin(),
+                      states_.begin() +
+                          static_cast<std::ptrdiff_t>(donePrefix_));
+        baseId_ += donePrefix_;
+        donePrefix_ = 0;
+    }
 }
 
 bool
@@ -56,12 +115,13 @@ EventQueue::dropDaemonId(EventId id)
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == 0 || id >= nextId_ ||
-        states_[id - 1] != State::Pending)
+    // Ids below the window base are resolved; id 0 is never issued
+    // (baseId_ starts at 1).
+    if (id < baseId_ || id >= nextId_ || stateOf(id) != State::Pending)
         return false;
-    // Lazily cancelled: the entry stays in the heap and is skipped
-    // when popped.
-    states_[id - 1] = State::Cancelled;
+    // Lazily cancelled: the heap item stays queued and is skipped
+    // (and its slot reclaimed) when popped.
+    stateOf(id) = State::Cancelled;
     ++cancelledPending_;
     if (!daemonIds_.empty())
         dropDaemonId(id);
@@ -71,32 +131,32 @@ EventQueue::cancel(EventId id)
 bool
 EventQueue::empty() const
 {
-    return queue_.size() == cancelledPending_;
+    return heap_.size() == cancelledPending_;
 }
 
 bool
 EventQueue::runOne()
 {
-    while (!queue_.empty()) {
-        // const_cast to move the callback out; the entry is popped
-        // immediately after, so the heap invariant is unaffected.
-        auto& top = const_cast<Entry&>(queue_.top());
-        const Tick when = top.when;
-        const EventId id = top.id;
-        Callback cb = std::move(top.cb);
-        queue_.pop();
+    while (!heap_.empty()) {
+        const Item top = heap_.front();
+        heapPop();
 
-        if (states_[id - 1] == State::Cancelled) {
-            states_[id - 1] = State::Done;
+        if (stateOf(top.id) == State::Cancelled) {
+            stateOf(top.id) = State::Done;
             --cancelledPending_;
+            pool_.destroy(top.slot);
             continue;
         }
 
-        now_ = when;
-        states_[id - 1] = State::Done;
+        now_ = top.when;
+        stateOf(top.id) = State::Done;
         if (!daemonIds_.empty())
-            dropDaemonId(id);
+            dropDaemonId(top.id);
         ++executed_;
+        // Move the callback out and recycle the slot before invoking,
+        // so events scheduled from inside the callback can reuse it.
+        Callback cb = std::move(*top.slot);
+        pool_.destroy(top.slot);
         cb();
         return true;
     }
@@ -117,12 +177,13 @@ void
 EventQueue::runUntil(Tick until)
 {
     SPECFAAS_ASSERT(until >= now_, "runUntil into the past");
-    while (!queue_.empty()) {
-        const auto& top = queue_.top();
-        if (states_[top.id - 1] == State::Cancelled) {
-            states_[top.id - 1] = State::Done;
+    while (!heap_.empty()) {
+        const Item top = heap_.front();
+        if (stateOf(top.id) == State::Cancelled) {
+            stateOf(top.id) = State::Done;
             --cancelledPending_;
-            queue_.pop();
+            pool_.destroy(top.slot);
+            heapPop();
             continue;
         }
         if (top.when > until)

@@ -7,6 +7,13 @@
  * timestamp order. Events are cancellable, which the SpecFaaS
  * controller relies on to squash in-flight speculative work (pending
  * storage completions, compute completions, launch timers).
+ *
+ * Hot-path layout: the binary heap holds 24-byte POD items
+ * {when, id, slot}, so percolation is plain word copies. Callbacks
+ * live in slab-pooled slots (see common/arena.hh) addressed by the
+ * heap item, and the callback type itself has inline storage
+ * (common/inline_function.hh), so scheduling an event touches the
+ * general-purpose heap only when a capture exceeds the inline buffer.
  */
 
 #ifndef SPECFAAS_SIM_EVENT_QUEUE_HH
@@ -14,10 +21,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/arena.hh"
+#include "common/inline_function.hh"
 #include "common/types.hh"
 
 namespace specfaas {
@@ -31,7 +38,7 @@ namespace specfaas {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFunction<void(), 112>;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
@@ -83,49 +90,46 @@ class EventQueue
     /** Number of pending (uncancelled) events, daemons included. */
     std::size_t pendingCount() const
     {
-        return queue_.size() - cancelledPending_;
+        return heap_.size() - cancelledPending_;
     }
 
     /** Pending non-daemon events (what keeps run() alive). */
     std::size_t pendingWorkCount() const
     {
-        return queue_.size() - cancelledPending_ - daemonIds_.size();
+        return heap_.size() - cancelledPending_ - daemonIds_.size();
     }
 
     /** Total number of events executed so far. */
     std::uint64_t executedCount() const { return executed_; }
 
+    /**
+     * Width of the per-id state window (testing/diagnostics). Stays
+     * proportional to the span of ids with undecided outcomes, not to
+     * the total number of events ever scheduled.
+     */
+    std::size_t stateWindowSize() const { return states_.size(); }
+
   private:
-    struct Entry
+    /** POD heap item; the callback lives in the pooled slot. */
+    struct Item
     {
         Tick when;
-        std::uint64_t seq; // FIFO tie-break for equal timestamps
-        EventId id;
-        // Callback lives outside the priority queue Entry to keep
-        // heap operations cheap? No: kept inline; std::function moves
-        // are fine for the simulated workloads.
-        Callback cb;
-    };
-
-    struct Later
-    {
-        bool
-        operator()(const Entry& a, const Entry& b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        EventId id; ///< monotonic, doubles as the FIFO tie-break
+        Callback* slot;
     };
 
     /**
-     * Lifecycle of one scheduled id. Stored densely (ids are
-     * monotonic from 1), so schedule/cancel/fire cost a byte access
-     * instead of hash-set operations on the hot path. One byte per
-     * event ever scheduled, bounded by the simulation's lifetime.
-     * Only Pending ids are cancellable: accepting an already-fired
-     * (or already-cancelled) id would grow cancelledPending_ with no
-     * matching heap entry and underflow pendingCount().
+     * Lifecycle of one scheduled id. Ids are monotonic from 1 and
+     * stored densely in a window starting at baseId_: every id below
+     * the window is resolved (Done), so schedule/cancel/fire cost a
+     * byte access instead of hash-set operations on the hot path.
+     * Once the resolved prefix of the window grows past half its
+     * width it is compacted away (epoch base + dense tail), keeping
+     * memory proportional to the in-flight id span instead of one
+     * byte per event ever scheduled. Only Pending ids are
+     * cancellable: accepting an already-fired (or already-cancelled)
+     * id would grow cancelledPending_ with no matching heap entry and
+     * underflow pendingCount().
      */
     enum class State : std::uint8_t { Pending, Cancelled, Done };
 
@@ -134,12 +138,27 @@ class EventQueue
     /** Remove @p id from daemonIds_ if present. */
     bool dropDaemonId(EventId id);
 
+    State& stateOf(EventId id) { return states_[id - baseId_]; }
+
+    static bool
+    earlier(const Item& a, const Item& b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.id < b.id;
+    }
+
+    void heapPush(Item item);
+    void heapPop();
+    void maybeCompact();
+
     Tick now_ = 0;
-    std::uint64_t nextSeq_ = 0;
     EventId nextId_ = 1;
+    EventId baseId_ = 1; ///< id of states_[0]; all lower ids are Done
     std::uint64_t executed_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-    std::vector<State> states_; ///< indexed by id - 1
+    std::vector<Item> heap_;
+    std::vector<State> states_; ///< indexed by id - baseId_
+    std::size_t donePrefix_ = 0; ///< known-resolved prefix of states_
     std::size_t cancelledPending_ = 0;
     /**
      * Ids of pending daemon events. Daemons are rare (a handful of
@@ -148,6 +167,7 @@ class EventQueue
      * empty()-check instead of a per-id side table.
      */
     std::vector<EventId> daemonIds_;
+    SlabPool<Callback, 64> pool_;
 };
 
 } // namespace specfaas

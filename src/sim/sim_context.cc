@@ -41,12 +41,6 @@ defaultSimContext()
     return context;
 }
 
-SimContext&
-Simulation::context() const
-{
-    return context_ != nullptr ? *context_ : defaultSimContext();
-}
-
 namespace obs {
 
 TraceRecorder&

@@ -19,6 +19,9 @@ namespace specfaas {
 class FaultInjector;
 class SimContext;
 
+/** Process-global default context (sim/sim_context.cc). */
+SimContext& defaultSimContext();
+
 /**
  * Root object of one simulated experiment run.
  *
@@ -37,7 +40,8 @@ class Simulation
      */
     explicit Simulation(std::uint64_t seed = 1,
                         SimContext* context = nullptr)
-        : seed_(seed), rng_(seed), context_(context)
+        : seed_(seed), rng_(seed),
+          context_(context != nullptr ? context : &defaultSimContext())
     {}
 
     Simulation(const Simulation&) = delete;
@@ -72,10 +76,12 @@ class Simulation
      * The per-simulation mutable-state context: id sources, trace
      * recorder, counters, sampler archive. Components reach all
      * observability through here so concurrent simulations never
-     * share state. Defined out of line (sim/sim_context.cc) so this
-     * header needs only the forward declaration.
+     * share state. Resolved once at construction (null → the
+     * process-global default) so this accessor is a plain inline
+     * load — it sits in front of every tracing enabled() check on
+     * the hot path.
      */
-    SimContext& context() const;
+    SimContext& context() const { return *context_; }
 
   private:
     std::uint64_t seed_;

@@ -88,7 +88,7 @@ SpecController::SpecInvocation*
 SpecController::find(InvocationId id)
 {
     auto it = live_.find(id);
-    return it == live_.end() ? nullptr : it->second.get();
+    return it == live_.end() ? nullptr : it->second;
 }
 
 SpecController::SpecInvocation&
@@ -152,7 +152,7 @@ SpecController::speculativeInFlight() const
 
 void
 SpecController::invoke(const Application& app, Value input,
-                       std::function<void(InvocationResult)> done)
+                       ResultCallback done)
 {
     const InvocationId id = sim_.context().nextInvocationId();
 
@@ -179,7 +179,7 @@ SpecController::invoke(const Application& app, Value input,
                    obs::kControlPlanePid, id, {{"app", app.name}});
     }
 
-    auto inv = std::make_unique<SpecInvocation>();
+    SpecInvocation* inv = invPool_.create();
     inv->app = &app;
     inv->done = std::move(done);
     inv->result.id = id;
@@ -187,7 +187,7 @@ SpecController::invoke(const Application& app, Value input,
     inv->result.submittedAt = sim_.now();
     inv->buffer = std::make_unique<DataBuffer>(store_);
     SpecInvocation& ref = *inv;
-    live_[id] = std::move(inv);
+    live_[id] = inv;
 
     if (app.type == WorkflowType::Explicit) {
         ref.program = &compiled(app);
@@ -707,7 +707,7 @@ SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
         std::size_t callSite;
         std::string function;
         Value input;
-        std::function<void(Value)> returnTo;
+        ValueCallback returnTo;
     };
     std::vector<Relaunch> relaunches;
 
@@ -1428,19 +1428,24 @@ SpecController::finish(SpecInvocation& inv)
     }
     auto it = live_.find(inv.result.id);
     SPECFAAS_ASSERT(it != live_.end(), "finishing unknown invocation");
-    auto owned = std::move(it->second);
+    SpecInvocation* owned = it->second;
     live_.erase(it);
     // `inv` aliases *owned, and frames up the completion stack still
     // hold references to it (e.g. onExplicitComplete's tail after a
-    // resumeBlockedOn that walked into this finish). Park the owner
-    // and free it at the event-loop boundary; `finished` (set above)
-    // turns every later touch from those frames into a no-op. The
-    // daemon event never keeps the simulation alive.
+    // resumeBlockedOn that walked into this finish). Park the record
+    // and recycle it into the pool at the event-loop boundary;
+    // `finished` (set above) turns every later touch from those
+    // frames into a no-op. The daemon event never keeps the
+    // simulation alive.
     auto done = std::move(owned->done);
     auto result = std::move(owned->result);
-    graveyard_.push_back(std::move(owned));
+    graveyard_.push_back(owned);
     if (graveyard_.size() == 1) {
-        sim_.events().scheduleDaemon(0, [this] { graveyard_.clear(); });
+        sim_.events().scheduleDaemon(0, [this] {
+            for (SpecInvocation* p : graveyard_)
+                invPool_.destroy(p);
+            graveyard_.clear();
+        });
     }
     done(std::move(result));
 }
@@ -1544,7 +1549,7 @@ SpecController::resumeParkedReads(SpecInvocation& inv)
 void
 SpecController::performRead(SpecInvocation& inv, const InstancePtr& inst,
                             const std::string& key,
-                            std::function<void(Value)> done)
+                            ValueCallback done)
 {
     BufferReadResult r = inv.buffer->read(inst->id, key);
     if (r.forwarded) {
@@ -1562,7 +1567,8 @@ SpecController::performRead(SpecInvocation& inv, const InstancePtr& inst,
         return;
     }
     sim_.events().schedule(store_.latency().readLatency,
-                           [this, key, done = std::move(done)]() {
+                           [this, key,
+                            done = std::move(done)]() mutable {
                                auto v = store_.get(key);
                                done(v ? std::move(*v) : Value());
                            });
@@ -1570,7 +1576,7 @@ SpecController::performRead(SpecInvocation& inv, const InstancePtr& inst,
 
 void
 SpecController::storageGet(const InstancePtr& inst, const std::string& key,
-                           std::function<void(Value)> done)
+                           ValueCallback done)
 {
     SpecInvocation& inv = invocationOf(inst);
     Slot* slot = slotOf(inv, inst);
@@ -1634,7 +1640,7 @@ SpecController::storageGet(const InstancePtr& inst, const std::string& key,
 
 void
 SpecController::storagePut(const InstancePtr& inst, const std::string& key,
-                           Value value, std::function<void()> done)
+                           Value value, DoneCallback done)
 {
     SpecInvocation& inv = invocationOf(inst);
     Slot* slot = slotOf(inv, inst);
@@ -1718,12 +1724,12 @@ SpecController::storagePut(const InstancePtr& inst, const std::string& key,
     resumeParkedReads(inv);
 
     sim_.events().schedule(cluster_.config().controllerMsgLatency,
-                           [done = std::move(done)]() { done(); });
+                           [done = std::move(done)]() mutable { done(); });
 }
 
 void
 SpecController::httpRequest(const InstancePtr& inst,
-                            std::function<void()> done)
+                            DoneCallback done)
 {
     SpecInvocation& inv = invocationOf(inst);
     Slot* slot = slotOf(inv, inst);
@@ -1753,7 +1759,7 @@ SpecController::launchCalleeSlot(SpecInvocation& inv,
                                  std::size_t call_site,
                                  const std::string& callee, Value args,
                                  InputSource source, bool call_predicted,
-                                 std::function<void(Value)> return_to)
+                                 ValueCallback return_to)
 {
     auto cit = inv.byInstance.find(caller->id);
     SPECFAAS_ASSERT(cit != inv.byInstance.end(), "call from unslotted");
@@ -1777,7 +1783,8 @@ SpecController::launchCalleeSlot(SpecInvocation& inv,
     slot.callerId = caller->id;
     slot.callSite = call_site;
     slot.callPredictionMade = call_predicted;
-    slot.adopted = source == InputSource::Actual && return_to != nullptr;
+    slot.adopted =
+        source == InputSource::Actual && static_cast<bool>(return_to);
     slot.returnTo = std::move(return_to);
 
     LaunchSpec spec;
@@ -1915,7 +1922,7 @@ void
 SpecController::functionCall(const InstancePtr& inst,
                              std::size_t call_site,
                              const std::string& callee, Value args,
-                             std::function<void(Value)> done)
+                             ValueCallback done)
 {
     SpecInvocation& inv = invocationOf(inst);
     inst->observedCallArgs[call_site] = args;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "common/arena.hh"
 #include "obs/counter_registry.hh"
 #include "runtime/engine.hh"
 #include "runtime/hooks.hh"
@@ -81,20 +82,20 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     ~SpecController() override;
 
     void invoke(const Application& app, Value input,
-                std::function<void(InvocationResult)> done) override;
+                ResultCallback done) override;
 
     std::string name() const override { return "specfaas"; }
 
     /** @{ RuntimeHooks. */
     void storageGet(const InstancePtr& inst, const std::string& key,
-                    std::function<void(Value)> done) override;
+                    ValueCallback done) override;
     void storagePut(const InstancePtr& inst, const std::string& key,
-                    Value value, std::function<void()> done) override;
+                    Value value, DoneCallback done) override;
     void functionCall(const InstancePtr& inst, std::size_t call_site,
                       const std::string& callee, Value args,
-                      std::function<void(Value)> done) override;
+                      ValueCallback done) override;
     void httpRequest(const InstancePtr& inst,
-                     std::function<void()> done) override;
+                     DoneCallback done) override;
     void completed(const InstancePtr& inst, Value output) override;
     void crashed(const InstancePtr& inst, FaultKind kind) override;
     /** @} */
@@ -176,11 +177,11 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
         std::size_t callSite = 0;
         bool adopted = false;
         bool callPredictionMade = false;
-        std::function<void(Value)> returnTo;
+        ValueCallback returnTo;
         /** @} */
 
         /** Parked side-effect continuations (§VI). */
-        std::vector<std::function<void()>> parkedEffects;
+        std::vector<DoneCallback> parkedEffects;
         bool nonSpeculative = false;
 
         /** Merged callees awaiting this slot's commit. */
@@ -227,7 +228,7 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
         std::uint64_t epoch;
         std::string key;
         std::string producer;
-        std::function<void(Value)> done;
+        ValueCallback done;
     };
 
     struct SpecInvocation
@@ -235,7 +236,7 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
         InvocationResult result;
         const Application* app = nullptr;
         const FlowProgram* program = nullptr;
-        std::function<void(InvocationResult)> done;
+        ResultCallback done;
 
         std::map<OrderKey, Slot, OrderLess> slots;
         std::unordered_map<InstanceId, OrderKey> byInstance;
@@ -322,8 +323,8 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
         bool finished = false;
     };
 
-    using InvMap =
-        std::unordered_map<InvocationId, std::unique_ptr<SpecInvocation>>;
+    /** Values are owned by invPool_, not the map. */
+    using InvMap = std::unordered_map<InvocationId, SpecInvocation*>;
 
     /** Learned implicit call graph (part of the Sequence Table). */
     struct CallSiteInfo
@@ -355,7 +356,7 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
                           std::size_t call_site,
                           const std::string& callee, Value args,
                           InputSource source, bool call_predicted,
-                          std::function<void(Value)> return_to);
+                          ValueCallback return_to);
     /** @} */
 
     /**
@@ -393,7 +394,7 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     void resumeDepthBlocked(SpecInvocation& inv);
     void performRead(SpecInvocation& inv, const InstancePtr& inst,
                      const std::string& key,
-                     std::function<void(Value)> done);
+                     ValueCallback done);
     void updateTablesAtCommit(SpecInvocation& inv, Slot& slot);
     void accountCommitted(SpecInvocation& inv, Slot& slot);
     void finish(SpecInvocation& inv);
@@ -448,6 +449,14 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     std::map<std::pair<std::string, std::size_t>, CallSiteInfo>
         callGraph_;
 
+    /**
+     * Arena for invocation records. Invocations churn at request
+     * rate; pooling them recycles their (large) footprint through a
+     * freelist instead of the heap, and anything still live when the
+     * controller dies is destroyed with the pool.
+     */
+    SlabPool<SpecInvocation, 16> invPool_;
+
     InvMap live_;
 
     /**
@@ -455,11 +464,11 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
      * current event: frames up the completion stack (completed() →
      * resumeBlockedOn() → walk() → tryCommit() → finish()) still hold
      * references into the invocation when finish() runs, so freeing
-     * it immediately is a use-after-free. finish() parks the owner
-     * here and a daemon event frees it at the event-loop boundary,
-     * where no such frame can exist.
+     * it immediately is a use-after-free. finish() parks the record
+     * here and a daemon event recycles it into invPool_ at the
+     * event-loop boundary, where no such frame can exist.
      */
-    std::vector<std::unique_ptr<SpecInvocation>> graveyard_;
+    std::vector<SpecInvocation*> graveyard_;
 
     std::unordered_map<const Application*, FlowProgram> programs_;
 };

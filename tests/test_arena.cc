@@ -1,0 +1,113 @@
+/** @file Unit tests for the slab-backed object pool. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/arena.hh"
+
+namespace specfaas {
+namespace {
+
+struct Tracked
+{
+    static int liveObjects;
+    std::string payload;
+
+    explicit Tracked(std::string p) : payload(std::move(p))
+    {
+        ++liveObjects;
+    }
+    ~Tracked() { --liveObjects; }
+};
+
+int Tracked::liveObjects = 0;
+
+TEST(SlabPool, CreateDestroyRoundTrip)
+{
+    Tracked::liveObjects = 0;
+    SlabPool<Tracked, 4> pool;
+    Tracked* t = pool.create("hello");
+    EXPECT_EQ(t->payload, "hello");
+    EXPECT_EQ(pool.liveCount(), 1u);
+    EXPECT_EQ(Tracked::liveObjects, 1);
+    pool.destroy(t);
+    EXPECT_EQ(pool.liveCount(), 0u);
+    EXPECT_EQ(Tracked::liveObjects, 0);
+}
+
+TEST(SlabPool, RecyclesDestroyedSlots)
+{
+    SlabPool<Tracked, 4> pool;
+    Tracked* a = pool.create("a");
+    pool.destroy(a);
+    Tracked* b = pool.create("b");
+    EXPECT_EQ(static_cast<void*>(a), static_cast<void*>(b))
+        << "freelist must hand back the recycled slot";
+    EXPECT_EQ(b->payload, "b");
+    EXPECT_EQ(pool.slabCount(), 1u);
+    pool.destroy(b);
+}
+
+TEST(SlabPool, GrowsByWholeSlabs)
+{
+    SlabPool<Tracked, 4> pool;
+    std::set<void*> addrs;
+    Tracked* objs[9];
+    for (int i = 0; i < 9; ++i) {
+        objs[i] = pool.create(std::to_string(i));
+        addrs.insert(objs[i]);
+    }
+    EXPECT_EQ(addrs.size(), 9u) << "live objects at distinct slots";
+    EXPECT_EQ(pool.slabCount(), 3u) << "9 objects at 4 per slab";
+    EXPECT_EQ(pool.liveCount(), 9u);
+    // Pointers are stable across further growth.
+    const std::string before = objs[0]->payload;
+    for (int i = 0; i < 20; ++i)
+        pool.create("x");
+    EXPECT_EQ(objs[0]->payload, before);
+}
+
+TEST(SlabPool, DestructorReleasesSurvivors)
+{
+    Tracked::liveObjects = 0;
+    {
+        SlabPool<Tracked, 4> pool;
+        for (int i = 0; i < 7; ++i)
+            pool.create("s");
+        Tracked* gone = pool.create("gone");
+        pool.destroy(gone);
+        EXPECT_EQ(Tracked::liveObjects, 7);
+    }
+    EXPECT_EQ(Tracked::liveObjects, 0)
+        << "pool teardown must run destructors of live objects only";
+}
+
+TEST(SlabPool, StressInterleavedCreateDestroy)
+{
+    Tracked::liveObjects = 0;
+    SlabPool<Tracked, 8> pool;
+    std::vector<Tracked*> live;
+    // Deterministic churn: grow to 100, shrink to 50, regrow to 120.
+    for (int i = 0; i < 100; ++i)
+        live.push_back(pool.create(std::to_string(i)));
+    for (int i = 0; i < 50; ++i) {
+        pool.destroy(live.back());
+        live.pop_back();
+    }
+    const std::size_t slabsAfterShrink = pool.slabCount();
+    // Exactly the 50 freed slots: regrowth must recycle, not carve.
+    for (int i = 0; i < 50; ++i)
+        live.push_back(pool.create("r"));
+    EXPECT_EQ(pool.slabCount(), slabsAfterShrink)
+        << "regrowth into freed slots must not allocate new slabs";
+    EXPECT_EQ(pool.liveCount(), live.size());
+    EXPECT_EQ(Tracked::liveObjects, static_cast<int>(live.size()));
+    for (Tracked* t : live)
+        pool.destroy(t);
+    EXPECT_EQ(Tracked::liveObjects, 0);
+}
+
+} // namespace
+} // namespace specfaas

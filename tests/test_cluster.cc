@@ -103,7 +103,7 @@ TEST(ContainerPool, WarmAcquireIsFast)
                                           const AcquireTiming& t) {
         ready_at = sim.now();
         EXPECT_EQ(t.containerCreation, 0);
-        EXPECT_EQ(c.function, "f");
+        EXPECT_EQ(c.function(), "f");
     });
     sim.events().run();
     EXPECT_EQ(ready_at, cluster.config().handlerForkOverhead);

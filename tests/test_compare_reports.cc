@@ -94,6 +94,30 @@ TEST(CompareReportFiles, ImprovementWithinToleranceExitsZero)
     EXPECT_TRUE(contains(out, "note       latency_ms")) << out;
 }
 
+TEST(CompareReportFiles, TwoSidedFailsOnGoodDirectionDrift)
+{
+    // Identity gates compare deterministic fingerprints: a metric
+    // drifting in its "good" direction is still a behaviour change.
+    const std::string base =
+        writeReport(simpleReport(10.0, 500.0), "crf_two_a.json");
+    const std::string cand =
+        writeReport(simpleReport(10.0, 600.0), "crf_two_b.json");
+    CompareOptions opts;
+    opts.relTolerance = 0.0;
+    std::string out;
+    EXPECT_EQ(obs::compareReportFiles(base, cand, opts, &out), 0)
+        << "one-sided: improvement passes\n"
+        << out;
+    opts.twoSided = true;
+    EXPECT_EQ(obs::compareReportFiles(base, cand, opts, &out), 1)
+        << "two-sided: any drift fails\n"
+        << out;
+    EXPECT_TRUE(contains(out, "REGRESSION throughput_rps")) << out;
+
+    // Unchanged reports still pass in two-sided mode.
+    EXPECT_EQ(obs::compareReportFiles(base, base, opts, &out), 0);
+}
+
 TEST(CompareReportFiles, MetricMissingFromCandidateExitsOne)
 {
     JsonReport cand("bench_x");

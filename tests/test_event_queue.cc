@@ -222,6 +222,103 @@ TEST(EventQueue, ExecutedCount)
     EXPECT_EQ(q.executedCount(), 2u);
 }
 
+TEST(EventQueue, RunUntilSkipsCancelledDaemonsBeyondUntil)
+{
+    // A cancelled daemon whose timestamp lies past `until` must not
+    // stop runUntil() from reaching `until`, and its lazily-queued
+    // heap entry must be reclaimed rather than counted as pending.
+    EventQueue q;
+    bool fired = false;
+    const EventId d = q.scheduleDaemon(50, [&]() { fired = true; });
+    q.schedule(10, []() {});
+    EXPECT_TRUE(q.cancel(d));
+    q.runUntil(20);
+    EXPECT_EQ(q.now(), 20);
+    EXPECT_FALSE(fired);
+    q.runUntil(100);
+    EXPECT_EQ(q.now(), 100);
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pendingCount(), 0u);
+}
+
+TEST(EventQueue, DaemonFireAndCancelAccounting)
+{
+    // pendingWorkCount() must not drift when daemons are cancelled
+    // before firing, fire normally, or are cancelled after other
+    // daemons fired (exercising the daemon-id list compaction).
+    EventQueue q;
+    const EventId d1 = q.scheduleDaemon(5, []() {});
+    const EventId d2 = q.scheduleDaemon(6, []() {});
+    const EventId d3 = q.scheduleDaemon(7, []() {});
+    q.schedule(10, []() {});
+    EXPECT_EQ(q.pendingCount(), 4u);
+    EXPECT_EQ(q.pendingWorkCount(), 1u);
+
+    EXPECT_TRUE(q.cancel(d2));
+    EXPECT_EQ(q.pendingCount(), 3u);
+    EXPECT_EQ(q.pendingWorkCount(), 1u);
+
+    q.runUntil(5); // d1 fires
+    EXPECT_EQ(q.pendingCount(), 2u);
+    EXPECT_EQ(q.pendingWorkCount(), 1u);
+    EXPECT_FALSE(q.cancel(d1)) << "fired daemon must not cancel";
+
+    EXPECT_TRUE(q.cancel(d3));
+    EXPECT_EQ(q.pendingCount(), 1u);
+    EXPECT_EQ(q.pendingWorkCount(), 1u);
+
+    q.run();
+    EXPECT_EQ(q.pendingWorkCount(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilReclaimsCancelledEntriesPastUntil)
+{
+    // Lazily-cancelled one-shots sitting beyond `until` at the top of
+    // the heap are popped and resolved by runUntil() instead of
+    // blocking on the timestamp check.
+    EventQueue q;
+    std::vector<EventId> ids;
+    for (Tick t = 100; t < 110; ++t)
+        ids.push_back(q.schedule(t, []() {}));
+    for (EventId id : ids)
+        EXPECT_TRUE(q.cancel(id));
+    EXPECT_EQ(q.pendingCount(), 0u);
+    EXPECT_TRUE(q.empty());
+    q.runUntil(50);
+    EXPECT_EQ(q.now(), 50);
+    EXPECT_EQ(q.executedCount(), 0u);
+    // All heap entries were reclaimed, so running further does
+    // nothing and time only moves via runUntil.
+    EXPECT_FALSE(q.runOne());
+    EXPECT_EQ(q.now(), 50);
+}
+
+TEST(EventQueue, StateWindowStaysBoundedUnderChurn)
+{
+    // The per-id state window must track the span of unresolved ids,
+    // not the total number of events ever scheduled: a long-running
+    // simulation that schedules millions of events may never grow it
+    // past the compaction threshold plus the in-flight span.
+    EventQueue q;
+    std::uint64_t remaining = 200000;
+    std::function<void()> fire = [&]() {
+        if (remaining == 0)
+            return;
+        --remaining;
+        q.schedule(1, [&]() { fire(); });
+        if ((remaining & 3) == 0)
+            q.cancel(q.schedule(2, []() {}));
+    };
+    q.schedule(1, [&]() { fire(); });
+    q.run();
+    EXPECT_EQ(remaining, 0u);
+    // Window = compaction threshold (1024) + a small in-flight tail;
+    // anything near the 250k ids ever issued means compaction broke.
+    EXPECT_LT(q.stateWindowSize(), 5000u);
+}
+
 TEST(Simulation, ForkedRngsDifferButAreReproducible)
 {
     Simulation a(99);

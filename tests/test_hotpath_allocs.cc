@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Allocation-count regression tests for the engine hot path.
+ *
+ * The PR that introduced these tests moved event callbacks, order
+ * keys, values and container slots off the general-purpose heap
+ * (inline callables, slab pools, small-buffer vectors, CoW values).
+ * These tests pin that work: a steady-state kernel loop must be
+ * allocation-free, and a full engine run with tracing disabled must
+ * stay under a per-event allocation budget with room to spare. A
+ * reappearing std::function box or per-event container allocation
+ * trips the bounds immediately.
+ *
+ * The counting operator new below is binary-wide but only increments
+ * an atomic before delegating to malloc, so it cannot change the
+ * behaviour of any other test in this binary (each ctest entry runs
+ * in its own process anyway).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <cstdlib>
+#include <new>
+
+#include "platform/platform.hh"
+#include "sim/event_queue.hh"
+#include "workloads/suites.hh"
+
+namespace {
+
+std::atomic<std::uint64_t> gAllocs{0};
+
+} // namespace
+
+void*
+operator new(std::size_t size)
+{
+    gAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace specfaas {
+namespace {
+
+TEST(HotPathAllocs, KernelSteadyStateIsAllocationFree)
+{
+    // A self-rescheduling chain with cancellation noise: after warmup
+    // (slab pools carved, heap and state vectors grown), scheduling
+    // and firing events must not touch the allocator at all. The
+    // small slack absorbs the amortized growth of the id-state window
+    // between compactions.
+    EventQueue q;
+    std::uint64_t remaining = 1000;
+    std::function<void()> fire = [&]() {
+        if (remaining == 0)
+            return;
+        --remaining;
+        q.schedule(1 + (remaining & 7), [&]() { fire(); });
+        if ((remaining & 3) == 0)
+            q.cancel(q.schedule(2, []() {}));
+    };
+    q.schedule(1, [&]() { fire(); });
+    q.run(); // warmup
+
+    remaining = 100000;
+    q.schedule(1, [&]() { fire(); });
+    const std::uint64_t before = gAllocs.load();
+    q.run();
+    const std::uint64_t during = gAllocs.load() - before;
+    EXPECT_GT(q.executedCount(), 100000u);
+    EXPECT_LT(during, 64u)
+        << "kernel steady state should be allocation-free; "
+        << during << " allocations over 100k+ events";
+}
+
+TEST(HotPathAllocs, DisabledTracingRunStaysUnderBudget)
+{
+    // Tracing is off by default; every trace call site is behind an
+    // enabled() check, so a run must not pay for trace-argument
+    // formatting. Budget: the hot-path rework landed at under 3
+    // allocations per executed event on the fig11 suites (7.5 before
+    // it); 6 leaves slack for stdlib variation while still catching
+    // any per-event box (std::function, per-event container or
+    // callback heap traffic) that would push the rate back up.
+    auto registry = makeAllSuites();
+    double worst = 0.0;
+    for (const bool speculative : {false, true}) {
+        PlatformOptions options;
+        options.speculative = speculative;
+        options.seed = 7;
+        FaasPlatform platform(options);
+        const Application& app = registry->get("Banking");
+        platform.deploy(app);
+
+        const std::uint64_t allocs0 = gAllocs.load();
+        for (std::size_t i = 0; i < 50; ++i) {
+            Value input = app.inputGen
+                              ? app.inputGen(platform.inputRng())
+                              : Value();
+            platform.invokeSync(app, std::move(input));
+        }
+        const std::uint64_t allocs =
+            gAllocs.load() - allocs0;
+        const std::uint64_t events =
+            platform.sim().events().executedCount();
+        ASSERT_GT(events, 1000u);
+        const double perEvent = static_cast<double>(allocs) /
+                                static_cast<double>(events);
+        worst = std::max(worst, perEvent);
+        RecordProperty(speculative ? "spec_allocs_per_event"
+                                   : "baseline_allocs_per_event",
+                       std::to_string(perEvent));
+    }
+    EXPECT_LT(worst, 6.0)
+        << "allocations per event regressed on a tracing-off run";
+}
+
+} // namespace
+} // namespace specfaas

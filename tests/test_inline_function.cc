@@ -1,0 +1,115 @@
+/** @file Unit tests for the small-buffer callable wrapper. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/inline_function.hh"
+
+namespace specfaas {
+namespace {
+
+TEST(InlineFunction, EmptyByDefault)
+{
+    InlineFunction<int()> f;
+    EXPECT_FALSE(static_cast<bool>(f));
+    InlineFunction<int()> g(nullptr);
+    EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunction, InvokesInlineCallable)
+{
+    int x = 41;
+    InlineFunction<int(int)> f([&x](int d) { return x + d; });
+    ASSERT_TRUE(static_cast<bool>(f));
+    EXPECT_EQ(f(1), 42);
+}
+
+TEST(InlineFunction, HoldsMoveOnlyCapture)
+{
+    auto p = std::make_unique<int>(7);
+    InlineFunction<int()> f([p = std::move(p)]() { return *p; });
+    EXPECT_EQ(f(), 7);
+}
+
+TEST(InlineFunction, MoveTransfersCallableAndEmptiesSource)
+{
+    InlineFunction<int()> f([]() { return 5; });
+    InlineFunction<int()> g(std::move(f));
+    EXPECT_FALSE(static_cast<bool>(f));
+    ASSERT_TRUE(static_cast<bool>(g));
+    EXPECT_EQ(g(), 5);
+
+    InlineFunction<int()> h;
+    h = std::move(g);
+    EXPECT_FALSE(static_cast<bool>(g));
+    EXPECT_EQ(h(), 5);
+}
+
+TEST(InlineFunction, ResetAndNullAssignDestroyCapture)
+{
+    auto token = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = token;
+    InlineFunction<void()> f([token = std::move(token)]() {});
+    EXPECT_FALSE(watch.expired());
+    f.reset();
+    EXPECT_TRUE(watch.expired());
+    EXPECT_FALSE(static_cast<bool>(f));
+
+    auto token2 = std::make_shared<int>(2);
+    std::weak_ptr<int> watch2 = token2;
+    InlineFunction<void()> g([token2 = std::move(token2)]() {});
+    g = nullptr;
+    EXPECT_TRUE(watch2.expired());
+}
+
+TEST(InlineFunction, OversizedCaptureIsBoxedAndStillWorks)
+{
+    // A capture bigger than the inline buffer takes the boxed path:
+    // behaviour must be identical, including move and destruction.
+    struct Big
+    {
+        char pad[256];
+        std::shared_ptr<int> token;
+    };
+    Big big{};
+    big.token = std::make_shared<int>(9);
+    std::weak_ptr<int> watch = big.token;
+
+    InlineFunction<int(), 72> f([big]() { return *big.token; });
+    EXPECT_EQ(f(), 9);
+
+    InlineFunction<int(), 72> g(std::move(f));
+    EXPECT_FALSE(static_cast<bool>(f));
+    EXPECT_EQ(g(), 9);
+
+    big.token.reset();
+    EXPECT_FALSE(watch.expired()) << "boxed copy keeps capture alive";
+    g.reset();
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, MoveAssignReplacesExistingCapture)
+{
+    auto a = std::make_shared<int>(1);
+    std::weak_ptr<int> watchA = a;
+    InlineFunction<void()> f([a = std::move(a)]() {});
+
+    InlineFunction<void()> g([]() {});
+    f = std::move(g);
+    EXPECT_TRUE(watchA.expired()) << "old capture destroyed on assign";
+    ASSERT_TRUE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, SelfMoveAssignIsANoOp)
+{
+    InlineFunction<int()> f([]() { return 3; });
+    InlineFunction<int()>& alias = f;
+    f = std::move(alias);
+    ASSERT_TRUE(static_cast<bool>(f));
+    EXPECT_EQ(f(), 3);
+}
+
+} // namespace
+} // namespace specfaas

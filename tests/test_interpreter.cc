@@ -18,7 +18,7 @@ class RecordingHooks : public RuntimeHooks
   public:
     void
     storageGet(const InstancePtr&, const std::string& key,
-               std::function<void(Value)> done) override
+               ValueCallback done) override
     {
         gets.push_back(key);
         done(Value(static_cast<std::int64_t>(gets.size())));
@@ -26,7 +26,7 @@ class RecordingHooks : public RuntimeHooks
 
     void
     storagePut(const InstancePtr&, const std::string& key, Value value,
-               std::function<void()> done) override
+               DoneCallback done) override
     {
         puts.emplace_back(key, std::move(value));
         done();
@@ -35,7 +35,7 @@ class RecordingHooks : public RuntimeHooks
     void
     functionCall(const InstancePtr&, std::size_t call_site,
                  const std::string& callee, Value args,
-                 std::function<void(Value)> done) override
+                 ValueCallback done) override
     {
         calls.emplace_back(call_site, callee);
         Value result = Value::object({});
@@ -44,7 +44,7 @@ class RecordingHooks : public RuntimeHooks
     }
 
     void
-    httpRequest(const InstancePtr&, std::function<void()> done) override
+    httpRequest(const InstancePtr&, DoneCallback done) override
     {
         ++https;
         done();

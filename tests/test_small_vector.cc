@@ -1,0 +1,122 @@
+/** @file Unit tests for the small-buffer vector (OrderKey storage). */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/small_vector.hh"
+
+namespace specfaas {
+namespace {
+
+using Key = SmallVector<std::int32_t, 4>;
+
+std::vector<std::int32_t>
+contents(const Key& k)
+{
+    return std::vector<std::int32_t>(k.begin(), k.end());
+}
+
+TEST(SmallVector, StartsEmptyInline)
+{
+    Key k;
+    EXPECT_TRUE(k.empty());
+    EXPECT_EQ(k.size(), 0u);
+}
+
+TEST(SmallVector, InitializerListAndElementAccess)
+{
+    Key k{1, 2, 3};
+    EXPECT_EQ(k.size(), 3u);
+    EXPECT_EQ(k.front(), 1);
+    EXPECT_EQ(k.back(), 3);
+    EXPECT_EQ(k[1], 2);
+    k[1] = 9;
+    EXPECT_EQ(contents(k), (std::vector<std::int32_t>{1, 9, 3}));
+}
+
+TEST(SmallVector, GrowsPastInlineCapacity)
+{
+    Key k;
+    for (std::int32_t i = 0; i < 20; ++i)
+        k.push_back(i);
+    EXPECT_EQ(k.size(), 20u);
+    for (std::int32_t i = 0; i < 20; ++i)
+        EXPECT_EQ(k[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, CopyIsIndependent)
+{
+    Key a{1, 2, 3, 4, 5, 6}; // heap-backed (inline cap is 4)
+    Key b(a);
+    b.push_back(7);
+    b[0] = 100;
+    EXPECT_EQ(contents(a), (std::vector<std::int32_t>{1, 2, 3, 4, 5, 6}));
+    EXPECT_EQ(b.size(), 7u);
+    EXPECT_EQ(b[0], 100);
+
+    Key c;
+    c = a;
+    EXPECT_EQ(c, a);
+    a.pop_back();
+    EXPECT_EQ(c.size(), 6u);
+}
+
+TEST(SmallVector, MoveStealsHeapBlock)
+{
+    Key a{1, 2, 3, 4, 5, 6};
+    const std::int32_t* block = a.begin();
+    Key b(std::move(a));
+    EXPECT_EQ(b.begin(), block) << "move must steal the heap block";
+    EXPECT_EQ(contents(b), (std::vector<std::int32_t>{1, 2, 3, 4, 5, 6}));
+    EXPECT_TRUE(a.empty());
+    a.push_back(42); // source stays usable
+    EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(SmallVector, MoveOfInlineDataCopies)
+{
+    Key a{1, 2};
+    Key b(std::move(a));
+    EXPECT_EQ(contents(b), (std::vector<std::int32_t>{1, 2}));
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(SmallVector, ComparisonMatchesStdVectorSemantics)
+{
+    EXPECT_EQ((Key{1, 2, 3}), (Key{1, 2, 3}));
+    EXPECT_NE((Key{1, 2, 3}), (Key{1, 2}));
+    EXPECT_NE((Key{1, 2, 3}), (Key{1, 2, 4}));
+    // Lexicographic order, prefix is smaller.
+    EXPECT_LT((Key{1, 2}), (Key{1, 2, 0}));
+    EXPECT_LT((Key{1, 2, 3}), (Key{1, 3}));
+    EXPECT_FALSE((Key{2}) < (Key{1, 9, 9}));
+    EXPECT_FALSE((Key{}) < (Key{}));
+}
+
+TEST(SmallVector, ReverseIteration)
+{
+    Key k{1, 2, 3, 4, 5};
+    std::vector<std::int32_t> rev(k.rbegin(), k.rend());
+    EXPECT_EQ(rev, (std::vector<std::int32_t>{5, 4, 3, 2, 1}));
+}
+
+TEST(SmallVector, RangeConstructionFromVector)
+{
+    std::vector<std::int32_t> src{7, 8, 9, 10, 11};
+    Key k(src.begin(), src.end());
+    EXPECT_EQ(contents(k), src);
+}
+
+TEST(SmallVector, ClearKeepsCapacityUsable)
+{
+    Key k{1, 2, 3, 4, 5, 6};
+    k.clear();
+    EXPECT_TRUE(k.empty());
+    k.push_back(5);
+    EXPECT_EQ(contents(k), (std::vector<std::int32_t>{5}));
+}
+
+} // namespace
+} // namespace specfaas
