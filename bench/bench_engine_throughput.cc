@@ -125,6 +125,7 @@ struct KernelChurn
 int
 main(int argc, char** argv)
 {
+    obs::Profiler::setAllocSource(&gAllocs);
     obs::ObsSession obs(argc, argv);
     std::size_t requests = 150;
     std::uint64_t kernelEvents = 4'000'000;

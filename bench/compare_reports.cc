@@ -11,6 +11,13 @@
  * With --two-sided, any change beyond the threshold fails in either
  * direction — the mode identity gates use, where the metrics are a
  * deterministic fingerprint and all drift is a behaviour change.
+ *
+ * When the baseline carries a deterministic profiler section
+ * (sections.profile.zones, produced under --profile), per-zone
+ * visit/count data is gated too: a baseline zone missing from the
+ * candidate is an error, and with --two-sided any per-zone drift
+ * beyond the threshold fails. Baselines without the section gate
+ * metrics only, so profiled and unprofiled snapshots coexist.
  */
 
 #include <cstdio>

@@ -15,7 +15,8 @@ BaselineController::BaselineController(Simulation& sim, Cluster& cluster,
       store_(store),
       registry_(registry),
       interp_(sim, cluster, *this),
-      launcher_(sim, cluster, registry, interp_)
+      launcher_(sim, cluster, registry, interp_),
+      profiler_(sim.context().profiler())
 {
 }
 
@@ -37,6 +38,7 @@ void
 BaselineController::invoke(const Application& app, Value input,
                            ResultCallback done)
 {
+    OBS_ZONE(profiler_, "base/invoke");
     const InvocationId id = sim_.context().nextInvocationId();
 
     // Admission control: shed load when the control plane is backed
@@ -94,6 +96,7 @@ void
 BaselineController::dispatch(Invocation& inv, FlowIndex idx, Value input,
                              OrderKey order)
 {
+    OBS_ZONE(profiler_, "base/dispatch");
     const std::string& fname =
         idx == kFlowNone
             ? (order == OrderKey{0} ? inv.app->rootFunction
@@ -124,6 +127,7 @@ void
 BaselineController::continueAt(Invocation& inv, FlowIndex idx, Value carry,
                                OrderKey order)
 {
+    OBS_ZONE(profiler_, "base/continue-at");
     if (idx == kFlowNone) {
         finish(inv, std::move(carry));
         return;
@@ -176,6 +180,7 @@ void
 BaselineController::stepFlow(Invocation& inv, const InstancePtr& inst,
                              const Value& output)
 {
+    OBS_ZONE(profiler_, "base/step-flow");
     const FlowIndex idx = inst->flowNode;
     if (idx == kFlowNone) {
         // Implicit root function: its output is the response.
@@ -221,6 +226,7 @@ BaselineController::stepFlow(Invocation& inv, const InstancePtr& inst,
 void
 BaselineController::completed(const InstancePtr& inst, Value output)
 {
+    OBS_ZONE(profiler_, "base/completed");
     Invocation& inv = invocationOf(inst);
 
     if (inst->container != nullptr) {
@@ -275,6 +281,7 @@ BaselineController::storageGet(const InstancePtr& inst,
                                const std::string& key,
                                ValueCallback done)
 {
+    OBS_ZONE(profiler_, "base/storage-get");
     (void)inst;
     sim_.events().schedule(store_.latency().readLatency,
                            [this, key,
@@ -289,6 +296,7 @@ BaselineController::storagePut(const InstancePtr& inst,
                                const std::string& key, Value value,
                                DoneCallback done)
 {
+    OBS_ZONE(profiler_, "base/storage-put");
     const std::uint64_t epoch = inst->epoch;
     sim_.events().schedule(
         store_.latency().writeLatency,
@@ -320,6 +328,7 @@ BaselineController::functionCall(const InstancePtr& inst,
                                  const std::string& callee, Value args,
                                  ValueCallback done)
 {
+    OBS_ZONE(profiler_, "base/function-call");
 
     Invocation& inv = invocationOf(inst);
     const Tick rpc = cluster_.config().rpcLatency;
@@ -408,6 +417,7 @@ BaselineController::teardown(Invocation& inv, const InstancePtr& inst)
 void
 BaselineController::crashed(const InstancePtr& inst, FaultKind kind)
 {
+    OBS_ZONE(profiler_, "base/crashed");
     auto* faults = sim_.faultInjector();
     SPECFAAS_ASSERT(faults != nullptr, "crash without an injector");
     auto it = live_.find(inst->invocation);
@@ -573,6 +583,7 @@ BaselineController::onNodeFailure(NodeId node)
 void
 BaselineController::finish(Invocation& inv, Value response)
 {
+    OBS_ZONE(profiler_, "base/finish");
     inv.result.response = std::move(response);
     inv.result.completedAt = sim_.now();
     // End-to-end completion marker: invokeSync bypasses the platform

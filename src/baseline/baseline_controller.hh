@@ -145,6 +145,8 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
     const FunctionRegistry& registry_;
     Interpreter interp_;
     Launcher launcher_;
+    /** Hoisted profiler reference (see Interpreter::profiler_). */
+    obs::Profiler& profiler_;
 
     std::unordered_map<InvocationId, std::unique_ptr<Invocation>> live_;
     std::unordered_map<const Application*, FlowProgram> programs_;

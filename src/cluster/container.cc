@@ -87,6 +87,7 @@ ContainerPool::createContainer(ContainerFunctionPool& pool, NodeId node)
 void
 ContainerPool::acquire(const std::string& function, AcquireCallback done)
 {
+    OBS_ZONE(sim_.context().profiler(), "cluster/acquire");
     ContainerFunctionPool& pool = poolFor(function);
     if (!pool.warm.empty()) {
         Container* c = pool.warm.front();
@@ -160,6 +161,7 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
 void
 ContainerPool::release(Container& c)
 {
+    OBS_ZONE(sim_.context().profiler(), "cluster/release");
     SPECFAAS_ASSERT(c.busy, "releasing idle container %llu",
                     static_cast<unsigned long long>(c.id));
     // A container on a failed node cannot rejoin the warm pool; its

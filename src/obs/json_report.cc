@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <map>
 
 #include "common/logging.hh"
 #include "obs/trace_export.hh"
@@ -681,6 +682,70 @@ compareReports(const Value& baseline, const Value& candidate,
         if (bm.at(name).isNull()) {
             res.notes.push_back(strFormat(
                 "metric '%s' only in candidate", name.c_str()));
+        }
+    }
+
+    // Deterministic profiler zones (sections.profile.zones), gated by
+    // subset: snapshots without a profile section gate nothing, so
+    // profiled and unprofiled baselines coexist. Zone visit/count
+    // drift is directionless identity data — with --two-sided drift
+    // beyond tolerance is a regression, one-sided runs only note it.
+    const Value& bz =
+        baseline.at("sections").at("profile").at("zones");
+    const Value& cz =
+        candidate.at("sections").at("profile").at("zones");
+    if (bz.isArray()) {
+        if (!cz.isArray()) {
+            res.errors.push_back(
+                "baseline has profile zones but candidate has none");
+            return res;
+        }
+        std::map<std::string, const Value*> candidateZones;
+        for (const Value& z : cz.asArray()) {
+            if (z.at("name").isString())
+                candidateZones[z.at("name").asString()] = &z;
+        }
+        for (const Value& z : bz.asArray()) {
+            if (!z.at("name").isString())
+                continue;
+            const std::string& zname = z.at("name").asString();
+            auto it = candidateZones.find(zname);
+            if (it == candidateZones.end()) {
+                res.errors.push_back(strFormat(
+                    "profile zone '%s' missing from candidate",
+                    zname.c_str()));
+                continue;
+            }
+            for (const char* field : {"visits", "count"}) {
+                const Value& oldV = z.at(field);
+                const Value& newV = it->second->at(field);
+                if (oldV.isNull() || newV.isNull())
+                    continue;
+                const double oldX = oldV.asNumber();
+                const double newX = newV.asNumber();
+                const double delta = newX - oldX;
+                if (std::fabs(delta) <= opts.absTolerance)
+                    continue;
+                const double rel =
+                    oldX != 0.0
+                        ? std::fabs(delta / oldX)
+                        : std::numeric_limits<double>::infinity();
+                const std::string line = strFormat(
+                    "profile zone '%s' %s: %g -> %g (%+.2f%%)",
+                    zname.c_str(), field, oldX, newX,
+                    (newX - oldX) / (oldX != 0.0 ? oldX : 1.0) *
+                        100.0);
+                if (opts.twoSided && rel > opts.relTolerance)
+                    res.regressions.push_back(line);
+                else
+                    res.notes.push_back(line);
+            }
+            candidateZones.erase(it);
+        }
+        for (const auto& [zname, z] : candidateZones) {
+            (void)z;
+            res.notes.push_back(strFormat(
+                "profile zone '%s' only in candidate", zname.c_str()));
         }
     }
     return res;

@@ -44,6 +44,7 @@ ObsSession::ObsSession(int& argc, char** argv)
 {
     std::size_t capacity = TraceRecorder::kDefaultCapacity;
     Tick sampleEvery = -1; // -1: flag absent
+    std::uint64_t traceSample = 1;
     int out = 1;           // argv[0] always stays
     for (int i = 1; i < argc; ++i) {
         if (const char* v = flagValue(argv[i], "--trace-out")) {
@@ -77,6 +78,40 @@ ObsSession::ObsSession(int& argc, char** argv)
             }
             continue;
         }
+        if (const char* v = flagValue(argv[i], "--trace-sample")) {
+            const auto n = std::strtoull(v, nullptr, 10);
+            if (n == 0) {
+                std::fprintf(stderr,
+                             "obs: ignoring bad --trace-sample=%s\n",
+                             v);
+            } else {
+                traceSample = n;
+            }
+            continue;
+        }
+        if (const char* v = flagValue(argv[i], "--profile-out")) {
+            profileOut_ = v;
+            profile_ = true;
+            continue;
+        }
+        if (const char* v = flagValue(argv[i], "--profile-value")) {
+            if (std::strcmp(v, "visits") == 0) {
+                profileValue_ = Profiler::FoldedValue::Visits;
+            } else if (std::strcmp(v, "wall") == 0) {
+                profileValue_ = Profiler::FoldedValue::WallNs;
+            } else if (std::strcmp(v, "allocs") == 0) {
+                profileValue_ = Profiler::FoldedValue::Allocs;
+            } else {
+                std::fprintf(stderr,
+                             "obs: ignoring bad --profile-value=%s\n",
+                             v);
+            }
+            continue;
+        }
+        if (std::strcmp(argv[i], "--profile") == 0) {
+            profile_ = true;
+            continue;
+        }
         if (std::strcmp(argv[i], "--counters") == 0) {
             printCounters_ = true;
             continue;
@@ -92,6 +127,9 @@ ObsSession::ObsSession(int& argc, char** argv)
     // archive (timelines), so --json-out implies both.
     if (!traceOut_.empty() || !jsonOut_.empty())
         context().trace().enable(capacity);
+    context().trace().setSample(traceSample);
+    if (profile_)
+        context().profiler().enable();
     if (sampleEvery < 0)
         sampleEvery = jsonOut_.empty() ? 0 : kDefaultSampleInterval;
     context().setSampleInterval(sampleEvery);
@@ -121,9 +159,27 @@ ObsSession::~ObsSession()
                          traceOut_.c_str());
         }
     }
+    Profiler& prof = context().profiler();
     if (!jsonOut_.empty()) {
         report_.addSection("counters",
                            counterSnapshotValue(context().counters()));
+        if (profile_) {
+            // Deterministic zone data only (visits and counts):
+            // wall time and allocations are host-dependent and would
+            // break report byte-identity.
+            ValueArray zones;
+            for (const Profiler::ZoneRow& z : prof.zoneRows()) {
+                zones.push_back(Value::object(
+                    {{"name", Value(z.name)},
+                     {"visits", Value(static_cast<std::int64_t>(
+                                    z.visits))},
+                     {"count", Value(static_cast<std::int64_t>(
+                                   z.count))}}));
+            }
+            report_.addSection(
+                "profile",
+                Value::object({{"zones", Value(std::move(zones))}}));
+        }
         report_.addSection("critical_path",
                            toValue(analyzeTrace(tr.snapshot())));
 
@@ -151,6 +207,19 @@ ObsSession::~ObsSession()
             std::fprintf(stderr, "report: failed to write %s\n",
                          jsonOut_.c_str());
         }
+    }
+    if (!profileOut_.empty()) {
+        if (writeFoldedProfile(prof, profileOut_, profileValue_)) {
+            std::printf("\nprofile: folded -> %s\n",
+                        profileOut_.c_str());
+        } else {
+            std::fprintf(stderr, "profile: failed to write %s\n",
+                         profileOut_.c_str());
+        }
+    }
+    if (profile_) {
+        std::printf("\n-- profile (self wall time) --\n%s",
+                    profileTable(prof).c_str());
     }
     if (printCounters_) {
         std::printf("\n-- counters --\n");

@@ -28,6 +28,19 @@
  *   --sample-interval=<us>   gauge-sampling period in simulated µs
  *                            (0 disables; default 0, or 10000 when
  *                            --json-out is given)
+ *   --trace-sample=<n>       record spans for 1-in-n invocations
+ *                            (deterministic by invocation id;
+ *                            default 1 = all)
+ *   --profile                enable the zone profiler and print the
+ *                            self-time table on exit; adds the
+ *                            deterministic "profile" section to
+ *                            --json-out reports
+ *   --profile-out=<file>     write a collapsed-stack "folded" profile
+ *                            (flamegraph.pl / speedscope input);
+ *                            implies --profile
+ *   --profile-value=<v>      folded value selector: "visits"
+ *                            (default, byte-deterministic), "wall"
+ *                            (self ns), or "allocs"
  */
 
 #ifndef SPECFAAS_OBS_OBS_CLI_HH
@@ -36,6 +49,7 @@
 #include <string>
 
 #include "obs/json_report.hh"
+#include "obs/profiler.hh"
 
 namespace specfaas {
 class SimContext;
@@ -68,6 +82,12 @@ class ObsSession
     /** True when --counters was given. */
     bool printCounters() const { return printCounters_; }
 
+    /** True when --profile (or --profile-out) was given. */
+    bool profileEnabled() const { return profile_; }
+
+    /** Non-empty when --profile-out was given. */
+    const std::string& profileOut() const { return profileOut_; }
+
     /**
      * The run report. Benches record config and headline metrics
      * here unconditionally; it is written only under --json-out.
@@ -87,7 +107,10 @@ class ObsSession
   private:
     std::string traceOut_;
     std::string jsonOut_;
+    std::string profileOut_;
     bool printCounters_ = false;
+    bool profile_ = false;
+    Profiler::FoldedValue profileValue_ = Profiler::FoldedValue::Visits;
     JsonReport report_;
 };
 

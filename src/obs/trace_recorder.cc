@@ -30,7 +30,7 @@ TraceRecorder::clear()
 void
 TraceRecorder::record(TraceEvent ev)
 {
-    if (!enabled_)
+    if (!enabled_ || !sampled(ev.tid))
         return;
     ring_[head_] = std::move(ev);
     head_ = (head_ + 1) % capacity_;

@@ -11,6 +11,7 @@ FaasPlatform::FaasPlatform(PlatformOptions options)
       store_(options.storeLatency),
       inputRng_(options.seed ^ 0x1715517ull)
 {
+    store_.setProfiler(&sim_.context().profiler());
     if (!options_.faultPlan.empty()) {
         faults_ =
             std::make_unique<FaultInjector>(sim_, options_.faultPlan);
@@ -110,6 +111,7 @@ void
 FaasPlatform::invoke(const Application& app, Value input,
                      std::function<void(InvocationResult)> done)
 {
+    OBS_ZONE(sim_.context().profiler(), "platform/request");
     if (sim_.context().trace().enabled()) {
         sim_.context().trace().instant(obs::cat::kPlatform, "request", sim_.now(),
                              obs::kControlPlanePid, 0,

@@ -10,7 +10,9 @@ namespace specfaas {
 
 Interpreter::Interpreter(Simulation& sim, Cluster& cluster,
                          RuntimeHooks& hooks)
-    : sim_(sim), cluster_(cluster), hooks_(hooks)
+    : sim_(sim), cluster_(cluster), hooks_(hooks),
+      trace_(sim.context().trace()),
+      profiler_(sim.context().profiler())
 {
 }
 
@@ -18,11 +20,12 @@ void
 Interpreter::start(const InstancePtr& inst)
 {
     SPECFAAS_ASSERT(inst->def != nullptr, "starting undefined function");
+    OBS_ZONE(profiler_, "interp/start");
     inst->state = InstanceState::Running;
     inst->startedAt = sim_.now();
     inst->pc = 0;
     // Execution span on the node the handler landed on.
-    if (auto& tr = sim_.context().trace(); tr.enabled()) {
+    if (auto& tr = trace_; tr.enabled()) {
         tr.begin(obs::cat::kExec, inst->def->name, sim_.now(),
                  obs::nodePid(inst->node), inst->id,
                  {{"order", orderKeyToString(inst->order)},
@@ -50,6 +53,7 @@ Interpreter::step(const InstancePtr& inst)
 {
     if (inst->state == InstanceState::Dead)
         return;
+    OBS_ZONE(profiler_, "interp/step");
     // Injected container crash at an op boundary: the handler process
     // dies and the controller's recovery machinery takes over.
     if (auto* faults = sim_.faultInjector();
@@ -89,7 +93,7 @@ Interpreter::step(const InstancePtr& inst)
     inst->output = inst->def->output ? inst->def->output(inst->env)
                                      : inst->env.input;
     inst->ownFiles.clear(); // temp files are discarded (§VI)
-    if (auto& tr = sim_.context().trace(); tr.enabled()) {
+    if (auto& tr = trace_; tr.enabled()) {
         tr.end(obs::cat::kExec, inst->def->name, sim_.now(),
                obs::nodePid(inst->node), inst->id,
                {{"exec_ticks",
@@ -129,6 +133,8 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
         Tick duration = static_cast<Tick>(inst->jitterRng.lognormal(
             static_cast<double>(op.duration), inst->def->computeCv));
         duration = std::max<Tick>(duration, 10);
+        OBS_ZONE_SCOPE(zone, profiler_, "interp/op/compute");
+        zone.addCount(static_cast<std::uint64_t>(duration));
         Node& node = cluster_.node(inst->node);
         inst->activeTask = node.submit(duration, [this, inst, epoch,
                                                   duration]() {
@@ -141,6 +147,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
         return;
       }
       case Op::Kind::StorageRead: {
+        OBS_ZONE(profiler_, "interp/op/storage-read");
         const std::string key = op.key(inst->env);
         Tick extraDelay = 0;
         if (auto* faults = sim_.faultInjector(); faults != nullptr) {
@@ -153,7 +160,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
             extraDelay = faults->storageDelay(inst->def->name);
         }
         auto doRead = [this, inst, epoch, key, var = op.var]() {
-            if (auto& tr = sim_.context().trace(); tr.enabled()) {
+            if (auto& tr = trace_; tr.enabled()) {
                 tr.instant(obs::cat::kStorage, "storage-read",
                            sim_.now(), obs::nodePid(inst->node),
                            inst->id, {{"key", key}});
@@ -180,6 +187,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
         return;
       }
       case Op::Kind::StorageWrite: {
+        OBS_ZONE(profiler_, "interp/op/storage-write");
         const std::string key = op.key(inst->env);
         Value v = op.value(inst->env);
         Tick extraDelay = 0;
@@ -192,7 +200,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
         }
         auto doWrite = [this, inst, epoch, key,
                         v = std::move(v)]() mutable {
-            if (auto& tr = sim_.context().trace(); tr.enabled()) {
+            if (auto& tr = trace_; tr.enabled()) {
                 tr.instant(obs::cat::kStorage, "storage-write",
                            sim_.now(), obs::nodePid(inst->node),
                            inst->id, {{"key", key}});
@@ -219,6 +227,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
         return;
       }
       case Op::Kind::Call: {
+        OBS_ZONE(profiler_, "interp/op/call");
         Value args = op.value(inst->env);
         hooks_.functionCall(
             inst, inst->pc, op.callee, std::move(args),
@@ -233,6 +242,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
         return;
       }
       case Op::Kind::Http: {
+        OBS_ZONE(profiler_, "interp/op/http");
         if (auto* faults = sim_.faultInjector();
             faults != nullptr &&
             faults->shouldFailHttp(inst->def->name)) {
@@ -253,6 +263,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
         return;
       }
       case Op::Kind::FileWrite: {
+        OBS_ZONE(profiler_, "interp/op/file-write");
         // Copy-on-write local temp file (§VI): the handler gets its
         // own uniquely named file; no globally visible effect.
         inst->ownFiles.insert(op.key(inst->env));
@@ -264,6 +275,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
         return;
       }
       case Op::Kind::FileRead: {
+        OBS_ZONE(profiler_, "interp/op/file-read");
         const std::string name = op.key(inst->env);
         sim_.events().schedule(
             costs_.fileRead, [this, inst, epoch, name,
@@ -280,6 +292,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
         return;
       }
       case Op::Kind::SetVar: {
+        OBS_ZONE(profiler_, "interp/op/setvar");
         Value v = op.value(inst->env);
         sim_.events().schedule(costs_.localStep,
                                [this, inst, epoch,
@@ -303,6 +316,7 @@ Interpreter::squash(const InstancePtr& inst, SquashPolicy policy)
                     inst->label().c_str());
     if (inst->state == InstanceState::Dead)
         return;
+    OBS_ZONE(profiler_, "interp/squash");
 
     const ComputeTaskId task = inst->activeTask;
     Container* container = inst->container;
@@ -311,7 +325,7 @@ Interpreter::squash(const InstancePtr& inst, SquashPolicy policy)
     // Close any spans the dead incarnation left open so the trace
     // stays balanced: the exec span if the body was still running,
     // and the lifecycle span unless completion already closed it.
-    if (auto& tr = sim_.context().trace(); tr.enabled()) {
+    if (auto& tr = trace_; tr.enabled()) {
         const bool executing =
             inst->state == InstanceState::Running ||
             inst->state == InstanceState::StalledSideEffect ||

@@ -18,6 +18,11 @@
 #include "runtime/instance.hh"
 #include "sim/simulation.hh"
 
+namespace specfaas::obs {
+class Profiler;
+class TraceRecorder;
+}
+
 namespace specfaas {
 
 /** How to stop a mis-speculated handler (§VI "Minimizing Squash Cost"). */
@@ -89,6 +94,14 @@ class Interpreter
     Cluster& cluster_;
     RuntimeHooks& hooks_;
     RuntimeCosts costs_;
+    /**
+     * Observability sinks hoisted out of the hot loops: resolved once
+     * from sim.context() at construction, so every op-dispatch call
+     * site pays a single member load plus one predictable enabled()
+     * branch instead of re-chasing context pointers per op.
+     */
+    obs::TraceRecorder& trace_;
+    obs::Profiler& profiler_;
 };
 
 } // namespace specfaas

@@ -33,6 +33,7 @@ Launcher::Launcher(Simulation& sim, Cluster& cluster,
 InstancePtr
 Launcher::launch(LaunchSpec spec)
 {
+    OBS_ZONE(sim_.context().profiler(), "runtime/launch");
     auto inst = std::make_shared<FunctionInstance>();
     inst->id = sim_.context().nextInstanceId();
     ++launches_;

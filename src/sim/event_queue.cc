@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 
 namespace specfaas {
 
@@ -148,6 +149,7 @@ EventQueue::runOne()
             continue;
         }
 
+        const Tick advanced = top.when - now_;
         now_ = top.when;
         stateOf(top.id) = State::Done;
         if (!daemonIds_.empty())
@@ -157,6 +159,8 @@ EventQueue::runOne()
         // so events scheduled from inside the callback can reuse it.
         Callback cb = std::move(*top.slot);
         pool_.destroy(top.slot);
+        OBS_ZONE_SCOPE(zone, profiler_, "sim/dispatch");
+        zone.addCount(static_cast<std::uint64_t>(advanced));
         cb();
         return true;
     }

@@ -10,8 +10,11 @@ SimContext::reset()
     resetIds();
     trace_.disable();
     trace_.clear();
+    trace_.setSample(1);
     counters_.clear();
     archive_.clear();
+    profiler_.disable();
+    profiler_.clear();
     sampleInterval_ = 0;
 }
 
@@ -21,6 +24,9 @@ SimContext::forTask(const SimContext& session, std::uint64_t taskIndex)
     auto context = std::make_unique<SimContext>();
     if (session.trace_.enabled())
         context->trace_.enable(session.trace_.capacity());
+    context->trace_.setSample(session.trace_.sample());
+    if (session.profiler_.enabled())
+        context->profiler_.enable();
     context->sampleInterval_ = session.sampleInterval_;
     context->setIdBase((taskIndex + 1) << kTaskIdBits);
     return context;
@@ -32,6 +38,7 @@ SimContext::mergeInto(SimContext& dst) const
     dst.trace_.absorb(trace_);
     counters_.mergeInto(dst.counters_);
     dst.archive_.absorb(archive_);
+    profiler_.mergeInto(dst.profiler_);
 }
 
 SimContext&
@@ -39,6 +46,12 @@ defaultSimContext()
 {
     static SimContext context;
     return context;
+}
+
+obs::Profiler&
+Simulation::contextProfiler() const
+{
+    return context_->profiler();
 }
 
 namespace obs {
@@ -59,6 +72,12 @@ SamplerArchive&
 samplerArchive()
 {
     return defaultSimContext().samplerArchive();
+}
+
+Profiler&
+profiler()
+{
+    return defaultSimContext().profiler();
 }
 
 Tick

@@ -42,6 +42,7 @@
 #include "common/types.hh"
 #include "obs/counter_registry.hh"
 #include "obs/histogram.hh"
+#include "obs/profiler.hh"
 #include "obs/trace_recorder.hh"
 
 namespace specfaas {
@@ -68,6 +69,8 @@ class SimContext
     {
         return archive_;
     }
+    obs::Profiler& profiler() { return profiler_; }
+    const obs::Profiler& profiler() const { return profiler_; }
     /** @} */
 
     /** Gauge-sampling period in ticks; 0 (default) disables it. */
@@ -138,6 +141,7 @@ class SimContext
     obs::TraceRecorder trace_;
     obs::CounterRegistry counters_;
     obs::SamplerArchive archive_;
+    obs::Profiler profiler_;
     Tick sampleInterval_ = 0;
     std::uint64_t idBase_ = 0;
     std::uint64_t invocationSeq_ = 0;

@@ -42,7 +42,9 @@ class Simulation
                         SimContext* context = nullptr)
         : seed_(seed), rng_(seed),
           context_(context != nullptr ? context : &defaultSimContext())
-    {}
+    {
+        events_.setProfiler(&contextProfiler());
+    }
 
     Simulation(const Simulation&) = delete;
     Simulation& operator=(const Simulation&) = delete;
@@ -84,6 +86,12 @@ class Simulation
     SimContext& context() const { return *context_; }
 
   private:
+    /**
+     * The context's profiler, resolved out-of-line (sim_context.hh
+     * cannot be included here without a cycle) once at construction.
+     */
+    obs::Profiler& contextProfiler() const;
+
     std::uint64_t seed_;
     Rng rng_;
     EventQueue events_;

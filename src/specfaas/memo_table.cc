@@ -1,10 +1,13 @@
 #include "memo_table.hh"
 
+#include "obs/profiler.hh"
+
 namespace specfaas {
 
 const MemoRow*
 MemoTable::lookup(const Value& input)
 {
+    OBS_ZONE(profiler_, "spec/memo-lookup");
     ++lookups_;
     auto it = map_.find(input);
     if (it == map_.end())
@@ -58,9 +61,21 @@ MemoTable&
 MemoStore::table(const std::string& function)
 {
     auto it = tables_.find(function);
-    if (it == tables_.end())
+    if (it == tables_.end()) {
         it = tables_.emplace(function, MemoTable(capacity_)).first;
+        it->second.setProfiler(profiler_);
+    }
     return it->second;
+}
+
+void
+MemoStore::setProfiler(obs::Profiler* profiler)
+{
+    profiler_ = profiler;
+    for (auto& [name, t] : tables_) {
+        (void)name;
+        t.setProfiler(profiler);
+    }
 }
 
 const MemoTable*

@@ -23,6 +23,10 @@
 
 #include "common/value.hh"
 
+namespace specfaas::obs {
+class Profiler;
+}
+
 namespace specfaas {
 
 /** One memoized execution: input → output (+ callee inputs). */
@@ -57,6 +61,9 @@ class MemoTable
     /** Approximate memory footprint in bytes (for §V-B sizing). */
     std::size_t footprintBytes() const;
 
+    /** Profiler for "spec/memo-lookup" zones (set by MemoStore). */
+    void setProfiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
   private:
     struct Node
     {
@@ -67,6 +74,7 @@ class MemoTable
     using LruList = std::list<Node>;
 
     std::size_t capacity_;
+    obs::Profiler* profiler_ = nullptr;
     LruList lru_; // front = most recently used
     std::unordered_map<Value, LruList::iterator> map_;
     std::uint64_t lookups_ = 0;
@@ -96,8 +104,12 @@ class MemoStore
     /** Total footprint across all tables, in bytes. */
     std::size_t totalFootprintBytes() const;
 
+    /** Attach a profiler, propagated to every (future) table. */
+    void setProfiler(obs::Profiler* profiler);
+
   private:
     std::size_t capacity_;
+    obs::Profiler* profiler_ = nullptr;
     std::unordered_map<std::string, MemoTable> tables_;
 };
 

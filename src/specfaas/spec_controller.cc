@@ -46,10 +46,12 @@ SpecController::SpecController(Simulation& sim, Cluster& cluster,
       config_(config),
       interp_(sim, cluster, *this),
       launcher_(sim, cluster, registry, interp_),
+      profiler_(sim.context().profiler()),
       bp_(config.bpDeadBand, config.bpMinSamples),
       memo_(config.memoCapacity),
       minimizer_(config.stallThreshold)
 {
+    memo_.setProfiler(&profiler_);
 }
 
 SpecController::~SpecController()
@@ -154,6 +156,7 @@ void
 SpecController::invoke(const Application& app, Value input,
                        ResultCallback done)
 {
+    OBS_ZONE(profiler_, "spec/invoke");
     const InvocationId id = sim_.context().nextInvocationId();
 
     // Admission control, as in the baseline (§II-B front-end).
@@ -308,6 +311,7 @@ SpecController::launchSlot(SpecInvocation& inv, Frontier& f,
 void
 SpecController::walk(SpecInvocation& inv, Frontier f)
 {
+    OBS_ZONE(profiler_, "spec/walk");
     while (!inv.finished) {
         // A predicted carry may already be resolved: its producer
         // committed (validation implied) or completed with exactly
@@ -694,6 +698,7 @@ std::size_t
 SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
                             SquashReason reason)
 {
+    OBS_ZONE(profiler_, "spec/squash");
     // Cascade linkage: a squash issued while this one is being
     // processed (e.g. by a relaunch below) records this one as its
     // parent, so the trace shows recursive squashes as a chain.
@@ -996,6 +1001,7 @@ SpecController::onNodeFailure(NodeId node)
 void
 SpecController::completed(const InstancePtr& inst, Value output)
 {
+    OBS_ZONE(profiler_, "spec/completed");
     SpecInvocation& inv = invocationOf(inst);
 
     if (inst->container != nullptr) {
@@ -1307,6 +1313,7 @@ SpecController::flushPendingCommit(SpecInvocation& inv,
 void
 SpecController::commitSlot(SpecInvocation& inv, Slot& slot)
 {
+    OBS_ZONE(profiler_, "spec/commit-slot");
     if (slot.inst && inv.buffer->hasColumn(slot.inst->id))
         inv.buffer->commitColumn(slot.inst->id);
     // Callees merged into this slot commit with it, in recorded
@@ -1344,6 +1351,7 @@ SpecController::commitSlot(SpecInvocation& inv, Slot& slot)
 void
 SpecController::tryCommit(SpecInvocation& inv)
 {
+    OBS_ZONE(profiler_, "spec/commit");
     if (inv.finished)
         return;
     while (!inv.slots.empty()) {
@@ -1408,6 +1416,7 @@ SpecController::debugDump() const
 void
 SpecController::finish(SpecInvocation& inv)
 {
+    OBS_ZONE(profiler_, "spec/finish");
     inv.finished = true;
     inv.result.response = inv.responseValue;
     inv.result.completedAt = sim_.now();
@@ -1578,6 +1587,7 @@ void
 SpecController::storageGet(const InstancePtr& inst, const std::string& key,
                            ValueCallback done)
 {
+    OBS_ZONE(profiler_, "spec/storage-get");
     SpecInvocation& inv = invocationOf(inst);
     Slot* slot = slotOf(inv, inst);
     SPECFAAS_ASSERT(slot != nullptr, "read from unslotted instance");
@@ -1642,6 +1652,7 @@ void
 SpecController::storagePut(const InstancePtr& inst, const std::string& key,
                            Value value, DoneCallback done)
 {
+    OBS_ZONE(profiler_, "spec/storage-put");
     SpecInvocation& inv = invocationOf(inst);
     Slot* slot = slotOf(inv, inst);
     SPECFAAS_ASSERT(slot != nullptr, "write from unslotted instance");
@@ -1761,6 +1772,7 @@ SpecController::launchCalleeSlot(SpecInvocation& inv,
                                  InputSource source, bool call_predicted,
                                  ValueCallback return_to)
 {
+    OBS_ZONE(profiler_, "spec/launch-callee");
     auto cit = inv.byInstance.find(caller->id);
     SPECFAAS_ASSERT(cit != inv.byInstance.end(), "call from unslotted");
     Slot& caller_slot = inv.slots.at(cit->second);
@@ -1831,6 +1843,7 @@ SpecController::launchCalleeSlot(SpecInvocation& inv,
 void
 SpecController::speculateCallees(SpecInvocation& inv, Slot& slot)
 {
+    OBS_ZONE(profiler_, "spec/speculate-callees");
     // Implicit speculation needs both mechanisms (§VIII-B): the
     // memoization row supplies the callee arguments and the call
     // predictor decides whether the call site will execute.
@@ -1924,6 +1937,7 @@ SpecController::functionCall(const InstancePtr& inst,
                              const std::string& callee, Value args,
                              ValueCallback done)
 {
+    OBS_ZONE(profiler_, "spec/function-call");
     SpecInvocation& inv = invocationOf(inst);
     inst->observedCallArgs[call_site] = args;
     inst->observedCallees[call_site] = callee;

@@ -410,6 +410,8 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     SpecConfig config_;
     Interpreter interp_;
     Launcher launcher_;
+    /** Hoisted profiler reference (see Interpreter::profiler_). */
+    obs::Profiler& profiler_;
 
     BranchPredictor bp_;
     MemoStore memo_;

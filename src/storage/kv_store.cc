@@ -2,11 +2,14 @@
 
 #include <map>
 
+#include "obs/profiler.hh"
+
 namespace specfaas {
 
 std::optional<Value>
 KvStore::get(const std::string& key)
 {
+    OBS_ZONE(profiler_, "storage/get");
     ++reads_;
     auto it = data_.find(key);
     if (it == data_.end())
@@ -17,6 +20,7 @@ KvStore::get(const std::string& key)
 void
 KvStore::put(const std::string& key, Value value)
 {
+    OBS_ZONE(profiler_, "storage/put");
     ++writes_;
     data_[key] = std::move(value);
 }

@@ -21,6 +21,10 @@
 #include "common/types.hh"
 #include "common/value.hh"
 
+namespace specfaas::obs {
+class Profiler;
+}
+
 namespace specfaas {
 
 /** Latency parameters of the remote store. */
@@ -59,6 +63,14 @@ class KvStore
     /** Latency parameters (applied by callers via the event queue). */
     const KvStoreLatency& latency() const { return latency_; }
 
+    /**
+     * Attach the owning simulation's profiler so get/put record
+     * "storage/get"/"storage/put" zones. The store has no Simulation
+     * reference of its own, so the platform wires this explicitly;
+     * unattached stores (unit tests) profile nothing.
+     */
+    void setProfiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
     /** @{ Access counters for utilization and trace experiments. */
     std::uint64_t readCount() const { return reads_; }
     std::uint64_t writeCount() const { return writes_; }
@@ -94,6 +106,7 @@ class KvStore
 
   private:
     KvStoreLatency latency_;
+    obs::Profiler* profiler_ = nullptr;
     std::unordered_map<std::string, Value> data_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;

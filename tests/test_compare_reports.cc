@@ -237,6 +237,113 @@ TEST(CompareReportFiles, MissingFileExitsTwo)
     EXPECT_TRUE(contains(out, "ERROR      cannot read")) << out;
 }
 
+/** A report carrying a deterministic profile section. */
+JsonReport
+profiledReport(std::int64_t walkVisits, std::int64_t dispatchCount,
+               bool withDispatch = true)
+{
+    JsonReport report = simpleReport(10.0, 500.0);
+    ValueArray zones;
+    if (withDispatch) {
+        zones.push_back(
+            Value::object({{"name", Value(std::string("sim/dispatch"))},
+                           {"visits", Value(std::int64_t{1000})},
+                           {"count", Value(dispatchCount)}}));
+    }
+    zones.push_back(
+        Value::object({{"name", Value(std::string("spec/walk"))},
+                       {"visits", Value(walkVisits)},
+                       {"count", Value(std::int64_t{0})}}));
+    report.addSection(
+        "profile", Value::object({{"zones", Value(std::move(zones))}}));
+    return report;
+}
+
+TEST(CompareReports, IdenticalProfileZonesPassTwoSidedIdentity)
+{
+    CompareOptions opts;
+    opts.relTolerance = 0.0;
+    opts.twoSided = true;
+    CompareResult r = obs::compareReports(
+        profiledReport(40, 7).build(), profiledReport(40, 7).build(),
+        opts);
+    EXPECT_TRUE(r.ok()) << (r.regressions.empty()
+                                ? ""
+                                : r.regressions[0]);
+    EXPECT_TRUE(r.regressions.empty());
+}
+
+TEST(CompareReports, ProfileZoneDriftNoteOneSidedFailsTwoSided)
+{
+    CompareOptions opts;
+    opts.relTolerance = 0.0;
+    CompareResult r = obs::compareReports(
+        profiledReport(40, 7).build(), profiledReport(41, 7).build(),
+        opts);
+    EXPECT_TRUE(r.ok()) << "one-sided: zone drift is a note";
+    ASSERT_FALSE(r.notes.empty());
+    EXPECT_TRUE(contains(r.notes.back(), "spec/walk"));
+
+    opts.twoSided = true;
+    r = obs::compareReports(profiledReport(40, 7).build(),
+                            profiledReport(41, 7).build(), opts);
+    EXPECT_FALSE(r.ok()) << "two-sided: zone drift is a regression";
+    ASSERT_FALSE(r.regressions.empty());
+    EXPECT_TRUE(
+        contains(r.regressions[0], "profile zone 'spec/walk' visits"));
+}
+
+TEST(CompareReports, ProfileZoneCountDriftGatedLikeVisits)
+{
+    CompareOptions opts;
+    opts.relTolerance = 0.0;
+    opts.twoSided = true;
+    CompareResult r = obs::compareReports(
+        profiledReport(40, 7).build(), profiledReport(40, 8).build(),
+        opts);
+    EXPECT_FALSE(r.ok());
+    ASSERT_FALSE(r.regressions.empty());
+    EXPECT_TRUE(contains(r.regressions[0],
+                         "profile zone 'sim/dispatch' count"));
+}
+
+TEST(CompareReports, ProfileZoneMissingFromCandidateIsError)
+{
+    CompareResult r = obs::compareReports(
+        profiledReport(40, 7).build(),
+        profiledReport(40, 7, /*withDispatch=*/false).build());
+    EXPECT_FALSE(r.ok());
+    ASSERT_FALSE(r.errors.empty());
+    EXPECT_EQ(r.errors[0],
+              "profile zone 'sim/dispatch' missing from candidate");
+}
+
+TEST(CompareReports, CandidateOnlyProfileZoneIsNote)
+{
+    CompareResult r = obs::compareReports(
+        profiledReport(40, 7, /*withDispatch=*/false).build(),
+        profiledReport(40, 7).build());
+    EXPECT_TRUE(r.ok());
+    ASSERT_FALSE(r.notes.empty());
+    EXPECT_TRUE(contains(r.notes.back(),
+                         "profile zone 'sim/dispatch' only in "
+                         "candidate"));
+}
+
+TEST(CompareReports, BaselineWithoutProfileGatesMetricsOnly)
+{
+    // Subset matching: an unprofiled baseline must not reject a
+    // profiled candidate, so older snapshots keep working after a
+    // bench gains --profile.
+    CompareOptions opts;
+    opts.relTolerance = 0.0;
+    opts.twoSided = true;
+    CompareResult r = obs::compareReports(
+        simpleReport(10.0, 500.0).build(),
+        profiledReport(40, 7).build(), opts);
+    EXPECT_TRUE(r.ok());
+}
+
 TEST(CompareReports, NonObjectReportsAreErrors)
 {
     CompareResult r =

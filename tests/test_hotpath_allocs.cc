@@ -25,8 +25,10 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/profiler.hh"
 #include "platform/platform.hh"
 #include "sim/event_queue.hh"
+#include "sim/sim_context.hh"
 #include "workloads/suites.hh"
 
 namespace {
@@ -90,11 +92,32 @@ TEST(HotPathAllocs, KernelSteadyStateIsAllocationFree)
         << during << " allocations over 100k+ events";
 }
 
+TEST(HotPathAllocs, DisabledProfilerZonesAreAllocationFree)
+{
+    // A zone scope over a disabled profiler must cost one predictable
+    // branch and nothing else — in particular no heap traffic. The
+    // warmup loop interns the site (a one-time registry allocation);
+    // the measured loop must then be allocation-free.
+    obs::Profiler prof;
+    auto spin = [&prof](int n) {
+        for (int i = 0; i < n; ++i) {
+            OBS_ZONE(prof, "test/disabled-zone");
+        }
+    };
+    spin(10); // warmup: intern the site
+    const std::uint64_t before = gAllocs.load();
+    spin(100000);
+    EXPECT_EQ(gAllocs.load() - before, 0u)
+        << "disabled zone scopes must not allocate";
+    EXPECT_FALSE(prof.hasData());
+}
+
 TEST(HotPathAllocs, DisabledTracingRunStaysUnderBudget)
 {
-    // Tracing is off by default; every trace call site is behind an
-    // enabled() check, so a run must not pay for trace-argument
-    // formatting. Budget: the hot-path rework landed at under 3
+    // Tracing and profiling are off by default; every trace call site
+    // is behind an enabled() check and every zone scope behind a
+    // disabled-profiler branch, so a run must not pay for either.
+    // Budget: the hot-path rework landed at under 3
     // allocations per executed event on the fig11 suites (7.5 before
     // it); 6 leaves slack for stdlib variation while still catching
     // any per-event box (std::function, per-event container or
@@ -130,6 +153,8 @@ TEST(HotPathAllocs, DisabledTracingRunStaysUnderBudget)
     }
     EXPECT_LT(worst, 6.0)
         << "allocations per event regressed on a tracing-off run";
+    EXPECT_FALSE(defaultSimContext().profiler().hasData())
+        << "profiler recorded zones on a profiling-off run";
 }
 
 } // namespace
