@@ -25,6 +25,15 @@ BaselineController::~BaselineController()
     counters_.mergeInto(sim_.context().counters());
 }
 
+std::vector<SlotHandle>
+BaselineController::liveInvocationHandles() const
+{
+    std::vector<SlotHandle> out;
+    for (const auto& [id, h] : live_)
+        out.push_back(h);
+    return out;
+}
+
 const FlowProgram&
 BaselineController::compiled(const Application& app)
 {
@@ -66,14 +75,15 @@ BaselineController::invoke(const Application& app, Value input,
                    obs::kControlPlanePid, id, {{"app", app.name}});
     }
 
-    auto inv = std::make_unique<Invocation>();
-    inv->app = &app;
-    inv->done = std::move(done);
-    inv->result.id = id;
-    inv->result.app = app.name;
-    inv->result.submittedAt = sim_.now();
-    Invocation& ref = *inv;
-    live_[id] = std::move(inv);
+    const SlotHandle h = invArena_.create();
+    Invocation& ref = invArena_.at(h);
+    ref.self = h;
+    ref.app = &app;
+    ref.done = std::move(done);
+    ref.result.id = id;
+    ref.result.app = app.name;
+    ref.result.submittedAt = sim_.now();
+    live_[id] = h;
 
     if (app.type == WorkflowType::Explicit) {
         ref.program = &compiled(app);
@@ -86,10 +96,10 @@ BaselineController::invoke(const Application& app, Value input,
 BaselineController::Invocation&
 BaselineController::invocationOf(const InstancePtr& inst)
 {
-    auto it = live_.find(inst->invocation);
-    SPECFAAS_ASSERT(it != live_.end(), "instance %s of dead invocation",
+    Invocation* inv = invArena_.get(inst->slotHandle);
+    SPECFAAS_ASSERT(inv != nullptr, "instance %s of dead invocation",
                     inst->label().c_str());
-    return *it->second;
+    return *inv;
 }
 
 void
@@ -97,10 +107,10 @@ BaselineController::dispatch(Invocation& inv, FlowIndex idx, Value input,
                              OrderKey order)
 {
     OBS_ZONE(profiler_, "base/dispatch");
-    const std::string& fname =
+    const Symbol fname =
         idx == kFlowNone
-            ? (order == OrderKey{0} ? inv.app->rootFunction
-                                    : std::string())
+            ? (order == OrderKey{0} ? Symbol(inv.app->rootFunction)
+                                    : Symbol())
             : inv.program->node(idx).function;
     SPECFAAS_ASSERT(!fname.empty(), "dispatch without function");
 
@@ -117,9 +127,10 @@ BaselineController::dispatch(Invocation& inv, FlowIndex idx, Value input,
     if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kBaseline, "dispatch", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
-                   {{"function", fname}});
+                   {{"function", fname.str()}});
     }
     InstancePtr inst = launcher_.launch(std::move(spec));
+    inst->slotHandle = inv.self;
     inv.instances[inst->id] = std::move(inst);
 }
 
@@ -212,13 +223,13 @@ BaselineController::stepFlow(Invocation& inv, const InstancePtr& inst,
                    obs::kControlPlanePid, inv.result.id,
                    {{"after", inst->def->name}});
     }
-    const InvocationId id = inv.result.id;
-    sim_.events().schedule(transfer, [this, id, next, carry,
+    const SlotHandle h = inv.self;
+    sim_.events().schedule(transfer, [this, h, next, carry,
                                       next_order]() mutable {
-        auto it = live_.find(id);
-        if (it == live_.end())
+        Invocation* pinv = invArena_.get(h);
+        if (pinv == nullptr)
             return;
-        continueAt(*it->second, next, std::move(carry),
+        continueAt(*pinv, next, std::move(carry),
                    std::move(next_order));
     });
 }
@@ -237,7 +248,7 @@ BaselineController::completed(const InstancePtr& inst, Value output)
     // Accounting.
     ++ctrCompletions_;
     ++inv.result.functionsExecuted;
-    inv.sequence.emplace_back(inst->order, inst->def->name);
+    inv.sequence.emplace_back(inst->order, inst->def->sym);
     inv.result.containerCreation += inst->containerCreationTime;
     inv.result.runtimeSetup += inst->runtimeSetupTime;
     inv.result.platformOverhead += inst->platformOverheadTime;
@@ -311,9 +322,9 @@ BaselineController::storagePut(const InstancePtr& inst,
             if (sim_.faultInjector() != nullptr) {
                 // Attempt-scoped undo log: capture the prior value so
                 // a later crash of this handler rolls the write back.
-                if (auto it = live_.find(inst->invocation);
-                    it != live_.end()) {
-                    it->second->undo[inst->id].emplace_back(
+                if (Invocation* pinv = invArena_.get(inst->slotHandle);
+                    pinv != nullptr) {
+                    pinv->undo[inst->id].emplace_back(
                         key, store_.peek(key));
                 }
             }
@@ -325,7 +336,7 @@ BaselineController::storagePut(const InstancePtr& inst,
 void
 BaselineController::functionCall(const InstancePtr& inst,
                                  std::size_t call_site,
-                                 const std::string& callee, Value args,
+                                 Symbol callee, Value args,
                                  ValueCallback done)
 {
     OBS_ZONE(profiler_, "base/function-call");
@@ -335,15 +346,15 @@ BaselineController::functionCall(const InstancePtr& inst,
     inv.result.transferOverhead += 2 * rpc;
     inst->state = InstanceState::StalledCallee;
 
-    const InvocationId id = inv.result.id;
+    const SlotHandle h = inv.self;
     const InstanceId callerId = inst->id;
-    sim_.events().schedule(rpc, [this, id, callerId, callee, args,
+    sim_.events().schedule(rpc, [this, h, callerId, callee, args,
                                  call_site,
                                  done = std::move(done)]() mutable {
-        auto it = live_.find(id);
-        if (it == live_.end())
+        Invocation* pinv = invArena_.get(h);
+        if (pinv == nullptr)
             return;
-        Invocation& inv2 = *it->second;
+        Invocation& inv2 = *pinv;
         // The caller crashed while the RPC was in flight: its retried
         // incarnation re-issues the call.
         auto cit = inv2.instances.find(callerId);
@@ -357,7 +368,7 @@ BaselineController::functionCall(const InstancePtr& inst,
         LaunchSpec spec;
         spec.function = callee;
         spec.input = std::move(args);
-        spec.invocation = id;
+        spec.invocation = inv2.result.id;
         spec.order = std::move(order);
         spec.flowNode = kFlowNone;
         spec.preOverhead = cluster_.config().platformOverhead;
@@ -366,6 +377,7 @@ BaselineController::functionCall(const InstancePtr& inst,
         spec.caller = caller;
         ++inv2.liveInstances;
         InstancePtr callee_inst = launcher_.launch(std::move(spec));
+        callee_inst->slotHandle = h;
         inv2.instances[callee_inst->id] = callee_inst;
         // Return path: one more RPC hop back to the caller.
         const Tick rpc2 = cluster_.config().rpcLatency;
@@ -420,10 +432,10 @@ BaselineController::crashed(const InstancePtr& inst, FaultKind kind)
     OBS_ZONE(profiler_, "base/crashed");
     auto* faults = sim_.faultInjector();
     SPECFAAS_ASSERT(faults != nullptr, "crash without an injector");
-    auto it = live_.find(inst->invocation);
-    if (it == live_.end() || inst->state == InstanceState::Dead)
+    Invocation* pinv = invArena_.get(inst->slotHandle);
+    if (pinv == nullptr || inst->state == InstanceState::Dead)
         return;
-    Invocation& inv = *it->second;
+    Invocation& inv = *pinv;
 
     if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kFault, "crash", sim_.now(),
@@ -477,18 +489,18 @@ BaselineController::scheduleRetry(Invocation& inv,
                                   const InstancePtr& inst, Tick delay,
                                   ValueCallback ret)
 {
-    const InvocationId id = inv.result.id;
+    const SlotHandle h = inv.self;
     if (inst->caller == nullptr) {
         // Flow node or implicit root: re-dispatch at the same
         // pipeline coordinate with the original input.
         const FlowIndex idx = inst->flowNode;
         sim_.events().schedule(
-            delay, [this, id, idx, order = inst->order,
+            delay, [this, h, idx, order = inst->order,
                     input = inst->env.input]() mutable {
-                auto it = live_.find(id);
-                if (it == live_.end())
+                Invocation* pinv = invArena_.get(h);
+                if (pinv == nullptr)
                     return;
-                dispatch(*it->second, idx, std::move(input),
+                dispatch(*pinv, idx, std::move(input),
                          std::move(order));
             });
         return;
@@ -500,19 +512,19 @@ BaselineController::scheduleRetry(Invocation& inv,
     const InstanceId callerId = inst->caller->id;
     sim_.events().schedule(
         delay,
-        [this, id, callerId, fn = inst->def->name, order = inst->order,
+        [this, h, callerId, fn = inst->def->sym, order = inst->order,
          input = inst->env.input, ret = std::move(ret)]() mutable {
-            auto it = live_.find(id);
-            if (it == live_.end())
+            Invocation* pinv = invArena_.get(h);
+            if (pinv == nullptr)
                 return;
-            Invocation& inv2 = *it->second;
+            Invocation& inv2 = *pinv;
             auto cit = inv2.instances.find(callerId);
             if (cit == inv2.instances.end())
                 return;
             LaunchSpec spec;
             spec.function = fn;
             spec.input = std::move(input);
-            spec.invocation = id;
+            spec.invocation = inv2.result.id;
             spec.order = std::move(order);
             spec.flowNode = kFlowNone;
             spec.preOverhead = cluster_.config().platformOverhead;
@@ -521,6 +533,7 @@ BaselineController::scheduleRetry(Invocation& inv,
             spec.caller = cit->second.get();
             ++inv2.liveInstances;
             InstancePtr callee = launcher_.launch(std::move(spec));
+            callee->slotHandle = h;
             inv2.instances[callee->id] = callee;
             callReturns_[callee->id] = std::move(ret);
         });
@@ -549,19 +562,20 @@ BaselineController::failInvocation(Invocation& inv,
 void
 BaselineController::onNodeFailure(NodeId node)
 {
-    std::vector<InvocationId> ids;
-    ids.reserve(live_.size());
-    for (const auto& [id, inv] : live_) {
-        (void)inv;
-        ids.push_back(id);
+    // live_ iterates in id order, but failing an invocation mutates
+    // it, so snapshot the handles and re-check liveness per victim.
+    std::vector<SlotHandle> handles;
+    handles.reserve(live_.size());
+    for (const auto& [id, h] : live_) {
+        (void)id;
+        handles.push_back(h);
     }
-    std::sort(ids.begin(), ids.end());
-    for (const InvocationId id : ids) {
+    for (const SlotHandle h : handles) {
         while (true) {
-            auto it = live_.find(id);
-            if (it == live_.end())
+            Invocation* pinv = invArena_.get(h);
+            if (pinv == nullptr)
                 break; // the sweep itself failed the invocation
-            Invocation& inv = *it->second;
+            Invocation& inv = *pinv;
             // Topmost victim first: crashing it also tears down its
             // callee subtree, so rescan until the node is clear.
             InstancePtr victim;
@@ -599,13 +613,19 @@ BaselineController::finish(Invocation& inv, Value response)
               });
     for (auto& [order, name] : inv.sequence) {
         (void)order;
-        inv.result.executedSequence.push_back(std::move(name));
+        inv.result.executedSequence.push_back(name.str());
     }
-    auto it = live_.find(inv.result.id);
-    SPECFAAS_ASSERT(it != live_.end(), "finishing unknown invocation");
-    auto owned = std::move(it->second);
-    live_.erase(it);
-    owned->done(std::move(owned->result));
+    const std::size_t erased = live_.erase(inv.result.id);
+    SPECFAAS_ASSERT(erased == 1, "finishing unknown invocation");
+    // Move the deliverables out, then retire the record before the
+    // callback runs: done() may re-enter invoke(), and the freed slot
+    // must be reusable by then. Every handle still in flight (retry
+    // timers, RPC legs) now misses on the bumped generation.
+    const SlotHandle h = inv.self;
+    ResultCallback done = std::move(inv.done);
+    InvocationResult result = std::move(inv.result);
+    invArena_.destroy(h);
+    done(std::move(result));
 }
 
 } // namespace specfaas

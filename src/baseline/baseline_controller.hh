@@ -15,13 +15,16 @@
 #ifndef SPECFAAS_BASELINE_BASELINE_CONTROLLER_HH
 #define SPECFAAS_BASELINE_BASELINE_CONTROLLER_HH
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "common/flat_map.hh"
+#include "common/slot_array.hh"
+#include "common/symbol.hh"
 #include "fault/fault_injector.hh"
 #include "obs/counter_registry.hh"
 #include "runtime/engine.hh"
@@ -62,13 +65,30 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
     /** Engine-local tallies (merged into the global set on teardown). */
     const obs::CounterRegistry& counters() const { return counters_; }
 
+    /** @{ Introspection for tests: generation-tag liveness. */
+    /**
+     * Generation-tagged handles of every live invocation record.
+     * Tests capture this mid-run and assert the handles miss once
+     * the invocation finishes — normally or through a fault
+     * give-up — even after the index is recycled (no ABA).
+     */
+    std::vector<SlotHandle> liveInvocationHandles() const;
+
+    /** Whether @p h still resolves to a live invocation record. */
+    bool
+    invocationHandleResolves(SlotHandle h) const
+    {
+        return invArena_.get(h) != nullptr;
+    }
+    /** @} */
+
     /** @{ RuntimeHooks (called by the interpreter). */
     void storageGet(const InstancePtr& inst, const std::string& key,
                     ValueCallback done) override;
     void storagePut(const InstancePtr& inst, const std::string& key,
                     Value value, DoneCallback done) override;
     void functionCall(const InstancePtr& inst, std::size_t call_site,
-                      const std::string& callee, Value args,
+                      Symbol callee, Value args,
                       ValueCallback done) override;
     void httpRequest(const InstancePtr& inst,
                      DoneCallback done) override;
@@ -86,28 +106,44 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
     /** One attempt-scoped storage write: key and the value before. */
     using UndoEntry = std::pair<std::string, std::optional<Value>>;
 
+    struct OrderLess
+    {
+        bool
+        operator()(const OrderKey& a, const OrderKey& b) const
+        {
+            return orderKeyLess(a, b);
+        }
+    };
+
     struct Invocation
     {
         InvocationResult result;
         const Application* app = nullptr;
         const FlowProgram* program = nullptr;
         ResultCallback done;
+        /** This record's own generation-tagged handle in the
+         * controller's invocation arena. Deferred work (conductor
+         * hops, RPC legs, retry timers) captures this handle; once
+         * the invocation finishes — including a fault give-up — the
+         * generation bumps and every outstanding capture misses. */
+        SlotHandle self;
         // Explicit-walk state: join node index → collection state.
-        std::unordered_map<FlowIndex, JoinState> joins;
+        FlatMap<FlowIndex, JoinState> joins;
         // Live instances spawned for this invocation.
         std::size_t liveInstances = 0;
         // (program order, function) pairs; sorted into
         // result.executedSequence when the invocation finishes.
-        std::vector<std::pair<OrderKey, std::string>> sequence;
+        std::vector<std::pair<OrderKey, Symbol>> sequence;
         // Live instance handles, for fault recovery (subtree kill,
-        // node-failure sweep). Mirrors liveInstances.
-        std::unordered_map<InstanceId, InstancePtr> instances;
+        // node-failure sweep). Mirrors liveInstances. Instance ids
+        // are monotonic, so insertion is an append.
+        FlatMap<InstanceId, InstancePtr> instances;
         // Fault-retry attempts per pipeline coordinate.
-        std::map<OrderKey, std::uint32_t> attempts;
+        FlatMap<OrderKey, std::uint32_t, OrderLess> attempts;
         // Per-instance undo log: this attempt's storage writes, in
         // order, so a crashed attempt's effects roll back (a real
         // platform's transactional SDK / idempotency layer).
-        std::unordered_map<InstanceId, std::vector<UndoEntry>> undo;
+        FlatMap<InstanceId, std::vector<UndoEntry>> undo;
     };
 
     /** Compiled program cache, one per application. */
@@ -148,11 +184,19 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
     /** Hoisted profiler reference (see Interpreter::profiler_). */
     obs::Profiler& profiler_;
 
-    std::unordered_map<InvocationId, std::unique_ptr<Invocation>> live_;
+    /**
+     * Slab-stable storage for invocation records. Instances carry
+     * their record's generation-tagged handle, so hook dispatch
+     * resolves instance → invocation with one array access instead
+     * of a hash probe, and a stale handle after teardown is a miss
+     * rather than an ABA hit on a reused slot.
+     */
+    SlotArray<Invocation> invArena_;
+    /** Id → record handle (ids are monotonic: inserts append). */
+    FlatMap<InvocationId, SlotHandle> live_;
     std::unordered_map<const Application*, FlowProgram> programs_;
     /** Implicit-callee return continuations, keyed by callee id. */
-    std::unordered_map<InstanceId, ValueCallback>
-        callReturns_;
+    FlatMap<InstanceId, ValueCallback> callReturns_;
 
     obs::CounterRegistry counters_;
     std::uint64_t& ctrInvocations_ = counters_.counter("baseline.invocations");

@@ -55,14 +55,17 @@ ContainerPool::nodeById(NodeId id) const
 }
 
 ContainerFunctionPool&
-ContainerPool::poolFor(const std::string& function)
+ContainerPool::poolFor(Symbol function)
 {
-    auto it = pools_.find(function);
-    if (it == pools_.end()) {
-        it = pools_.emplace(function, ContainerFunctionPool{}).first;
-        it->second.name = function;
+    const std::size_t i = function.id();
+    if (i >= pools_.size())
+        pools_.resize(i + 1);
+    if (pools_[i] == nullptr) {
+        pools_[i] = std::make_unique<ContainerFunctionPool>();
+        pools_[i]->sym = function;
+        pools_[i]->name = function.str();
     }
-    return it->second;
+    return *pools_[i];
 }
 
 Container*
@@ -85,7 +88,7 @@ ContainerPool::createContainer(ContainerFunctionPool& pool, NodeId node)
 }
 
 void
-ContainerPool::acquire(const std::string& function, AcquireCallback done)
+ContainerPool::acquire(Symbol function, AcquireCallback done)
 {
     OBS_ZONE(sim_.context().profiler(), "cluster/acquire");
     ContainerFunctionPool& pool = poolFor(function);
@@ -98,7 +101,7 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
             tr.instant(obs::cat::kContainer, "warm-start", sim_.now(),
                        obs::nodePid(c->node),
                        obs::kContainerTidBase + c->id,
-                       {{"function", function}});
+                       {{"function", pool.name}});
         }
         AcquireTiming timing;
         timing.handlerFork = config_.handlerForkOverhead;
@@ -123,7 +126,7 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
     if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.begin(obs::cat::kContainer, "cold-start", sim_.now(),
                  obs::nodePid(c->node), obs::kContainerTidBase + c->id,
-                 {{"function", function},
+                 {{"function", pool.name},
                   {"container_creation_us",
                    strFormat("%lld", static_cast<long long>(
                                          timing.containerCreation)),
@@ -151,7 +154,7 @@ ContainerPool::acquire(const std::string& function, AcquireCallback done)
                 n != nullptr && n->isDown()) {
                 ContainerFunctionPool& p = *c->owner;
                 destroy(*c);
-                acquire(p.name, std::move(cb));
+                acquire(p.sym, std::move(cb));
                 return;
             }
             cb(*c, timing);
@@ -189,7 +192,7 @@ ContainerPool::destroy(Container& c)
 }
 
 void
-ContainerPool::prewarm(const std::string& function, std::uint32_t count)
+ContainerPool::prewarm(Symbol function, std::uint32_t count)
 {
     ContainerFunctionPool& pool = poolFor(function);
     for (std::uint32_t i = 0; i < count; ++i) {
@@ -202,8 +205,10 @@ std::size_t
 ContainerPool::dropNode(NodeId node)
 {
     std::size_t dropped = 0;
-    for (auto& [fn, pool] : pools_) {
-        (void)fn;
+    for (auto& entry : pools_) {
+        if (entry == nullptr)
+            continue;
+        ContainerFunctionPool& pool = *entry;
         for (std::size_t i = pool.warm.size(); i-- > 0;) {
             Container* c = pool.warm[i];
             if (c->node != node)
@@ -225,20 +230,20 @@ ContainerPool::dropNode(NodeId node)
 }
 
 std::size_t
-ContainerPool::containerCount(const std::string& function) const
+ContainerPool::containerCount(Symbol function) const
 {
-    auto it = pools_.find(function);
-    return it == pools_.end() ? 0 : it->second.live;
+    const std::size_t i = function.id();
+    return i < pools_.size() && pools_[i] != nullptr ? pools_[i]->live
+                                                     : 0;
 }
 
 std::size_t
 ContainerPool::warmCount() const
 {
     std::size_t n = 0;
-    for (const auto& [fn, pool] : pools_) {
-        (void)fn;
-        n += pool.warm.size();
-    }
+    for (const auto& entry : pools_)
+        if (entry != nullptr)
+            n += entry->warm.size();
     return n;
 }
 

@@ -17,10 +17,11 @@
 #include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "common/inline_function.hh"
+#include "common/symbol.hh"
 
 #include "cluster/cluster_config.hh"
 #include "cluster/node.hh"
@@ -55,7 +56,8 @@ struct Container
  */
 struct ContainerFunctionPool
 {
-    std::string name;
+    Symbol sym;
+    std::string name; ///< resolved once, for trace rendering
     // Slot storage; entries may be dead (awaiting reuse via free_).
     std::deque<Container> slots;
     // Free warm containers (live subset of slots).
@@ -113,7 +115,14 @@ class ContainerPool
      * immediately (plus handler fork time) when a warm container is
      * free, after a cold start otherwise.
      */
-    void acquire(const std::string& function, AcquireCallback done);
+    void acquire(Symbol function, AcquireCallback done);
+
+    /** Convenience: interns @p function (tests, setup code). */
+    void
+    acquire(std::string_view function, AcquireCallback done)
+    {
+        acquire(Symbol(function), std::move(done));
+    }
 
     /** Return a container to the warm pool after a request. */
     void release(Container& c);
@@ -130,7 +139,14 @@ class ContainerPool
      * charging cold-start time (models a warmed-up environment where
      * prior optimizations removed start-up overheads, §IV).
      */
-    void prewarm(const std::string& function, std::uint32_t count);
+    void prewarm(Symbol function, std::uint32_t count);
+
+    /** Convenience: interns @p function (tests, setup code). */
+    void
+    prewarm(std::string_view function, std::uint32_t count)
+    {
+        prewarm(Symbol(function), count);
+    }
 
     /**
      * Node @p node failed: drop its free warm containers (the warm
@@ -142,7 +158,14 @@ class ContainerPool
     std::size_t dropNode(NodeId node);
 
     /** Total containers (warm + busy) for @p function. */
-    std::size_t containerCount(const std::string& function) const;
+    std::size_t containerCount(Symbol function) const;
+
+    /** Convenience: non-interning lookup by name (tests). */
+    std::size_t
+    containerCount(std::string_view function) const
+    {
+        return containerCount(Symbol::lookup(function));
+    }
 
     /** Free warm containers across all functions (sampler gauge). */
     std::size_t warmCount() const;
@@ -161,12 +184,18 @@ class ContainerPool
     const ClusterConfig& config_;
     std::uint64_t nextContainer_ = 1;
 
-    ContainerFunctionPool& poolFor(const std::string& function);
+    ContainerFunctionPool& poolFor(Symbol function);
 
     /** Create (or recycle) a live slot in @p pool placed on @p node. */
     Container* createContainer(ContainerFunctionPool& pool, NodeId node);
 
-    std::unordered_map<std::string, ContainerFunctionPool> pools_;
+    /**
+     * Indexed by Symbol id — a per-function lookup is one array
+     * access, no string hashing. Entries are heap-allocated so
+     * Container::owner back-pointers survive table growth; unused
+     * ids (symbols interned by other subsystems) stay null.
+     */
+    std::vector<std::unique_ptr<ContainerFunctionPool>> pools_;
     std::uint64_t coldStarts_ = 0;
     std::uint64_t warmStarts_ = 0;
     std::uint32_t rrNext_ = 0;

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Index-addressed object pool with generation-tagged handles.
+ *
+ * Controller bookkeeping used to resolve "which pipeline slot /
+ * invocation record does this event belong to" through hash maps
+ * keyed by instance or invocation ids — a probe per hook call. A
+ * SlotArray assigns every object a dense index into slab-stable
+ * storage; a SlotHandle is that index plus a generation tag, so
+ * resolution is one array access and a 32-bit compare.
+ *
+ * Generations are the ABA guard: destroying an object bumps its
+ * index's generation, so any handle captured before a squash,
+ * rewalk, commit, or give-up teardown misses afterwards — even when
+ * the index has been recycled for a new object. A default handle
+ * (generation 0) never resolves; generations start at 1 and only
+ * grow.
+ *
+ * Object addresses are stable for the object's lifetime (storage is
+ * carved from slabs that never move), so references held across
+ * reentrant calls stay valid while the object lives.
+ */
+
+#ifndef SPECFAAS_COMMON_SLOT_ARRAY_HH
+#define SPECFAAS_COMMON_SLOT_ARRAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+/** Typed-by-convention handle into one SlotArray. */
+struct SlotHandle
+{
+    std::uint32_t index = 0;
+    std::uint32_t gen = 0; // 0 = never valid
+
+    explicit operator bool() const { return gen != 0; }
+
+    friend bool
+    operator==(SlotHandle a, SlotHandle b)
+    {
+        return a.index == b.index && a.gen == b.gen;
+    }
+    friend bool operator!=(SlotHandle a, SlotHandle b) { return !(a == b); }
+};
+
+template <typename T, std::size_t SlabObjects = 64>
+class SlotArray
+{
+    static_assert(SlabObjects > 0, "slab must hold at least one object");
+
+  public:
+    SlotArray() = default;
+    SlotArray(const SlotArray&) = delete;
+    SlotArray& operator=(const SlotArray&) = delete;
+
+    ~SlotArray()
+    {
+        for (Meta& m : meta_) {
+            if (m.live)
+                m.obj->~T();
+        }
+    }
+
+    /** Construct a T; returns its handle (object via get()). */
+    template <typename... A>
+    SlotHandle
+    create(A&&... args)
+    {
+        std::uint32_t index;
+        if (!freelist_.empty()) {
+            index = freelist_.back();
+            freelist_.pop_back();
+        } else {
+            index = static_cast<std::uint32_t>(meta_.size());
+            if (slabs_.empty() || slabUsed_ == SlabObjects) {
+                slabs_.push_back(std::make_unique<Storage[]>(SlabObjects));
+                slabUsed_ = 0;
+            }
+            Meta m;
+            m.obj = reinterpret_cast<T*>(
+                slabs_.back()[slabUsed_++].bytes);
+            m.gen = 1;
+            meta_.push_back(m);
+        }
+        Meta& m = meta_[index];
+        ::new (static_cast<void*>(m.obj)) T(std::forward<A>(args)...);
+        m.live = true;
+        ++liveCount_;
+        return SlotHandle{index, m.gen};
+    }
+
+    /** Resolve a handle; nullptr when stale or never valid. */
+    T*
+    get(SlotHandle h)
+    {
+        if (h.index >= meta_.size())
+            return nullptr;
+        Meta& m = meta_[h.index];
+        if (m.gen != h.gen || !m.live)
+            return nullptr;
+        return std::launder(m.obj);
+    }
+
+    const T*
+    get(SlotHandle h) const
+    {
+        return const_cast<SlotArray*>(this)->get(h);
+    }
+
+    /** Resolve a handle that must be live (asserts otherwise). */
+    T&
+    at(SlotHandle h)
+    {
+        T* obj = get(h);
+        SPECFAAS_ASSERT(obj != nullptr, "stale slot handle %u@%u",
+                        h.index, h.gen);
+        return *obj;
+    }
+
+    /**
+     * Destroy the object behind @p h and bump the index's
+     * generation, invalidating every outstanding copy of the handle.
+     */
+    void
+    destroy(SlotHandle h)
+    {
+        SPECFAAS_ASSERT(h.index < meta_.size(), "bad slot index");
+        Meta& m = meta_[h.index];
+        SPECFAAS_ASSERT(m.live && m.gen == h.gen,
+                        "destroying stale slot handle");
+        std::launder(m.obj)->~T();
+        m.live = false;
+        ++m.gen;
+        --liveCount_;
+        freelist_.push_back(h.index);
+    }
+
+    std::size_t liveCount() const { return liveCount_; }
+
+    /** Indexes ever carved (capacity high-water mark). */
+    std::size_t indexCount() const { return meta_.size(); }
+
+  private:
+    struct Storage
+    {
+        alignas(T) unsigned char bytes[sizeof(T)];
+    };
+
+    struct Meta
+    {
+        T* obj = nullptr;
+        std::uint32_t gen = 0;
+        bool live = false;
+    };
+
+    std::vector<std::unique_ptr<Storage[]>> slabs_;
+    std::vector<Meta> meta_;
+    std::vector<std::uint32_t> freelist_;
+    std::size_t slabUsed_ = 0;
+    std::size_t liveCount_ = 0;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_COMMON_SLOT_ARRAY_HH

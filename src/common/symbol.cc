@@ -1,0 +1,252 @@
+#include "symbol.hh"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t
+fnv1a(std::string_view s)
+{
+    std::uint64_t h = kFnvOffset;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/**
+ * The intern table. Entry storage is chunked (chunks never move, the
+ * chunk directory is a fixed array of atomics), so id → entry
+ * resolution takes no lock. The name → id index is an open-addressed
+ * table published through an atomic pointer: readers probe the
+ * current index lock-free; writers (first-time interns only) take
+ * the mutex, append the entry, insert into the index, and republish
+ * a grown index when the load factor demands it. Replaced indexes
+ * are retired, not freed, so a reader holding a stale pointer only
+ * risks a miss — which sends it through the locked slow path.
+ */
+class Table
+{
+    static constexpr std::size_t kChunkBits = 10;
+    static constexpr std::size_t kChunkSize = 1u << kChunkBits;
+    static constexpr std::size_t kMaxChunks = 1u << 14; // 16M symbols
+
+    struct Entry
+    {
+        std::string name;
+        std::uint64_t hash = 0;
+    };
+
+    struct Index
+    {
+        explicit Index(std::size_t cap)
+            : mask(cap - 1), slots(new Slot[cap])
+        {}
+        // id + 1 per slot; 0 = empty.
+        struct Slot
+        {
+            std::atomic<std::uint32_t> idPlus1{0};
+        };
+        std::size_t mask;
+        std::unique_ptr<Slot[]> slots;
+    };
+
+  public:
+    static Table&
+    instance()
+    {
+        static Table table;
+        return table;
+    }
+
+    std::uint32_t
+    intern(std::string_view name)
+    {
+        const std::uint64_t hash = fnv1a(name);
+        if (std::uint32_t id;
+            probe(index_.load(std::memory_order_acquire), name, hash,
+                  id))
+            return id;
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        Index* index = index_.load(std::memory_order_relaxed);
+        if (std::uint32_t id; probe(index, name, hash, id))
+            return id; // raced with another interning thread
+        const std::uint32_t count = count_.load(std::memory_order_relaxed);
+        SPECFAAS_ASSERT(count < kChunkSize * kMaxChunks,
+                        "symbol table full");
+        if ((count >> kChunkBits) >= chunkCount_) {
+            chunks_[chunkCount_].store(new Entry[kChunkSize],
+                                       std::memory_order_release);
+            ++chunkCount_;
+        }
+        Entry& e = *entryAt(count);
+        e.name.assign(name.data(), name.size());
+        e.hash = hash;
+        // Publish the entry before it becomes findable.
+        count_.store(count + 1, std::memory_order_release);
+        if ((count + 1) * 10 > (index->mask + 1) * 7)
+            index = grow(index);
+        insert(*index, hash, count);
+        return count;
+    }
+
+    bool
+    find(std::string_view name, std::uint32_t& id) const
+    {
+        return probe(index_.load(std::memory_order_acquire), name,
+                     fnv1a(name), id);
+    }
+
+    const Entry&
+    entry(std::uint32_t id) const
+    {
+        SPECFAAS_ASSERT(id < count_.load(std::memory_order_acquire),
+                        "symbol id %u out of range", id);
+        return *entryAt(id);
+    }
+
+    std::size_t
+    size() const
+    {
+        return count_.load(std::memory_order_acquire);
+    }
+
+  private:
+    Table()
+    {
+        chunks_[0].store(new Entry[kChunkSize],
+                         std::memory_order_relaxed);
+        chunkCount_ = 1;
+        Index* index = new Index(256);
+        index_.store(index, std::memory_order_relaxed);
+        // Reserve id 0 for the empty symbol.
+        Entry& e = *entryAt(0);
+        e.hash = fnv1a("");
+        count_.store(1, std::memory_order_release);
+        insert(*index, e.hash, 0);
+    }
+
+    Entry*
+    entryAt(std::uint32_t id) const
+    {
+        Entry* chunk =
+            chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+        return &chunk[id & (kChunkSize - 1)];
+    }
+
+    bool
+    probe(const Index* index, std::string_view name, std::uint64_t hash,
+          std::uint32_t& id) const
+    {
+        for (std::size_t i = hash & index->mask;;
+             i = (i + 1) & index->mask) {
+            const std::uint32_t idPlus1 =
+                index->slots[i].idPlus1.load(std::memory_order_acquire);
+            if (idPlus1 == 0)
+                return false;
+            const Entry& e = *entryAt(idPlus1 - 1);
+            if (e.hash == hash && e.name == name) {
+                id = idPlus1 - 1;
+                return true;
+            }
+        }
+    }
+
+    static void
+    insert(Index& index, std::uint64_t hash, std::uint32_t id)
+    {
+        for (std::size_t i = hash & index.mask;;
+             i = (i + 1) & index.mask) {
+            if (index.slots[i].idPlus1.load(std::memory_order_relaxed) ==
+                0) {
+                index.slots[i].idPlus1.store(id + 1,
+                                             std::memory_order_release);
+                return;
+            }
+        }
+    }
+
+    Index*
+    grow(Index* old)
+    {
+        auto* bigger = new Index((old->mask + 1) * 2);
+        const std::uint32_t count =
+            count_.load(std::memory_order_relaxed);
+        for (std::uint32_t id = 0; id < count; ++id)
+            insert(*bigger, entryAt(id)->hash, id);
+        retired_.emplace_back(old);
+        index_.store(bigger, std::memory_order_release);
+        return bigger;
+    }
+
+    mutable std::atomic<Entry*> chunks_[kMaxChunks] = {};
+    std::size_t chunkCount_ = 0;
+    std::atomic<std::uint32_t> count_{0};
+    std::atomic<Index*> index_{nullptr};
+    std::vector<std::unique_ptr<Index>> retired_;
+    std::mutex mutex_;
+};
+
+} // namespace
+
+std::uint32_t
+Symbol::internId(std::string_view name)
+{
+    if (name.empty())
+        return 0;
+    return Table::instance().intern(name);
+}
+
+Symbol
+Symbol::fromId(std::uint32_t id)
+{
+    SPECFAAS_ASSERT(id < Table::instance().size(),
+                    "unknown symbol id %u", id);
+    Symbol s;
+    s.id_ = id;
+    return s;
+}
+
+const std::string&
+Symbol::str() const
+{
+    return Table::instance().entry(id_).name;
+}
+
+std::uint64_t
+Symbol::nameHash() const
+{
+    return Table::instance().entry(id_).hash;
+}
+
+Symbol
+Symbol::lookup(std::string_view name)
+{
+    Symbol s;
+    if (name.empty())
+        return s;
+    std::uint32_t id;
+    if (Table::instance().find(name, id))
+        s.id_ = id;
+    return s;
+}
+
+std::size_t
+Symbol::tableSize()
+{
+    return Table::instance().size();
+}
+
+} // namespace specfaas

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Process-wide interned name table.
+ *
+ * The model layer names things — functions, environment variables,
+ * flow nodes — and used to pass those names around as std::string,
+ * paying a hash or a character-by-character compare at every lookup
+ * on the engine hot path. A Symbol is a dense 32-bit id into a
+ * process-global intern table: comparisons are integer compares,
+ * registry/memo lookups become array indexing, and the string itself
+ * is only resolved again at trace/report render time.
+ *
+ * Determinism: ids are assigned in interning order, so a fixed
+ * program interning a fixed sequence of names gets identical ids on
+ * every run. Nothing observable (reports, traces, predictor tables)
+ * depends on raw id values — only on resolved strings and on each
+ * symbol's name hash, which is a pure function of the name — so
+ * concurrently forked SimContexts may intern in any order without
+ * perturbing output (they share this one table and agree on every
+ * id they can ever exchange).
+ *
+ * Concurrency: resolving (id → name, id → hash) and looking up an
+ * already-interned name are lock-free; only first-time interning
+ * takes a mutex. Entry storage is chunked and never moves, so
+ * resolved references stay valid for the process lifetime.
+ */
+
+#ifndef SPECFAAS_COMMON_SYMBOL_HH
+#define SPECFAAS_COMMON_SYMBOL_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace specfaas {
+
+class Symbol
+{
+  public:
+    /** The empty symbol: id 0, renders as "". */
+    constexpr Symbol() = default;
+
+    /** Intern @p name (or find its existing entry). */
+    explicit Symbol(std::string_view name) : id_(internId(name)) {}
+
+    static Symbol intern(std::string_view name) { return Symbol(name); }
+
+    /** Rebuild a symbol from a known-valid id (asserts in debug). */
+    static Symbol fromId(std::uint32_t id);
+
+    /** The interned name; valid for the process lifetime. */
+    const std::string& str() const;
+
+    /** FNV-1a hash of the name — intern-order independent. */
+    std::uint64_t nameHash() const;
+
+    std::uint32_t id() const { return id_; }
+    bool empty() const { return id_ == 0; }
+    explicit operator bool() const { return id_ != 0; }
+
+    friend bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+    friend bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+    /** Intern order, NOT lexicographic — fine for flat-map keys. */
+    friend bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+    /** @{ String comparison resolves the symbol; never interns. */
+    friend bool
+    operator==(Symbol a, std::string_view b)
+    {
+        return a.str() == b;
+    }
+    friend bool
+    operator==(std::string_view a, Symbol b)
+    {
+        return b.str() == a;
+    }
+    friend bool
+    operator!=(Symbol a, std::string_view b)
+    {
+        return !(a == b);
+    }
+    friend bool
+    operator!=(std::string_view a, Symbol b)
+    {
+        return !(a == b);
+    }
+    /** @} */
+
+    /** Streams the resolved name (diagnostics, test failures). */
+    friend std::ostream&
+    operator<<(std::ostream& os, Symbol s)
+    {
+        return os << s.str();
+    }
+
+    /** Lookup without interning; empty Symbol when never interned.
+     * (The empty string always resolves, to id 0.) */
+    static Symbol lookup(std::string_view name);
+
+    /** Number of interned symbols (including the empty symbol). */
+    static std::size_t tableSize();
+
+  private:
+    static std::uint32_t internId(std::string_view name);
+
+    std::uint32_t id_ = 0;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_COMMON_SYMBOL_HH

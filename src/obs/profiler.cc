@@ -194,6 +194,47 @@ stackNames(const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
     return names;
 }
 
+/**
+ * Escape one frame name for the collapsed-stack format. ';' is the
+ * frame separator and ' ' the value separator, so raw occurrences
+ * inside a zone name would silently corrupt the file for every
+ * downstream consumer; backslash-escape them (and the escape
+ * character itself, plus literal whitespace that would break the
+ * line structure). Names without special characters pass through
+ * byte-identical.
+ */
+std::string
+escapeFrame(const std::string& name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case ';':
+            out += "\\;";
+            break;
+        case ' ':
+            out += "\\ ";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
 std::string
 joinStack(const std::vector<std::string>& stack)
 {
@@ -201,7 +242,7 @@ joinStack(const std::vector<std::string>& stack)
     for (std::size_t i = 0; i < stack.size(); ++i) {
         if (i > 0)
             s += ';';
-        s += stack[i];
+        s += escapeFrame(stack[i]);
     }
     return s;
 }
@@ -358,8 +399,33 @@ parseFolded(const std::string& text,
         pos = eol + 1;
         if (line.empty())
             continue;
-        const std::size_t space = line.find_last_of(' ');
-        if (space == std::string::npos || space == 0 ||
+        // The value separator is the single unescaped space. Scan
+        // with escape awareness: validate every escape sequence,
+        // reject raw whitespace (an unescaped tab, or a second
+        // unescaped space, means the path was written by something
+        // that didn't escape — exactly the corruption this format
+        // check exists to catch).
+        std::size_t space = std::string::npos;
+        std::size_t unescapedSpaces = 0;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            if (c == '\\') {
+                if (i + 1 >= line.size())
+                    return false; // dangling escape
+                const char e = line[++i];
+                if (e != '\\' && e != ';' && e != ' ' && e != 't' &&
+                    e != 'n' && e != 'r')
+                    return false; // unknown escape
+                continue;
+            }
+            if (c == ' ') {
+                space = i;
+                ++unescapedSpaces;
+            } else if (c == '\t' || c == '\r') {
+                return false; // raw whitespace in path or value
+            }
+        }
+        if (unescapedSpaces != 1 || space == 0 ||
             space + 1 >= line.size())
             return false;
         std::uint64_t v = 0;

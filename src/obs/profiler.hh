@@ -262,6 +262,10 @@ class ZoneScope
  * Render the profile as collapsed-stack "folded" text, one line per
  * path — `outer;inner <value>` — sorted lexicographically by path.
  * The format is what flamegraph.pl and speedscope consume directly.
+ * Frame names are backslash-escaped (`;`, spaces, tabs, newlines and
+ * `\` itself), so a zone name containing the frame or value
+ * separator cannot corrupt the line structure; names without special
+ * characters render byte-identically to the unescaped form.
  * Visits-valued output is byte-deterministic (and job-count
  * independent under the ordered merge); WallNs/Allocs output is for
  * human flamegraphs. Zero-valued paths are kept so a visits-valued
@@ -276,7 +280,12 @@ bool writeFoldedProfile(const Profiler& p, const std::string& path,
 
 /**
  * Parse folded text back into (path, value) pairs in line order.
- * @return false on malformed input (missing value, empty path)
+ * Paths are returned in their escaped on-disk form (escaping is the
+ * identity for names without special characters). Input with raw
+ * whitespace in a path, an unknown or dangling escape, a missing
+ * value, or an empty path is rejected — a path that needed escaping
+ * but wasn't is corruption, not data.
+ * @return false on malformed input
  */
 bool parseFolded(
     const std::string& text,

@@ -57,9 +57,8 @@ class RuntimeHooks
      * caller blocks until @p done fires with the callee's output.
      */
     virtual void functionCall(const InstancePtr& inst,
-                              std::size_t call_site,
-                              const std::string& callee, Value args,
-                              ValueCallback done) = 0;
+                              std::size_t call_site, Symbol callee,
+                              Value args, ValueCallback done) = 0;
 
     /**
      * Intercepted external HTTP request (sendto, §VI). Speculative

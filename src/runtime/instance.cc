@@ -1,5 +1,7 @@
 #include "instance.hh"
 
+#include <charconv>
+
 #include "common/logging.hh"
 
 namespace specfaas {
@@ -25,6 +27,24 @@ orderKeyIsPrefix(const OrderKey& pre, const OrderKey& key)
 std::string
 orderKeyToString(const OrderKey& key)
 {
+    // Rendered for every traced slot event, so format in one stack
+    // pass; 192 bytes covers keys ~15 levels deep, far beyond any
+    // real workflow nesting.
+    char local[192];
+    std::size_t n = 0;
+    local[n++] = '[';
+    if (key.size() * 12 + 2 <= sizeof local) {
+        for (std::size_t i = 0; i < key.size(); ++i) {
+            if (i > 0)
+                local[n++] = '.';
+            n = static_cast<std::size_t>(
+                std::to_chars(local + n, local + sizeof local, key[i])
+                    .ptr -
+                local);
+        }
+        local[n++] = ']';
+        return std::string(local, n);
+    }
     std::string out = "[";
     for (std::size_t i = 0; i < key.size(); ++i) {
         if (i > 0)

@@ -14,7 +14,6 @@
 #define SPECFAAS_RUNTIME_INSTANCE_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -22,8 +21,11 @@
 #include <vector>
 
 #include "cluster/node.hh"
+#include "common/flat_map.hh"
 #include "common/rng.hh"
+#include "common/slot_array.hh"
 #include "common/small_vector.hh"
+#include "common/symbol.hh"
 #include "common/types.hh"
 #include "common/value.hh"
 #include "workflow/flow_program.hh"
@@ -164,16 +166,25 @@ struct FunctionInstance
     std::vector<std::pair<std::size_t, bool>> callSiteOutcomes;
 
     /** Actual arguments passed at each executed call site. */
-    std::map<std::size_t, Value> observedCallArgs;
+    FlatMap<std::size_t, Value> observedCallArgs;
 
-    /** Callee function name per executed call site. */
-    std::map<std::size_t, std::string> observedCallees;
+    /** Callee function per executed call site. */
+    FlatMap<std::size_t, Symbol> observedCallees;
 
     /** Path-history hash at this instance's position (§V-A). */
     std::uint64_t pathHash = 0;
 
     /** Caller instance for implicit callees (null at top level). */
     FunctionInstance* caller = nullptr;
+
+    /**
+     * Generation-tagged handle to the controller slot this instance
+     * occupies. Set by the owning controller when the instance is
+     * bound to a pipeline slot; a stale generation means the slot was
+     * squashed/committed and recycled, so callbacks holding the
+     * handle see "gone" instead of someone else's slot.
+     */
+    SlotHandle slotHandle;
 
     /** @{ Timing for the Fig. 3 breakdown, in Ticks. */
     Tick launchedAt = 0;

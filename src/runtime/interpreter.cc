@@ -170,7 +170,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
                     if (!fresh(inst, epoch))
                         return;
                     inst->state = InstanceState::Running;
-                    inst->env.vars[var] = std::move(v);
+                    inst->env.set(var, std::move(v));
                     advance(inst);
                 });
         };
@@ -236,7 +236,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
                     return;
                 inst->state = InstanceState::Running;
                 if (!var.empty())
-                    inst->env.vars[var] = std::move(result);
+                    inst->env.set(var, std::move(result));
                 advance(inst);
             });
         return;
@@ -285,7 +285,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
                 if (!var.empty()) {
                     // Reads observe the handler's own copy when one
                     // exists; content is modelled as the file name.
-                    inst->env.vars[var] = Value(name);
+                    inst->env.set(var, Value(name));
                 }
                 advance(inst);
             });
@@ -299,7 +299,7 @@ Interpreter::execOp(const InstancePtr& inst, const Op& op)
                                 var = op.var, v = std::move(v)]() {
                                    if (!fresh(inst, epoch))
                                        return;
-                                   inst->env.vars[var] = v;
+                                   inst->env.set(var, v);
                                    advance(inst);
                                });
         return;

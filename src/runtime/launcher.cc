@@ -91,7 +91,7 @@ Launcher::proceedToContainer(const InstancePtr& inst, std::uint64_t epoch)
     if (inst->epoch != epoch || inst->state == InstanceState::Dead)
         return;
     cluster_.containers().acquire(
-        inst->def->name,
+        inst->def->sym, // registry defs always carry a valid sym
         [this, inst, epoch](Container& c, const AcquireTiming& t) {
             if (inst->epoch != epoch ||
                 inst->state == InstanceState::Dead) {

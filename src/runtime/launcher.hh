@@ -27,7 +27,7 @@ namespace specfaas {
 /** Everything needed to launch one function instance. */
 struct LaunchSpec
 {
-    std::string function;
+    Symbol function;
     Value input;
     InvocationId invocation = 0;
     OrderKey order;

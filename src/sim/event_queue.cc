@@ -1,5 +1,6 @@
 #include "event_queue.hh"
 
+#include <bit>
 #include <utility>
 
 #include "common/logging.hh"
@@ -37,12 +38,110 @@ EventQueue::scheduleEntry(Tick when, Callback cb, bool daemon)
                     static_cast<long long>(now_));
     const EventId id = nextId_++;
     Callback* slot = pool_.create(std::move(cb));
-    heapPush(Item{when, id, slot});
+    if (when - now_ < kWheelSpan) {
+        const std::size_t i = bucketOf(when);
+        WheelNode* node = nodePool_.create(WheelNode{id, slot, nullptr});
+        Bucket& b = buckets_[i];
+        if (b.tail == nullptr)
+            b.head = node;
+        else
+            b.tail->next = node;
+        b.tail = node;
+        occupancy_[i >> 6] |= std::uint64_t{1} << (i & 63);
+        ++wheelItems_;
+        // An invalid cache means "minimum unknown", not "wheel
+        // empty": it may only be seeded when this is the sole entry,
+        // and otherwise only lowered — never raised.
+        if (wheelItems_ == 1 || (wheelMinValid_ && when < wheelMin_)) {
+            wheelMin_ = when;
+            wheelMinValid_ = true;
+        }
+    } else {
+        heapPush(Item{when, id, slot});
+    }
     states_.push_back(State::Pending);
     maybeCompact();
     if (daemon)
         daemonIds_.push_back(id);
     return id;
+}
+
+bool
+EventQueue::wheelPeek(Tick& when)
+{
+    if (wheelItems_ == 0) {
+        wheelMinValid_ = false;
+        return false;
+    }
+    const std::size_t start = bucketOf(now_);
+    std::size_t i = start;
+    // Resume from the cached minimum: every bucket between now_ and
+    // it is known empty. A cache that fell behind now_ can only be
+    // pointing at cancelled leftovers (pending events are never
+    // overtaken by the clock) — rescan from now_ instead, since
+    // resuming there would visit buckets out of timestamp order.
+    if (wheelMinValid_ && wheelMin_ >= now_)
+        i = bucketOf(wheelMin_);
+    for (;;) {
+        Bucket& b = buckets_[i];
+        // Unlink cancelled heads eagerly so the bucket can be
+        // released and the scan keeps jumping word-sized gaps. A
+        // cancelled entry whose time already passed sits ahead of any
+        // live occupant of its bucket (appends are chronological), so
+        // reclaiming from the head never skips a live entry.
+        while (b.head != nullptr &&
+               stateOf(b.head->id) == State::Cancelled) {
+            WheelNode* node = b.head;
+            stateOf(node->id) = State::Done;
+            --cancelledPending_;
+            pool_.destroy(node->slot);
+            b.head = node->next;
+            if (b.head == nullptr)
+                b.tail = nullptr;
+            nodePool_.destroy(node);
+            --wheelItems_;
+        }
+        if (b.head != nullptr) {
+            curBucket_ = i;
+            when = now_ + static_cast<Tick>((i - start) & kWheelMask);
+            wheelMin_ = when;
+            wheelMinValid_ = true;
+            return true;
+        }
+        occupancy_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+        if (wheelItems_ == 0) {
+            wheelMinValid_ = false;
+            return false;
+        }
+        // Bitmap scan for the next occupied bucket, wrapping once.
+        std::size_t word = (i >> 6) & (kWheelWords - 1);
+        std::uint64_t bits =
+            occupancy_[word] &
+            ~((std::uint64_t{2} << (i & 63)) - 1); // bits above i
+        for (;;) {
+            if (bits != 0) {
+                i = (word << 6) +
+                    static_cast<std::size_t>(std::countr_zero(bits));
+                break;
+            }
+            word = (word + 1) & (kWheelWords - 1);
+            bits = occupancy_[word];
+        }
+    }
+}
+
+EventQueue::WheelNode*
+EventQueue::wheelPopHead()
+{
+    Bucket& b = buckets_[curBucket_];
+    WheelNode* node = b.head;
+    b.head = node->next;
+    if (b.head == nullptr) {
+        b.tail = nullptr; // occupancy bit is cleared by the next scan
+        wheelMinValid_ = false;
+    }
+    --wheelItems_;
+    return node;
 }
 
 void
@@ -77,6 +176,18 @@ EventQueue::heapPop()
             break;
         std::swap(heap_[i], heap_[smallest]);
         i = smallest;
+    }
+}
+
+void
+EventQueue::heapSkipCancelled()
+{
+    while (!heap_.empty() &&
+           stateOf(heap_.front().id) == State::Cancelled) {
+        stateOf(heap_.front().id) = State::Done;
+        --cancelledPending_;
+        pool_.destroy(heap_.front().slot);
+        heapPop();
     }
 }
 
@@ -120,8 +231,8 @@ EventQueue::cancel(EventId id)
     // (baseId_ starts at 1).
     if (id < baseId_ || id >= nextId_ || stateOf(id) != State::Pending)
         return false;
-    // Lazily cancelled: the heap item stays queued and is skipped
-    // (and its slot reclaimed) when popped.
+    // Lazily cancelled: the queued entry stays in its lane and is
+    // skipped (and its slot reclaimed) when the lane reaches it.
     stateOf(id) = State::Cancelled;
     ++cancelledPending_;
     if (!daemonIds_.empty())
@@ -132,39 +243,62 @@ EventQueue::cancel(EventId id)
 bool
 EventQueue::empty() const
 {
-    return heap_.size() == cancelledPending_;
+    return wheelItems_ + heap_.size() == cancelledPending_;
+}
+
+void
+EventQueue::fire(Tick when, EventId id, Callback* slot)
+{
+    const Tick advanced = when - now_;
+    now_ = when;
+    stateOf(id) = State::Done;
+    if (!daemonIds_.empty())
+        dropDaemonId(id);
+    ++executed_;
+    // Move the callback out and recycle the slot before invoking,
+    // so events scheduled from inside the callback can reuse it.
+    Callback cb = std::move(*slot);
+    pool_.destroy(slot);
+    OBS_ZONE_SCOPE(zone, profiler_, "sim/dispatch");
+    zone.addCount(static_cast<std::uint64_t>(advanced));
+    cb();
 }
 
 bool
 EventQueue::runOne()
 {
-    while (!heap_.empty()) {
+    Tick wheelWhen = 0;
+    const bool hasWheel = wheelPeek(wheelWhen);
+    heapSkipCancelled();
+    const bool hasHeap = !heap_.empty();
+    if (!hasWheel && !hasHeap)
+        return false;
+
+    // The wheel holds the near future and the heap the far future,
+    // but both can be populated around the horizon: dispatch the
+    // (when, id)-earlier lane minimum.
+    bool useWheel = hasWheel;
+    if (hasWheel && hasHeap) {
+        const Item& top = heap_.front();
+        useWheel = wheelWhen != top.when
+                       ? wheelWhen < top.when
+                       : buckets_[curBucket_].head->id < top.id;
+    }
+
+    if (useWheel) {
+        WheelNode* node = wheelPopHead();
+        const EventId id = node->id;
+        Callback* slot = node->slot;
+        // Recycle the node before dispatch so events scheduled from
+        // inside the callback can reuse it.
+        nodePool_.destroy(node);
+        fire(wheelWhen, id, slot);
+    } else {
         const Item top = heap_.front();
         heapPop();
-
-        if (stateOf(top.id) == State::Cancelled) {
-            stateOf(top.id) = State::Done;
-            --cancelledPending_;
-            pool_.destroy(top.slot);
-            continue;
-        }
-
-        const Tick advanced = top.when - now_;
-        now_ = top.when;
-        stateOf(top.id) = State::Done;
-        if (!daemonIds_.empty())
-            dropDaemonId(top.id);
-        ++executed_;
-        // Move the callback out and recycle the slot before invoking,
-        // so events scheduled from inside the callback can reuse it.
-        Callback cb = std::move(*top.slot);
-        pool_.destroy(top.slot);
-        OBS_ZONE_SCOPE(zone, profiler_, "sim/dispatch");
-        zone.addCount(static_cast<std::uint64_t>(advanced));
-        cb();
-        return true;
+        fire(top.when, top.id, top.slot);
     }
-    return false;
+    return true;
 }
 
 void
@@ -181,16 +315,22 @@ void
 EventQueue::runUntil(Tick until)
 {
     SPECFAAS_ASSERT(until >= now_, "runUntil into the past");
-    while (!heap_.empty()) {
-        const Item top = heap_.front();
-        if (stateOf(top.id) == State::Cancelled) {
-            stateOf(top.id) = State::Done;
-            --cancelledPending_;
-            pool_.destroy(top.slot);
-            heapPop();
-            continue;
+    for (;;) {
+        Tick wheelWhen = 0;
+        const bool hasWheel = wheelPeek(wheelWhen);
+        heapSkipCancelled();
+        Tick next = 0;
+        bool any = false;
+        if (hasWheel) {
+            next = wheelWhen;
+            any = true;
         }
-        if (top.when > until)
+        if (!heap_.empty() &&
+            (!any || heap_.front().when < next)) {
+            next = heap_.front().when;
+            any = true;
+        }
+        if (!any || next > until)
             break;
         runOne();
     }

@@ -12,13 +12,15 @@ namespace pathhash {
 std::uint64_t
 extend(std::uint64_t h, const std::string& function)
 {
+    // Delegate through the same name-hash mix the Symbol fast path
+    // uses, so a string-built path equals the engine's symbol-built
+    // path for the same name sequence.
+    std::uint64_t nh = 1469598103934665603ull;
     for (unsigned char c : function) {
-        h ^= c;
-        h *= 1099511628211ull;
+        nh ^= c;
+        nh *= 1099511628211ull;
     }
-    h ^= '/';
-    h *= 1099511628211ull;
-    return h == 0 ? kEmpty : h; // reserve 0 for the aggregate entry
+    return extend(h, nh);
 }
 
 } // namespace pathhash
@@ -30,13 +32,20 @@ BranchPredictor::BranchPredictor(double dead_band,
 }
 
 std::uint64_t
-BranchPredictor::key(const std::string& branch, std::uint64_t path)
+BranchPredictor::branchKeyOf(const std::string& branch)
 {
     std::uint64_t h = 1469598103934665603ull;
     for (unsigned char c : branch) {
         h ^= c;
         h *= 1099511628211ull;
     }
+    return h;
+}
+
+std::uint64_t
+BranchPredictor::key(std::uint64_t branch_key, std::uint64_t path)
+{
+    std::uint64_t h = branch_key;
     h ^= path;
     h *= 1099511628211ull;
     return h;
@@ -62,7 +71,7 @@ BranchPredictor::fromEntry(const Entry& e) const
 }
 
 std::optional<BranchPrediction>
-BranchPredictor::predict(const std::string& branch,
+BranchPredictor::predict(std::uint64_t branch,
                          std::uint64_t path) const
 {
     auto it = table_.find(key(branch, path));
@@ -81,7 +90,7 @@ BranchPredictor::predict(const std::string& branch,
 }
 
 void
-BranchPredictor::update(const std::string& branch, std::uint64_t path,
+BranchPredictor::update(std::uint64_t branch, std::uint64_t path,
                         std::size_t outcome)
 {
     auto bump = [&](Entry& e) {

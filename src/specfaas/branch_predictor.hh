@@ -20,6 +20,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/symbol.hh"
+
 namespace specfaas {
 
 /** Rolling path-history hash helpers. */
@@ -27,6 +29,31 @@ namespace pathhash {
 
 /** Initial (empty-path) hash. */
 inline constexpr std::uint64_t kEmpty = 0x811c9dc5u;
+
+/**
+ * Extend a path hash with one executed function, identified by its
+ * precomputed name hash. This is the engine's hot form: one xor and
+ * two multiplies instead of re-hashing the name byte by byte. The
+ * resulting path hash is a pure function of the executed name
+ * sequence, so it is deterministic across runs and across worker
+ * threads regardless of symbol intern order.
+ */
+inline std::uint64_t
+extend(std::uint64_t h, std::uint64_t name_hash)
+{
+    h ^= name_hash;
+    h *= 1099511628211ull;
+    h ^= '/';
+    h *= 1099511628211ull;
+    return h == 0 ? kEmpty : h; // reserve 0 for the aggregate entry
+}
+
+/** Extend a path hash with one executed function. */
+inline std::uint64_t
+extend(std::uint64_t h, Symbol function)
+{
+    return extend(h, function.nameHash());
+}
 
 /** Extend a path hash with one executed function name. */
 std::uint64_t extend(std::uint64_t h, const std::string& function);
@@ -53,17 +80,48 @@ class BranchPredictor
                              std::uint32_t min_samples = 1);
 
     /**
-     * Predict the outcome of @p branch reached over @p path.
-     * Falls back to the path-agnostic aggregate when the specific
-     * path has no history. Returns nullopt when there is no usable
-     * history or the confidence falls inside the dead band.
+     * Stable 64-bit identity of a branch point, built from the
+     * owning function's name hash and a site discriminator (flow
+     * node index or call-site op index). Deterministic across runs
+     * and worker threads because Symbol::nameHash is a pure function
+     * of the name.
+     */
+    static std::uint64_t
+    branchKeyOf(std::uint64_t name_hash, std::uint64_t site)
+    {
+        std::uint64_t h = name_hash;
+        h ^= site + 0x9e3779b97f4a7c15ull;
+        h *= 1099511628211ull;
+        return h;
+    }
+
+    /** Branch identity of a raw name (tests, string call sites). */
+    static std::uint64_t branchKeyOf(const std::string& branch);
+
+    /**
+     * Predict the outcome of branch @p branch_key reached over
+     * @p path. Falls back to the path-agnostic aggregate when the
+     * specific path has no history. Returns nullopt when there is no
+     * usable history or the confidence falls inside the dead band.
      */
     std::optional<BranchPrediction>
-    predict(const std::string& branch, std::uint64_t path) const;
+    predict(std::uint64_t branch_key, std::uint64_t path) const;
+
+    std::optional<BranchPrediction>
+    predict(const std::string& branch, std::uint64_t path) const
+    {
+        return predict(branchKeyOf(branch), path);
+    }
 
     /** Record a resolved (non-speculative) outcome. */
-    void update(const std::string& branch, std::uint64_t path,
+    void update(std::uint64_t branch_key, std::uint64_t path,
                 std::size_t outcome);
+
+    void update(const std::string& branch, std::uint64_t path,
+                std::size_t outcome)
+    {
+        update(branchKeyOf(branch), path, outcome);
+    }
 
     /** @{ Accuracy accounting (filled by the controller). */
     void notePrediction(bool correct);
@@ -86,8 +144,8 @@ class BranchPredictor
         std::uint64_t total = 0;
     };
 
-    static std::uint64_t
-    key(const std::string& branch, std::uint64_t path);
+    static std::uint64_t key(std::uint64_t branch_key,
+                             std::uint64_t path);
 
     std::optional<BranchPrediction> fromEntry(const Entry& e) const;
 

@@ -107,6 +107,19 @@ class DataBuffer
      */
     std::vector<InstanceId> readersForwardedFrom(InstanceId writer) const;
 
+    /**
+     * Program-order coordinate of @p owner's live column; nullptr
+     * when the column was never opened or already closed. Lets the
+     * controller translate buffer-reported instance ids straight to
+     * pipeline coordinates without its own reverse map.
+     */
+    const OrderKey*
+    columnOrder(InstanceId owner) const
+    {
+        auto it = columns_.find(owner);
+        return it == columns_.end() ? nullptr : &it->second;
+    }
+
     /** Live column count (in-progress functions). */
     std::size_t columnCount() const { return columns_.size(); }
 

@@ -58,31 +58,32 @@ MemoTable::footprintBytes() const
 }
 
 MemoTable&
-MemoStore::table(const std::string& function)
+MemoStore::table(Symbol function)
 {
-    auto it = tables_.find(function);
-    if (it == tables_.end()) {
-        it = tables_.emplace(function, MemoTable(capacity_)).first;
-        it->second.setProfiler(profiler_);
+    const std::size_t id = function.id();
+    if (id >= tables_.size())
+        tables_.resize(id + 1);
+    if (!tables_[id]) {
+        tables_[id] = std::make_unique<MemoTable>(capacity_);
+        tables_[id]->setProfiler(profiler_);
     }
-    return it->second;
+    return *tables_[id];
 }
 
 void
 MemoStore::setProfiler(obs::Profiler* profiler)
 {
     profiler_ = profiler;
-    for (auto& [name, t] : tables_) {
-        (void)name;
-        t.setProfiler(profiler);
-    }
+    for (auto& t : tables_)
+        if (t)
+            t->setProfiler(profiler);
 }
 
 const MemoTable*
-MemoStore::find(const std::string& function) const
+MemoStore::find(Symbol function) const
 {
-    auto it = tables_.find(function);
-    return it == tables_.end() ? nullptr : &it->second;
+    const std::size_t id = function.id();
+    return id < tables_.size() ? tables_[id].get() : nullptr;
 }
 
 double
@@ -90,10 +91,11 @@ MemoStore::overallHitRate() const
 {
     std::uint64_t lookups = 0;
     std::uint64_t hits = 0;
-    for (const auto& [name, t] : tables_) {
-        (void)name;
-        lookups += t.lookups();
-        hits += t.hits();
+    for (const auto& t : tables_) {
+        if (!t)
+            continue;
+        lookups += t->lookups();
+        hits += t->hits();
     }
     return lookups == 0 ? 0.0
                         : static_cast<double>(hits) /
@@ -104,10 +106,9 @@ std::size_t
 MemoStore::totalRows() const
 {
     std::size_t rows = 0;
-    for (const auto& [name, t] : tables_) {
-        (void)name;
-        rows += t.size();
-    }
+    for (const auto& t : tables_)
+        if (t)
+            rows += t->size();
     return rows;
 }
 
@@ -115,10 +116,9 @@ std::size_t
 MemoStore::totalFootprintBytes() const
 {
     std::size_t bytes = 0;
-    for (const auto& [name, t] : tables_) {
-        (void)name;
-        bytes += t.footprintBytes();
-    }
+    for (const auto& t : tables_)
+        if (t)
+            bytes += t->footprintBytes();
     return bytes;
 }
 

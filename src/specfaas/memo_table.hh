@@ -17,10 +17,13 @@
 
 #include <cstdint>
 #include <list>
-#include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "common/flat_map.hh"
+#include "common/symbol.hh"
 #include "common/value.hh"
 
 namespace specfaas::obs {
@@ -34,7 +37,7 @@ struct MemoRow
 {
     Value output;
     /** call-site id (op index in the body) → argument value. */
-    std::map<std::size_t, Value> calleeArgs;
+    FlatMap<std::size_t, Value> calleeArgs;
 };
 
 /** Bounded LRU memoization table for one function. */
@@ -90,10 +93,18 @@ class MemoStore
     {}
 
     /** Table for @p function (created on first use). */
-    MemoTable& table(const std::string& function);
+    MemoTable& table(Symbol function);
+    MemoTable& table(const std::string& function)
+    {
+        return table(Symbol(function));
+    }
 
     /** Table for @p function; nullptr when never touched. */
-    const MemoTable* find(const std::string& function) const;
+    const MemoTable* find(Symbol function) const;
+    const MemoTable* find(const std::string& function) const
+    {
+        return find(Symbol(function));
+    }
 
     /** Aggregate hit rate across all tables. */
     double overallHitRate() const;
@@ -110,7 +121,8 @@ class MemoStore
   private:
     std::size_t capacity_;
     obs::Profiler* profiler_ = nullptr;
-    std::unordered_map<std::string, MemoTable> tables_;
+    /** Dense symbol-id → table; null gaps for untouched functions. */
+    std::vector<std::unique_ptr<MemoTable>> tables_;
 };
 
 } // namespace specfaas

@@ -10,18 +10,34 @@ namespace specfaas {
 
 namespace {
 
-/** Predictor key for an explicit branch node. */
-std::string
-branchKey(const std::string& function, FlowIndex node)
+/**
+ * Predictor key for an explicit branch node. Branch nodes use even
+ * site ids and call sites odd ones, so the two families can never
+ * collide within a function.
+ */
+std::uint64_t
+branchKey(Symbol function, FlowIndex node)
 {
-    return strFormat("br:%s#%d", function.c_str(), node);
+    return BranchPredictor::branchKeyOf(
+        function.nameHash(), static_cast<std::uint64_t>(node) * 2);
 }
 
 /** Predictor key for an implicit call site. */
-std::string
-callKey(const std::string& function, std::size_t call_site)
+std::uint64_t
+callKey(Symbol function, std::size_t call_site)
 {
-    return strFormat("call:%s@%zu", function.c_str(), call_site);
+    return BranchPredictor::branchKeyOf(
+        function.nameHash(),
+        static_cast<std::uint64_t>(call_site) * 2 + 1);
+}
+
+/** Path-hash step for entering a call site (caller@site). */
+std::uint64_t
+callSiteHash(Symbol function, std::size_t call_site)
+{
+    return function.nameHash() ^
+           ((static_cast<std::uint64_t>(call_site) + 1) *
+            0x9e3779b97f4a7c15ull);
 }
 
 /** Successor position at the same nesting level. */
@@ -103,13 +119,12 @@ SpecController::invocationOf(const InstancePtr& inst)
 }
 
 SpecController::Slot*
-SpecController::slotOf(SpecInvocation& inv, const InstancePtr& inst)
+SpecController::slotOf(const InstancePtr& inst)
 {
-    auto it = inv.byInstance.find(inst->id);
-    if (it == inv.byInstance.end())
-        return nullptr;
-    auto sit = inv.slots.find(it->second);
-    return sit == inv.slots.end() ? nullptr : &sit->second;
+    // The instance carries its slot's generation-tagged handle; a
+    // squashed/committed slot bumped the generation, so the lookup
+    // misses exactly when the old byInstance map had no entry.
+    return slotArena_.get(inst->slotHandle);
 }
 
 std::uint32_t
@@ -133,9 +148,11 @@ std::size_t
 SpecController::liveSpeculativeSlots(const SpecInvocation& inv) const
 {
     std::size_t n = 0;
-    for (const auto& [order, slot] : inv.slots) {
+    for (const auto& [order, h] : inv.slots) {
         (void)order;
-        if (slot.launchedSpeculatively && !slot.completed)
+        const Slot* slot = slotArena_.get(h);
+        if (slot != nullptr && slot->launchedSpeculatively &&
+            !slot->completed)
             ++n;
     }
     return n;
@@ -204,15 +221,18 @@ SpecController::invoke(const Application& app, Value input,
     } else {
         // Implicit: launch the root function; everything else is
         // driven by its calls and the learned sequence table.
-        Slot slot;
-        slot.function = app.rootFunction;
+        const SlotHandle h = slotArena_.create();
+        Slot& slot = slotArena_.at(h);
+        slot.inv = &ref;
+        slot.self = h;
+        slot.function = Symbol(app.rootFunction);
         slot.order = OrderKey{0};
         slot.input = input;
         slot.pathHash = pathhash::kEmpty;
         slot.nonSpeculative = true;
 
         LaunchSpec spec;
-        spec.function = app.rootFunction;
+        spec.function = slot.function;
         spec.input = std::move(input);
         spec.invocation = id;
         spec.order = slot.order;
@@ -220,12 +240,13 @@ SpecController::invoke(const Application& app, Value input,
         spec.controllerService = cluster_.config().specLaunchService;
         slot.inst = launcher_.launch(std::move(spec));
         slot.inst->pathHash = slot.pathHash;
+        slot.inst->slotHandle = h;
 
         ref.buffer->addColumn(slot.inst->id, slot.order);
-        ref.byInstance[slot.inst->id] = slot.order;
-        auto [it, ok] = ref.slots.emplace(slot.order, std::move(slot));
+        auto [it, ok] = ref.slots.emplace(slot.order, h);
+        (void)it;
         SPECFAAS_ASSERT(ok, "root slot collision");
-        speculateCallees(ref, it->second);
+        speculateCallees(ref, slot);
     }
 }
 
@@ -240,7 +261,10 @@ SpecController::launchSlot(SpecInvocation& inv, Frontier& f,
     const bool speculative =
         f.afterUnresolvedBranch || f.source != InputSource::Actual;
 
-    Slot slot;
+    const SlotHandle h = slotArena_.create();
+    Slot& slot = slotArena_.at(h);
+    slot.inv = &inv;
+    slot.self = h;
     slot.function = node.function;
     slot.order = f.order;
     slot.flowNode = f.flowIdx;
@@ -278,9 +302,9 @@ SpecController::launchSlot(SpecInvocation& inv, Frontier& f,
     spec.inputSource = f.source;
     slot.inst = launcher_.launch(std::move(spec));
     slot.inst->pathHash = f.pathHash;
+    slot.inst->slotHandle = h;
 
     inv.buffer->addColumn(slot.inst->id, slot.order);
-    inv.byInstance[slot.inst->id] = slot.order;
 
     if (speculative) {
         ++ctrSpeculativeLaunches_;
@@ -289,7 +313,7 @@ SpecController::launchSlot(SpecInvocation& inv, Frontier& f,
             tr.instant(
                 obs::cat::kSpec, "speculative-launch", sim_.now(),
                 obs::kControlPlanePid, inv.result.id,
-                {{"function", node.function},
+                {{"function", node.function.str()},
                  {"order", orderKeyToString(f.order)},
                  {"control", f.afterUnresolvedBranch ? "1" : "0",
                   true},
@@ -299,13 +323,13 @@ SpecController::launchSlot(SpecInvocation& inv, Frontier& f,
         }
     }
 
-    auto [it, ok] = inv.slots.emplace(slot.order, std::move(slot));
+    auto [it, ok] = inv.slots.emplace(slot.order, h);
+    (void)it;
     SPECFAAS_ASSERT(ok, "slot collision at %s",
                     orderKeyToString(f.order).c_str());
-    Slot& ref = it->second;
-    speculateCallees(inv, ref);
-    maybePromote(inv, ref);
-    return ref;
+    speculateCallees(inv, slot);
+    maybePromote(inv, slot);
+    return slot;
 }
 
 void
@@ -319,8 +343,11 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
         // producer finished.
         if (f.source != InputSource::Actual && !f.carryProducer.empty()) {
             auto pit = inv.slots.find(f.carryProducer);
-            if (pit == inv.slots.end() ||
-                (pit->second.completed && pit->second.output == f.carry)) {
+            const Slot* producer = pit == inv.slots.end()
+                                       ? nullptr
+                                       : slotArena_.get(pit->second);
+            if (producer == nullptr ||
+                (producer->completed && producer->output == f.carry)) {
                 f.source = InputSource::Actual;
                 f.carryProducer.clear();
             }
@@ -374,7 +401,10 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
                 const MemoRow* row =
                     memo_.table(node.function).lookup(f.carry);
                 if (row != nullptr) {
-                    Slot slot;
+                    const SlotHandle sh = slotArena_.create();
+                    Slot& slot = slotArena_.at(sh);
+                    slot.inv = &inv;
+                    slot.self = sh;
                     slot.function = node.function;
                     slot.order = f.order;
                     slot.flowNode = f.flowIdx;
@@ -387,14 +417,15 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
                     slot.skippedPure = true;
                     slot.output = row->output;
                     slot.pathHash = f.pathHash;
-                    inv.slots.emplace(slot.order, std::move(slot));
+                    inv.slots.emplace(slot.order, sh);
                     ++ctrPureSkips_;
                     ++inv.result.memoHits;
                     if (auto& tr = sim_.context().trace(); tr.enabled()) {
                         tr.instant(obs::cat::kSpec, "pure-skip",
                                    sim_.now(), obs::kControlPlanePid,
                                    inv.result.id,
-                                   {{"function", node.function}});
+                                   {{"function",
+                                     node.function.str()}});
                     }
                     // Purity: input fully determines output, so the
                     // carry keeps its source and producer.
@@ -444,7 +475,7 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
                                                     : "memo-miss",
                                sim_.now(), obs::kControlPlanePid,
                                inv.result.id,
-                               {{"function", node.function}});
+                               {{"function", node.function.str()}});
                 }
                 if (predicted != nullptr) {
                     // Data speculation: feed the memoized output to
@@ -522,7 +553,7 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
                     tr.instant(obs::cat::kSpec, "branch-predict",
                                sim_.now(), obs::kControlPlanePid,
                                inv.result.id,
-                               {{"function", node.function},
+                               {{"function", node.function.str()},
                                 {"source", "replay-hint"}});
                 }
                 f.flowIdx = slot.predictedTarget;
@@ -546,7 +577,7 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
                     tr.instant(
                         obs::cat::kSpec, "branch-predict", sim_.now(),
                         obs::kControlPlanePid, inv.result.id,
-                        {{"function", node.function},
+                        {{"function", node.function.str()},
                          {"source", "predictor"},
                          {"target", std::to_string(pred->target),
                           true},
@@ -657,9 +688,10 @@ SpecController::resumeBlockedOn(SpecInvocation& inv, const Slot& slot)
         f.carryProducer.clear();
     }
     f.afterUnresolvedBranch = false;
-    for (const auto& [order, s] : inv.slots) {
+    for (const auto& [order, sh] : inv.slots) {
         if (!orderKeyLess(order, f.order))
             break;
+        const Slot& s = slotAt(sh);
         if (s.isBranch && !s.completed)
             f.afterUnresolvedBranch = true;
     }
@@ -695,10 +727,14 @@ SpecController::adjustRewindToForkBase(SpecInvocation& inv,
 // ---------------------------------------------------------------------
 
 std::size_t
-SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
+SpecController::squashRange(SpecInvocation& inv,
+                            const OrderKey& from_ref,
                             SquashReason reason)
 {
     OBS_ZONE(profiler_, "spec/squash");
+    // Callers may pass a victim slot's own order; that slot is
+    // destroyed below, so work on a copy.
+    const OrderKey from = from_ref;
     // Cascade linkage: a squash issued while this one is being
     // processed (e.g. by a relaunch below) records this one as its
     // parent, so the trace shows recursive squashes as a chain.
@@ -710,44 +746,47 @@ SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
     {
         InstancePtr caller;
         std::size_t callSite;
-        std::string function;
+        Symbol function;
         Value input;
         ValueCallback returnTo;
     };
     std::vector<Relaunch> relaunches;
 
-    // Collect victims in reverse program order.
-    std::vector<OrderKey> victims;
-    for (auto it = inv.slots.lower_bound(from); it != inv.slots.end();
-         ++it) {
-        victims.push_back(it->first);
+    // Collect victims in reverse program order. The handle list lives
+    // in the invocation's scratch arena (trivially copyable payload,
+    // reclaimed with the record); squash cascades re-enter this
+    // function, so the arena is never reset here.
+    const auto firstVictim = inv.slots.lower_bound(from);
+    const std::size_t nVictims =
+        static_cast<std::size_t>(inv.slots.end() - firstVictim);
+    SlotHandle* victims =
+        inv.scratch.allocArray<SlotHandle>(nVictims);
+    {
+        std::size_t i = 0;
+        for (auto it = firstVictim; it != inv.slots.end(); ++it)
+            victims[i++] = it->second;
     }
 
-    for (auto vit = victims.rbegin(); vit != victims.rend(); ++vit) {
-        Slot& s = inv.slots.at(*vit);
+    for (std::size_t vi = nVictims; vi-- > 0;) {
+        Slot& s = slotAt(victims[vi]);
 
         // An adopted callee whose caller survives is blocking that
         // caller at the call site: it must be relaunched with its
         // (already validated) arguments.
         if (s.isImplicitCallee && s.adopted && s.returnTo) {
-            auto cit = inv.byInstance.find(s.callerId);
-            if (cit != inv.byInstance.end() &&
-                orderKeyLess(cit->second, from)) {
-                auto sit = inv.slots.find(cit->second);
-                if (sit != inv.slots.end() && sit->second.inst &&
-                    sit->second.inst->state != InstanceState::Dead) {
-                    relaunches.push_back(
-                        Relaunch{sit->second.inst, s.callSite,
-                                 s.function, s.input,
-                                 std::move(s.returnTo)});
-                }
+            Slot* caller = slotArena_.get(s.callerSlot);
+            if (caller != nullptr &&
+                orderKeyLess(caller->order, from) && caller->inst &&
+                caller->inst->state != InstanceState::Dead) {
+                relaunches.push_back(Relaunch{caller->inst, s.callSite,
+                                              s.function, s.input,
+                                              std::move(s.returnTo)});
             }
         }
 
         if (s.inst) {
             if (inv.buffer->hasColumn(s.inst->id))
                 inv.buffer->invalidateColumn(s.inst->id);
-            inv.byInstance.erase(s.inst->id);
             // Reason and cascade id first: the interpreter's squash
             // trace events carry them.
             s.inst->squashReason = reason;
@@ -769,13 +808,16 @@ SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
 
         ++ctrSquashes_;
         ++inv.result.squashes;
-        inv.slots.erase(*vit);
+        // Reverse order makes every erase pop the current suffix tail
+        // — no element shifting in the flat map's vector.
+        inv.slots.erase(s.order);
+        slotArena_.destroy(victims[vi]);
     }
     if (auto& tr = sim_.context().trace(); tr.enabled()) {
         std::vector<obs::TraceArg> args = {
             {"reason", squashReasonName(reason)},
             {"from", orderKeyToString(from)},
-            {"victims", std::to_string(victims.size()), true},
+            {"victims", std::to_string(nVictims), true},
             {"id", std::to_string(squashId), true}};
         if (parentSquash != 0)
             args.push_back(
@@ -809,7 +851,7 @@ SpecController::squashRange(SpecInvocation& inv, const OrderKey& from,
                          std::move(r.returnTo));
     }
     activeSquashId_ = parentSquash;
-    return victims.size();
+    return nVictims;
 }
 
 // ---------------------------------------------------------------------
@@ -827,7 +869,7 @@ SpecController::crashed(const InstancePtr& inst, FaultKind kind)
     if (pinv == nullptr || pinv->finished)
         return;
     SpecInvocation& inv = *pinv;
-    Slot* slot = slotOf(inv, inst);
+    Slot* slot = slotOf(inst);
     if (slot == nullptr)
         return; // a squash already removed this coordinate
 
@@ -846,37 +888,35 @@ SpecController::crashed(const InstancePtr& inst, FaultKind kind)
     inst->squashReason = SquashReason::Fault;
     interp_.squash(inst, SquashPolicy::ContainerKill);
 
-    const std::string function = slot->function;
+    const Symbol function = slot->function;
     const std::uint32_t attempt = ++inv.faultAttempts[slot->order];
     // Only a non-speculative slot can exhaust its retries: giving up
     // on a speculative coordinate could fail the request on work the
     // committed path never needed.
     if (slot->nonSpeculative && attempt >= faults->plan().maxAttempts) {
-        faults->noteGaveUp(function);
+        faults->noteGaveUp(function.str());
         failInvocation(inv, function);
         return;
     }
-    faults->noteRetry(function, attempt);
+    faults->noteRetry(function.str(), attempt);
     sim_.events().schedule(faults->backoffDelay(attempt),
                            [this, id = inst->invocation,
-                            instId = inst->id]() {
-                               recoverFromCrash(id, instId);
+                            h = slot->self]() {
+                               recoverFromCrash(id, h);
                            });
 }
 
 void
-SpecController::recoverFromCrash(InvocationId id, InstanceId instId)
+SpecController::recoverFromCrash(InvocationId id, SlotHandle h)
 {
     SpecInvocation* pinv = find(id);
     if (pinv == nullptr || pinv->finished)
         return;
     SpecInvocation& inv = *pinv;
-    auto bit = inv.byInstance.find(instId);
-    if (bit == inv.byInstance.end())
+    Slot* pslot = slotArena_.get(h);
+    if (pslot == nullptr)
         return; // a wider squash already covered this coordinate
-    auto sit = inv.slots.find(bit->second);
-    SPECFAAS_ASSERT(sit != inv.slots.end(), "byInstance without slot");
-    Slot& slot = sit->second;
+    Slot& slot = *pslot;
 
     if (slot.flowNode != kFlowNone) {
         // Explicit flow node: squash from the crash coordinate and
@@ -892,9 +932,10 @@ SpecController::recoverFromCrash(InvocationId id, InstanceId instId)
         f.pathHash = slot.pathHash;
         OrderKey from = slot.order;
         adjustRewindToForkBase(inv, from, f);
-        for (const auto& [o, s] : inv.slots) {
+        for (const auto& [o, sh] : inv.slots) {
             if (!orderKeyLess(o, from))
                 break;
+            const Slot& s = slotAt(sh);
             if (s.isBranch && !s.completed)
                 f.afterUnresolvedBranch = true;
         }
@@ -907,15 +948,18 @@ SpecController::recoverFromCrash(InvocationId id, InstanceId instId)
         const Application* app = inv.app;
         squashRange(inv, OrderKey{0}, SquashReason::Fault);
 
-        Slot root;
-        root.function = app->rootFunction;
+        const SlotHandle rh = slotArena_.create();
+        Slot& root = slotArena_.at(rh);
+        root.inv = &inv;
+        root.self = rh;
+        root.function = Symbol(app->rootFunction);
         root.order = OrderKey{0};
         root.input = input;
         root.pathHash = pathhash::kEmpty;
         root.nonSpeculative = true;
 
         LaunchSpec spec;
-        spec.function = app->rootFunction;
+        spec.function = root.function;
         spec.input = std::move(input);
         spec.invocation = id;
         spec.order = root.order;
@@ -923,12 +967,13 @@ SpecController::recoverFromCrash(InvocationId id, InstanceId instId)
         spec.controllerService = cluster_.config().specLaunchService;
         root.inst = launcher_.launch(std::move(spec));
         root.inst->pathHash = root.pathHash;
+        root.inst->slotHandle = rh;
 
         inv.buffer->addColumn(root.inst->id, root.order);
-        inv.byInstance[root.inst->id] = root.order;
-        auto [rit, ok] = inv.slots.emplace(root.order, std::move(root));
+        auto [rit, ok] = inv.slots.emplace(root.order, rh);
+        (void)rit;
         SPECFAAS_ASSERT(ok, "root slot collision on retry");
-        speculateCallees(inv, rit->second);
+        speculateCallees(inv, root);
     } else {
         // Implicit callee: the range squash itself relaunches it (and
         // any adopted descendants) under its surviving caller.
@@ -940,8 +985,7 @@ SpecController::recoverFromCrash(InvocationId id, InstanceId instId)
 }
 
 void
-SpecController::failInvocation(SpecInvocation& inv,
-                               const std::string& function)
+SpecController::failInvocation(SpecInvocation& inv, Symbol function)
 {
     // Retries exhausted at a non-speculative coordinate: the request
     // fails. Committed work stays committed (as on a real platform);
@@ -953,7 +997,7 @@ SpecController::failInvocation(SpecInvocation& inv,
     inv.forks.clear();
     inv.pendingCallees.clear();
     inv.parkedReads.clear();
-    inv.responseValue = FaultInjector::errorResponse(function);
+    inv.responseValue = FaultInjector::errorResponse(function.str());
     inv.responseSeen = true;
     finish(inv);
 }
@@ -976,8 +1020,9 @@ SpecController::onNodeFailure(NodeId node)
             // Lowest live coordinate on the node first; each crash
             // marks its victim Dead, so the rescan terminates.
             InstancePtr victim;
-            for (const auto& [order, s] : inv->slots) {
+            for (const auto& [order, sh] : inv->slots) {
                 (void)order;
+                const Slot& s = slotAt(sh);
                 if (!s.inst ||
                     s.inst->state == InstanceState::Dead ||
                     s.inst->state == InstanceState::Committed ||
@@ -1009,7 +1054,7 @@ SpecController::completed(const InstancePtr& inst, Value output)
         inst->container = nullptr;
     }
 
-    Slot* slot = slotOf(inv, inst);
+    Slot* slot = slotOf(inst);
     SPECFAAS_ASSERT(slot != nullptr, "completion of unslotted %s",
                     inst->label().c_str());
     slot->completed = true;
@@ -1026,27 +1071,28 @@ SpecController::completed(const InstancePtr& inst, Value output)
         auto git = inv.slots.find(order);
         if (git == inv.slots.end())
             continue;
-        if (git->second.callPredictionMade)
+        const Slot& g = slotAt(git->second);
+        if (g.callPredictionMade)
             bp_.notePrediction(false);
         ++ctrControlMispredicts_;
         if (auto& tr = sim_.context().trace(); tr.enabled()) {
             tr.instant(obs::cat::kSpec, "validate", sim_.now(),
                        obs::kControlPlanePid, inv.result.id,
                        {{"kind", "call"},
-                        {"function", git->second.function},
+                        {"function", g.function.str()},
                         {"correct", "0", true}});
         }
         // Readers that consumed the garbage callee's buffered writes
         // consumed phantom data: squash from the earliest such
         // reader as well.
         OrderKey squash_from = order;
-        if (git->second.inst) {
+        if (g.inst) {
             for (InstanceId rd : inv.buffer->readersForwardedFrom(
-                     git->second.inst->id)) {
-                auto rit = inv.byInstance.find(rd);
-                if (rit != inv.byInstance.end() &&
-                    orderKeyLess(rit->second, squash_from)) {
-                    squash_from = rit->second;
+                     g.inst->id)) {
+                const OrderKey* ro = inv.buffer->columnOrder(rd);
+                if (ro != nullptr &&
+                    orderKeyLess(*ro, squash_from)) {
+                    squash_from = *ro;
                 }
             }
         }
@@ -1092,7 +1138,7 @@ SpecController::onExplicitComplete(SpecInvocation& inv, Slot& slot)
                 tr.instant(obs::cat::kSpec, "validate", sim_.now(),
                            obs::kControlPlanePid, inv.result.id,
                            {{"kind", "control"},
-                            {"function", slot.function},
+                            {"function", slot.function.str()},
                             {"correct",
                              slot.predictionCorrect ? "1" : "0",
                              true}});
@@ -1111,9 +1157,10 @@ SpecController::onExplicitComplete(SpecInvocation& inv, Slot& slot)
                 f.pathHash = next_path;
                 OrderKey from = increment(slot.order);
                 adjustRewindToForkBase(inv, from, f);
-                for (const auto& [o, s] : inv.slots) {
+                for (const auto& [o, sh] : inv.slots) {
                     if (!orderKeyLess(o, from))
                         break;
+                    const Slot& s = slotAt(sh);
                     if (s.isBranch && !s.completed)
                         f.afterUnresolvedBranch = true;
                 }
@@ -1131,7 +1178,7 @@ SpecController::onExplicitComplete(SpecInvocation& inv, Slot& slot)
                     obs::cat::kSpec, "validate", sim_.now(),
                     obs::kControlPlanePid, inv.result.id,
                     {{"kind", "data"},
-                     {"function", slot.function},
+                     {"function", slot.function.str()},
                      {"correct",
                       slot.output == slot.memoPredictedOutput ? "1"
                                                               : "0",
@@ -1152,9 +1199,10 @@ SpecController::onExplicitComplete(SpecInvocation& inv, Slot& slot)
                 f.pathHash = next_path;
                 OrderKey from = increment(slot.order);
                 adjustRewindToForkBase(inv, from, f);
-                for (const auto& [o, s] : inv.slots) {
+                for (const auto& [o, sh] : inv.slots) {
                     if (!orderKeyLess(o, from))
                         break;
+                    const Slot& s = slotAt(sh);
                     if (s.isBranch && !s.completed)
                         f.afterUnresolvedBranch = true;
                 }
@@ -1163,8 +1211,9 @@ SpecController::onExplicitComplete(SpecInvocation& inv, Slot& slot)
             } else {
                 // Prediction validated: consumers of this carry are
                 // now running on confirmed inputs.
-                for (auto& [o, s] : inv.slots) {
+                for (auto& [o, sh] : inv.slots) {
                     (void)o;
+                    Slot& s = slotAt(sh);
                     if (!s.inputValidated &&
                         s.carryProducer == slot.order) {
                         s.inputValidated = true;
@@ -1304,7 +1353,7 @@ SpecController::flushPendingCommit(SpecInvocation& inv,
     if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kSpec, "commit", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
-                   {{"function", p.function},
+                   {{"function", p.function.str()},
                     {"order", orderKeyToString(p.order)},
                     {"merged", "1", true}});
     }
@@ -1338,14 +1387,14 @@ SpecController::commitSlot(SpecInvocation& inv, Slot& slot)
     if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kSpec, "commit", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
-                   {{"function", slot.function},
+                   {{"function", slot.function.str()},
                     {"order", orderKeyToString(slot.order)}});
     }
-    if (slot.inst) {
+    if (slot.inst)
         slot.inst->state = InstanceState::Committed;
-        inv.byInstance.erase(slot.inst->id);
-    }
+    const SlotHandle self = slot.self;
     inv.slots.erase(slot.order);
+    slotArena_.destroy(self);
 }
 
 void
@@ -1355,7 +1404,7 @@ SpecController::tryCommit(SpecInvocation& inv)
     if (inv.finished)
         return;
     while (!inv.slots.empty()) {
-        Slot& head = inv.slots.begin()->second;
+        Slot& head = slotAt(inv.slots.begin()->second);
         if (!head.completed || !head.inputValidated)
             break;
         if (head.isImplicitCallee && !head.adopted)
@@ -1364,7 +1413,7 @@ SpecController::tryCommit(SpecInvocation& inv)
     }
 
     if (!inv.slots.empty()) {
-        Slot& head = inv.slots.begin()->second;
+        Slot& head = slotAt(inv.slots.begin()->second);
         maybePromote(inv, head);
     }
     resumeDepthBlocked(inv);
@@ -1373,6 +1422,16 @@ SpecController::tryCommit(SpecInvocation& inv)
         inv.depthBlocked.empty() && !inv.finished) {
         finish(inv);
     }
+}
+
+std::vector<SlotHandle>
+SpecController::liveSlotHandles() const
+{
+    std::vector<SlotHandle> out;
+    for (const auto& [id, inv] : live_)
+        for (const auto& [order, h] : inv->slots)
+            out.push_back(h);
+    return out;
 }
 
 std::string
@@ -1384,14 +1443,18 @@ SpecController::debugDump() const
                          static_cast<unsigned long long>(id),
                          inv->result.app.c_str(),
                          inv->responseSeen ? 1 : 0);
-        for (const auto& [order, slot] : inv->slots) {
+        for (const auto& [order, sh] : inv->slots) {
+            const Slot* slot = slotArena_.get(sh);
+            if (slot == nullptr)
+                continue;
             out += strFormat(
                 "  slot %s %s node=%d completed=%d validated=%d "
                 "adopted=%d state=%d\n",
-                orderKeyToString(order).c_str(), slot.function.c_str(),
-                slot.flowNode, slot.completed ? 1 : 0,
-                slot.inputValidated ? 1 : 0, slot.adopted ? 1 : 0,
-                slot.inst ? static_cast<int>(slot.inst->state) : -1);
+                orderKeyToString(order).c_str(),
+                slot->function.str().c_str(), slot->flowNode,
+                slot->completed ? 1 : 0, slot->inputValidated ? 1 : 0,
+                slot->adopted ? 1 : 0,
+                slot->inst ? static_cast<int>(slot->inst->state) : -1);
         }
         for (const auto& [order, f] : inv->blocked) {
             out += strFormat("  blocked-on %s -> node %d order %s\n",
@@ -1431,9 +1494,9 @@ SpecController::finish(SpecInvocation& inv)
               [](const auto& a, const auto& b) {
                   return orderKeyLess(a.first, b.first);
               });
-    for (auto& [order, name] : inv.sequence) {
+    for (const auto& [order, name] : inv.sequence) {
         (void)order;
-        inv.result.executedSequence.push_back(std::move(name));
+        inv.result.executedSequence.push_back(name.str());
     }
     auto it = live_.find(inv.result.id);
     SPECFAAS_ASSERT(it != live_.end(), "finishing unknown invocation");
@@ -1470,11 +1533,9 @@ SpecController::maybePromote(SpecInvocation& inv, Slot& slot)
         return;
     bool promote = false;
     if (slot.isImplicitCallee) {
-        auto cit = inv.byInstance.find(slot.callerId);
-        if (slot.adopted && cit != inv.byInstance.end()) {
-            auto sit = inv.slots.find(cit->second);
-            promote = sit != inv.slots.end() &&
-                      sit->second.nonSpeculative;
+        if (slot.adopted) {
+            const Slot* caller = slotArena_.get(slot.callerSlot);
+            promote = caller != nullptr && caller->nonSpeculative;
         }
     } else {
         promote = !inv.slots.empty() &&
@@ -1493,18 +1554,19 @@ SpecController::maybePromote(SpecInvocation& inv, Slot& slot)
     // Cascade to adopted callees of this slot.
     if (slot.inst) {
         const InstanceId caller_id = slot.inst->id;
-        std::vector<OrderKey> children;
-        for (auto& [order, s] : inv.slots) {
+        std::vector<SlotHandle> children;
+        for (const auto& [order, sh] : inv.slots) {
             (void)order;
+            const Slot& s = slotAt(sh);
             if (s.isImplicitCallee && s.callerId == caller_id &&
                 s.adopted) {
-                children.push_back(s.order);
+                children.push_back(sh);
             }
         }
-        for (const auto& order : children) {
-            auto sit = inv.slots.find(order);
-            if (sit != inv.slots.end())
-                maybePromote(inv, sit->second);
+        for (const SlotHandle ch : children) {
+            Slot* child = slotArena_.get(ch);
+            if (child != nullptr)
+                maybePromote(inv, *child);
         }
     }
 }
@@ -1589,7 +1651,7 @@ SpecController::storageGet(const InstancePtr& inst, const std::string& key,
 {
     OBS_ZONE(profiler_, "spec/storage-get");
     SpecInvocation& inv = invocationOf(inst);
-    Slot* slot = slotOf(inv, inst);
+    Slot* slot = slotOf(inst);
     SPECFAAS_ASSERT(slot != nullptr, "read from unslotted instance");
 
     // Squash minimizer (§V-C): a read known to race with an upstream
@@ -1598,9 +1660,10 @@ SpecController::storageGet(const InstancePtr& inst, const std::string& key,
     if (config_.speculation && !slot->nonSpeculative) {
         auto producer = minimizer_.stallProducer(slot->function, key);
         if (producer) {
-            for (const auto& [order, s] : inv.slots) {
+            for (const auto& [order, sh] : inv.slots) {
                 if (!orderKeyLess(order, slot->order))
                     break;
+                const Slot& s = slotAt(sh);
                 if (s.function != *producer || s.completed || !s.inst ||
                     inv.buffer->hasWrite(s.inst->id, key)) {
                     continue;
@@ -1654,7 +1717,7 @@ SpecController::storagePut(const InstancePtr& inst, const std::string& key,
 {
     OBS_ZONE(profiler_, "spec/storage-put");
     SpecInvocation& inv = invocationOf(inst);
-    Slot* slot = slotOf(inv, inst);
+    Slot* slot = slotOf(inst);
     SPECFAAS_ASSERT(slot != nullptr, "write from unslotted instance");
 
     auto violators = inv.buffer->write(inst->id, key, std::move(value));
@@ -1663,14 +1726,14 @@ SpecController::storagePut(const InstancePtr& inst, const std::string& key,
         // reader and everything after it; the squashed functions are
         // relaunched on correct Data Buffer state.
         OrderKey from;
-        std::string consumer;
+        Symbol consumer;
         for (InstanceId v : violators) {
-            auto it = inv.byInstance.find(v);
-            if (it == inv.byInstance.end())
+            const OrderKey* vo = inv.buffer->columnOrder(v);
+            if (vo == nullptr)
                 continue;
-            if (from.empty() || orderKeyLess(it->second, from)) {
-                from = it->second;
-                consumer = inv.slots.at(it->second).function;
+            if (from.empty() || orderKeyLess(*vo, from)) {
+                from = *vo;
+                consumer = slotAt(inv.slots.at(from)).function;
             }
         }
         if (!from.empty()) {
@@ -1679,8 +1742,8 @@ SpecController::storagePut(const InstancePtr& inst, const std::string& key,
                 tr.instant(obs::cat::kSpec, "buffer-violation",
                            sim_.now(), obs::kControlPlanePid,
                            inv.result.id,
-                           {{"writer", slot->function},
-                            {"reader", consumer},
+                           {{"writer", slot->function.str()},
+                            {"reader", consumer.str()},
                             {"key", key}});
             }
             minimizer_.recordSquash(slot->function, consumer, key);
@@ -1690,8 +1753,8 @@ SpecController::storagePut(const InstancePtr& inst, const std::string& key,
             Frontier f;
             bool rewind = false;
             if (vit != inv.slots.end() &&
-                vit->second.flowNode != kFlowNone) {
-                const Slot& v = vit->second;
+                slotAt(vit->second).flowNode != kFlowNone) {
+                const Slot& v = slotAt(vit->second);
                 // Restarting inside a fork arm restarts the fork.
                 if (v.order.size() > 1) {
                     OrderKey base{v.order.front()};
@@ -1715,9 +1778,10 @@ SpecController::storagePut(const InstancePtr& inst, const std::string& key,
                     rewind = true;
                 }
                 if (rewind) {
-                    for (const auto& [o, s] : inv.slots) {
+                    for (const auto& [o, sh] : inv.slots) {
                         if (!orderKeyLess(o, from))
                             break;
+                        const Slot& s = slotAt(sh);
                         if (s.isBranch && !s.completed)
                             f.afterUnresolvedBranch = true;
                     }
@@ -1743,7 +1807,7 @@ SpecController::httpRequest(const InstancePtr& inst,
                             DoneCallback done)
 {
     SpecInvocation& inv = invocationOf(inst);
-    Slot* slot = slotOf(inv, inst);
+    Slot* slot = slotOf(inst);
     SPECFAAS_ASSERT(slot != nullptr, "http from unslotted instance");
     if (slot->nonSpeculative) {
         done();
@@ -1754,7 +1818,7 @@ SpecController::httpRequest(const InstancePtr& inst,
     if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kSpec, "defer-side-effect", sim_.now(),
                    obs::kControlPlanePid, inv.result.id,
-                   {{"function", slot->function}});
+                   {{"function", slot->function.str()}});
     }
     inst->state = InstanceState::StalledSideEffect;
     slot->parkedEffects.push_back(std::move(done));
@@ -1767,20 +1831,23 @@ SpecController::httpRequest(const InstancePtr& inst,
 void
 SpecController::launchCalleeSlot(SpecInvocation& inv,
                                  const InstancePtr& caller,
-                                 std::size_t call_site,
-                                 const std::string& callee, Value args,
-                                 InputSource source, bool call_predicted,
+                                 std::size_t call_site, Symbol callee,
+                                 Value args, InputSource source,
+                                 bool call_predicted,
                                  ValueCallback return_to)
 {
     OBS_ZONE(profiler_, "spec/launch-callee");
-    auto cit = inv.byInstance.find(caller->id);
-    SPECFAAS_ASSERT(cit != inv.byInstance.end(), "call from unslotted");
-    Slot& caller_slot = inv.slots.at(cit->second);
+    Slot* caller_ptr = slotOf(caller);
+    SPECFAAS_ASSERT(caller_ptr != nullptr, "call from unslotted");
+    Slot& caller_slot = *caller_ptr;
 
     OrderKey order = caller_slot.order;
     order.push_back(static_cast<std::int32_t>(call_site));
 
-    Slot slot;
+    const SlotHandle h = slotArena_.create();
+    Slot& slot = slotArena_.at(h);
+    slot.inv = &inv;
+    slot.self = h;
     slot.function = callee;
     slot.order = order;
     slot.flowNode = kFlowNone;
@@ -1788,11 +1855,12 @@ SpecController::launchCalleeSlot(SpecInvocation& inv,
     slot.inputSource = source;
     slot.inputValidated = source == InputSource::Actual;
     slot.launchedSpeculatively = source != InputSource::Actual;
-    slot.pathHash = pathhash::extend(
-        caller_slot.pathHash,
-        strFormat("%s@%zu", caller_slot.function.c_str(), call_site));
+    slot.pathHash =
+        pathhash::extend(caller_slot.pathHash,
+                         callSiteHash(caller_slot.function, call_site));
     slot.isImplicitCallee = true;
     slot.callerId = caller->id;
+    slot.callerSlot = caller_slot.self;
     slot.callSite = call_site;
     slot.callPredictionMade = call_predicted;
     slot.adopted =
@@ -1816,9 +1884,9 @@ SpecController::launchCalleeSlot(SpecInvocation& inv,
     spec.caller = caller.get();
     slot.inst = launcher_.launch(std::move(spec));
     slot.inst->pathHash = slot.pathHash;
+    slot.inst->slotHandle = h;
 
     inv.buffer->addColumn(slot.inst->id, order);
-    inv.byInstance[slot.inst->id] = order;
     if (slot.launchedSpeculatively) {
         ++ctrSpeculativeLaunches_;
         ++inv.result.speculativeLaunches;
@@ -1827,17 +1895,18 @@ SpecController::launchCalleeSlot(SpecInvocation& inv,
             tr.instant(obs::cat::kSpec, "speculative-launch",
                        sim_.now(), obs::kControlPlanePid,
                        inv.result.id,
-                       {{"function", slot.function},
+                       {{"function", slot.function.str()},
                         {"order", orderKeyToString(order)},
                         {"kind", "callee"}});
         }
     }
 
-    auto [it, ok] = inv.slots.emplace(order, std::move(slot));
+    auto [it, ok] = inv.slots.emplace(order, h);
+    (void)it;
     SPECFAAS_ASSERT(ok, "callee slot collision at %s",
                     orderKeyToString(order).c_str());
-    speculateCallees(inv, it->second);
-    maybePromote(inv, it->second);
+    speculateCallees(inv, slot);
+    maybePromote(inv, slot);
 }
 
 void
@@ -1888,13 +1957,11 @@ SpecController::deliverCallee(SpecInvocation& inv, Slot& slot)
 {
     SPECFAAS_ASSERT(slot.completed && slot.adopted && slot.returnTo,
                     "delivering unready callee %s",
-                    slot.function.c_str());
+                    slot.function.str().c_str());
 
-    auto cit = inv.byInstance.find(slot.callerId);
-    SPECFAAS_ASSERT(cit != inv.byInstance.end(), "deliver without caller");
-    auto sit = inv.slots.find(cit->second);
-    SPECFAAS_ASSERT(sit != inv.slots.end(), "deliver to missing caller");
-    Slot& caller = sit->second;
+    Slot* caller_ptr = slotArena_.get(slot.callerSlot);
+    SPECFAAS_ASSERT(caller_ptr != nullptr, "deliver without caller");
+    Slot& caller = *caller_ptr;
 
     // Merge the callee's Data Buffer column into the caller's (§V-D).
     if (slot.inst && inv.buffer->hasColumn(slot.inst->id))
@@ -1918,11 +1985,11 @@ SpecController::deliverCallee(SpecInvocation& inv, Slot& slot)
 
     Value output = slot.output;
     auto cb = std::move(slot.returnTo);
-    if (slot.inst) {
+    if (slot.inst)
         slot.inst->state = InstanceState::Committed;
-        inv.byInstance.erase(slot.inst->id);
-    }
+    const SlotHandle self = slot.self;
     inv.slots.erase(slot.order);
+    slotArena_.destroy(self);
 
     sim_.events().schedule(cluster_.config().controllerMsgLatency,
                            [out = std::move(output),
@@ -1933,9 +2000,8 @@ SpecController::deliverCallee(SpecInvocation& inv, Slot& slot)
 
 void
 SpecController::functionCall(const InstancePtr& inst,
-                             std::size_t call_site,
-                             const std::string& callee, Value args,
-                             ValueCallback done)
+                             std::size_t call_site, Symbol callee,
+                             Value args, ValueCallback done)
 {
     OBS_ZONE(profiler_, "spec/function-call");
     SpecInvocation& inv = invocationOf(inst);
@@ -1950,7 +2016,7 @@ SpecController::functionCall(const InstancePtr& inst,
     if (pit != inv.pendingCallees.end()) {
         auto sit = inv.slots.find(pit->second);
         SPECFAAS_ASSERT(sit != inv.slots.end(), "stale pending callee");
-        Slot& cs_slot = sit->second;
+        Slot& cs_slot = slotAt(sit->second);
         if (cs_slot.input == args) {
             // Predicted arguments confirmed: adopt the speculative
             // callee (Fig. 10(e): the caller stalls only if the
@@ -1988,7 +2054,7 @@ SpecController::functionCall(const InstancePtr& inst,
             if (row != nullptr) {
                 ++ctrPureSkips_;
                 ++inv.result.memoHits;
-                Slot* caller_slot = slotOf(inv, inst);
+                Slot* caller_slot = slotOf(inst);
                 SPECFAAS_ASSERT(caller_slot != nullptr,
                                 "call from unslotted caller");
                 // The skipped callee still commits with its caller

@@ -27,15 +27,18 @@
 
 #include <functional>
 #include <list>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hh"
 #include "common/arena.hh"
+#include "common/flat_map.hh"
+#include "common/slot_array.hh"
+#include "common/symbol.hh"
 #include "obs/counter_registry.hh"
 #include "runtime/engine.hh"
 #include "runtime/hooks.hh"
@@ -92,7 +95,7 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     void storagePut(const InstancePtr& inst, const std::string& key,
                     Value value, DoneCallback done) override;
     void functionCall(const InstancePtr& inst, std::size_t call_site,
-                      const std::string& callee, Value args,
+                      Symbol callee, Value args,
                       ValueCallback done) override;
     void httpRequest(const InstancePtr& inst,
                      DoneCallback done) override;
@@ -117,6 +120,21 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
 
     /** Dump every live invocation's pipeline state (diagnostics). */
     std::string debugDump() const;
+
+    /**
+     * Generation-tagged handles of every live pipeline slot, across
+     * all in-flight invocations. Tests capture this mid-run (from a
+     * handler body) and assert the handles miss once their slots are
+     * squashed, committed, or torn down — the no-ABA property.
+     */
+    std::vector<SlotHandle> liveSlotHandles() const;
+
+    /** Whether @p h still resolves to a live pipeline slot. */
+    bool
+    slotHandleResolves(SlotHandle h) const
+    {
+        return slotArena_.get(h) != nullptr;
+    }
     /** @} */
 
   private:
@@ -129,20 +147,30 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     struct PendingCommit
     {
         OrderKey order;
-        std::string function;
+        Symbol function;
         Value input;
         Value output;
         std::uint64_t pathHash = 0;
         InstancePtr inst;
     };
 
+    struct SpecInvocation;
+
     /** One pipeline entry: a not-yet-committed dynamic function. */
     struct Slot
     {
-        std::string function;
+        Symbol function;
         OrderKey order;
         FlowIndex flowNode = kFlowNone;
         InstancePtr inst;
+
+        /** Owning invocation (slots only resolve while it is live). */
+        SpecInvocation* inv = nullptr;
+        /** This slot's own handle in the controller's slot arena. */
+        SlotHandle self;
+        /** Caller's slot (implicit callees); stale once the caller is
+         * squashed or committed. */
+        SlotHandle callerSlot;
 
         Value input;
         InputSource inputSource = InputSource::Actual;
@@ -227,7 +255,7 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
         InstancePtr reader;
         std::uint64_t epoch;
         std::string key;
-        std::string producer;
+        Symbol producer;
         ValueCallback done;
     };
 
@@ -238,27 +266,41 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
         const FlowProgram* program = nullptr;
         ResultCallback done;
 
-        std::map<OrderKey, Slot, OrderLess> slots;
-        std::unordered_map<InstanceId, OrderKey> byInstance;
+        /** Pipeline: program order → slot handle. The Slot objects
+         * themselves live in the controller's slab-stable slot
+         * arena; handles go stale the moment a slot is squashed or
+         * committed, which is exactly the old byInstance-absence
+         * semantics. */
+        FlatMap<OrderKey, SlotHandle, OrderLess> slots;
         std::unique_ptr<DataBuffer> buffer;
 
         /** Frontiers blocked on a producer slot's completion. */
-        std::map<OrderKey, Frontier, OrderLess> blocked;
+        FlatMap<OrderKey, Frontier, OrderLess> blocked;
         /** Frontiers parked by the speculation-depth throttle. */
         std::list<Frontier> depthBlocked;
-        std::map<FlowIndex, JoinState> joins;
-        std::map<OrderKey, ForkMeta, OrderLess> forks;
+        FlatMap<FlowIndex, JoinState> joins;
+        FlatMap<OrderKey, ForkMeta, OrderLess> forks;
 
         /** Pending speculative callees: caller id + call site → slot
          * order. */
-        std::map<std::pair<InstanceId, std::size_t>, OrderKey>
+        FlatMap<std::pair<InstanceId, std::size_t>, OrderKey>
             pendingCallees;
 
         std::vector<ParkedRead> parkedReads;
 
         /** (program order, function) pairs; sorted into
          * result.executedSequence when the invocation finishes. */
-        std::vector<std::pair<OrderKey, std::string>> sequence;
+        std::vector<std::pair<OrderKey, Symbol>> sequence;
+
+        /**
+         * Bump arena for transient hot-path arrays (squash victim
+         * lists). Monotonic over the invocation's lifetime — squash
+         * cascades re-enter squashRange, so resetting mid-invocation
+         * would stomp live arrays; the memory is recycled when the
+         * record returns to the pool. Only trivially-destructible
+         * payloads (handles, ids) may live here.
+         */
+        BumpArena scratch{4096};
 
         /**
          * Results already observed at a pipeline position during
@@ -272,19 +314,19 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
          */
         struct BranchHint
         {
-            std::string function;
+            Symbol function;
             Value input;
             FlowIndex target = kFlowNone;
         };
-        std::map<OrderKey, BranchHint, OrderLess> branchHints;
+        FlatMap<OrderKey, BranchHint, OrderLess> branchHints;
 
         struct OutputHint
         {
-            std::string function;
+            Symbol function;
             Value input;
             Value output;
         };
-        std::map<OrderKey, OutputHint, OrderLess> outputHints;
+        FlatMap<OrderKey, OutputHint, OrderLess> outputHints;
 
         /**
          * Flow coordinates irrevocably committed in this invocation.
@@ -297,12 +339,12 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
          */
         struct CommittedNode
         {
-            std::string function;
+            Symbol function;
             Value input;
             Value output;
             FlowIndex actualTarget = kFlowNone; // branches only
         };
-        std::map<OrderKey, CommittedNode, OrderLess> committed;
+        FlatMap<OrderKey, CommittedNode, OrderLess> committed;
 
         /**
          * Outstanding container-kill squash debt: number of upcoming
@@ -314,7 +356,7 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
 
         /** Fault-retry attempts per pipeline coordinate; survives the
          * squash/relaunch cycle so give-up thresholds are honest. */
-        std::map<OrderKey, std::uint32_t, OrderLess> faultAttempts;
+        FlatMap<OrderKey, std::uint32_t, OrderLess> faultAttempts;
 
         /** Response payload observed when the walk reaches the end
          * of the program. */
@@ -329,13 +371,19 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     /** Learned implicit call graph (part of the Sequence Table). */
     struct CallSiteInfo
     {
-        std::string callee;
+        Symbol callee;
     };
 
     const FlowProgram& compiled(const Application& app);
     SpecInvocation* find(InvocationId id);
     SpecInvocation& invocationOf(const InstancePtr& inst);
-    Slot* slotOf(SpecInvocation& inv, const InstancePtr& inst);
+    Slot* slotOf(const InstancePtr& inst);
+    /** Resolve a pipeline map entry (handle must be live). */
+    Slot&
+    slotAt(SlotHandle h)
+    {
+        return slotArena_.at(h);
+    }
 
     /** @{ Explicit-workflow machinery. */
     void walk(SpecInvocation& inv, Frontier f);
@@ -353,9 +401,9 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     void deliverCallee(SpecInvocation& inv, Slot& slot);
     void launchCalleeSlot(SpecInvocation& inv,
                           const InstancePtr& caller,
-                          std::size_t call_site,
-                          const std::string& callee, Value args,
-                          InputSource source, bool call_predicted,
+                          std::size_t call_site, Symbol callee,
+                          Value args, InputSource source,
+                          bool call_predicted,
                           ValueCallback return_to);
     /** @} */
 
@@ -364,7 +412,8 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
      * whose callers survive are relaunched with their validated
      * arguments. Returns the number of squashed slots.
      */
-    std::size_t squashRange(SpecInvocation& inv, const OrderKey& from,
+    std::size_t squashRange(SpecInvocation& inv,
+                            const OrderKey& from_ref,
                             SquashReason reason);
 
     /** Restart the explicit walk at a squash point. */
@@ -381,10 +430,9 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
 
     /** @{ Fault recovery. */
     /** Delayed (post-backoff) squash + relaunch of a crashed slot. */
-    void recoverFromCrash(InvocationId id, InstanceId instId);
+    void recoverFromCrash(InvocationId id, SlotHandle slot);
     /** Retries exhausted: squash everything, answer the error. */
-    void failInvocation(SpecInvocation& inv,
-                        const std::string& function);
+    void failInvocation(SpecInvocation& inv, Symbol function);
     /** @} */
 
     void maybePromote(SpecInvocation& inv, Slot& slot);
@@ -448,8 +496,17 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     std::uint64_t activeSquashId_ = 0;
 
     /** Learned call graph: (function, call site) → callee. */
-    std::map<std::pair<std::string, std::size_t>, CallSiteInfo>
-        callGraph_;
+    FlatMap<std::pair<Symbol, std::size_t>, CallSiteInfo> callGraph_;
+
+    /**
+     * Slab-stable storage for every live pipeline slot across all
+     * invocations. Instances carry their slot's generation-tagged
+     * handle, so hook dispatch resolves instance → slot with one
+     * array access instead of a per-invocation hash probe; squash,
+     * commit, and give-up teardown bump the generation, making every
+     * outstanding handle miss (no ABA on index reuse).
+     */
+    SlotArray<Slot> slotArena_;
 
     /**
      * Arena for invocation records. Invocations churn at request

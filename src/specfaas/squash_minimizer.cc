@@ -24,21 +24,26 @@ keyClassOf(const std::string& key)
 }
 
 void
-SquashMinimizer::recordSquash(const std::string& producer,
-                              const std::string& consumer,
+SquashMinimizer::recordSquash(Symbol producer, Symbol consumer,
                               const std::string& key)
 {
     ++recorded_;
-    auto& p = patterns_[consumer + '\n' + keyClassOf(key)];
+    auto& p = patterns_[{consumer, Symbol(keyClassOf(key))}];
     p.producer = producer;
     ++p.squashes;
 }
 
-std::optional<std::string>
-SquashMinimizer::stallProducer(const std::string& consumer,
+std::optional<Symbol>
+SquashMinimizer::stallProducer(Symbol consumer,
                                const std::string& key) const
 {
-    auto it = patterns_.find(consumer + '\n' + keyClassOf(key));
+    // Lookup only: key classes never seen by recordSquash must not be
+    // interned here, or a read-heavy run would grow the symbol table
+    // with one entry per distinct record key class.
+    Symbol cls = Symbol::lookup(keyClassOf(key));
+    if (cls.empty() && !key.empty())
+        return std::nullopt; // class string never interned → no pattern
+    auto it = patterns_.find({consumer, cls});
     if (it == patterns_.end() || it->second.squashes < threshold_)
         return std::nullopt;
     return it->second.producer;

@@ -18,7 +18,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
+
+#include "common/flat_map.hh"
+#include "common/symbol.hh"
 
 namespace specfaas {
 
@@ -38,17 +41,29 @@ class SquashMinimizer
      * Record that @p consumer was squashed for prematurely reading
      * @p key that @p producer later wrote.
      */
-    void recordSquash(const std::string& producer,
-                      const std::string& consumer,
+    void recordSquash(Symbol producer, Symbol consumer,
                       const std::string& key);
+
+    void
+    recordSquash(const std::string& producer,
+                 const std::string& consumer, const std::string& key)
+    {
+        recordSquash(Symbol(producer), Symbol(consumer), key);
+    }
 
     /**
      * Should @p consumer's read of @p key stall? Returns the learned
      * producer function to wait for, or nullopt.
      */
-    std::optional<std::string>
+    std::optional<Symbol> stallProducer(Symbol consumer,
+                                        const std::string& key) const;
+
+    std::optional<Symbol>
     stallProducer(const std::string& consumer,
-                  const std::string& key) const;
+                  const std::string& key) const
+    {
+        return stallProducer(Symbol(consumer), key);
+    }
 
     /** Number of learned (consumer, key-class) patterns. */
     std::size_t patternCount() const { return patterns_.size(); }
@@ -62,13 +77,13 @@ class SquashMinimizer
   private:
     struct Pattern
     {
-        std::string producer;
+        Symbol producer;
         std::uint32_t squashes = 0;
     };
 
     std::uint32_t threshold_;
-    // (consumer + '\n' + key class) → pattern
-    std::unordered_map<std::string, Pattern> patterns_;
+    // (consumer, interned key class) → pattern
+    FlatMap<std::pair<Symbol, Symbol>, Pattern> patterns_;
     std::uint64_t recorded_ = 0;
     std::uint64_t stalls_ = 0;
 };

@@ -18,7 +18,7 @@ compileNode(const WorkflowNode& n, FlowIndex cont,
       case WorkflowNode::Kind::Task: {
         FlowNode fn;
         fn.kind = FlowNode::Kind::Func;
-        fn.function = n.function;
+        fn.function = Symbol(n.function);
         fn.next = cont;
         out.push_back(std::move(fn));
         return static_cast<FlowIndex>(out.size() - 1);
@@ -37,7 +37,7 @@ compileNode(const WorkflowNode& n, FlowIndex cont,
                                   : cont;
         FlowNode br;
         br.kind = FlowNode::Kind::Branch;
-        br.function = n.function;
+        br.function = Symbol(n.function);
         br.targets = {true_entry, false_entry};
         out.push_back(std::move(br));
         return static_cast<FlowIndex>(out.size() - 1);
@@ -50,7 +50,7 @@ compileNode(const WorkflowNode& n, FlowIndex cont,
         // first so the body can point back at it.
         FlowNode br;
         br.kind = FlowNode::Kind::Branch;
-        br.function = n.function;
+        br.function = Symbol(n.function);
         out.push_back(std::move(br));
         const auto branch_idx = static_cast<FlowIndex>(out.size() - 1);
         const FlowIndex body_entry =
@@ -109,10 +109,11 @@ FlowProgram::dump() const
         out += strFormat("[%zu] ", i);
         switch (n.kind) {
           case FlowNode::Kind::Func:
-            out += strFormat("func %s -> %d", n.function.c_str(), n.next);
+            out += strFormat("func %s -> %d", n.function.str().c_str(),
+                             n.next);
             break;
           case FlowNode::Kind::Branch: {
-            out += strFormat("branch %s ->", n.function.c_str());
+            out += strFormat("branch %s ->", n.function.str().c_str());
             for (FlowIndex t : n.targets)
                 out += strFormat(" %d", t);
             break;

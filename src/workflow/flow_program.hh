@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/symbol.hh"
 #include "common/value.hh"
 #include "workflow/workflow.hh"
 
@@ -45,8 +46,8 @@ struct FlowNode
 
     Kind kind = Kind::Func;
 
-    /** Func/Branch: function name. */
-    std::string function;
+    /** Func/Branch: function name (interned). */
+    Symbol function;
 
     /** Func/Join: fall-through successor; kFlowNone terminates. */
     FlowIndex next = kFlowNone;

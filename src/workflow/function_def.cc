@@ -1,18 +1,44 @@
 #include "function_def.hh"
 
+#include <algorithm>
+
 namespace specfaas {
 
 namespace {
 
 const Value kNull{};
 
+/** First position whose symbol id is >= name's. */
+inline std::vector<std::pair<Symbol, Value>>::const_iterator
+varLowerBound(const std::vector<std::pair<Symbol, Value>>& vars,
+              Symbol name)
+{
+    return std::lower_bound(vars.begin(), vars.end(), name,
+                            [](const std::pair<Symbol, Value>& entry,
+                               Symbol key) {
+                                return entry.first < key;
+                            });
+}
+
 } // namespace
 
 const Value&
-Env::var(const std::string& name) const
+Env::var(Symbol name) const
 {
-    auto it = vars.find(name);
-    return it == vars.end() ? kNull : it->second;
+    auto it = varLowerBound(vars_, name);
+    return it == vars_.end() || it->first != name ? kNull : it->second;
+}
+
+void
+Env::set(Symbol name, Value v)
+{
+    auto it = varLowerBound(vars_, name);
+    if (it != vars_.end() && it->first == name) {
+        vars_[it - vars_.begin()].second = std::move(v);
+        return;
+    }
+    vars_.emplace(vars_.begin() + (it - vars_.begin()), name,
+                  std::move(v));
 }
 
 Op
@@ -30,7 +56,7 @@ Op::storageRead(KeyFn key, std::string var)
     Op op;
     op.kind = Kind::StorageRead;
     op.key = std::move(key);
-    op.var = std::move(var);
+    op.var = Symbol(var);
     return op;
 }
 
@@ -49,9 +75,9 @@ Op::call(std::string callee, ValueFn args, std::string var)
 {
     Op op;
     op.kind = Kind::Call;
-    op.callee = std::move(callee);
+    op.callee = Symbol(callee);
     op.value = std::move(args);
-    op.var = std::move(var);
+    op.var = Symbol(var);
     return op;
 }
 
@@ -86,7 +112,7 @@ Op::fileRead(KeyFn name, std::string var)
     Op op;
     op.kind = Kind::FileRead;
     op.key = std::move(name);
-    op.var = std::move(var);
+    op.var = Symbol(var);
     return op;
 }
 
@@ -95,7 +121,7 @@ Op::setVar(std::string var, ValueFn value)
 {
     Op op;
     op.kind = Kind::SetVar;
-    op.var = std::move(var);
+    op.var = Symbol(var);
     op.value = std::move(value);
     return op;
 }

@@ -17,10 +17,12 @@
 #define SPECFAAS_WORKFLOW_FUNCTION_DEF_HH
 
 #include <functional>
-#include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/symbol.hh"
 #include "common/types.hh"
 #include "common/value.hh"
 
@@ -29,14 +31,33 @@ namespace specfaas {
 /**
  * Execution environment of one handler: the request input plus named
  * results of reads/calls/local computations.
+ *
+ * Variables are stored flat, sorted by interned symbol id: lookups
+ * binary-search over integers and writes shift a small contiguous
+ * vector instead of allocating a tree node per variable.
  */
-struct Env
+class Env
 {
+  public:
     Value input;
-    std::map<std::string, Value> vars;
 
     /** Variable lookup; returns null when unset. */
-    const Value& var(const std::string& name) const;
+    const Value& var(Symbol name) const;
+
+    /** String-keyed lookup (interns the name). */
+    const Value&
+    var(std::string_view name) const
+    {
+        return var(Symbol(name));
+    }
+
+    /** Set (insert or overwrite) a variable. */
+    void set(Symbol name, Value v);
+
+    std::size_t varCount() const { return vars_.size(); }
+
+  private:
+    std::vector<std::pair<Symbol, Value>> vars_;
 };
 
 /** Computes a Value from the environment (pure). */
@@ -82,10 +103,10 @@ struct Op
     ValueFn value;
 
     /** StorageRead/Call/SetVar/FileRead: destination variable. */
-    std::string var;
+    Symbol var;
 
     /** Call: callee function name. */
-    std::string callee;
+    Symbol callee;
 
     /**
      * Optional guard: op executes only when guard(env) is true.
@@ -112,6 +133,9 @@ struct Op
 struct FunctionDef
 {
     std::string name;
+
+    /** Interned name; filled by FunctionRegistry::add. */
+    Symbol sym;
 
     /** Op program executed by each handler. */
     std::vector<Op> body;

@@ -7,7 +7,13 @@ namespace specfaas {
 void
 FunctionRegistry::add(FunctionDef def)
 {
-    functions_[def.name] = std::move(def);
+    def.sym = Symbol(def.name);
+    const Symbol sym = def.sym;
+    FunctionDef& stored = functions_[def.name];
+    stored = std::move(def);
+    if (sym.id() >= bySymbol_.size())
+        bySymbol_.resize(sym.id() + 1, nullptr);
+    bySymbol_[sym.id()] = &stored;
 }
 
 void
@@ -30,6 +36,22 @@ FunctionRegistry::find(const std::string& name) const
 {
     auto it = functions_.find(name);
     return it == functions_.end() ? nullptr : &it->second;
+}
+
+const FunctionDef&
+FunctionRegistry::get(Symbol name) const
+{
+    const FunctionDef* f = find(name);
+    SPECFAAS_ASSERT(f != nullptr, "unknown function %s",
+                    name.str().c_str());
+    return *f;
+}
+
+const FunctionDef*
+FunctionRegistry::find(Symbol name) const
+{
+    return name.id() < bySymbol_.size() ? bySymbol_[name.id()]
+                                        : nullptr;
 }
 
 void

@@ -35,11 +35,19 @@ class FunctionRegistry
     /** Lookup; nullptr when unknown. */
     const FunctionDef* find(const std::string& name) const;
 
+    /** @{ Symbol-keyed lookup: one array index, no hashing. */
+    const FunctionDef& get(Symbol name) const;
+    const FunctionDef* find(Symbol name) const;
+    /** @} */
+
     /** Number of registered functions. */
     std::size_t size() const { return functions_.size(); }
 
   private:
     std::unordered_map<std::string, FunctionDef> functions_;
+    /** Dense symbol-id → definition (nullptr gaps for non-function
+     * symbols); pointers into functions_ stay stable (node-based). */
+    std::vector<const FunctionDef*> bySymbol_;
 };
 
 /** Collection of applications, grouped by suite. */

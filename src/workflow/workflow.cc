@@ -81,6 +81,14 @@ Application::findFunction(const std::string& fname) const
     return nullptr;
 }
 
+const FunctionDef*
+Application::findFunction(Symbol fname) const
+{
+    // By name, not by sym: definitions acquire their sym only when a
+    // FunctionRegistry adopts them; app-held copies may predate that.
+    return findFunction(fname.str());
+}
+
 std::vector<std::string>
 Application::functionNames() const
 {
@@ -230,7 +238,8 @@ callDepth(const Application& app, const std::string& fname,
     std::size_t deepest = 0;
     for (const auto& op : f->body)
         if (op.kind == Op::Kind::Call)
-            deepest = std::max(deepest, callDepth(app, op.callee, visiting));
+            deepest =
+                std::max(deepest, callDepth(app, op.callee.str(), visiting));
     visiting.erase(fname);
     return 1 + deepest;
 }

@@ -91,6 +91,7 @@ struct Application
 
     /** Find a function definition by name; null when absent. */
     const FunctionDef* findFunction(const std::string& fname) const;
+    const FunctionDef* findFunction(Symbol fname) const;
 
     /** Names of all functions, in definition order. */
     std::vector<std::string> functionNames() const;

@@ -4,8 +4,11 @@
 
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/arena.hh"
+#include "common/slot_array.hh"
 
 namespace specfaas {
 namespace {
@@ -107,6 +110,140 @@ TEST(SlabPool, StressInterleavedCreateDestroy)
     for (Tracked* t : live)
         pool.destroy(t);
     EXPECT_EQ(Tracked::liveObjects, 0);
+}
+
+// --- SlotArray: index-addressed pool with generation-tagged handles ---
+
+TEST(SlotArray, CreateGetDestroyRoundTrip)
+{
+    SlotArray<Tracked> arr;
+    const SlotHandle h = arr.create("one");
+    ASSERT_NE(arr.get(h), nullptr);
+    EXPECT_EQ(arr.get(h)->payload, "one");
+    EXPECT_EQ(&arr.at(h), arr.get(h));
+    EXPECT_EQ(arr.liveCount(), 1u);
+    arr.destroy(h);
+    EXPECT_EQ(arr.get(h), nullptr);
+    EXPECT_EQ(arr.liveCount(), 0u);
+    EXPECT_EQ(Tracked::liveObjects, 0);
+}
+
+TEST(SlotArray, DefaultHandleNeverResolves)
+{
+    SlotArray<Tracked> arr;
+    arr.create("occupant");
+    const SlotHandle none{};
+    EXPECT_FALSE(static_cast<bool>(none));
+    EXPECT_EQ(arr.get(none), nullptr)
+        << "generation 0 must never resolve, even with a live "
+           "occupant at index 0";
+    EXPECT_EQ(arr.get(SlotHandle{99, 1}), nullptr)
+        << "out-of-range index must miss, not fault";
+}
+
+TEST(SlotArray, RecycledIndexCarriesNewGeneration)
+{
+    // The ABA guard itself: destroy + recreate reuses the index, but
+    // the stale handle keeps missing while the fresh one resolves.
+    SlotArray<Tracked> arr;
+    const SlotHandle stale = arr.create("first");
+    arr.destroy(stale);
+    const SlotHandle fresh = arr.create("second");
+    EXPECT_EQ(fresh.index, stale.index) << "freelist should recycle";
+    EXPECT_GT(fresh.gen, stale.gen);
+    EXPECT_EQ(arr.get(stale), nullptr)
+        << "stale handle resolved a recycled slot (ABA)";
+    ASSERT_NE(arr.get(fresh), nullptr);
+    EXPECT_EQ(arr.get(fresh)->payload, "second");
+}
+
+TEST(SlotArray, GenerationsOnlyGrowAcrossManyReuses)
+{
+    SlotArray<Tracked> arr;
+    SlotHandle prev = arr.create("0");
+    for (int i = 1; i < 100; ++i) {
+        arr.destroy(prev);
+        const SlotHandle next = arr.create(std::to_string(i));
+        EXPECT_EQ(next.index, prev.index);
+        EXPECT_GT(next.gen, prev.gen);
+        EXPECT_EQ(arr.get(prev), nullptr);
+        prev = next;
+    }
+}
+
+TEST(SlotArray, AddressesAreStableAcrossGrowth)
+{
+    // Storage is carved from slabs that never move: pointers taken
+    // early must stay valid while the array grows past several slab
+    // boundaries.
+    SlotArray<Tracked, 8> arr;
+    std::vector<std::pair<SlotHandle, Tracked*>> first;
+    for (int i = 0; i < 8; ++i) {
+        const SlotHandle h = arr.create(std::to_string(i));
+        first.emplace_back(h, arr.get(h));
+    }
+    for (int i = 8; i < 100; ++i)
+        arr.create(std::to_string(i));
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(arr.get(first[i].first), first[i].second);
+        EXPECT_EQ(first[i].second->payload, std::to_string(i));
+    }
+    EXPECT_EQ(arr.liveCount(), 100u);
+    EXPECT_EQ(arr.indexCount(), 100u);
+}
+
+TEST(SlotArray, FreelistKeepsIndexCountBounded)
+{
+    // Steady create/destroy churn recycles indexes instead of
+    // carving new ones: the high-water mark tracks peak liveness,
+    // not total objects ever created.
+    SlotArray<Tracked> arr;
+    for (int round = 0; round < 50; ++round) {
+        SlotHandle a = arr.create("a");
+        SlotHandle b = arr.create("b");
+        arr.destroy(a);
+        arr.destroy(b);
+    }
+    EXPECT_EQ(arr.liveCount(), 0u);
+    EXPECT_LE(arr.indexCount(), 2u);
+    EXPECT_EQ(Tracked::liveObjects, 0);
+}
+
+TEST(SlotArray, DestructorDestroysSurvivors)
+{
+    Tracked::liveObjects = 0;
+    {
+        SlotArray<Tracked> arr;
+        arr.create("a");
+        const SlotHandle b = arr.create("b");
+        arr.create("c");
+        arr.destroy(b);
+        EXPECT_EQ(Tracked::liveObjects, 2);
+    }
+    EXPECT_EQ(Tracked::liveObjects, 0)
+        << "array destructor must run survivors' destructors";
+}
+
+TEST(SlotArray, HandleEqualityComparesIndexAndGeneration)
+{
+    SlotArray<Tracked> arr;
+    const SlotHandle a = arr.create("a");
+    const SlotHandle copy = a;
+    EXPECT_EQ(a, copy);
+    arr.destroy(a);
+    const SlotHandle recycled = arr.create("b");
+    EXPECT_EQ(recycled.index, a.index);
+    EXPECT_NE(recycled, a)
+        << "same index, different generation: distinct handles";
+    EXPECT_NE(SlotHandle{}, a);
+}
+
+TEST(SlotArray, AtPanicsOnStaleHandle)
+{
+    SlotArray<Tracked> arr;
+    const SlotHandle h = arr.create("x");
+    arr.destroy(h);
+    EXPECT_DEATH(arr.at(h), "stale slot handle");
 }
 
 } // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "baseline/baseline_controller.hh"
 #include "platform/platform.hh"
 #include "workloads/app_helpers.hh"
 #include "workloads/suites.hh"
@@ -247,6 +250,126 @@ TEST(Baseline, RejectsWhenControllerBackedUp)
                     [&](InvocationResult r) { rejected = r.rejected; });
     platform.sim().events().run();
     EXPECT_TRUE(rejected);
+}
+
+/**
+ * Single-worker app whose handler snapshots the baseline
+ * controller's live invocation-record handles into @p captured.
+ */
+Application
+invCaptureApp(std::shared_ptr<std::vector<SlotHandle>> captured,
+              std::shared_ptr<BaselineController*> ctrl)
+{
+    Application app;
+    app.name = "aba-base";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+    app.functions.push_back(
+        worker("Bwork", 2.0, [captured, ctrl](const Env& e) {
+            if (*ctrl != nullptr) {
+                const auto hs = (*ctrl)->liveInvocationHandles();
+                captured->insert(captured->end(), hs.begin(),
+                                 hs.end());
+            }
+            return Value(e.input.at("x").asInt() + 1);
+        }));
+    app.workflow = task("Bwork");
+    app.inputGen = [](Rng& rng) {
+        Value v = Value::object({});
+        v["x"] = Value(rng.uniformInt(std::int64_t{0}, std::int64_t{9}));
+        return v;
+    };
+    return app;
+}
+
+TEST(Baseline, StaleInvocationHandlesMissAfterCompletion)
+{
+    // Invocation records live in a generation-tagged arena; a handle
+    // captured mid-run (the shape deferred work holds across
+    // conductor hops and retry timers) must miss once the invocation
+    // finishes, and keep missing after later requests recycle the
+    // index — the generation is the ABA guard.
+    auto captured = std::make_shared<std::vector<SlotHandle>>();
+    auto ctrl = std::make_shared<BaselineController*>(nullptr);
+    Application app = invCaptureApp(captured, ctrl);
+    PlatformOptions options;
+    options.speculative = false;
+    options.seed = 7;
+    FaasPlatform platform(options);
+    platform.deploy(app);
+    *ctrl = &dynamic_cast<BaselineController&>(platform.engine());
+
+    InvocationResult r =
+        platform.invokeSync(app, Value::object({{"x", Value(1)}}));
+    EXPECT_EQ(r.response.asInt(), 2);
+    ASSERT_FALSE(captured->empty());
+    EXPECT_EQ((*ctrl)->liveInvocations(), 0u);
+    for (SlotHandle h : *captured) {
+        EXPECT_TRUE(static_cast<bool>(h));
+        EXPECT_FALSE((*ctrl)->invocationHandleResolves(h))
+            << "record " << h.index << "@" << h.gen
+            << " should be stale after completion";
+    }
+
+    // Recycle the index with fresh requests; old handles still miss
+    // and the new occupant of the index carries a newer generation.
+    const std::vector<SlotHandle> old = *captured;
+    captured->clear();
+    for (int i = 0; i < 5; ++i)
+        platform.invokeSync(app, app.inputGen(platform.inputRng()));
+    ASSERT_FALSE(captured->empty());
+    bool reused = false;
+    for (SlotHandle h : old) {
+        EXPECT_FALSE((*ctrl)->invocationHandleResolves(h));
+        for (SlotHandle fresh : *captured) {
+            if (fresh.index != h.index)
+                continue;
+            reused = true;
+            EXPECT_GT(fresh.gen, h.gen)
+                << "recycled index must carry a newer generation";
+        }
+    }
+    EXPECT_TRUE(reused)
+        << "expected later requests to recycle the record index";
+}
+
+TEST(Baseline, StaleInvocationHandlesMissAfterFaultGiveUp)
+{
+    // Retries exhausted: failInvocation kills the remaining work and
+    // answers the error. The teardown path must bump the generation
+    // exactly like normal completion does.
+    auto captured = std::make_shared<std::vector<SlotHandle>>();
+    auto ctrl = std::make_shared<BaselineController*>(nullptr);
+    // Capture in a healthy first stage, then crash the second stage
+    // on every attempt — the capture is guaranteed to have happened
+    // by the time the give-up fires.
+    Application app = invCaptureApp(captured, ctrl);
+    app.functions.push_back(worker(
+        "Bfail", 2.0, [](const Env&) { return Value("unreached"); }));
+    app.workflow = sequence({task("Bwork"), task("Bfail")});
+    PlatformOptions options;
+    options.speculative = false;
+    options.seed = 7;
+    FaultRule rule;
+    rule.kind = FaultKind::ContainerCrash;
+    rule.function = "Bfail";
+    rule.phase = CrashPhase::MidExecution;
+    rule.budget = kUnlimitedBudget;
+    rule.probability = 1.0;
+    options.faultPlan.rules.push_back(rule);
+    options.faultPlan.maxAttempts = 2;
+    FaasPlatform platform(options);
+    platform.deploy(app);
+    *ctrl = &dynamic_cast<BaselineController&>(platform.engine());
+
+    platform.invokeSync(app, Value::object({{"x", Value(1)}}));
+    ASSERT_FALSE(captured->empty());
+    EXPECT_EQ((*ctrl)->liveInvocations(), 0u)
+        << "give-up must fully tear the invocation down";
+    for (SlotHandle h : *captured)
+        EXPECT_FALSE((*ctrl)->invocationHandleResolves(h))
+            << "record " << h.index << "@" << h.gen
+            << " survived the fault give-up";
 }
 
 } // namespace

@@ -34,10 +34,10 @@ class RecordingHooks : public RuntimeHooks
 
     void
     functionCall(const InstancePtr&, std::size_t call_site,
-                 const std::string& callee, Value args,
+                 Symbol callee, Value args,
                  ValueCallback done) override
     {
-        calls.emplace_back(call_site, callee);
+        calls.emplace_back(call_site, callee.str());
         Value result = Value::object({});
         result["echo"] = std::move(args);
         done(std::move(result));
@@ -78,7 +78,7 @@ struct Rig
         def.name = "f";
         registry.add(std::move(def));
         LaunchSpec spec;
-        spec.function = "f";
+        spec.function = Symbol("f");
         spec.input = std::move(input);
         InstancePtr inst = launcher.launch(std::move(spec));
         sim.events().run();
@@ -211,7 +211,7 @@ TEST(Interpreter, ProcessKillSquashStopsWork)
     def.name = "f";
     rig.registry.add(def);
     LaunchSpec spec;
-    spec.function = "f";
+    spec.function = Symbol("f");
     InstancePtr inst = rig.launcher.launch(std::move(spec));
     // Let the container fork and the burst start.
     rig.sim.events().runUntil(msToTicks(2.0));
@@ -234,7 +234,7 @@ TEST(Interpreter, LazySquashBurnsRemainingCompute)
     def.name = "f";
     rig.registry.add(def);
     LaunchSpec spec;
-    spec.function = "f";
+    spec.function = Symbol("f");
     InstancePtr inst = rig.launcher.launch(std::move(spec));
     rig.sim.events().runUntil(msToTicks(2.0));
     rig.interp.squash(inst, SquashPolicy::Lazy);
@@ -255,7 +255,7 @@ TEST(Interpreter, ContainerKillDestroysContainer)
     const std::size_t before =
         rig.cluster.containers().containerCount("f");
     LaunchSpec spec;
-    spec.function = "f";
+    spec.function = Symbol("f");
     InstancePtr inst = rig.launcher.launch(std::move(spec));
     rig.sim.events().runUntil(msToTicks(2.0));
     rig.interp.squash(inst, SquashPolicy::ContainerKill);
@@ -271,7 +271,7 @@ TEST(Interpreter, SquashDuringLaunchReturnsContainer)
     def.name = "f";
     rig.registry.add(def);
     LaunchSpec spec;
-    spec.function = "f";
+    spec.function = Symbol("f");
     spec.preOverhead = msToTicks(5.0);
     InstancePtr inst = rig.launcher.launch(std::move(spec));
     // Squash before the container is even acquired.

@@ -178,6 +178,66 @@ TEST(Profiler, ParseFoldedRejectsMalformedLines)
     EXPECT_FALSE(obs::parseFolded("no-value-here\n", rows));
     EXPECT_FALSE(obs::parseFolded(" 42\n", rows));
     EXPECT_FALSE(obs::parseFolded("path notanumber\n", rows));
+    // Paths that needed escaping but weren't: raw whitespace means
+    // the writer did not escape, so the line is corruption.
+    EXPECT_FALSE(obs::parseFolded("two words 42\n", rows));
+    EXPECT_FALSE(obs::parseFolded("tab\tpath 42\n", rows));
+    EXPECT_FALSE(obs::parseFolded("cr\rpath 42\n", rows));
+    // Broken escape sequences.
+    EXPECT_FALSE(obs::parseFolded("bad\\escape 42\n", rows));
+    EXPECT_FALSE(obs::parseFolded("dangling\\ 42\n", rows))
+        << "the escaped space leaves no unescaped value separator";
+    EXPECT_FALSE(obs::parseFolded("dangling 42\\\n", rows));
+    // Escaped forms of the same shapes are fine.
+    EXPECT_TRUE(obs::parseFolded("two\\ words 42\n", rows));
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].first, "two\\ words");
+    EXPECT_EQ(rows[0].second, 42u);
+}
+
+TEST(Profiler, FoldedOutputEscapesSeparatorCharacters)
+{
+    // A zone name carrying the frame separator, the value separator,
+    // or the escape character itself must not corrupt the collapsed
+    // line structure: one line per path, one unescaped space, value
+    // intact — and the file still parses.
+    Profiler prof;
+    prof.enable();
+    {
+        OBS_ZONE(prof, "outer zone");
+        OBS_ZONE(prof, "in;ner");
+    }
+    {
+        OBS_ZONE(prof, "back\\slash");
+    }
+    const std::string folded =
+        obs::foldedProfile(prof, Profiler::FoldedValue::Visits);
+    EXPECT_NE(folded.find("outer\\ zone 1\n"), std::string::npos);
+    EXPECT_NE(folded.find("outer\\ zone;in\\;ner 1\n"),
+              std::string::npos);
+    EXPECT_NE(folded.find("back\\\\slash 1\n"), std::string::npos);
+
+    std::vector<std::pair<std::string, std::uint64_t>> rows;
+    ASSERT_TRUE(obs::parseFolded(folded, rows));
+    ASSERT_EQ(rows.size(), 3u);
+    for (const auto& [path, value] : rows)
+        EXPECT_EQ(value, 1u) << path;
+}
+
+TEST(Profiler, FoldedEscapingIsIdentityForOrdinaryNames)
+{
+    // Every real zone name (letters, digits, '/', '-') renders
+    // byte-identically to the unescaped form, so committed folded
+    // snapshots are unaffected by the escaping layer.
+    Profiler prof;
+    prof.enable();
+    {
+        OBS_ZONE(prof, "sim/dispatch");
+        OBS_ZONE(prof, "interp/step-2");
+    }
+    EXPECT_EQ(obs::foldedProfile(prof, Profiler::FoldedValue::Visits),
+              "sim/dispatch 1\n"
+              "sim/dispatch;interp/step-2 1\n");
 }
 
 TEST(Profiler, MergeIntoAccumulatesPathTotals)

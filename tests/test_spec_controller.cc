@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "platform/platform.hh"
+#include "specfaas/spec_controller.hh"
 #include "workloads/app_helpers.hh"
 #include "workloads/suites.hh"
 
@@ -335,6 +338,139 @@ TEST(SpecController, RejectsWhenControllerBackedUp)
                     [&](InvocationResult r) { rejected = r.rejected; });
     platform.sim().events().run();
     EXPECT_TRUE(rejected);
+}
+
+/**
+ * Branch app whose every handler snapshots the controller's live
+ * generation-tagged slot handles into @p captured. The condition
+ * function itself snapshots too, so captures happen on every path —
+ * including runs where the speculated branch is squashed before its
+ * handler body ever evaluates.
+ */
+Application
+handleCaptureApp(std::shared_ptr<std::vector<SlotHandle>> captured,
+                 std::shared_ptr<SpecController*> ctrl)
+{
+    const auto snap = [captured, ctrl]() {
+        if (*ctrl != nullptr) {
+            const auto hs = (*ctrl)->liveSlotHandles();
+            captured->insert(captured->end(), hs.begin(), hs.end());
+        }
+    };
+    Application app;
+    app.name = "aba-spec";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+    app.functions.push_back(worker("Xc", 5.0, [snap](const Env& e) {
+        snap();
+        return e.input.at("b0");
+    }));
+    app.functions.push_back(worker("Xt", 5.0, [snap](const Env&) {
+        snap();
+        return Value("then");
+    }));
+    app.functions.push_back(worker("Xe", 5.0, [snap](const Env&) {
+        snap();
+        return Value("else");
+    }));
+    app.workflow = when("Xc", task("Xt"), task("Xe"));
+    app.inputGen = [](Rng& rng) {
+        Value v = Value::object({});
+        v["b0"] = Value(rng.bernoulli(0.95));
+        return v;
+    };
+    return app;
+}
+
+TEST(SpecController, StaleSlotHandlesMissAfterSquashRewalkAndCommit)
+{
+    // Handles captured mid-run — while speculation is in flight —
+    // must miss once their slots are squashed (mispredicted branch),
+    // re-walked, or committed, and must keep missing after later
+    // invocations recycle the same indexes: the generation tag is
+    // the ABA guard.
+    auto captured = std::make_shared<std::vector<SlotHandle>>();
+    auto ctrl = std::make_shared<SpecController*>(nullptr);
+    Application app = handleCaptureApp(captured, ctrl);
+    auto platform = specPlatform(app, {}, 30);
+    *ctrl = &dynamic_cast<SpecController&>(platform->engine());
+
+    // Training biased b0 heavily true; b0=false mispredicts the
+    // then-branch, squashing the speculated Xt and re-walking to Xe.
+    Value wrong = Value::object({});
+    wrong["b0"] = Value(false);
+    InvocationResult r = platform->invokeSync(app, std::move(wrong));
+    EXPECT_EQ(r.response.asString(), "else");
+    EXPECT_GT(r.squashes, 0u) << "misprediction should have squashed";
+    ASSERT_FALSE(captured->empty());
+    EXPECT_EQ((*ctrl)->liveInvocations(), 0u);
+    for (SlotHandle h : *captured) {
+        EXPECT_TRUE(static_cast<bool>(h));
+        EXPECT_FALSE((*ctrl)->slotHandleResolves(h))
+            << "slot " << h.index << "@" << h.gen
+            << " should be stale after the run";
+    }
+
+    // Drive more invocations through the recycled indexes. The old
+    // handles must still miss even while a *new* occupant of the
+    // same index is live — and that occupant's generation is
+    // strictly newer.
+    const std::vector<SlotHandle> old = *captured;
+    captured->clear();
+    for (int i = 0; i < 10; ++i)
+        platform->invokeSync(app, app.inputGen(platform->inputRng()));
+    ASSERT_FALSE(captured->empty());
+    bool reused = false;
+    for (SlotHandle h : old) {
+        EXPECT_FALSE((*ctrl)->slotHandleResolves(h));
+        for (SlotHandle fresh : *captured) {
+            if (fresh.index != h.index)
+                continue;
+            reused = true;
+            EXPECT_GT(fresh.gen, h.gen)
+                << "recycled index must carry a newer generation";
+        }
+    }
+    EXPECT_TRUE(reused)
+        << "expected later invocations to recycle slot indexes";
+}
+
+TEST(SpecController, StaleSlotHandlesMissAfterGiveUpTeardown)
+{
+    // Retries exhausted: failInvocation tears the whole pipeline
+    // down. Handles captured before the give-up must miss afterwards
+    // exactly like squash/commit ones do.
+    auto captured = std::make_shared<std::vector<SlotHandle>>();
+    auto ctrl = std::make_shared<SpecController*>(nullptr);
+    Application app = handleCaptureApp(captured, ctrl);
+
+    PlatformOptions options;
+    options.speculative = true;
+    options.seed = 7;
+    FaultRule rule;
+    rule.kind = FaultKind::ContainerCrash;
+    rule.function = "Xe";
+    rule.phase = CrashPhase::MidExecution;
+    rule.budget = kUnlimitedBudget;
+    rule.probability = 1.0;
+    options.faultPlan.rules.push_back(rule);
+    options.faultPlan.maxAttempts = 2;
+    auto platform = std::make_unique<FaasPlatform>(options);
+    platform->deploy(app);
+    *ctrl = &dynamic_cast<SpecController&>(platform->engine());
+
+    // b0=false routes onto Xe, which crashes on every attempt until
+    // the controller gives up.
+    Value input = Value::object({});
+    input["b0"] = Value(false);
+    platform->invokeSync(app, std::move(input));
+    ASSERT_FALSE(captured->empty());
+    EXPECT_EQ((*ctrl)->liveInvocations(), 0u)
+        << "give-up must fully tear the invocation down";
+    for (SlotHandle h : *captured)
+        EXPECT_FALSE((*ctrl)->slotHandleResolves(h))
+            << "slot " << h.index << "@" << h.gen
+            << " survived the give-up teardown";
 }
 
 } // namespace

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Property tests for the process-wide interned Symbol table.
+ *
+ * The model layer's determinism story rests on three properties: ids
+ * are assigned densely in interning order (so a fixed program gets
+ * identical ids on every run), nothing observable depends on raw id
+ * values (rendering and name hashes are pure functions of the name),
+ * and concurrently interning threads — the `--jobs` forked
+ * SimContexts share this one table — always agree on every id they
+ * can exchange. These tests pin each property directly.
+ *
+ * The table is process-global and append-only, so every test uses a
+ * unique name prefix; nothing here assumes a fresh table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/symbol.hh"
+
+namespace specfaas {
+namespace {
+
+std::uint64_t
+refFnv1a(std::string_view s)
+{
+    // Independent reimplementation of the documented hash, so a
+    // silent change to the table's hash function fails here.
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+TEST(Symbol, EmptySymbolIsIdZero)
+{
+    Symbol none;
+    EXPECT_EQ(none.id(), 0u);
+    EXPECT_TRUE(none.empty());
+    EXPECT_FALSE(static_cast<bool>(none));
+    EXPECT_EQ(none.str(), "");
+    // Interning and looking up "" both land on the reserved id 0.
+    EXPECT_EQ(Symbol("").id(), 0u);
+    EXPECT_EQ(Symbol::lookup("").id(), 0u);
+    EXPECT_GE(Symbol::tableSize(), 1u);
+}
+
+TEST(Symbol, InternResolveRoundTrip)
+{
+    const std::vector<std::string> names = {
+        "sym.rt/alpha", "sym.rt/beta", "sym.rt/αβγ-utf8",
+        "sym.rt/with space", "sym.rt/trailing."};
+    for (const std::string& n : names) {
+        Symbol s(n);
+        EXPECT_FALSE(s.empty());
+        EXPECT_EQ(s.str(), n) << "resolve must return the exact bytes";
+        // Re-interning is idempotent and returns the same id.
+        EXPECT_EQ(Symbol(n).id(), s.id());
+        EXPECT_EQ(Symbol::intern(n), s);
+        // fromId rebuilds the same symbol.
+        EXPECT_EQ(Symbol::fromId(s.id()), s);
+    }
+}
+
+TEST(Symbol, IdsAreDeterministicDenseAndCollisionFree)
+{
+    // Ids are a pure function of interning order: K fresh names in a
+    // fixed order must get exactly the next K consecutive ids. This
+    // is the cross-run determinism property — two runs interning the
+    // same sequence get the same ids — observed in one process.
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(Symbol::tableSize());
+    constexpr int kCount = 512;
+    std::vector<Symbol> syms;
+    for (int i = 0; i < kCount; ++i)
+        syms.push_back(Symbol("sym.dense/" + std::to_string(i)));
+    for (int i = 0; i < kCount; ++i) {
+        EXPECT_EQ(syms[i].id(), base + static_cast<std::uint32_t>(i))
+            << "fresh ids must be dense and in interning order";
+        EXPECT_EQ(syms[i].str(), "sym.dense/" + std::to_string(i));
+    }
+    EXPECT_EQ(Symbol::tableSize(), base + kCount);
+    // Re-interning the whole batch mints nothing new.
+    for (int i = 0; i < kCount; ++i)
+        Symbol("sym.dense/" + std::to_string(i));
+    EXPECT_EQ(Symbol::tableSize(), base + kCount);
+}
+
+TEST(Symbol, LookupNeverInterns)
+{
+    const std::size_t before = Symbol::tableSize();
+    Symbol miss = Symbol::lookup("sym.lookup/never-interned");
+    EXPECT_TRUE(miss.empty());
+    EXPECT_EQ(Symbol::tableSize(), before)
+        << "lookup of an unknown name must not grow the table";
+
+    Symbol s("sym.lookup/interned");
+    Symbol hit = Symbol::lookup("sym.lookup/interned");
+    EXPECT_EQ(hit, s);
+}
+
+TEST(Symbol, NameHashIsAPureFunctionOfTheName)
+{
+    // The hash must not depend on id or interning order — predictor
+    // tables keyed by it stay byte-identical however `--jobs` workers
+    // interleave their interning.
+    const std::vector<std::string> names = {"sym.hash/a", "sym.hash/b",
+                                            ""};
+    for (const std::string& n : names)
+        EXPECT_EQ(Symbol(n).nameHash(), refFnv1a(n)) << n;
+}
+
+TEST(Symbol, ComparisonAndOrdering)
+{
+    Symbol a("sym.cmp/a");
+    Symbol b("sym.cmp/b");
+    EXPECT_TRUE(a == a);
+    EXPECT_TRUE(a != b);
+    // operator< is intern order (a was interned first), not
+    // lexicographic.
+    EXPECT_TRUE(a < b);
+    // String comparison resolves, never interns.
+    const std::size_t before = Symbol::tableSize();
+    EXPECT_TRUE(a == std::string_view("sym.cmp/a"));
+    EXPECT_TRUE(std::string_view("sym.cmp/b") == b);
+    EXPECT_TRUE(a != std::string_view("sym.cmp/never-interned"));
+    EXPECT_EQ(Symbol::tableSize(), before);
+}
+
+TEST(Symbol, RenderingIsByteIdenticalAndStable)
+{
+    const std::string name = "sym.render/fnA[0.1]#x";
+    Symbol s(name);
+    std::ostringstream os;
+    os << s;
+    EXPECT_EQ(os.str(), name);
+    // str() returns a process-lifetime reference: the same entry on
+    // every call, so render paths may keep pointers into it.
+    EXPECT_EQ(&s.str(), &Symbol(name).str());
+    EXPECT_EQ(&s.str(), &Symbol::fromId(s.id()).str());
+}
+
+TEST(Symbol, ConcurrentInterningAgreesOnEveryId)
+{
+    // Forked SimContexts intern concurrently: names raced over by
+    // several threads must resolve to one id everywhere, fresh ids
+    // must stay dense and collision-free, and every name must
+    // round-trip. (Raw id values may differ run to run under races —
+    // that is fine, nothing observable depends on them.)
+    constexpr int kThreads = 8;
+    constexpr int kShared = 64;  // names every thread interns
+    constexpr int kPrivate = 64; // names only one thread interns
+    const std::uint32_t base =
+        static_cast<std::uint32_t>(Symbol::tableSize());
+    std::vector<std::vector<std::uint32_t>> ids(
+        kThreads, std::vector<std::uint32_t>(kShared + kPrivate));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &ids]() {
+            for (int i = 0; i < kShared; ++i)
+                ids[t][i] =
+                    Symbol("sym.mt/shared" + std::to_string(i)).id();
+            for (int i = 0; i < kPrivate; ++i)
+                ids[t][kShared + i] =
+                    Symbol("sym.mt/t" + std::to_string(t) + "/" +
+                           std::to_string(i))
+                        .id();
+        });
+    }
+    for (std::thread& th : threads)
+        th.join();
+
+    // All threads agree on every shared name's id.
+    for (int i = 0; i < kShared; ++i)
+        for (int t = 1; t < kThreads; ++t)
+            EXPECT_EQ(ids[t][i], ids[0][i])
+                << "threads disagree on sym.mt/shared" << i;
+    // The union of minted ids is exactly the next dense range.
+    std::set<std::uint32_t> minted;
+    for (const auto& perThread : ids)
+        minted.insert(perThread.begin(), perThread.end());
+    EXPECT_EQ(minted.size(), kShared + kThreads * kPrivate);
+    EXPECT_EQ(*minted.begin(), base);
+    EXPECT_EQ(*minted.rbegin(), base + minted.size() - 1);
+    // Everything round-trips after the dust settles.
+    for (int i = 0; i < kShared; ++i)
+        EXPECT_EQ(Symbol::lookup("sym.mt/shared" + std::to_string(i))
+                      .id(),
+                  ids[0][i]);
+    for (int t = 0; t < kThreads; ++t)
+        for (int i = 0; i < kPrivate; ++i)
+            EXPECT_EQ(Symbol("sym.mt/t" + std::to_string(t) + "/" +
+                             std::to_string(i))
+                          .id(),
+                      ids[t][kShared + i]);
+}
+
+TEST(Symbol, TableGrowsPastIndexResizeAndChunkBoundaries)
+{
+    // Push the table across at least one index regrowth (load factor
+    // 0.7 over a 256-slot initial index) and one 1024-entry chunk
+    // boundary; every symbol interned before and after must keep
+    // resolving.
+    std::vector<Symbol> syms;
+    for (int i = 0; i < 3000; ++i)
+        syms.push_back(Symbol("sym.grow/" + std::to_string(i)));
+    for (int i = 0; i < 3000; ++i) {
+        EXPECT_EQ(syms[i].str(), "sym.grow/" + std::to_string(i));
+        EXPECT_EQ(Symbol::lookup("sym.grow/" + std::to_string(i)),
+                  syms[i]);
+    }
+}
+
+} // namespace
+} // namespace specfaas

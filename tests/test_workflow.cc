@@ -27,7 +27,7 @@ TEST(FlowCompiler, LinearSequence)
     FlowIndex idx = program.entry;
     while (idx != kFlowNone) {
         EXPECT_EQ(program.node(idx).kind, FlowNode::Kind::Func);
-        names.push_back(program.node(idx).function);
+        names.push_back(program.node(idx).function.str());
         idx = program.node(idx).next;
     }
     EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
