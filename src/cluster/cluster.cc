@@ -1,64 +1,11 @@
 #include "cluster.hh"
 
-#include "common/logging.hh"
-
 namespace specfaas {
 
-Cluster::Cluster(Simulation& sim, const ClusterConfig& config)
-    : sim_(sim), config_(config)
+Cluster::Cluster(Simulation& sim, const ClusterConfig& config,
+                 const FleetConfig& fleet)
+    : fleet_(sim, config, fleet)
 {
-    SPECFAAS_ASSERT(config.numNodes > 0, "cluster with no nodes");
-    std::vector<Node*> raw;
-    for (std::uint32_t i = 0; i < config.numNodes; ++i) {
-        nodes_.push_back(
-            std::make_unique<Node>(sim_, i, config.coresPerNode));
-        raw.push_back(nodes_.back().get());
-    }
-    controller_ = std::make_unique<Node>(sim_, config.numNodes,
-                                         config.controllerThreads);
-    containers_ = std::make_unique<ContainerPool>(sim_, raw, config_);
-}
-
-Node&
-Cluster::node(NodeId id)
-{
-    SPECFAAS_ASSERT(id < nodes_.size(), "bad node id %u", id);
-    return *nodes_[id];
-}
-
-std::uint32_t
-Cluster::totalCores() const
-{
-    return config_.numNodes * config_.coresPerNode;
-}
-
-void
-Cluster::failNode(NodeId id)
-{
-    node(id).setDown(true);
-    containers_->dropNode(id);
-}
-
-void
-Cluster::restoreNode(NodeId id)
-{
-    node(id).setDown(false);
-}
-
-void
-Cluster::resetUtilization()
-{
-    for (auto& n : nodes_)
-        n->resetUtilization();
-}
-
-double
-Cluster::utilization() const
-{
-    double sum = 0.0;
-    for (const auto& n : nodes_)
-        sum += n->utilization();
-    return nodes_.empty() ? 0.0 : sum / static_cast<double>(nodes_.size());
 }
 
 } // namespace specfaas

@@ -1,7 +1,13 @@
 /**
  * @file
- * Cluster facade: owns the nodes and the container pool and exposes
- * utilization accounting across the machine.
+ * Cluster facade: a thin view over the Fleet, which owns the nodes,
+ * the control-plane station and the container pool.
+ *
+ * Engines and benches keep programming against this interface; the
+ * fleet beneath it adds node lifecycle, autoscaling, eviction and
+ * admission dynamics when enabled (see fleet/fleet.hh). With the
+ * default FleetConfig the fleet is static and behaves exactly like
+ * the old directly-owning Cluster.
  */
 
 #ifndef SPECFAAS_CLUSTER_CLUSTER_HH
@@ -13,6 +19,7 @@
 #include "cluster/cluster_config.hh"
 #include "cluster/container.hh"
 #include "cluster/node.hh"
+#include "fleet/fleet.hh"
 #include "sim/simulation.hh"
 
 namespace specfaas {
@@ -24,36 +31,42 @@ class Cluster
     /**
      * @param sim simulation context
      * @param config node counts and platform cost constants
+     * @param fleet dynamics configuration (default: static fleet)
      */
-    Cluster(Simulation& sim, const ClusterConfig& config);
+    Cluster(Simulation& sim, const ClusterConfig& config,
+            const FleetConfig& fleet = {});
 
     Cluster(const Cluster&) = delete;
     Cluster& operator=(const Cluster&) = delete;
 
     /** Cost constants in effect. */
-    const ClusterConfig& config() const { return config_; }
+    const ClusterConfig& config() const { return fleet_.clusterConfig(); }
 
-    /** Worker nodes. */
+    /** The fleet behind this view. */
+    Fleet& fleet() { return fleet_; }
+    const Fleet& fleet() const { return fleet_; }
+
+    /** Worker nodes (retired nodes keep their slot; ids are stable). */
     const std::vector<std::unique_ptr<Node>>& nodes() const
     {
-        return nodes_;
+        return fleet_.workers();
     }
 
     /** Node by id. */
-    Node& node(NodeId id);
+    Node& node(NodeId id) { return fleet_.worker(id); }
 
     /**
      * The control-plane service station: a pool of controller
      * threads every function launch must pass through. Modelled as a
      * Node whose "cores" are controller threads.
      */
-    Node& controller() { return *controller_; }
+    Node& controller() { return fleet_.controller(); }
 
     /** Container manager. */
-    ContainerPool& containers() { return *containers_; }
+    ContainerPool& containers() { return fleet_.containers(); }
 
-    /** Total cores across all nodes. */
-    std::uint32_t totalCores() const;
+    /** Total cores across non-retired nodes. */
+    std::uint32_t totalCores() const { return fleet_.liveCores(); }
 
     /**
      * @{ Injected node failure: mark the node down so it receives no
@@ -61,22 +74,18 @@ class Cluster
      * back empty (cold). In-flight handlers on the node are crashed
      * by the engines, not here.
      */
-    void failNode(NodeId id);
-    void restoreNode(NodeId id);
+    void failNode(NodeId id) { fleet_.failNode(id); }
+    void restoreNode(NodeId id) { fleet_.restoreNode(id); }
     /** @} */
 
     /** Start a cluster-wide utilization measurement window. */
-    void resetUtilization();
+    void resetUtilization() { fleet_.resetUtilization(); }
 
     /** Mean CPU utilization in [0,1] since the last reset. */
-    double utilization() const;
+    double utilization() const { return fleet_.utilization(); }
 
   private:
-    Simulation& sim_;
-    ClusterConfig config_;
-    std::vector<std::unique_ptr<Node>> nodes_;
-    std::unique_ptr<Node> controller_;
-    std::unique_ptr<ContainerPool> containers_;
+    Fleet fleet_;
 };
 
 } // namespace specfaas

@@ -3,15 +3,17 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fleet/fleet.hh"
 #include "sim/sim_context.hh"
 
 namespace specfaas {
 
-ContainerPool::ContainerPool(Simulation& sim, std::vector<Node*> nodes,
+ContainerPool::ContainerPool(Simulation& sim, Fleet& fleet,
                              const ClusterConfig& config)
-    : sim_(sim), nodes_(std::move(nodes)), config_(config)
+    : sim_(sim), fleet_(fleet), config_(config)
 {
-    SPECFAAS_ASSERT(!nodes_.empty(), "container pool with no nodes");
+    SPECFAAS_ASSERT(!fleet_.workers().empty(),
+                    "container pool with no nodes");
 }
 
 ContainerPool::~ContainerPool()
@@ -24,13 +26,15 @@ Node&
 ContainerPool::pickNode()
 {
     // Least-loaded placement with round-robin tie-breaking, so cold
-    // starts spread across the cluster deterministically. Down nodes
-    // receive no placements unless the whole cluster is down.
+    // starts spread across the cluster deterministically. Only
+    // placeable (Ready, up) nodes receive placements unless the whole
+    // fleet is unplaceable.
+    const auto& workers = fleet_.workers();
     Node* best = nullptr;
     std::uint32_t bestLoad = ~0u;
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        Node* n = nodes_[(rrNext_ + i) % nodes_.size()];
-        if (n->isDown())
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        Node* n = workers[(rrNext_ + i) % workers.size()].get();
+        if (!fleet_.placeable(n->id()))
             continue;
         const auto load = n->busyCores() +
                           static_cast<std::uint32_t>(n->queueLength());
@@ -39,19 +43,18 @@ ContainerPool::pickNode()
             best = n;
         }
     }
-    rrNext_ = (rrNext_ + 1) % static_cast<std::uint32_t>(nodes_.size());
+    rrNext_ = (rrNext_ + 1) % static_cast<std::uint32_t>(workers.size());
     if (best == nullptr)
-        best = nodes_[rrNext_ % nodes_.size()];
+        best = workers[rrNext_ % workers.size()].get();
     return *best;
 }
 
 Node*
 ContainerPool::nodeById(NodeId id) const
 {
-    for (Node* n : nodes_)
-        if (n->id() == id)
-            return n;
-    return nullptr;
+    // Worker ids equal their index in the fleet's worker table.
+    const auto& workers = fleet_.workers();
+    return id < workers.size() ? workers[id].get() : nullptr;
 }
 
 ContainerFunctionPool&
@@ -91,6 +94,8 @@ void
 ContainerPool::acquire(Symbol function, AcquireCallback done)
 {
     OBS_ZONE(sim_.context().profiler(), "cluster/acquire");
+    if (fleet_.dynamic())
+        fleet_.noteAcquire(function);
     ContainerFunctionPool& pool = poolFor(function);
     if (!pool.warm.empty()) {
         Container* c = pool.warm.front();
@@ -148,10 +153,10 @@ ContainerPool::acquire(Symbol function, AcquireCallback done)
                        obs::nodePid(c->node),
                        obs::kContainerTidBase + c->id);
             }
-            // The node died while this container was being created:
-            // the creation is lost; place the request again.
-            if (Node* n = nodeById(c->node);
-                n != nullptr && n->isDown()) {
+            // The node died (or left service) while this container
+            // was being created: the creation is lost; place the
+            // request again.
+            if (!fleet_.placeable(c->node)) {
                 ContainerFunctionPool& p = *c->owner;
                 destroy(*c);
                 acquire(p.sym, std::move(cb));
@@ -167,13 +172,14 @@ ContainerPool::release(Container& c)
     OBS_ZONE(sim_.context().profiler(), "cluster/release");
     SPECFAAS_ASSERT(c.busy, "releasing idle container %llu",
                     static_cast<unsigned long long>(c.id));
-    // A container on a failed node cannot rejoin the warm pool; its
-    // state died with the node.
-    if (Node* n = nodeById(c.node); n != nullptr && n->isDown()) {
+    // A container on a failed or draining node cannot rejoin the warm
+    // pool; its state dies with the node.
+    if (!fleet_.placeable(c.node)) {
         destroy(c);
         return;
     }
     c.busy = false;
+    c.idleSince = sim_.now();
     c.owner->warm.push_back(&c);
 }
 
@@ -197,12 +203,14 @@ ContainerPool::prewarm(Symbol function, std::uint32_t count)
     ContainerFunctionPool& pool = poolFor(function);
     for (std::uint32_t i = 0; i < count; ++i) {
         Node& node = pickNode();
-        pool.warm.push_back(createContainer(pool, node.id()));
+        Container* c = createContainer(pool, node.id());
+        c->idleSince = sim_.now();
+        pool.warm.push_back(c);
     }
 }
 
 std::size_t
-ContainerPool::dropNode(NodeId node)
+ContainerPool::reclaimWarmOnNode(NodeId node)
 {
     std::size_t dropped = 0;
     for (auto& entry : pools_) {
@@ -221,12 +229,73 @@ ContainerPool::dropNode(NodeId node)
             ++dropped;
         }
     }
+    return dropped;
+}
+
+std::size_t
+ContainerPool::dropNode(NodeId node)
+{
+    const std::size_t dropped = reclaimWarmOnNode(node);
     if (auto& tr = sim_.context().trace(); tr.enabled()) {
         tr.instant(obs::cat::kFault, "warm-pool-lost", sim_.now(),
                    obs::nodePid(node), 0,
                    {{"dropped", strFormat("%zu", dropped), true}});
     }
     return dropped;
+}
+
+std::size_t
+ContainerPool::evictWarmOnNode(NodeId node)
+{
+    const std::size_t dropped = reclaimWarmOnNode(node);
+    if (auto& tr = sim_.context().trace(); tr.enabled()) {
+        tr.instant(obs::cat::kFleet, "warm-pool-drained", sim_.now(),
+                   obs::nodePid(node), 0,
+                   {{"dropped", strFormat("%zu", dropped), true}});
+    }
+    return dropped;
+}
+
+std::size_t
+ContainerPool::evictIdle(Tick now)
+{
+    std::size_t evicted = 0;
+    for (auto& entry : pools_) {
+        if (entry == nullptr)
+            continue;
+        ContainerFunctionPool& pool = *entry;
+        if (pool.warm.empty())
+            continue;
+        const Tick keepAlive = fleet_.keepAliveFor(pool.sym);
+        // Warm deques are ordered by idleSince (releases append at
+        // nondecreasing simulated times), so the expired prefix is
+        // exactly the containers to evict.
+        while (!pool.warm.empty()) {
+            Container* c = pool.warm.front();
+            if (now - c->idleSince < keepAlive)
+                break;
+            pool.warm.pop_front();
+            c->dead = true;
+            --pool.live;
+            pool.free_.push_back(c);
+            ++evicted;
+        }
+    }
+    return evicted;
+}
+
+std::size_t
+ContainerPool::liveOnNode(NodeId node) const
+{
+    std::size_t n = 0;
+    for (const auto& entry : pools_) {
+        if (entry == nullptr)
+            continue;
+        for (const Container& c : entry->slots)
+            if (!c.dead && c.node == node)
+                ++n;
+    }
+    return n;
 }
 
 std::size_t

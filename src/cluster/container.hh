@@ -30,6 +30,7 @@
 
 namespace specfaas {
 
+class Fleet;
 struct ContainerFunctionPool;
 
 /** One container instance bound to a function and a node. */
@@ -38,6 +39,7 @@ struct Container
     std::uint64_t id;
     ContainerFunctionPool* owner;
     NodeId node;
+    Tick idleSince = 0; ///< last release time (keep-alive eviction)
     bool busy = false;
     bool dead = false; ///< destroyed slot, parked on the free list
 
@@ -101,10 +103,12 @@ class ContainerPool
 
     /**
      * @param sim simulation context
-     * @param nodes worker nodes (non-owning)
+     * @param fleet the owning fleet (placement consults its node
+     *        lifecycle states; acquisitions feed its keep-alive
+     *        tracker when dynamics are on)
      * @param config platform cost constants
      */
-    ContainerPool(Simulation& sim, std::vector<Node*> nodes,
+    ContainerPool(Simulation& sim, Fleet& fleet,
                   const ClusterConfig& config);
 
     /** Folds cold/warm start totals into the global counters. */
@@ -157,6 +161,25 @@ class ContainerPool
      */
     std::size_t dropNode(NodeId node);
 
+    /**
+     * Drain node @p node's warm pool (fleet scale-down). Same
+     * mechanics as dropNode but traced as a fleet lifecycle action,
+     * not a fault.
+     * @return number of warm containers released
+     */
+    std::size_t evictWarmOnNode(NodeId node);
+
+    /**
+     * Evict warm containers idle past their function's keep-alive TTL
+     * (fleet eviction daemon). Warm deques are ordered by idleSince,
+     * so each scan stops at the first unexpired container.
+     * @return number of containers evicted
+     */
+    std::size_t evictIdle(Tick now);
+
+    /** Live (warm + busy) containers placed on @p node. */
+    std::size_t liveOnNode(NodeId node) const;
+
     /** Total containers (warm + busy) for @p function. */
     std::size_t containerCount(Symbol function) const;
 
@@ -178,9 +201,11 @@ class ContainerPool
   private:
     Node& pickNode();
     Node* nodeById(NodeId id) const;
+    /** Shared dropNode/evictWarmOnNode loop. */
+    std::size_t reclaimWarmOnNode(NodeId node);
 
     Simulation& sim_;
-    std::vector<Node*> nodes_;
+    Fleet& fleet_;
     const ClusterConfig& config_;
     std::uint64_t nextContainer_ = 1;
 

@@ -7,7 +7,8 @@
 namespace specfaas {
 
 Node::Node(Simulation& sim, NodeId id, std::uint32_t cores)
-    : sim_(sim), id_(id), cores_(cores)
+    : sim_(sim), id_(id), cores_(cores), windowStart_(sim.now()),
+      lastChange_(sim.now())
 {
     SPECFAAS_ASSERT(cores > 0, "node with zero cores");
 }

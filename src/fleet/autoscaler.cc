@@ -1,0 +1,61 @@
+#include "autoscaler.hh"
+
+#include <algorithm>
+
+namespace specfaas {
+
+Autoscaler::Autoscaler(const AutoscalerConfig& config,
+                       std::uint32_t min_nodes, std::uint32_t max_nodes)
+    : config_(config), minNodes_(min_nodes), maxNodes_(max_nodes)
+{
+}
+
+ScaleDecision
+Autoscaler::evaluate(const ScaleSignals& signals, Tick now)
+{
+    ScaleDecision decision;
+    if (!config_.enabled)
+        return decision;
+
+    const bool pressured =
+        signals.utilization >= config_.utilHigh ||
+        signals.controllerQueue >=
+            static_cast<std::size_t>(config_.queueDepthHigh);
+    const bool idle = signals.utilization <= config_.utilLow &&
+                      signals.controllerQueue == 0;
+
+    if (pressured)
+        lowStreak_ = 0;
+    else if (idle)
+        ++lowStreak_;
+    else
+        lowStreak_ = 0;
+
+    // Cooldown applies to actions, not to streak accounting: a
+    // sustained idle period spanning the cooldown still triggers a
+    // scale-down on the first eligible tick.
+    if (lastAction_ >= 0 && now - lastAction_ < config_.cooldown)
+        return decision;
+
+    if (pressured) {
+        const std::uint32_t current =
+            signals.readyNodes + signals.provisioningNodes;
+        if (current < maxNodes_) {
+            decision.delta = static_cast<std::int32_t>(
+                std::min(config_.scaleUpStep, maxNodes_ - current));
+        }
+    } else if (idle && lowStreak_ >= config_.lowStreak) {
+        if (signals.readyNodes > minNodes_) {
+            decision.delta = -static_cast<std::int32_t>(
+                std::min(config_.scaleDownStep,
+                         signals.readyNodes - minNodes_));
+        }
+        lowStreak_ = 0;
+    }
+
+    if (decision.delta != 0)
+        lastAction_ = now;
+    return decision;
+}
+
+} // namespace specfaas

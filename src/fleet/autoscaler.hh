@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reactive autoscaler: a pure decision function over fleet signals.
+ *
+ * The Fleet samples signals (ready/provisioning node counts,
+ * instantaneous utilization, control-plane queue depth) on every
+ * evaluation tick and asks the autoscaler for a node delta. Keeping
+ * the policy side-effect free makes it unit-testable and keeps all
+ * state transitions inside the Fleet.
+ */
+
+#ifndef SPECFAAS_FLEET_AUTOSCALER_HH
+#define SPECFAAS_FLEET_AUTOSCALER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "fleet/fleet_config.hh"
+
+namespace specfaas {
+
+/** Instantaneous fleet signals sampled at one evaluation tick. */
+struct ScaleSignals
+{
+    /** Workers currently Ready (serving). */
+    std::uint32_t readyNodes = 0;
+    /** Workers requested but not yet Ready. */
+    std::uint32_t provisioningNodes = 0;
+    /** busyCores / totalCores over Ready workers, [0,1]. */
+    double utilization = 0.0;
+    /** Launch queue depth at the control plane. */
+    std::size_t controllerQueue = 0;
+};
+
+/** Scaling decision: nodes to add (>0) or drain (<0). */
+struct ScaleDecision
+{
+    std::int32_t delta = 0;
+};
+
+/** Threshold + cooldown reactive scaling policy. */
+class Autoscaler
+{
+  public:
+    /**
+     * @param config policy knobs
+     * @param min_nodes scale-down floor (ready nodes)
+     * @param max_nodes scale-up ceiling (ready + provisioning)
+     */
+    Autoscaler(const AutoscalerConfig& config, std::uint32_t min_nodes,
+               std::uint32_t max_nodes);
+
+    /**
+     * Evaluate the policy at time @p now. Deterministic: equal
+     * signal/time sequences yield equal decision sequences.
+     */
+    ScaleDecision evaluate(const ScaleSignals& signals, Tick now);
+
+    /** Consecutive below-utilLow evaluations seen so far. */
+    std::uint32_t lowStreak() const { return lowStreak_; }
+
+  private:
+    AutoscalerConfig config_;
+    std::uint32_t minNodes_;
+    std::uint32_t maxNodes_;
+    Tick lastAction_ = -1;
+    std::uint32_t lowStreak_ = 0;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_FLEET_AUTOSCALER_HH

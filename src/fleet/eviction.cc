@@ -1,0 +1,81 @@
+#include "eviction.hh"
+
+#include <algorithm>
+
+namespace specfaas {
+
+namespace {
+
+/** Bucket index for a gap: floor(log2(gap in ms)), clamped. */
+std::size_t
+bucketFor(Tick gap)
+{
+    const Tick ms = std::max<Tick>(1, gap / kMillisecond);
+    std::size_t b = 0;
+    Tick bound = 2;
+    while (b + 1 < KeepAliveTracker::kBuckets && ms >= bound) {
+        ++b;
+        bound <<= 1;
+    }
+    return b;
+}
+
+/** Upper bound of bucket @p b, in ticks. */
+Tick
+bucketUpperTicks(std::size_t b)
+{
+    return (Tick{1} << (b + 1)) * kMillisecond;
+}
+
+} // namespace
+
+void
+KeepAliveTracker::noteAcquire(Symbol function, Tick now)
+{
+    const std::size_t i = function.id();
+    if (i >= usage_.size())
+        usage_.resize(i + 1);
+    FnUsage& u = usage_[i];
+    if (u.lastAcquire >= 0) {
+        ++u.total;
+        ++u.buckets[bucketFor(now - u.lastAcquire)];
+    }
+    u.lastAcquire = now;
+}
+
+Tick
+KeepAliveTracker::keepAliveFor(Symbol function) const
+{
+    if (config_.policy == EvictionConfig::Policy::FixedTtl)
+        return config_.fixedTtl;
+
+    const std::size_t i = function.id();
+    if (i >= usage_.size() || usage_[i].total == 0)
+        return config_.maxKeepAlive;
+
+    const FnUsage& u = usage_[i];
+    // Smallest bucket whose cumulative count reaches the percentile.
+    const double target =
+        static_cast<double>(u.total) * config_.keepAlivePercentile /
+        100.0;
+    std::uint64_t cumulative = 0;
+    Tick keep = config_.maxKeepAlive;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        cumulative += u.buckets[b];
+        if (static_cast<double>(cumulative) >= target) {
+            keep = bucketUpperTicks(b);
+            break;
+        }
+    }
+    return std::clamp(keep, config_.minKeepAlive,
+                      config_.maxKeepAlive);
+}
+
+std::uint64_t
+KeepAliveTracker::observations(Symbol function) const
+{
+    const std::size_t i = function.id();
+    return i < usage_.size() ? usage_[i].total : 0;
+}
+
+} // namespace specfaas

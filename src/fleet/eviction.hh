@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Warm-container keep-alive policy state.
+ *
+ * The FixedTtl policy needs no state. The Histogram policy follows
+ * Azure's serverless keep-alive design ("Serverless in the Wild"):
+ * per function, record the inter-arrival gaps between container
+ * acquisitions in a coarse log-scale histogram and keep warm
+ * containers alive for a high percentile of the observed gaps, so
+ * frequently invoked functions hold a small warm set while rarely
+ * invoked ones release their memory quickly.
+ */
+
+#ifndef SPECFAAS_FLEET_EVICTION_HH
+#define SPECFAAS_FLEET_EVICTION_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/symbol.hh"
+#include "common/types.hh"
+#include "fleet/fleet_config.hh"
+
+namespace specfaas {
+
+/** Per-function acquisition inter-arrival tracker (Histogram policy). */
+class KeepAliveTracker
+{
+  public:
+    /** Power-of-two millisecond buckets: bucket i covers gaps in
+     * [2^i, 2^(i+1)) ms; the last bucket is open-ended. */
+    static constexpr std::size_t kBuckets = 32;
+
+    explicit KeepAliveTracker(const EvictionConfig& config)
+        : config_(config)
+    {
+    }
+
+    /** Record one acquisition of @p function at time @p now. */
+    void noteAcquire(Symbol function, Tick now);
+
+    /**
+     * Keep-alive TTL for @p function under the configured policy.
+     * FixedTtl ignores the history; Histogram returns the configured
+     * percentile of observed gaps (bucket upper bound), clamped to
+     * [minKeepAlive, maxKeepAlive], or maxKeepAlive with no history.
+     */
+    Tick keepAliveFor(Symbol function) const;
+
+    /** Observed gaps recorded for @p function. */
+    std::uint64_t observations(Symbol function) const;
+
+  private:
+    struct FnUsage
+    {
+        Tick lastAcquire = -1;
+        std::uint64_t total = 0;
+        std::array<std::uint32_t, kBuckets> buckets{};
+    };
+
+    EvictionConfig config_;
+    /** Indexed by Symbol id; unused ids stay empty. */
+    std::vector<FnUsage> usage_;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_FLEET_EVICTION_HH

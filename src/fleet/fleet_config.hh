@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Configuration of the dynamic fleet model.
+ *
+ * A Fleet generalizes the paper's fixed 5-node testbed into a cluster
+ * whose node set changes over time: nodes are provisioned (with a
+ * delay), drained and retired by a reactive autoscaler; warm
+ * containers are evicted by keep-alive policies; and overload is met
+ * with admission control and per-tenant fair sharing. All dynamics
+ * are off by default (`dynamics = false`), in which case the fleet is
+ * exactly the static node set the original Cluster owned and every
+ * pre-existing experiment is byte-identical.
+ */
+
+#ifndef SPECFAAS_FLEET_FLEET_CONFIG_HH
+#define SPECFAAS_FLEET_FLEET_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace specfaas {
+
+/** Warm-container keep-alive / eviction policy. */
+struct EvictionConfig
+{
+    enum class Policy : std::uint8_t
+    {
+        /** Containers stay warm forever (the paper's testbed). */
+        None,
+        /** Evict a warm container idle for longer than fixedTtl. */
+        FixedTtl,
+        /**
+         * Azure-style histogram policy: per function, keep-alive is a
+         * percentile of the observed acquisition inter-arrival gaps,
+         * clamped to [minKeepAlive, maxKeepAlive]. Functions with no
+         * history yet use maxKeepAlive.
+         */
+        Histogram,
+    };
+
+    Policy policy = Policy::None;
+
+    /** Keep-alive TTL under the FixedTtl policy. */
+    Tick fixedTtl = msToTicks(60000.0);
+
+    /** Period of the eviction scan daemon. */
+    Tick scanInterval = msToTicks(500.0);
+
+    /** @{ Histogram-policy shape. */
+    double keepAlivePercentile = 99.0;
+    Tick minKeepAlive = msToTicks(500.0);
+    Tick maxKeepAlive = msToTicks(120000.0);
+    /** @} */
+};
+
+/** Reactive autoscaler knobs. */
+struct AutoscalerConfig
+{
+    bool enabled = false;
+
+    /** Evaluation period. */
+    Tick interval = msToTicks(250.0);
+
+    /** Scale up when instantaneous ready-node utilization exceeds
+     * this... */
+    double utilHigh = 0.70;
+
+    /** ...or when the control-plane launch queue is at least this
+     * deep. */
+    std::uint32_t queueDepthHigh = 64;
+
+    /** Scale down after lowStreak consecutive evaluations below this
+     * utilization with an empty control-plane queue. */
+    double utilLow = 0.20;
+    std::uint32_t lowStreak = 3;
+
+    /** Nodes added / drained per scaling action. */
+    std::uint32_t scaleUpStep = 16;
+    std::uint32_t scaleDownStep = 8;
+
+    /** Minimum time between two scaling actions. */
+    Tick cooldown = msToTicks(500.0);
+};
+
+/** Fleet-level admission control (per-tenant fair share). */
+struct AdmissionConfig
+{
+    /**
+     * Enforce fair sharing across tenants (applications) when the
+     * control plane is backed up. The engines' own queue-limit
+     * admission check (ClusterConfig::admissionQueueLimit) remains
+     * the hard overload backstop underneath this.
+     */
+    bool fairShare = false;
+
+    /** Fairness engages once the launch queue is this deep. */
+    std::uint32_t engageQueueDepth = 16;
+
+    /**
+     * A tenant is rejected while its in-flight requests exceed
+     * fairFactor × the mean in-flight count across active tenants.
+     */
+    double fairFactor = 2.0;
+
+    /** Tenants below this many in-flight are never rejected. */
+    std::uint32_t minTenantInFlight = 32;
+};
+
+/** Dynamic-fleet configuration; defaults model the static testbed. */
+struct FleetConfig
+{
+    /**
+     * Master switch. When false the fleet is a static node set —
+     * no daemons are scheduled, no lifecycle transitions happen, and
+     * the cluster behaves exactly as it did before the fleet layer
+     * existed.
+     */
+    bool dynamics = false;
+
+    /** Autoscaler bounds on ready+provisioning worker count. */
+    std::uint32_t minNodes = 1;
+    /** 0 = the initial node count (no growth). */
+    std::uint32_t maxNodes = 0;
+
+    /** Provisioning → Ready latency of a newly requested node. */
+    Tick provisioningDelay = msToTicks(2000.0);
+
+    EvictionConfig eviction;
+    AutoscalerConfig autoscaler;
+    AdmissionConfig admission;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_FLEET_FLEET_CONFIG_HH

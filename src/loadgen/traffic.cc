@@ -1,0 +1,32 @@
+#include "traffic.hh"
+
+#include "common/logging.hh"
+
+namespace specfaas {
+
+TrafficMix::TrafficMix(const std::vector<TenantSpec>& tenants,
+                       Rng& base)
+{
+    if (tenants.empty())
+        fatal("TrafficMix: at least one tenant required");
+    tenants_.reserve(tenants.size());
+    weights_.reserve(tenants.size());
+    for (const TenantSpec& t : tenants) {
+        if (t.app == nullptr)
+            fatal("TrafficMix: null application");
+        if (t.weight <= 0.0)
+            fatal("TrafficMix: tenant %s has non-positive weight %g",
+                  t.app->name.c_str(), t.weight);
+        tenants_.push_back(Tenant{t.app, base.fork()});
+        weights_.push_back(t.weight);
+    }
+}
+
+Value
+TrafficMix::drawInput(std::size_t tenant)
+{
+    Tenant& t = tenants_[tenant];
+    return t.app->inputGen ? t.app->inputGen(t.inputRng) : Value();
+}
+
+} // namespace specfaas

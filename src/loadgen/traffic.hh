@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Multi-tenant traffic mix: which application each arrival belongs to
+ * and where its input comes from.
+ *
+ * Each tenant (application) owns a private forked input-RNG stream.
+ * That is the determinism argument for mixed traffic: the k-th
+ * request of tenant T draws the k-th value of T's stream regardless
+ * of how other tenants' arrivals interleave, so adding a tenant or
+ * reweighting the mix never perturbs another tenant's inputs.
+ */
+
+#ifndef SPECFAAS_LOADGEN_TRAFFIC_HH
+#define SPECFAAS_LOADGEN_TRAFFIC_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "workflow/workflow.hh"
+
+namespace specfaas {
+
+/** One tenant of the mix: an application and its traffic share. */
+struct TenantSpec
+{
+    const Application* app = nullptr;
+    double weight = 1.0;
+};
+
+/** Weighted multi-tenant application mix with per-tenant inputs. */
+class TrafficMix
+{
+  public:
+    /**
+     * @param tenants apps and weights (at least one, weights > 0)
+     * @param base RNG forked once per tenant for input streams
+     */
+    TrafficMix(const std::vector<TenantSpec>& tenants, Rng& base);
+
+    std::size_t size() const { return tenants_.size(); }
+
+    const Application& app(std::size_t tenant) const
+    {
+        return *tenants_[tenant].app;
+    }
+
+    /** Draw a tenant index by weight from @p mixRng. */
+    std::size_t pick(Rng& mixRng)
+    {
+        return mixRng.weightedPick(weights_);
+    }
+
+    /** Draw the next input of @p tenant from its private stream. */
+    Value drawInput(std::size_t tenant);
+
+  private:
+    struct Tenant
+    {
+        const Application* app;
+        Rng inputRng;
+    };
+
+    std::vector<Tenant> tenants_;
+    std::vector<double> weights_;
+};
+
+} // namespace specfaas
+
+#endif // SPECFAAS_LOADGEN_TRAFFIC_HH

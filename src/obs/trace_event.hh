@@ -40,6 +40,7 @@ inline constexpr const char* kStorage = "storage";
 inline constexpr const char* kSpec = "spec";
 inline constexpr const char* kBaseline = "baseline";
 inline constexpr const char* kFault = "fault";
+inline constexpr const char* kFleet = "fleet";
 } // namespace cat
 
 /**

@@ -1,5 +1,7 @@
 #include "load_generator.hh"
 
+#include <limits>
+
 #include "common/logging.hh"
 
 namespace specfaas {
@@ -7,8 +9,11 @@ namespace specfaas {
 double
 LoadRunResult::completedRps() const
 {
+    // A zero-length window has no defined rate. NaN (not 0.0, which
+    // reads as "nothing completed") follows the metrics convention of
+    // geomean/percentile on empty input; JSON reports render it null.
     if (wallTime <= 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return static_cast<double>(results.size()) /
            (static_cast<double>(wallTime) / static_cast<double>(kSecond));
 }
@@ -18,7 +23,11 @@ LoadRunResult::rejectionRate() const
 {
     const double total =
         static_cast<double>(results.size() + rejected);
-    return total == 0.0 ? 0.0 : static_cast<double>(rejected) / total;
+    // No submissions → no defined rate (0.0 would claim "nothing was
+    // rejected" about a run that never ran).
+    if (total == 0.0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return static_cast<double>(rejected) / total;
 }
 
 LoadRunResult

@@ -18,7 +18,8 @@ FaasPlatform::FaasPlatform(PlatformOptions options)
         faults_->attachStore(&store_);
         sim_.setFaultInjector(faults_.get());
     }
-    cluster_ = std::make_unique<Cluster>(sim_, options_.cluster);
+    cluster_ = std::make_unique<Cluster>(sim_, options_.cluster,
+                                         options_.fleet);
     if (options_.speculative) {
         auto spec = std::make_unique<SpecController>(
             sim_, *cluster_, store_, registry_, options_.spec);
@@ -112,6 +113,31 @@ FaasPlatform::invoke(const Application& app, Value input,
                      std::function<void(InvocationResult)> done)
 {
     OBS_ZONE(sim_.context().profiler(), "platform/request");
+    if (Fleet& fleet = cluster_->fleet(); fleet.admissionActive()) {
+        const Symbol tenant(app.name);
+        if (!fleet.admit(tenant)) {
+            // Fair-share backpressure: shed this tenant's request
+            // before it reaches the engine (429 TooManyRequests).
+            InvocationResult rejected;
+            rejected.id = sim_.context().nextInvocationId();
+            rejected.app = app.name;
+            rejected.submittedAt = sim_.now();
+            rejected.completedAt = sim_.now();
+            rejected.rejected = true;
+            if (auto& tr = sim_.context().trace(); tr.enabled()) {
+                tr.instant(obs::cat::kFleet, "fair-reject", sim_.now(),
+                           obs::kControlPlanePid, rejected.id,
+                           {{"app", app.name}});
+            }
+            done(std::move(rejected));
+            return;
+        }
+        done = [this, tenant,
+                done = std::move(done)](InvocationResult r) {
+            cluster_->fleet().complete(tenant);
+            done(std::move(r));
+        };
+    }
     if (sim_.context().trace().enabled()) {
         sim_.context().trace().instant(obs::cat::kPlatform, "request", sim_.now(),
                              obs::kControlPlanePid, 0,

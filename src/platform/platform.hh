@@ -19,6 +19,7 @@
 #include "baseline/baseline_controller.hh"
 #include "cluster/cluster.hh"
 #include "fault/fault_injector.hh"
+#include "fleet/fleet_config.hh"
 #include "fault/fault_plan.hh"
 #include "obs/histogram.hh"
 #include "runtime/engine.hh"
@@ -40,6 +41,13 @@ struct PlatformOptions
 
     /** Cluster geometry and platform cost constants. */
     ClusterConfig cluster;
+
+    /**
+     * Fleet dynamics: node lifecycle, autoscaling, warm-pool
+     * eviction, fair-share admission. Defaults to a static fleet
+     * (exactly the pre-dynamics platform behaviour).
+     */
+    FleetConfig fleet;
 
     /** Global storage latencies. */
     KvStoreLatency storeLatency;

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Unit tests for the dynamic fleet layer: autoscaler policy,
+ * keep-alive tracking, node lifecycle, fair-share admission, and the
+ * configuration validation at fleet construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "fleet/autoscaler.hh"
+#include "fleet/eviction.hh"
+#include "fleet/fleet.hh"
+#include "sim/simulation.hh"
+
+namespace specfaas {
+namespace {
+
+AutoscalerConfig
+testScalerConfig()
+{
+    AutoscalerConfig c;
+    c.enabled = true;
+    c.interval = 100 * kMillisecond;
+    c.utilHigh = 0.70;
+    c.queueDepthHigh = 64;
+    c.utilLow = 0.20;
+    c.lowStreak = 3;
+    c.scaleUpStep = 16;
+    c.scaleDownStep = 8;
+    c.cooldown = 500 * kMillisecond;
+    return c;
+}
+
+ScaleSignals
+signals(std::uint32_t ready, double util, std::size_t queue)
+{
+    ScaleSignals s;
+    s.readyNodes = ready;
+    s.utilization = util;
+    s.controllerQueue = queue;
+    return s;
+}
+
+TEST(Autoscaler, ScalesUpOnUtilizationPressure)
+{
+    Autoscaler scaler(testScalerConfig(), 10, 100);
+    const ScaleDecision d =
+        scaler.evaluate(signals(10, 0.9, 0), kSecond);
+    EXPECT_EQ(d.delta, 16);
+}
+
+TEST(Autoscaler, ScalesUpOnQueuePressure)
+{
+    Autoscaler scaler(testScalerConfig(), 10, 100);
+    const ScaleDecision d =
+        scaler.evaluate(signals(10, 0.1, 200), kSecond);
+    EXPECT_EQ(d.delta, 16);
+}
+
+TEST(Autoscaler, ScaleUpClampsToMaxNodes)
+{
+    Autoscaler scaler(testScalerConfig(), 10, 20);
+    ScaleSignals s = signals(15, 0.9, 0);
+    s.provisioningNodes = 2; // 15 + 2 in flight, room for 3
+    EXPECT_EQ(scaler.evaluate(s, kSecond).delta, 3);
+    Autoscaler full(testScalerConfig(), 10, 15);
+    EXPECT_EQ(full.evaluate(signals(15, 0.9, 0), kSecond).delta, 0);
+}
+
+TEST(Autoscaler, CooldownBlocksBackToBackActions)
+{
+    Autoscaler scaler(testScalerConfig(), 10, 100);
+    EXPECT_EQ(scaler.evaluate(signals(10, 0.9, 0), kSecond).delta, 16);
+    // Still pressured 100 ms later: inside the 500 ms cooldown.
+    EXPECT_EQ(scaler
+                  .evaluate(signals(10, 0.9, 0),
+                            kSecond + 100 * kMillisecond)
+                  .delta,
+              0);
+    // Past the cooldown the pressure acts again.
+    EXPECT_EQ(scaler
+                  .evaluate(signals(10, 0.9, 0),
+                            kSecond + 600 * kMillisecond)
+                  .delta,
+              16);
+}
+
+TEST(Autoscaler, ScaleDownNeedsSustainedIdle)
+{
+    Autoscaler scaler(testScalerConfig(), 10, 100);
+    const Tick step = 100 * kMillisecond;
+    // Two idle ticks are not enough (lowStreak = 3).
+    EXPECT_EQ(scaler.evaluate(signals(40, 0.05, 0), step).delta, 0);
+    EXPECT_EQ(scaler.evaluate(signals(40, 0.05, 0), 2 * step).delta, 0);
+    EXPECT_EQ(scaler.lowStreak(), 2u);
+    // A busy tick resets the streak.
+    EXPECT_EQ(scaler.evaluate(signals(40, 0.5, 0), 3 * step).delta, 0);
+    EXPECT_EQ(scaler.lowStreak(), 0u);
+    // Three consecutive idle ticks drain one step.
+    EXPECT_EQ(scaler.evaluate(signals(40, 0.05, 0), 4 * step).delta, 0);
+    EXPECT_EQ(scaler.evaluate(signals(40, 0.05, 0), 5 * step).delta, 0);
+    EXPECT_EQ(scaler.evaluate(signals(40, 0.05, 0), 6 * step).delta,
+              -8);
+}
+
+TEST(Autoscaler, ScaleDownClampsToMinNodes)
+{
+    Autoscaler scaler(testScalerConfig(), 10, 100);
+    const Tick step = 100 * kMillisecond;
+    scaler.evaluate(signals(12, 0.05, 0), step);
+    scaler.evaluate(signals(12, 0.05, 0), 2 * step);
+    EXPECT_EQ(scaler.evaluate(signals(12, 0.05, 0), 3 * step).delta,
+              -2);
+    // At the floor nothing happens even when idle persists.
+    Autoscaler at_floor(testScalerConfig(), 10, 100);
+    at_floor.evaluate(signals(10, 0.05, 0), step);
+    at_floor.evaluate(signals(10, 0.05, 0), 2 * step);
+    EXPECT_EQ(
+        at_floor.evaluate(signals(10, 0.05, 0), 3 * step).delta, 0);
+}
+
+TEST(KeepAlive, FixedTtlIgnoresHistory)
+{
+    EvictionConfig cfg;
+    cfg.policy = EvictionConfig::Policy::FixedTtl;
+    cfg.fixedTtl = 42 * kSecond;
+    KeepAliveTracker tracker(cfg);
+    const Symbol fn("keepalive-fixed-fn");
+    tracker.noteAcquire(fn, 0);
+    tracker.noteAcquire(fn, kMillisecond);
+    EXPECT_EQ(tracker.keepAliveFor(fn), 42 * kSecond);
+}
+
+TEST(KeepAlive, NoHistoryUsesMaxKeepAlive)
+{
+    EvictionConfig cfg;
+    cfg.policy = EvictionConfig::Policy::Histogram;
+    cfg.maxKeepAlive = 90 * kSecond;
+    KeepAliveTracker tracker(cfg);
+    EXPECT_EQ(tracker.keepAliveFor(Symbol("keepalive-cold-fn")),
+              90 * kSecond);
+}
+
+TEST(KeepAlive, HistogramCoversObservedGaps)
+{
+    EvictionConfig cfg;
+    cfg.policy = EvictionConfig::Policy::Histogram;
+    cfg.keepAlivePercentile = 99.0;
+    cfg.minKeepAlive = kMillisecond;
+    cfg.maxKeepAlive = 600 * kSecond;
+    KeepAliveTracker tracker(cfg);
+    const Symbol fn("keepalive-hist-fn");
+    // Acquisitions 3 s apart: the keep-alive must cover that gap
+    // (next power-of-two bucket), but stay well below the maximum.
+    Tick now = 0;
+    for (int i = 0; i < 50; ++i) {
+        tracker.noteAcquire(fn, now);
+        now += 3 * kSecond;
+    }
+    const Tick keep = tracker.keepAliveFor(fn);
+    EXPECT_GE(keep, 3 * kSecond);
+    EXPECT_LE(keep, 8 * kSecond);
+    EXPECT_EQ(tracker.observations(fn), 49u);
+}
+
+TEST(KeepAlive, ClampsToConfiguredBounds)
+{
+    EvictionConfig cfg;
+    cfg.policy = EvictionConfig::Policy::Histogram;
+    cfg.minKeepAlive = 10 * kSecond;
+    cfg.maxKeepAlive = 20 * kSecond;
+    KeepAliveTracker tracker(cfg);
+    const Symbol fast("keepalive-fast-fn");
+    for (int i = 0; i < 20; ++i)
+        tracker.noteAcquire(fast, i * kMillisecond);
+    EXPECT_EQ(tracker.keepAliveFor(fast), 10 * kSecond); // clamp up
+    const Symbol slow("keepalive-slow-fn");
+    for (int i = 0; i < 20; ++i)
+        tracker.noteAcquire(slow, i * 300 * kSecond);
+    EXPECT_EQ(tracker.keepAliveFor(slow), 20 * kSecond); // clamp down
+}
+
+FleetConfig
+dynamicConfig()
+{
+    FleetConfig fleet;
+    fleet.dynamics = true;
+    fleet.minNodes = 2;
+    fleet.maxNodes = 8;
+    fleet.provisioningDelay = 200 * kMillisecond;
+    fleet.autoscaler.enabled = false; // lifecycle driven by hand
+    fleet.eviction.policy = EvictionConfig::Policy::None;
+    return fleet;
+}
+
+ClusterConfig
+smallCluster()
+{
+    ClusterConfig cluster;
+    cluster.numNodes = 3;
+    cluster.coresPerNode = 4;
+    return cluster;
+}
+
+TEST(Fleet, StaticFleetSchedulesNoEvents)
+{
+    Simulation sim;
+    Fleet fleet(sim, smallCluster(), FleetConfig{});
+    EXPECT_FALSE(fleet.dynamic());
+    sim.events().run();
+    EXPECT_EQ(sim.now(), 0); // nothing pending, no daemons
+    EXPECT_EQ(fleet.readyWorkers(), 3u);
+    EXPECT_EQ(fleet.liveCores(), 12u);
+    EXPECT_EQ(fleet.stats().peakReadyNodes, 3u);
+}
+
+TEST(Fleet, ProvisionBecomesReadyAfterDelay)
+{
+    Simulation sim;
+    Fleet fleet(sim, smallCluster(), dynamicConfig());
+    fleet.provision(2);
+    EXPECT_EQ(fleet.provisioningWorkers(), 2u);
+    EXPECT_EQ(fleet.readyWorkers(), 3u);
+    EXPECT_FALSE(fleet.placeable(3));
+    // The provisioning daemon needs a live event to run alongside.
+    sim.events().schedule(300 * kMillisecond, []() {});
+    sim.events().run();
+    EXPECT_EQ(fleet.provisioningWorkers(), 0u);
+    EXPECT_EQ(fleet.readyWorkers(), 5u);
+    EXPECT_TRUE(fleet.placeable(3));
+    EXPECT_EQ(fleet.stats().provisioned, 2u);
+    EXPECT_EQ(fleet.stats().peakReadyNodes, 5u);
+    EXPECT_EQ(fleet.liveCores(), 20u);
+}
+
+TEST(Fleet, DrainStopsPlacementAndEvictsWarmPool)
+{
+    Simulation sim;
+    Fleet fleet(sim, smallCluster(), dynamicConfig());
+    // Park a warm container on every node, round-robin.
+    fleet.containers().prewarm(Symbol("drain-test-fn"), 3);
+    fleet.drain(1);
+    // The least-loaded Ready worker with the highest id drains.
+    EXPECT_EQ(fleet.state(2), NodeState::Draining);
+    EXPECT_FALSE(fleet.placeable(2));
+    EXPECT_EQ(fleet.readyWorkers(), 2u);
+    EXPECT_EQ(fleet.stats().evictions, 1u); // its warm container
+    // liveCores still counts draining nodes (not yet retired).
+    EXPECT_EQ(fleet.liveCores(), 12u);
+}
+
+TEST(Fleet, DrainKeepsMinNodes)
+{
+    Simulation sim;
+    Fleet fleet(sim, smallCluster(), dynamicConfig());
+    fleet.drain(10); // asks for far more than allowed
+    EXPECT_EQ(fleet.readyWorkers(), 2u); // minNodes floor
+}
+
+TEST(Fleet, FailedNodeIsNotPlaceable)
+{
+    Simulation sim;
+    Fleet fleet(sim, smallCluster(), FleetConfig{});
+    EXPECT_TRUE(fleet.placeable(1));
+    fleet.failNode(1);
+    EXPECT_FALSE(fleet.placeable(1));
+    EXPECT_EQ(fleet.state(1), NodeState::Ready); // down, not retired
+    fleet.restoreNode(1);
+    EXPECT_TRUE(fleet.placeable(1));
+}
+
+FleetConfig
+fairShareConfig()
+{
+    FleetConfig fleet = dynamicConfig();
+    fleet.admission.fairShare = true;
+    fleet.admission.engageQueueDepth = 0; // engage on any queue
+    fleet.admission.fairFactor = 1.0;
+    fleet.admission.minTenantInFlight = 2;
+    return fleet;
+}
+
+TEST(Fleet, FairShareThrottlesTheHogTenantOnly)
+{
+    Simulation sim;
+    Fleet fleet(sim, smallCluster(), fairShareConfig());
+    EXPECT_TRUE(fleet.admissionActive());
+    // Back up the control plane so fair sharing engages.
+    for (std::uint32_t i = 0;
+         i < smallCluster().controllerThreads + 2; ++i)
+        fleet.controller().submit(10 * kSecond, []() {});
+    ASSERT_GT(fleet.controller().queueLength(), 0u);
+
+    const Symbol hog("fair-hog-tenant");
+    const Symbol meek("fair-meek-tenant");
+    ASSERT_TRUE(fleet.admit(meek)); // both tenants active
+    std::uint64_t admitted = 0;
+    while (fleet.admit(hog) && admitted < 100)
+        ++admitted;
+    EXPECT_LT(admitted, 100u); // the hog eventually throttles
+    EXPECT_GT(fleet.stats().fairRejects, 0u);
+    // The meek tenant is under its share and still admits.
+    EXPECT_TRUE(fleet.admit(meek));
+    EXPECT_EQ(fleet.tenantInFlight(meek), 2u);
+    // Completions free the hog's budget again.
+    const std::uint64_t before = fleet.tenantInFlight(hog);
+    fleet.complete(hog);
+    EXPECT_EQ(fleet.tenantInFlight(hog), before - 1);
+}
+
+TEST(Fleet, AdmissionInactiveWithoutDynamics)
+{
+    Simulation sim;
+    FleetConfig fleet_cfg;
+    fleet_cfg.admission.fairShare = true; // ignored: static fleet
+    Fleet fleet(sim, smallCluster(), fleet_cfg);
+    EXPECT_FALSE(fleet.admissionActive());
+    EXPECT_TRUE(fleet.admit(Symbol("any-tenant")));
+}
+
+using FleetConfigDeath = ::testing::Test;
+
+TEST(FleetConfigDeath, ZeroControllerThreadsDies)
+{
+    ClusterConfig cluster = smallCluster();
+    cluster.controllerThreads = 0;
+    EXPECT_DEATH(
+        {
+            Simulation sim;
+            Fleet fleet(sim, cluster, FleetConfig{});
+        },
+        "controllerThreads");
+}
+
+TEST(FleetConfigDeath, ZeroNodesDies)
+{
+    ClusterConfig cluster = smallCluster();
+    cluster.numNodes = 0;
+    EXPECT_DEATH(
+        {
+            Simulation sim;
+            Fleet fleet(sim, cluster, FleetConfig{});
+        },
+        "numNodes");
+}
+
+TEST(FleetConfigDeath, MinNodesAboveInitialDies)
+{
+    FleetConfig fleet_cfg = dynamicConfig();
+    fleet_cfg.minNodes = 99;
+    EXPECT_DEATH(
+        {
+            Simulation sim;
+            Fleet fleet(sim, smallCluster(), fleet_cfg);
+        },
+        "minNodes");
+}
+
+TEST(FleetConfigDeath, MaxNodesBelowInitialDies)
+{
+    FleetConfig fleet_cfg = dynamicConfig();
+    fleet_cfg.maxNodes = 2;
+    EXPECT_DEATH(
+        {
+            Simulation sim;
+            Fleet fleet(sim, smallCluster(), fleet_cfg);
+        },
+        "maxNodes");
+}
+
+TEST(Cluster, ViewDelegatesToFleet)
+{
+    Simulation sim;
+    Cluster cluster(sim, smallCluster());
+    EXPECT_EQ(cluster.totalCores(), 12u);
+    EXPECT_EQ(cluster.nodes().size(), 3u);
+    EXPECT_EQ(&cluster.node(1), cluster.nodes()[1].get());
+    EXPECT_FALSE(cluster.fleet().dynamic());
+    cluster.failNode(0);
+    EXPECT_FALSE(cluster.fleet().placeable(0));
+    cluster.restoreNode(0);
+    EXPECT_TRUE(cluster.fleet().placeable(0));
+}
+
+} // namespace
+} // namespace specfaas

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Focused tests of the classic closed-catalogue LoadGenerator: the
+ * NaN conventions of LoadRunResult on degenerate runs, mixed-app
+ * round-robin accounting and determinism, and byte-identical merged
+ * traces under the parallel harness at any job count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "obs/trace_export.hh"
+#include "platform/load_generator.hh"
+#include "platform/platform.hh"
+#include "sim/sim_context.hh"
+#include "workloads/suites.hh"
+
+namespace specfaas {
+namespace {
+
+TEST(LoadRunResult, EmptyRunRatesAreNaN)
+{
+    // A default (never-run) result has no window and no submissions;
+    // both derived rates must read "undefined", not "zero".
+    const LoadRunResult empty;
+    EXPECT_TRUE(std::isnan(empty.completedRps()));
+    EXPECT_TRUE(std::isnan(empty.rejectionRate()));
+}
+
+TEST(LoadRunResult, ZeroWallTimeRateIsNaN)
+{
+    LoadRunResult result;
+    result.results.resize(3); // completions without a time window
+    result.wallTime = 0;
+    EXPECT_TRUE(std::isnan(result.completedRps()));
+    // Rejection rate is well-defined the moment anything was
+    // submitted, window or not.
+    EXPECT_DOUBLE_EQ(result.rejectionRate(), 0.0);
+    result.rejected = 1;
+    EXPECT_DOUBLE_EQ(result.rejectionRate(), 0.25);
+}
+
+TEST(LoadRunResult, RejectOnlyRunHasDefinedRates)
+{
+    LoadRunResult result;
+    result.rejected = 5;
+    result.wallTime = kSecond;
+    EXPECT_DOUBLE_EQ(result.completedRps(), 0.0);
+    EXPECT_DOUBLE_EQ(result.rejectionRate(), 1.0);
+}
+
+/** One mixed-app run; per-request (app, responseTime) pairs. */
+std::vector<std::pair<std::string, Tick>>
+mixedRun(std::uint64_t seed, SimContext* context = nullptr)
+{
+    auto registry = makeAllSuites();
+    std::vector<const Application*> apps = {
+        &registry->get("Login"), &registry->get("Banking"),
+        &registry->get("SmartHome")};
+    PlatformOptions options;
+    options.seed = seed;
+    options.context = context;
+    FaasPlatform platform(options);
+    for (const Application* app : apps)
+        platform.deploy(*app);
+    const LoadRunResult result =
+        LoadGenerator::run(platform, apps, 150.0, 30);
+    std::vector<std::pair<std::string, Tick>> out;
+    for (const InvocationResult& r : result.results)
+        out.emplace_back(r.app, r.responseTime());
+    return out;
+}
+
+TEST(LoadGeneratorMixed, SameSeedSameOutcome)
+{
+    const auto a = mixedRun(21);
+    const auto b = mixedRun(21);
+    EXPECT_EQ(a, b);
+    const auto c = mixedRun(22);
+    EXPECT_NE(a, c);
+}
+
+TEST(LoadGeneratorMixed, RoundRobinAccountsPerApp)
+{
+    // 30 requests over 3 apps round-robin: each app gets exactly 10
+    // submissions; completions + rejections per app must add to 10.
+    auto registry = makeAllSuites();
+    std::vector<const Application*> apps = {
+        &registry->get("Login"), &registry->get("Banking"),
+        &registry->get("SmartHome")};
+    PlatformOptions options;
+    options.seed = 21;
+    FaasPlatform platform(options);
+    for (const Application* app : apps)
+        platform.deploy(*app);
+    const LoadRunResult result =
+        LoadGenerator::run(platform, apps, 150.0, 30);
+    std::size_t login = 0;
+    std::size_t banking = 0;
+    std::size_t smart = 0;
+    for (const InvocationResult& r : result.results) {
+        login += r.app == "Login" ? 1 : 0;
+        banking += r.app == "Banking" ? 1 : 0;
+        smart += r.app == "SmartHome" ? 1 : 0;
+    }
+    EXPECT_EQ(login + banking + smart + result.rejected, 30u);
+    // With the default wide-open admission queue nothing is rejected,
+    // so the split is exactly even.
+    EXPECT_EQ(result.rejected, 0u);
+    EXPECT_EQ(login, 10u);
+    EXPECT_EQ(banking, 10u);
+    EXPECT_EQ(smart, 10u);
+}
+
+/** Merged Chrome trace of two mixed runs executed on @p jobs threads. */
+std::string
+mergedTrace(std::size_t jobs)
+{
+    SimContext session;
+    session.trace().enable(1 << 16);
+    std::vector<std::function<std::size_t(SimContext&)>> tasks;
+    for (std::uint64_t seed : {31, 32}) {
+        tasks.push_back([seed](SimContext& context) {
+            return mixedRun(seed, &context).size();
+        });
+    }
+    const auto sizes =
+        runSimTasks<std::size_t>(jobs, std::move(tasks), &session);
+    EXPECT_EQ(sizes.size(), 2u);
+    return obs::toChromeTraceJson(session.trace().snapshot());
+}
+
+TEST(LoadGeneratorMixed, TracesByteIdenticalAcrossJobCounts)
+{
+    const std::string serial = mergedTrace(1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, mergedTrace(2));
+    EXPECT_EQ(serial, mergedTrace(8));
+}
+
+} // namespace
+} // namespace specfaas
