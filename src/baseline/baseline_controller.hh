@@ -136,8 +136,10 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
         std::vector<std::pair<OrderKey, Symbol>> sequence;
         // Live instance handles, for fault recovery (subtree kill,
         // node-failure sweep). Mirrors liveInstances. Instance ids
-        // are monotonic, so insertion is an append.
-        FlatMap<InstanceId, InstancePtr> instances;
+        // are monotonic, so insertion is an append and the oldest
+        // instances retire first — pipeline-indexed so those front
+        // erases advance a frontier instead of shifting the vector.
+        PipelineMap<InstanceId, InstancePtr> instances;
         // Fault-retry attempts per pipeline coordinate.
         FlatMap<OrderKey, std::uint32_t, OrderLess> attempts;
         // Per-instance undo log: this attempt's storage writes, in
@@ -192,11 +194,14 @@ class BaselineController : public WorkflowEngine, public RuntimeHooks
      * rather than an ABA hit on a reused slot.
      */
     SlotArray<Invocation> invArena_;
-    /** Id → record handle (ids are monotonic: inserts append). */
-    FlatMap<InvocationId, SlotHandle> live_;
+    /** Id → record handle. Ids are monotonic (inserts append) and
+     * invocations mostly finish oldest-first, so removals cluster at
+     * the front — the pipeline frontier absorbs them. */
+    PipelineMap<InvocationId, SlotHandle> live_;
     std::unordered_map<const Application*, FlowProgram> programs_;
-    /** Implicit-callee return continuations, keyed by callee id. */
-    FlatMap<InstanceId, ValueCallback> callReturns_;
+    /** Implicit-callee return continuations, keyed by callee id
+     * (monotonic; consumed roughly in issue order). */
+    PipelineMap<InstanceId, ValueCallback> callReturns_;
 
     obs::CounterRegistry counters_;
     std::uint64_t& ctrInvocations_ = counters_.counter("baseline.invocations");

@@ -147,6 +147,20 @@ class SlotArray
     /** Indexes ever carved (capacity high-water mark). */
     std::size_t indexCount() const { return meta_.size(); }
 
+    /**
+     * Reserve bookkeeping capacity for at least @p n indexes, so a
+     * burst of create() calls (a pipeline fan-out) never reallocates
+     * the metadata or freelist vectors mid-burst. Object storage is
+     * already amortised by the slab size and is not pre-carved.
+     */
+    void
+    reserve(std::size_t n)
+    {
+        meta_.reserve(n);
+        freelist_.reserve(n);
+        slabs_.reserve((n + SlabObjects - 1) / SlabObjects);
+    }
+
   private:
     struct Storage
     {

@@ -147,6 +147,8 @@ SpecController::effectiveSpecDepth() const
 std::size_t
 SpecController::liveSpeculativeSlots(const SpecInvocation& inv) const
 {
+    // Introspection-only scan; hot paths read inv.specLive. Every
+    // call doubles as a drift check of the incremental counter.
     std::size_t n = 0;
     for (const auto& [order, h] : inv.slots) {
         (void)order;
@@ -155,6 +157,9 @@ SpecController::liveSpeculativeSlots(const SpecInvocation& inv) const
             !slot->completed)
             ++n;
     }
+    SPECFAAS_ASSERT(n == inv.specLive,
+                    "specLive counter drift: scan %zu counter %zu", n,
+                    inv.specLive);
     return n;
 }
 
@@ -309,6 +314,7 @@ SpecController::launchSlot(SpecInvocation& inv, Frontier& f,
     if (speculative) {
         ++ctrSpeculativeLaunches_;
         ++inv.result.speculativeLaunches;
+        ++inv.specLive;
         if (auto& tr = sim_.context().trace(); tr.enabled()) {
             tr.instant(
                 obs::cat::kSpec, "speculative-launch", sim_.now(),
@@ -327,6 +333,8 @@ SpecController::launchSlot(SpecInvocation& inv, Frontier& f,
     (void)it;
     SPECFAAS_ASSERT(ok, "slot collision at %s",
                     orderKeyToString(f.order).c_str());
+    if (slot.isBranch)
+        inv.openBranches.insert(slot.order);
     speculateCallees(inv, slot);
     maybePromote(inv, slot);
     return slot;
@@ -442,8 +450,7 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
             const bool speculative =
                 f.afterUnresolvedBranch ||
                 f.source != InputSource::Actual;
-            if (speculative &&
-                liveSpeculativeSlots(inv) >= effectiveSpecDepth()) {
+            if (speculative && inv.specLive >= effectiveSpecDepth()) {
                 inv.depthBlocked.push_back(std::move(f));
                 return;
             }
@@ -531,8 +538,7 @@ SpecController::walk(SpecInvocation& inv, Frontier f)
             const bool speculative =
                 f.afterUnresolvedBranch ||
                 f.source != InputSource::Actual;
-            if (speculative &&
-                liveSpeculativeSlots(inv) >= effectiveSpecDepth()) {
+            if (speculative && inv.specLive >= effectiveSpecDepth()) {
                 inv.depthBlocked.push_back(std::move(f));
                 return;
             }
@@ -687,14 +693,7 @@ SpecController::resumeBlockedOn(SpecInvocation& inv, const Slot& slot)
         f.source = InputSource::Actual;
         f.carryProducer.clear();
     }
-    f.afterUnresolvedBranch = false;
-    for (const auto& [order, sh] : inv.slots) {
-        if (!orderKeyLess(order, f.order))
-            break;
-        const Slot& s = slotAt(sh);
-        if (s.isBranch && !s.completed)
-            f.afterUnresolvedBranch = true;
-    }
+    f.afterUnresolvedBranch = inv.openBranches.anyBefore(f.order);
     walk(inv, std::move(f));
 }
 
@@ -752,6 +751,18 @@ SpecController::squashRange(SpecInvocation& inv,
     };
     std::vector<Relaunch> relaunches;
 
+    // Drop all speculative-callee bookkeeping pointing into the
+    // squashed region in one compacting pass. Every pendingCallees
+    // entry targets a live, not-yet-adopted slot, so the entries with
+    // order >= from are exactly those whose slot dies below — this
+    // replaces the old per-victim rescan of the whole map (quadratic
+    // in deep cascades). The relaunches issued at the end of this
+    // function may add fresh entries; they come after the purge in
+    // event order, exactly as before.
+    inv.pendingCallees.eraseIf([&from](const auto& e) {
+        return !orderKeyLess(e.second, from);
+    });
+
     // Collect victims in reverse program order. The handle list lives
     // in the invocation's scratch arena (trivially copyable payload,
     // reclaimed with the record); squash cascades re-enter this
@@ -796,21 +807,19 @@ SpecController::squashRange(SpecInvocation& inv,
                 ++inv.containerKillDebt;
         }
 
-        // Drop any speculative-callee bookkeeping pointing at the
-        // victim.
-        for (auto pit = inv.pendingCallees.begin();
-             pit != inv.pendingCallees.end();) {
-            if (pit->second == s.order)
-                pit = inv.pendingCallees.erase(pit);
-            else
-                ++pit;
+        if (s.launchedSpeculatively && !s.completed) {
+            SPECFAAS_ASSERT(inv.specLive > 0, "specLive underflow");
+            --inv.specLive;
         }
 
         ++ctrSquashes_;
         ++inv.result.squashes;
-        // Reverse order makes every erase pop the current suffix tail
-        // — no element shifting in the flat map's vector.
-        inv.slots.erase(s.order);
+        // Reverse order: every removal must pop the current suffix
+        // tail (no element shifting). popBackExpect asserts exactly
+        // that — nothing in this loop (interpreter squash, container
+        // release) re-enters the pipeline map, so a violation means a
+        // new reentrant path and must be caught, not absorbed.
+        inv.slots.popBackExpect(s.order);
         slotArena_.destroy(victims[vi]);
     }
     if (auto& tr = sim_.context().trace(); tr.enabled()) {
@@ -829,20 +838,20 @@ SpecController::squashRange(SpecInvocation& inv,
     SPECFAAS_ASSERT(inv.result.squashes < 20000,
                     "runaway squash loop:\n%s", debugDump().c_str());
 
-    // Purge walk bookkeeping inside the squashed region.
-    for (auto it = inv.blocked.lower_bound(from);
-         it != inv.blocked.end();) {
-        it = inv.blocked.erase(it);
-    }
+    // Purge walk bookkeeping inside the squashed region: suffix
+    // truncations over the order-indexed structures.
+    inv.blocked.eraseFrom(from);
     inv.depthBlocked.remove_if([&from](const Frontier& f) {
         return !orderKeyLess(f.order, from);
     });
-    for (auto it = inv.forks.lower_bound(from); it != inv.forks.end();) {
+    for (auto it = inv.forks.lower_bound(from); it != inv.forks.end();
+         ++it) {
         const FlowNode& fork =
             inv.program->node(it->second.restart.flowIdx);
         inv.joins.erase(fork.join);
-        it = inv.forks.erase(it);
     }
+    inv.forks.eraseFrom(from);
+    inv.openBranches.eraseFrom(from);
     inv.responseSeen = false;
 
     for (auto& r : relaunches) {
@@ -932,13 +941,8 @@ SpecController::recoverFromCrash(InvocationId id, SlotHandle h)
         f.pathHash = slot.pathHash;
         OrderKey from = slot.order;
         adjustRewindToForkBase(inv, from, f);
-        for (const auto& [o, sh] : inv.slots) {
-            if (!orderKeyLess(o, from))
-                break;
-            const Slot& s = slotAt(sh);
-            if (s.isBranch && !s.completed)
-                f.afterUnresolvedBranch = true;
-        }
+        if (inv.openBranches.anyBefore(from))
+            f.afterUnresolvedBranch = true;
         squashRange(inv, from, SquashReason::Fault);
         rewindExplicit(inv, std::move(f));
     } else if (!slot.isImplicitCallee) {
@@ -1059,13 +1063,22 @@ SpecController::completed(const InstancePtr& inst, Value output)
                     inst->label().c_str());
     slot->completed = true;
     slot->output = std::move(output);
+    if (slot->launchedSpeculatively) {
+        SPECFAAS_ASSERT(inv.specLive > 0, "specLive underflow");
+        --inv.specLive;
+    }
+    if (slot->isBranch)
+        inv.openBranches.erase(slot->order);
 
     // Speculative callees spawned for call sites this function never
-    // reached are garbage: the call prediction was wrong.
+    // reached are garbage: the call prediction was wrong. Entries are
+    // keyed (caller id, call site), so one caller's entries are a
+    // contiguous run — no full-map scan.
     std::vector<OrderKey> garbage;
-    for (const auto& [key, order] : inv.pendingCallees) {
-        if (key.first == inst->id)
-            garbage.push_back(order);
+    for (auto pit = inv.pendingCallees.lower_bound({inst->id, 0});
+         pit != inv.pendingCallees.end() && pit->first.first == inst->id;
+         ++pit) {
+        garbage.push_back(pit->second);
     }
     for (const auto& order : garbage) {
         auto git = inv.slots.find(order);
@@ -1157,13 +1170,8 @@ SpecController::onExplicitComplete(SpecInvocation& inv, Slot& slot)
                 f.pathHash = next_path;
                 OrderKey from = increment(slot.order);
                 adjustRewindToForkBase(inv, from, f);
-                for (const auto& [o, sh] : inv.slots) {
-                    if (!orderKeyLess(o, from))
-                        break;
-                    const Slot& s = slotAt(sh);
-                    if (s.isBranch && !s.completed)
-                        f.afterUnresolvedBranch = true;
-                }
+                if (inv.openBranches.anyBefore(from))
+                    f.afterUnresolvedBranch = true;
                 squashRange(inv, from,
                             SquashReason::ControlMispredict);
                 rewindExplicit(inv, std::move(f));
@@ -1199,21 +1207,18 @@ SpecController::onExplicitComplete(SpecInvocation& inv, Slot& slot)
                 f.pathHash = next_path;
                 OrderKey from = increment(slot.order);
                 adjustRewindToForkBase(inv, from, f);
-                for (const auto& [o, sh] : inv.slots) {
-                    if (!orderKeyLess(o, from))
-                        break;
-                    const Slot& s = slotAt(sh);
-                    if (s.isBranch && !s.completed)
-                        f.afterUnresolvedBranch = true;
-                }
+                if (inv.openBranches.anyBefore(from))
+                    f.afterUnresolvedBranch = true;
                 squashRange(inv, from, SquashReason::DataMispredict);
                 rewindExplicit(inv, std::move(f));
             } else {
                 // Prediction validated: consumers of this carry are
-                // now running on confirmed inputs.
-                for (auto& [o, sh] : inv.slots) {
-                    (void)o;
-                    Slot& s = slotAt(sh);
+                // now running on confirmed inputs. A carry only ever
+                // flows forward, so consumers sit strictly after the
+                // producer — start the sweep there.
+                for (auto it = inv.slots.lower_bound(slot.order);
+                     it != inv.slots.end(); ++it) {
+                    Slot& s = slotAt(it->second);
                     if (!s.inputValidated &&
                         s.carryProducer == slot.order) {
                         s.inputValidated = true;
@@ -1296,7 +1301,7 @@ SpecController::updateTablesAtCommit(SpecInvocation& inv, Slot& slot)
         // Learned sequence-table entries and call predictors for
         // implicit workflows (§V-D).
         for (const auto& [cs, callee] : slot.inst->observedCallees)
-            callGraph_[{slot.function, cs}] = CallSiteInfo{callee};
+            noteCallSite(slot.function, cs, callee);
         for (const auto& [cs, taken] : slot.inst->callSiteOutcomes) {
             bp_.update(callKey(slot.function, cs),
                        config_.bpPathHistory ? slot.pathHash
@@ -1320,6 +1325,20 @@ SpecController::accountCommitted(SpecInvocation& inv, Slot& slot)
 }
 
 void
+SpecController::noteCallSite(Symbol function, std::size_t call_site,
+                             Symbol callee)
+{
+    CallSiteInfo& info = callGraph_[{function, call_site}];
+    if (info.def != nullptr && info.callee == callee)
+        return; // unchanged shape: keep the memoized derivation
+    info.callee = callee;
+    info.def = registry_.find(callee);
+    info.nonSpec =
+        info.def != nullptr && info.def->nonSpeculativeAnnotation;
+    info.pure = info.def != nullptr && info.def->pureAnnotation;
+}
+
+void
 SpecController::flushPendingCommit(SpecInvocation& inv,
                                    const PendingCommit& p)
 {
@@ -1332,7 +1351,7 @@ SpecController::flushPendingCommit(SpecInvocation& inv,
     }
     if (p.inst) {
         for (const auto& [cs, callee] : p.inst->observedCallees)
-            callGraph_[{p.function, cs}] = CallSiteInfo{callee};
+            noteCallSite(p.function, cs, callee);
         for (const auto& [cs, taken] : p.inst->callSiteOutcomes) {
             bp_.update(callKey(p.function, cs),
                        config_.bpPathHistory ? p.pathHash
@@ -1393,7 +1412,13 @@ SpecController::commitSlot(SpecInvocation& inv, Slot& slot)
     if (slot.inst)
         slot.inst->state = InstanceState::Committed;
     const SlotHandle self = slot.self;
-    inv.slots.erase(slot.order);
+    // Commit is strictly in-order: the committed slot is the pipeline
+    // head, so retiring it advances the commit frontier — no erase,
+    // no element shifting.
+    SPECFAAS_ASSERT(!inv.slots.empty() &&
+                        inv.slots.front().second == self,
+                    "commit not at the pipeline head");
+    inv.slots.popFront();
     slotArena_.destroy(self);
 }
 
@@ -1551,16 +1576,24 @@ SpecController::maybePromote(SpecInvocation& inv, Slot& slot)
     for (auto& cb : parked)
         sim_.events().schedule(0, std::move(cb));
 
-    // Cascade to adopted callees of this slot.
+    // Cascade to adopted callees of this slot. A callee's order
+    // extends its caller's with the call site, so the whole call
+    // subtree sits in [slot.order, increment(slot.order)) — scan
+    // that range, not the full pipeline. (The range also covers
+    // deeper descendants; the callerId check keeps the cascade to
+    // direct children, which recurse in turn.)
     if (slot.inst) {
         const InstanceId caller_id = slot.inst->id;
-        std::vector<SlotHandle> children;
-        for (const auto& [order, sh] : inv.slots) {
-            (void)order;
-            const Slot& s = slotAt(sh);
+        const OrderKey subtreeEnd = increment(slot.order);
+        SmallVector<SlotHandle, 8> children;
+        for (auto it = inv.slots.lower_bound(slot.order);
+             it != inv.slots.end() &&
+             orderKeyLess(it->first, subtreeEnd);
+             ++it) {
+            const Slot& s = slotAt(it->second);
             if (s.isImplicitCallee && s.callerId == caller_id &&
                 s.adopted) {
-                children.push_back(sh);
+                children.push_back(it->second);
             }
         }
         for (const SlotHandle ch : children) {
@@ -1578,7 +1611,7 @@ SpecController::resumeDepthBlocked(SpecInvocation& inv)
     // still closed, window still full) must not spin the loop.
     std::size_t remaining = inv.depthBlocked.size();
     while (remaining-- > 0 && !inv.depthBlocked.empty()) {
-        if (liveSpeculativeSlots(inv) >= effectiveSpecDepth())
+        if (inv.specLive >= effectiveSpecDepth())
             break;
         Frontier f = std::move(inv.depthBlocked.front());
         inv.depthBlocked.pop_front();
@@ -1777,15 +1810,8 @@ SpecController::storagePut(const InstancePtr& inst, const std::string& key,
                     f.pathHash = v.pathHash;
                     rewind = true;
                 }
-                if (rewind) {
-                    for (const auto& [o, sh] : inv.slots) {
-                        if (!orderKeyLess(o, from))
-                            break;
-                        const Slot& s = slotAt(sh);
-                        if (s.isBranch && !s.completed)
-                            f.afterUnresolvedBranch = true;
-                    }
-                }
+                if (rewind && inv.openBranches.anyBefore(from))
+                    f.afterUnresolvedBranch = true;
             }
 
             squashRange(inv, from, SquashReason::BufferViolation);
@@ -1890,6 +1916,7 @@ SpecController::launchCalleeSlot(SpecInvocation& inv,
     if (slot.launchedSpeculatively) {
         ++ctrSpeculativeLaunches_;
         ++inv.result.speculativeLaunches;
+        ++inv.specLive;
         inv.pendingCallees[{caller->id, call_site}] = order;
         if (auto& tr = sim_.context().trace(); tr.enabled()) {
             tr.instant(obs::cat::kSpec, "speculative-launch",
@@ -1931,12 +1958,14 @@ SpecController::speculateCallees(SpecInvocation& inv, Slot& slot)
         auto git = callGraph_.find({slot.function, cs});
         if (git == callGraph_.end())
             continue;
-        const FunctionDef* cd = registry_.find(git->second.callee);
-        if (cd != nullptr && cd->nonSpeculativeAnnotation)
+        // Eligibility was derived once at commit-time learning and
+        // memoized on the call-graph entry (registry def + annotation
+        // gates) — no registry probe per candidate.
+        const CallSiteInfo& site = git->second;
+        if (site.nonSpec)
             continue; // never launched early (§VI)
-        if (config_.pureFunctionSkip && cd != nullptr &&
-            cd->pureAnnotation &&
-            memo_.table(git->second.callee).lookup(args) != nullptr) {
+        if (config_.pureFunctionSkip && site.pure &&
+            memo_.table(site.callee).lookup(args) != nullptr) {
             continue; // the call site will skip it entirely (§V-B)
         }
         auto pred = bp_.predict(callKey(slot.function, cs),
@@ -1945,10 +1974,10 @@ SpecController::speculateCallees(SpecInvocation& inv, Slot& slot)
                                     : pathhash::kEmpty);
         if (!pred || pred->target != 1)
             continue; // predicted not-taken or unknown
-        if (liveSpeculativeSlots(inv) >= effectiveSpecDepth())
+        if (inv.specLive >= effectiveSpecDepth())
             break;
-        launchCalleeSlot(inv, slot.inst, cs, git->second.callee,
-                         args, InputSource::Memoized, true, nullptr);
+        launchCalleeSlot(inv, slot.inst, cs, site.callee, args,
+                         InputSource::Memoized, true, nullptr);
     }
 }
 

@@ -266,20 +266,31 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
         const FlowProgram* program = nullptr;
         ResultCallback done;
 
-        /** Pipeline: program order → slot handle. The Slot objects
-         * themselves live in the controller's slab-stable slot
-         * arena; handles go stale the moment a slot is squashed or
-         * committed, which is exactly the old byInstance-absence
-         * semantics. */
-        FlatMap<OrderKey, SlotHandle, OrderLess> slots;
+        /** Pipeline: program order → slot handle, order-indexed so
+         * commit advances a head frontier (popFront) and squash
+         * truncates a suffix. The Slot objects themselves live in
+         * the controller's slab-stable slot arena; handles go stale
+         * the moment a slot is squashed or committed, which is
+         * exactly the old byInstance-absence semantics. */
+        PipelineMap<OrderKey, SlotHandle, OrderLess> slots;
         std::unique_ptr<DataBuffer> buffer;
 
+        /** Count of live slots with launchedSpeculatively set and
+         * completed unset — the depth throttle's input, maintained
+         * incrementally instead of recounted by pipeline scan. */
+        std::size_t specLive = 0;
+
+        /** Orders of launched, not-yet-completed branch slots. The
+         * "is anything before X control-speculative?" questions the
+         * walk and rewind paths ask become a front() compare. */
+        OrderedKeySet<OrderKey, OrderLess> openBranches;
+
         /** Frontiers blocked on a producer slot's completion. */
-        FlatMap<OrderKey, Frontier, OrderLess> blocked;
+        PipelineMap<OrderKey, Frontier, OrderLess> blocked;
         /** Frontiers parked by the speculation-depth throttle. */
         std::list<Frontier> depthBlocked;
         FlatMap<FlowIndex, JoinState> joins;
-        FlatMap<OrderKey, ForkMeta, OrderLess> forks;
+        PipelineMap<OrderKey, ForkMeta, OrderLess> forks;
 
         /** Pending speculative callees: caller id + call site → slot
          * order. */
@@ -344,7 +355,7 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
             Value output;
             FlowIndex actualTarget = kFlowNone; // branches only
         };
-        FlatMap<OrderKey, CommittedNode, OrderLess> committed;
+        PipelineMap<OrderKey, CommittedNode, OrderLess> committed;
 
         /**
          * Outstanding container-kill squash debt: number of upcoming
@@ -356,7 +367,7 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
 
         /** Fault-retry attempts per pipeline coordinate; survives the
          * squash/relaunch cycle so give-up thresholds are honest. */
-        FlatMap<OrderKey, std::uint32_t, OrderLess> faultAttempts;
+        PipelineMap<OrderKey, std::uint32_t, OrderLess> faultAttempts;
 
         /** Response payload observed when the walk reaches the end
          * of the program. */
@@ -368,10 +379,22 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     /** Values are owned by invPool_, not the map. */
     using InvMap = std::unordered_map<InvocationId, SpecInvocation*>;
 
-    /** Learned implicit call graph (part of the Sequence Table). */
+    /**
+     * Learned implicit call graph (part of the Sequence Table), with
+     * the speculate-callee launch-set derivation memoized per
+     * (function, site): the resolved registry definition and its
+     * annotation gates are cached at commit-time learning, so
+     * repeated invocations of the same workflow shape skip the
+     * registry probe and annotation re-derivation per candidate.
+     * Refreshed whenever the learned callee changes. Relies on the
+     * registry being immutable for the controller's lifetime.
+     */
     struct CallSiteInfo
     {
         Symbol callee;
+        const FunctionDef* def = nullptr;
+        bool nonSpec = false;
+        bool pure = false;
     };
 
     const FlowProgram& compiled(const Application& app);
@@ -436,6 +459,9 @@ class SpecController : public WorkflowEngine, public RuntimeHooks
     /** @} */
 
     void maybePromote(SpecInvocation& inv, Slot& slot);
+    /** Learn (or confirm) a call-graph edge at commit time. */
+    void noteCallSite(Symbol function, std::size_t call_site,
+                      Symbol callee);
     void flushPendingCommit(SpecInvocation& inv,
                             const PendingCommit& p);
     void resumeParkedReads(SpecInvocation& inv);

@@ -26,6 +26,7 @@
 #include <new>
 
 #include "common/arena.hh"
+#include "common/flat_map.hh"
 #include "obs/profiler.hh"
 #include "platform/platform.hh"
 #include "sim/event_queue.hh"
@@ -192,6 +193,68 @@ TEST(BumpArenaLifetime, EscapedPointerDiesUnderAsan)
                  "use-after-poison");
 }
 #endif // SPECFAAS_ASAN
+
+TEST(HotPathAllocs, PipelineChurnSteadyStateIsAllocationFree)
+{
+    // The controllers' order-indexed pipelines (slot maps, blocked
+    // frontiers, fault attempts) see an append + popFront stream
+    // with bounded occupancy: new work enters past the tail, commit
+    // consumes the front. Once warmup has grown the backing vector
+    // to the high-water mark, the frontier + geometric-compaction
+    // scheme must recycle storage in place — zero allocator traffic
+    // over hundreds of thousands of pipeline transitions.
+    PipelineMap<int, int> pm;
+    int next = 0;
+    for (int i = 0; i < 4096; ++i) { // warmup: reach the high-water mark
+        pm.emplace(next++, i);
+        if (pm.size() > 32)
+            pm.popFront();
+    }
+    const std::uint64_t before = gAllocs.load();
+    for (int i = 0; i < 200000; ++i) {
+        pm.emplace(next++, i);
+        if (pm.size() > 32)
+            pm.popFront();
+    }
+    EXPECT_EQ(gAllocs.load() - before, 0u)
+        << "pipeline append/commit churn must not touch the allocator";
+
+    // The squash shape — suffix truncation and reverse tail pops —
+    // must be just as quiet.
+    const std::uint64_t before2 = gAllocs.load();
+    for (int round = 0; round < 10000; ++round) {
+        for (int i = 0; i < 16; ++i)
+            pm.emplace(next++, i);
+        for (int i = 0; i < 8; ++i)
+            pm.popBackExpect(next - 1 - i);
+        next -= 8;
+        pm.eraseFrom(next - 8); // kill the rest of this round's work
+        next -= 8;
+    }
+    EXPECT_EQ(gAllocs.load() - before2, 0u)
+        << "squash-shape churn must not touch the allocator";
+}
+
+TEST(HotPathAllocs, OrderedKeySetChurnIsAllocationFree)
+{
+    // The open-branch index absorbs an insert / erase / suffix-
+    // truncate stream with a small bounded population; after warmup
+    // its vector must never reallocate.
+    OrderedKeySet<int> s;
+    for (int i = 0; i < 64; ++i)
+        s.insert(i);
+    s.eraseFrom(0);
+    const std::uint64_t before = gAllocs.load();
+    for (int round = 0; round < 100000; ++round) {
+        for (int i = 0; i < 8; ++i)
+            s.insert(round * 8 + i);
+        s.erase(round * 8 + 3);
+        s.eraseFrom(round * 8);
+    }
+    EXPECT_EQ(gAllocs.load() - before, 0u)
+        << "open-branch index churn must not touch the allocator";
+    EXPECT_TRUE(s.empty());
+}
 
 TEST(HotPathAllocs, DisabledProfilerZonesAreAllocationFree)
 {

@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "platform/platform.hh"
 #include "specfaas/spec_controller.hh"
 #include "workloads/app_helpers.hh"
@@ -471,6 +473,179 @@ TEST(SpecController, StaleSlotHandlesMissAfterGiveUpTeardown)
         EXPECT_FALSE((*ctrl)->slotHandleResolves(h))
             << "slot " << h.index << "@" << h.gen
             << " survived the give-up teardown";
+}
+
+/**
+ * Sixteen-deep pass-through chain behind one heavily biased branch:
+ * with a wide speculation window the whole chain launches behind the
+ * unresolved branch, so a wrong prediction squashes the entire
+ * speculated suffix in one cascade.
+ */
+Application
+deepCascadeApp()
+{
+    Application app;
+    app.name = "cascade";
+    app.suite = "test";
+    app.type = WorkflowType::Explicit;
+    // Slow condition, fast chain: the chain runs deep behind the
+    // still-unresolved branch before the verdict arrives.
+    app.functions.push_back(condFunction("Dc", "b0", 60.0));
+    std::vector<WorkflowNode> chain;
+    for (int i = 0; i < 16; ++i) {
+        const std::string name = strFormat("D%02d", i);
+        app.functions.push_back(worker(name, 2.0, fns::passInput()));
+        chain.push_back(task(name));
+    }
+    app.functions.push_back(worker("Dalt", 3.0, [](const Env&) {
+        return Value("alt");
+    }));
+    app.workflow = when("Dc", sequence(std::move(chain)), task("Dalt"));
+    app.inputGen = [](Rng& rng) {
+        Value v = Value::object({});
+        v["b0"] = Value(rng.bernoulli(0.97));
+        return v;
+    };
+    return app;
+}
+
+TEST(SpecController, DeepCascadeSquashDrainsCleanly)
+{
+    // Regression for the squash path's cost and bookkeeping on deep
+    // victim sets: a single mispredicted branch kills a 16-deep
+    // speculated suffix. The squash loop's internal invariants — the
+    // tail-identity suffix pop and the incremental live-speculation
+    // counter — assert on every victim, so a bookkeeping break dies
+    // here rather than producing a silently wrong pipeline.
+    Application app = deepCascadeApp();
+    SpecConfig config;
+    config.maxSpecDepth = 32;
+    auto spec = specPlatform(app, config, 30);
+    auto* controller = spec->specController();
+
+    Value wrong = Value::object({});
+    wrong["b0"] = Value(false);
+    InvocationResult r = spec->invokeSync(app, std::move(wrong));
+    EXPECT_EQ(r.response.asString(), "alt");
+    EXPECT_GT(r.squashes, 0u) << "misprediction must squash";
+    EXPECT_GE(r.speculativeLaunches, 8u)
+        << "the chain should have speculated deep behind the branch";
+    EXPECT_EQ(controller->liveInvocations(), 0u);
+    EXPECT_TRUE(controller->liveSlotHandles().empty())
+        << "a deep cascade must not leak pipeline slots";
+
+    // The structures stay coherent for later traffic through the
+    // same (recycled) pipeline state.
+    for (int i = 0; i < 5; ++i) {
+        auto ok = spec->invokeSync(app, app.inputGen(spec->inputRng()));
+        EXPECT_FALSE(ok.response.isNull());
+    }
+    EXPECT_EQ(controller->liveInvocations(), 0u);
+}
+
+/**
+ * Implicit two-level call tree — root calls a middle service which
+ * calls a leaf — whose middle tier crashes mid-execution at random.
+ * Crash recovery squashes the adopted callee (and any adopted
+ * descendants) and relaunches it under the surviving caller; with
+ * trained callee speculation the relaunch interleaves with squashed
+ * pending-callee predictions, the path the pipeline suffix-pop
+ * invariant must absorb.
+ */
+Application
+adoptedRelaunchApp()
+{
+    Application app;
+    app.name = "adopt";
+    app.suite = "test";
+    app.type = WorkflowType::Implicit;
+    app.rootFunction = "ARoot";
+
+    FunctionDef root;
+    root.name = "ARoot";
+    root.body.push_back(Op::compute(msToTicks(3.0)));
+    root.body.push_back(Op::call("AMid", fns::inputField("k"), "m"));
+    root.body.push_back(Op::call("ATail", fns::inputField("k"), "t"));
+    root.output = [](const Env& e) {
+        Value out = Value::object({});
+        out["m"] = e.var("m");
+        out["t"] = e.var("t");
+        return out;
+    };
+    app.functions.push_back(std::move(root));
+
+    // Speculative launches may run on predicted (possibly null)
+    // inputs before validation, so every handler tolerates them —
+    // as the real workload suites do.
+    const auto intOr = [](const Value& v, std::int64_t fb) {
+        return v.isInt() ? v.asInt() : fb;
+    };
+    FunctionDef mid;
+    mid.name = "AMid";
+    mid.body.push_back(Op::compute(msToTicks(4.0)));
+    mid.body.push_back(Op::call("ALeaf", fns::passInput(), "l"));
+    mid.body.push_back(Op::compute(msToTicks(4.0)));
+    mid.output = [intOr](const Env& e) {
+        return Value(intOr(e.var("l"), 0) + 1);
+    };
+    app.functions.push_back(std::move(mid));
+
+    app.functions.push_back(worker("ALeaf", 5.0, [intOr](const Env& e) {
+        return Value(intOr(e.input, 0) * 2);
+    }));
+    app.functions.push_back(worker("ATail", 4.0, [intOr](const Env& e) {
+        return Value(intOr(e.input, 0) + 100);
+    }));
+    app.inputGen = [](Rng& rng) {
+        Value v = Value::object({});
+        v["k"] = Value(rng.uniformInt(std::int64_t{0}, std::int64_t{3}));
+        return v;
+    };
+    return app;
+}
+
+TEST(SpecController, AdoptedCalleeRelaunchAfterMidExecutionCrash)
+{
+    Application app = adoptedRelaunchApp();
+    PlatformOptions options;
+    options.speculative = true;
+    options.seed = 11;
+    FaultRule rule;
+    rule.kind = FaultKind::ContainerCrash;
+    rule.function = "AMid";
+    rule.phase = CrashPhase::MidExecution;
+    rule.budget = kUnlimitedBudget;
+    rule.probability = 0.1;
+    options.faultPlan.rules.push_back(rule);
+    options.faultPlan.maxAttempts = 8;
+    auto platform = std::make_unique<FaasPlatform>(options);
+    platform->deploy(app);
+    platform->train(app, 30);
+    auto* controller = platform->specController();
+
+    // Trained call graph: AMid / ATail / ALeaf launch speculatively
+    // and are adopted when the real call arrives; the random crashes
+    // then tear adopted slots out mid-flight and relaunch them.
+    ASSERT_GT(controller->stats().speculativeLaunches, 0u)
+        << "callee speculation never engaged; the test is vacuous";
+    for (int i = 0; i < 25; ++i) {
+        Value input = Value::object({});
+        const std::int64_t k = i % 4;
+        input["k"] = Value(k);
+        InvocationResult r = platform->invokeSync(app, std::move(input));
+        ASSERT_TRUE(r.response.isObject()) << r.response.toString();
+        ASSERT_TRUE(r.response.at("m").isInt()) << r.response.toString();
+        ASSERT_EQ(r.response.at("m").asInt(), k * 2 + 1)
+            << "crash recovery produced a wrong callee result";
+        ASSERT_EQ(r.response.at("t").asInt(), k + 100);
+        EXPECT_EQ(controller->liveInvocations(), 0u);
+    }
+    EXPECT_GT(platform->faultInjector()->injected(
+                  FaultKind::ContainerCrash), 0u)
+        << "no crash ever fired; the test is vacuous";
+    EXPECT_GT(controller->stats().squashes, 0u)
+        << "crash recovery should squash the adopted subtree";
+    EXPECT_TRUE(controller->liveSlotHandles().empty());
 }
 
 } // namespace
